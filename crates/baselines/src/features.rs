@@ -1,0 +1,254 @@
+//! Table 1: the feature-comparison matrix, generated from structured
+//! per-bus metadata so the table stays consistent with the models.
+
+use std::fmt;
+
+/// Qualitative power levels as Table 1 grades them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PowerGrade {
+    /// 100s of pW standby / 10s of nW active.
+    Low,
+    /// Lee's I2C variant: better than pull-ups, worse than MBus.
+    Medium,
+    /// Pull-up-based buses: 10s of µW.
+    High,
+}
+
+impl fmt::Display for PowerGrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerGrade::Low => write!(f, "Low"),
+            PowerGrade::Medium => write!(f, "Med"),
+            PowerGrade::High => write!(f, "High"),
+        }
+    }
+}
+
+/// One column of Table 1.
+#[derive(Clone, Debug)]
+pub struct BusFeatures {
+    /// Bus name.
+    pub name: &'static str,
+    /// I/O pads for an `n`-node system, as a human-readable formula.
+    pub io_pads: &'static str,
+    /// Pad count evaluated at a concrete population.
+    pub pads_for_nodes: fn(usize) -> usize,
+    /// Standby power grade.
+    pub standby_power: PowerGrade,
+    /// Active power grade.
+    pub active_power: PowerGrade,
+    /// Pure-HDL synthesizable (no process-specific tuning).
+    pub synthesizable: bool,
+    /// Number of globally unique addresses, if addressed.
+    pub global_addresses: Option<u64>,
+    /// Multi-master / interrupt capable.
+    pub multi_master: bool,
+    /// Hardware broadcast support.
+    pub broadcast: bool,
+    /// Behavior independent of payload content (no byte stuffing).
+    pub data_independent: bool,
+    /// Power-aware (bus manages member power states).
+    pub power_aware: bool,
+    /// Hardware acknowledgments.
+    pub hardware_acks: bool,
+    /// Overhead formula for an `n`-byte message, as printed.
+    pub overhead: &'static str,
+}
+
+/// The five columns of Table 1.
+pub fn table1() -> [BusFeatures; 5] {
+    [
+        BusFeatures {
+            name: "I2C",
+            io_pads: "2/4",
+            pads_for_nodes: |_| 2,
+            standby_power: PowerGrade::Low,
+            active_power: PowerGrade::High,
+            synthesizable: true,
+            global_addresses: Some(128),
+            multi_master: true,
+            broadcast: false,
+            data_independent: true,
+            power_aware: false,
+            hardware_acks: true,
+            overhead: "10 + n",
+        },
+        BusFeatures {
+            name: "SPI",
+            io_pads: "3 + n",
+            pads_for_nodes: |n| 3 + n,
+            standby_power: PowerGrade::Low,
+            active_power: PowerGrade::Low,
+            synthesizable: true,
+            global_addresses: None,
+            multi_master: false,
+            broadcast: true, // "Option" in the paper; CS lines can gang
+            data_independent: true,
+            power_aware: false,
+            hardware_acks: false,
+            overhead: "2",
+        },
+        BusFeatures {
+            name: "UART",
+            io_pads: "2 × n",
+            pads_for_nodes: |n| 2 * n,
+            standby_power: PowerGrade::Low,
+            active_power: PowerGrade::Low,
+            synthesizable: true,
+            global_addresses: None,
+            multi_master: false,
+            broadcast: false,
+            data_independent: true,
+            power_aware: false,
+            hardware_acks: false,
+            overhead: "(2-3) × n",
+        },
+        BusFeatures {
+            name: "Lee-I2C",
+            io_pads: "2/4",
+            pads_for_nodes: |_| 2,
+            standby_power: PowerGrade::Low,
+            active_power: PowerGrade::Medium,
+            synthesizable: false,
+            global_addresses: Some(128),
+            multi_master: true,
+            broadcast: false,
+            data_independent: true,
+            power_aware: false,
+            hardware_acks: true,
+            overhead: "10 + n",
+        },
+        BusFeatures {
+            name: "MBus",
+            io_pads: "4",
+            pads_for_nodes: |_| 4,
+            standby_power: PowerGrade::Low,
+            active_power: PowerGrade::Low,
+            synthesizable: true,
+            global_addresses: Some(1 << 24),
+            multi_master: true,
+            broadcast: true,
+            data_independent: true,
+            power_aware: true,
+            hardware_acks: true,
+            overhead: "19, 43",
+        },
+    ]
+}
+
+/// The paper's thesis, encoded: does a bus satisfy every *critical*
+/// requirement of §3 (fixed pads, low standby & active power,
+/// synthesizable, large address space, multi-master)?
+pub fn meets_critical_requirements(bus: &BusFeatures) -> bool {
+    let fixed_pads = (bus.pads_for_nodes)(14) == (bus.pads_for_nodes)(2);
+    fixed_pads
+        && bus.standby_power == PowerGrade::Low
+        && bus.active_power == PowerGrade::Low
+        && bus.synthesizable
+        && bus.global_addresses.map(|a| a >= 1 << 20).unwrap_or(false)
+        && bus.multi_master
+}
+
+/// Renders the matrix in Table 1's layout.
+pub fn render_table1() -> String {
+    let buses = table1();
+    let mut out = String::new();
+    let yn = |b: bool| if b { "Yes" } else { "No" };
+    out.push_str(&format!(
+        "{:<28}{}\n",
+        "",
+        buses
+            .iter()
+            .map(|b| format!("{:>9}", b.name))
+            .collect::<String>()
+    ));
+    let mut row = |label: &str, f: &dyn Fn(&BusFeatures) -> String| {
+        out.push_str(&format!(
+            "{:<28}{}\n",
+            label,
+            buses.iter().map(|b| format!("{:>9}", f(b))).collect::<String>()
+        ));
+    };
+    row("I/O Pads (n nodes)", &|b| b.io_pads.to_string());
+    row("Standby Power", &|b| b.standby_power.to_string());
+    row("Active Power", &|b| b.active_power.to_string());
+    row("Synthesizable", &|b| yn(b.synthesizable).to_string());
+    row("Global Uniq Addresses", &|b| match b.global_addresses {
+        Some(n) if n >= 1 << 20 => format!("2^{}", n.ilog2()),
+        Some(n) => n.to_string(),
+        None => "-".to_string(),
+    });
+    row("Multi-Master (Interrupt)", &|b| yn(b.multi_master).to_string());
+    row("Broadcast Messages", &|b| yn(b.broadcast).to_string());
+    row("Data-Independent", &|b| yn(b.data_independent).to_string());
+    row("Power Aware", &|b| yn(b.power_aware).to_string());
+    row("Hardware ACKs", &|b| yn(b.hardware_acks).to_string());
+    row("Bits Overhead (n bytes)", &|b| b.overhead.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_mbus_meets_all_critical_requirements() {
+        // Table 1's caption: "Only MBus satisfies all of our required
+        // features."
+        let satisfied: Vec<&str> = table1()
+            .iter()
+            .filter(|b| meets_critical_requirements(b))
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(satisfied, vec!["MBus"]);
+    }
+
+    #[test]
+    fn pad_counts_scale_as_table1_states() {
+        let buses = table1();
+        let spi = &buses[1];
+        let uart = &buses[2];
+        let mbus = &buses[4];
+        assert_eq!((spi.pads_for_nodes)(5), 8);
+        assert_eq!((uart.pads_for_nodes)(5), 10);
+        assert_eq!((mbus.pads_for_nodes)(5), 4);
+        assert_eq!((mbus.pads_for_nodes)(14), 4, "population-independent");
+    }
+
+    #[test]
+    fn mbus_address_space_is_2_24() {
+        let mbus = &table1()[4];
+        assert_eq!(mbus.global_addresses, Some(1 << 24));
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows_and_buses() {
+        let t = render_table1();
+        for name in ["I2C", "SPI", "UART", "Lee-I2C", "MBus"] {
+            assert!(t.contains(name), "{name} missing");
+        }
+        for row in [
+            "I/O Pads",
+            "Standby Power",
+            "Active Power",
+            "Synthesizable",
+            "Global Uniq Addresses",
+            "Multi-Master",
+            "Broadcast",
+            "Data-Independent",
+            "Power Aware",
+            "Hardware ACKs",
+            "Bits Overhead",
+        ] {
+            assert!(t.contains(row), "{row} missing");
+        }
+        assert!(t.contains("2^24"));
+    }
+
+    #[test]
+    fn grades_are_displayable() {
+        assert_eq!(PowerGrade::Low.to_string(), "Low");
+        assert_eq!(PowerGrade::Medium.to_string(), "Med");
+        assert_eq!(PowerGrade::High.to_string(), "High");
+    }
+}

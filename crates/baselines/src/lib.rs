@@ -1,0 +1,41 @@
+//! # mbus-baselines — the buses MBus is evaluated against
+//!
+//! Functional implementations of the interconnects §2 of the paper
+//! compares MBus to, plus the structured data behind Table 1 and
+//! Fig. 10:
+//!
+//! * [`i2c`] — a bit-level open-collector I2C master/slave engine with
+//!   waveform capture and a decoder (framing round-trips are tested).
+//! * [`spi`] — an SPI master with per-slave chip selects, the
+//!   slave-to-slave double-cost path, and a daisy-chain variant.
+//! * [`uart`] — UART framing with parity and 1–2 stop bits, including
+//!   framing-error detection.
+//! * [`overhead`] — the [`overhead::BusOverhead`] trait and the exact
+//!   Fig. 10 series (UART 1/2-stop, I2C, SPI, MBus short/full).
+//! * [`features`] — Table 1's feature matrix as structured data, with
+//!   the §3 critical-requirements predicate that only MBus satisfies.
+//!
+//! ## Example: Fig. 10's crossover points
+//!
+//! ```
+//! use mbus_baselines::overhead::{
+//!     crossover_bytes, BusOverhead, I2cOverhead, MbusOverhead,
+//! };
+//!
+//! let mbus = MbusOverhead { full_address: false };
+//! // MBus's fixed 19-bit overhead beats I2C's 10+n once n = 10.
+//! assert_eq!(crossover_bytes(&mbus, &I2cOverhead, 100), Some(10));
+//! assert_eq!(mbus.overhead_bits(28_800), 19, "even for a 28.8 kB image");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod features;
+pub mod i2c;
+pub mod overhead;
+pub mod spi;
+pub mod uart;
+
+pub use features::{render_table1, table1, BusFeatures};
+pub use overhead::BusOverhead;

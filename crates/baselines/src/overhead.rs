@@ -1,0 +1,195 @@
+//! The unified bits-of-overhead model behind Fig. 10 and the overhead
+//! row of Table 1.
+
+use std::fmt;
+
+use mbus_core::timing;
+
+/// A bus whose protocol overhead can be expressed in bits as a function
+/// of payload length.
+pub trait BusOverhead {
+    /// Display name (Fig. 10 legend).
+    fn name(&self) -> &'static str;
+    /// Overhead bits charged for an `n`-byte message.
+    fn overhead_bits(&self, payload_bytes: usize) -> u32;
+
+    /// Total bits on the wire for an `n`-byte message.
+    fn total_bits(&self, payload_bytes: usize) -> u32 {
+        self.overhead_bits(payload_bytes) + 8 * payload_bytes as u32
+    }
+
+    /// Overhead as a fraction of total traffic.
+    fn overhead_fraction(&self, payload_bytes: usize) -> f64 {
+        let total = self.total_bits(payload_bytes);
+        if total == 0 {
+            return 0.0;
+        }
+        self.overhead_bits(payload_bytes) as f64 / total as f64
+    }
+}
+
+/// UART with `stop_bits` stop bits: `(1 + stop) × n` (Fig. 10's
+/// "1-bit stop" and "2-bit stop" series).
+#[derive(Clone, Copy, Debug)]
+pub struct UartOverhead {
+    /// 1 or 2 stop bits.
+    pub stop_bits: u32,
+}
+
+impl BusOverhead for UartOverhead {
+    fn name(&self) -> &'static str {
+        if self.stop_bits == 1 {
+            "UART (1-bit stop)"
+        } else {
+            "UART (2-bit stop)"
+        }
+    }
+
+    fn overhead_bits(&self, payload_bytes: usize) -> u32 {
+        (1 + self.stop_bits) * payload_bytes as u32
+    }
+}
+
+/// I2C: start + stop + address frame + per-byte ACKs — Table 1's
+/// `10 + n`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct I2cOverhead;
+
+impl BusOverhead for I2cOverhead {
+    fn name(&self) -> &'static str {
+        "I2C"
+    }
+
+    fn overhead_bits(&self, payload_bytes: usize) -> u32 {
+        10 + payload_bytes as u32
+    }
+}
+
+/// SPI: asserting and deasserting the chip-select — Table 1's `2`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpiOverhead;
+
+impl BusOverhead for SpiOverhead {
+    fn name(&self) -> &'static str {
+        "SPI"
+    }
+
+    fn overhead_bits(&self, _payload_bytes: usize) -> u32 {
+        2
+    }
+}
+
+/// MBus: a length-independent 19 (short) or 43 (full) cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct MbusOverhead {
+    /// Whether the message uses a 32-bit full address.
+    pub full_address: bool,
+}
+
+impl BusOverhead for MbusOverhead {
+    fn name(&self) -> &'static str {
+        if self.full_address {
+            "MBus (full)"
+        } else {
+            "MBus (short)"
+        }
+    }
+
+    fn overhead_bits(&self, _payload_bytes: usize) -> u32 {
+        timing::overhead_bits(self.full_address)
+    }
+}
+
+/// All Fig. 10 series in legend order.
+pub fn fig10_series() -> Vec<Box<dyn BusOverhead>> {
+    vec![
+        Box::new(UartOverhead { stop_bits: 1 }),
+        Box::new(UartOverhead { stop_bits: 2 }),
+        Box::new(I2cOverhead),
+        Box::new(SpiOverhead),
+        Box::new(MbusOverhead { full_address: false }),
+        Box::new(MbusOverhead { full_address: true }),
+    ]
+}
+
+/// The payload length (bytes) at which bus `a` becomes strictly more
+/// efficient (fewer overhead bits) than bus `b`, searching up to
+/// `limit`; `None` if it never happens.
+pub fn crossover_bytes(a: &dyn BusOverhead, b: &dyn BusOverhead, limit: usize) -> Option<usize> {
+    (0..=limit).find(|&n| a.overhead_bits(n) < b.overhead_bits(n))
+}
+
+impl fmt::Debug for dyn BusOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BusOverhead({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_overhead_row() {
+        assert_eq!(I2cOverhead.overhead_bits(8), 18); // 10 + n
+        assert_eq!(SpiOverhead.overhead_bits(1000), 2);
+        assert_eq!(UartOverhead { stop_bits: 1 }.overhead_bits(4), 8);
+        assert_eq!(UartOverhead { stop_bits: 2 }.overhead_bits(4), 12);
+        assert_eq!(MbusOverhead { full_address: false }.overhead_bits(9999), 19);
+        assert_eq!(MbusOverhead { full_address: true }.overhead_bits(0), 43);
+    }
+
+    #[test]
+    fn fig10_crossovers_match_caption() {
+        // "MBus short-addressed messages become more efficient than
+        // 2-mark UART after 7 bytes and more efficient than I2C and
+        // 1-mark UART after 9 bytes."
+        let mbus = MbusOverhead { full_address: false };
+        let uart2 = UartOverhead { stop_bits: 2 };
+        let uart1 = UartOverhead { stop_bits: 1 };
+        let i2c = I2cOverhead;
+        assert_eq!(crossover_bytes(&mbus, &uart2, 100), Some(7));
+        assert_eq!(crossover_bytes(&mbus, &uart1, 100), Some(10));
+        assert_eq!(crossover_bytes(&mbus, &i2c, 100), Some(10));
+    }
+
+    #[test]
+    fn spi_is_cheapest_but_needs_pins() {
+        // Fig. 10 shows SPI's 2-bit line along the bottom; the catch is
+        // Table 1's 3+n pin count, not bit overhead.
+        let spi = SpiOverhead;
+        for series in fig10_series() {
+            for n in 1..40 {
+                assert!(spi.overhead_bits(n) <= series.overhead_bits(n));
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_fraction_for_image_transfer() {
+        // §6.3.2: whole 28.8 kB image over I2C = 12.5 % overhead.
+        let i2c = I2cOverhead;
+        let frac = i2c.overhead_fraction(28_800);
+        assert!((frac * 100.0 - 11.1).abs() < 0.1, "{}", frac * 100.0);
+        // Note: the paper quotes 12.5 % = 28,810/230,400 (overhead over
+        // payload bits, not total); both framings are exposed.
+        let over_payload = i2c.overhead_bits(28_800) as f64 / (28_800.0 * 8.0);
+        assert!((over_payload * 100.0 - 12.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn series_have_distinct_names() {
+        let names: Vec<&str> = fig10_series().iter().map(|s| s.name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn crossover_none_when_never_better() {
+        let i2c = I2cOverhead;
+        let spi = SpiOverhead;
+        assert_eq!(crossover_bytes(&i2c, &spi, 1000), None);
+    }
+}

@@ -1,0 +1,274 @@
+//! A functional SPI master with per-slave chip-select lines — the
+//! single-ended comparator of §2.3.
+//!
+//! The model exposes exactly the properties the paper critiques:
+//!
+//! * every slave costs one chip-select pin ([`SpiBus::pin_count`]
+//!   grows as `3 + n`, Table 1);
+//! * all traffic is master-initiated; slave-to-slave transfers bounce
+//!   through the master, doubling cost
+//!   ([`SpiBus::slave_to_slave`]);
+//! * a daisy-chain variant trades the selects for a system-wide shift
+//!   register with latency proportional to population and buffer size.
+
+use std::fmt;
+
+/// A full-duplex SPI slave: exchanges one byte per clocking.
+pub trait SpiSlave {
+    /// Receives `mosi`; returns the byte presented on MISO.
+    fn exchange(&mut self, mosi: u8) -> u8;
+}
+
+/// A loopback slave that returns the previous byte it received.
+#[derive(Debug, Default)]
+pub struct EchoSlave {
+    last: u8,
+    /// Every byte the slave has received, for test observation.
+    pub received: Vec<u8>,
+}
+
+impl SpiSlave for EchoSlave {
+    fn exchange(&mut self, mosi: u8) -> u8 {
+        let out = self.last;
+        self.last = mosi;
+        self.received.push(mosi);
+        out
+    }
+}
+
+/// Cumulative transfer statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpiStats {
+    /// SCLK cycles clocked (8 per byte).
+    pub clock_cycles: u64,
+    /// Chip-select assert/deassert edge pairs.
+    pub cs_toggles: u64,
+    /// Bytes moved on MOSI.
+    pub bytes: u64,
+}
+
+/// The SPI bus: one master, indexed slaves, per-slave chip selects.
+///
+/// # Example
+///
+/// ```
+/// use mbus_baselines::spi::{EchoSlave, SpiBus};
+///
+/// let mut bus = SpiBus::new();
+/// let dev = bus.attach(EchoSlave::default());
+/// let miso = bus.transfer(dev, &[1, 2, 3]);
+/// assert_eq!(miso, vec![0, 1, 2]);
+/// assert_eq!(bus.pin_count(), 3 + 1, "Table 1: 3 + n pins");
+/// ```
+pub struct SpiBus {
+    slaves: Vec<Box<dyn SpiSlave>>,
+    stats: SpiStats,
+}
+
+impl fmt::Debug for SpiBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpiBus")
+            .field("slaves", &self.slaves.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for SpiBus {
+    fn default() -> Self {
+        SpiBus::new()
+    }
+}
+
+impl SpiBus {
+    /// Creates a bus with no slaves.
+    pub fn new() -> Self {
+        SpiBus {
+            slaves: Vec::new(),
+            stats: SpiStats::default(),
+        }
+    }
+
+    /// Attaches a slave, allocating it the next chip-select line;
+    /// returns its index.
+    pub fn attach(&mut self, slave: impl SpiSlave + 'static) -> usize {
+        self.slaves.push(Box::new(slave));
+        self.slaves.len() - 1
+    }
+
+    /// Master pin count: SCLK + MOSI + MISO + one CS per slave — the
+    /// §2.3 scaling problem.
+    pub fn pin_count(&self) -> usize {
+        3 + self.slaves.len()
+    }
+
+    /// Full-duplex transfer: asserts CS, clocks `mosi` out, returns the
+    /// MISO bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown slave index.
+    pub fn transfer(&mut self, slave: usize, mosi: &[u8]) -> Vec<u8> {
+        let dev = self
+            .slaves
+            .get_mut(slave)
+            .unwrap_or_else(|| panic!("no slave {slave}"));
+        self.stats.cs_toggles += 1;
+        self.stats.clock_cycles += 8 * mosi.len() as u64;
+        self.stats.bytes += mosi.len() as u64;
+        mosi.iter().map(|&b| dev.exchange(b)).collect()
+    }
+
+    /// A slave-to-slave move, which SPI can only do by reading into the
+    /// master and writing back out: "every message is sent twice plus
+    /// the energy of running the central controller" (§2.3).
+    ///
+    /// Returns the bytes delivered to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown indices.
+    pub fn slave_to_slave(&mut self, src: usize, dst: usize, len: usize) -> Vec<u8> {
+        let data = self.transfer(src, &vec![0u8; len]);
+        self.transfer(dst, &data);
+        data
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SpiStats {
+        self.stats
+    }
+}
+
+/// A daisy-chained SPI ring (§2.3's alternative): one shared CS, all
+/// slaves form a shift register of `buffer_len` bytes each.
+#[derive(Debug)]
+pub struct DaisyChain {
+    /// Per-device shift buffers, in chain order.
+    buffers: Vec<Vec<u8>>,
+    buffer_len: usize,
+}
+
+impl DaisyChain {
+    /// Creates a chain of `devices` nodes with `buffer_len`-byte
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(devices: usize, buffer_len: usize) -> Self {
+        assert!(devices > 0 && buffer_len > 0);
+        DaisyChain {
+            buffers: vec![vec![0; buffer_len]; devices],
+            buffer_len,
+        }
+    }
+
+    /// Pin count is fixed (4) regardless of population — but see
+    /// [`DaisyChain::update_cycles`] for what it costs instead.
+    pub fn pin_count(&self) -> usize {
+        4
+    }
+
+    /// Clock cycles to update every device once: the whole chain must
+    /// shift through — "overhead proportional to both the number of
+    /// devices and the size of the buffer in each device" (§2.3).
+    pub fn update_cycles(&self) -> u64 {
+        (self.buffers.len() * self.buffer_len * 8) as u64
+    }
+
+    /// Shifts a full update in: `frames[i]` lands in device `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one correctly-sized frame per device is
+    /// given.
+    pub fn update(&mut self, frames: &[Vec<u8>]) {
+        assert_eq!(frames.len(), self.buffers.len(), "one frame per device");
+        for (buf, frame) in self.buffers.iter_mut().zip(frames) {
+            assert_eq!(frame.len(), self.buffer_len);
+            buf.copy_from_slice(frame);
+        }
+    }
+
+    /// A device's current register contents.
+    pub fn device(&self, i: usize) -> &[u8] {
+        &self.buffers[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_duplex_exchange() {
+        let mut bus = SpiBus::new();
+        let dev = bus.attach(EchoSlave::default());
+        let miso = bus.transfer(dev, &[0xAA, 0xBB, 0xCC]);
+        assert_eq!(miso, vec![0x00, 0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn pin_count_grows_with_population() {
+        let mut bus = SpiBus::new();
+        assert_eq!(bus.pin_count(), 3);
+        for expected in 4..=10 {
+            bus.attach(EchoSlave::default());
+            assert_eq!(bus.pin_count(), expected);
+        }
+    }
+
+    #[test]
+    fn slave_to_slave_doubles_traffic() {
+        let mut bus = SpiBus::new();
+        let a = bus.attach(EchoSlave::default());
+        let b = bus.attach(EchoSlave::default());
+        bus.slave_to_slave(a, b, 8);
+        let stats = bus.stats();
+        assert_eq!(stats.bytes, 16, "every byte crosses the bus twice");
+        assert_eq!(stats.cs_toggles, 2);
+        assert_eq!(stats.clock_cycles, 128);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bus = SpiBus::new();
+        let dev = bus.attach(EchoSlave::default());
+        bus.transfer(dev, &[1]);
+        bus.transfer(dev, &[2, 3]);
+        assert_eq!(
+            bus.stats(),
+            SpiStats {
+                clock_cycles: 24,
+                cs_toggles: 2,
+                bytes: 3
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no slave")]
+    fn unknown_slave_panics() {
+        let mut bus = SpiBus::new();
+        bus.transfer(0, &[1]);
+    }
+
+    #[test]
+    fn daisy_chain_cost_scales_with_population_and_buffers() {
+        let small = DaisyChain::new(3, 2);
+        let big = DaisyChain::new(12, 2);
+        assert_eq!(small.pin_count(), 4);
+        assert_eq!(big.pin_count(), 4);
+        assert_eq!(small.update_cycles(), 48);
+        assert_eq!(big.update_cycles(), 192, "4× devices → 4× cycles");
+    }
+
+    #[test]
+    fn daisy_chain_update_places_frames() {
+        let mut chain = DaisyChain::new(2, 2);
+        chain.update(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(chain.device(0), &[1, 2]);
+        assert_eq!(chain.device(1), &[3, 4]);
+    }
+}

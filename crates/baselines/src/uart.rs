@@ -1,0 +1,236 @@
+//! UART framing: start bit, 8 data bits, optional parity, 1–2 stop
+//! bits — the per-byte-overhead comparator of Fig. 10.
+
+use std::fmt;
+
+/// Parity configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Parity {
+    /// No parity bit.
+    #[default]
+    None,
+    /// Parity bit makes the ones-count even.
+    Even,
+    /// Parity bit makes the ones-count odd.
+    Odd,
+}
+
+/// A UART frame format.
+///
+/// # Example
+///
+/// ```
+/// use mbus_baselines::uart::{Parity, UartFormat};
+///
+/// let fmt = UartFormat::new(1, Parity::None)?;
+/// let line = fmt.encode(&[0x55]);
+/// assert_eq!(line.len(), 10); // start + 8 data + 1 stop
+/// let (bytes, errors) = fmt.decode(&line);
+/// assert_eq!(bytes, vec![0x55]);
+/// assert!(errors.is_empty());
+/// # Ok::<(), mbus_baselines::uart::UartConfigError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UartFormat {
+    stop_bits: u8,
+    parity: Parity,
+}
+
+/// Rejected UART configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UartConfigError;
+
+impl fmt::Display for UartConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stop bits must be 1 or 2")
+    }
+}
+
+impl std::error::Error for UartConfigError {}
+
+/// A framing error found while decoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameError {
+    /// Index of the affected byte.
+    pub index: usize,
+    /// What went wrong.
+    pub kind: FrameErrorKind,
+}
+
+/// The kind of framing error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameErrorKind {
+    /// A stop bit read low.
+    BadStop,
+    /// Parity mismatch.
+    BadParity,
+}
+
+impl UartFormat {
+    /// Creates a format with `stop_bits` (1 or 2) and parity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UartConfigError`] for stop-bit counts other than 1
+    /// or 2.
+    pub fn new(stop_bits: u8, parity: Parity) -> Result<Self, UartConfigError> {
+        if !(1..=2).contains(&stop_bits) {
+            return Err(UartConfigError);
+        }
+        Ok(UartFormat { stop_bits, parity })
+    }
+
+    /// Bits per transmitted byte: 1 start + 8 data + parity + stops.
+    pub fn bits_per_byte(&self) -> u32 {
+        1 + 8 + (self.parity != Parity::None) as u32 + self.stop_bits as u32
+    }
+
+    /// Overhead bits per byte beyond the 8 data bits — Fig. 10's
+    /// "(2–3) × n".
+    pub fn overhead_bits_per_byte(&self) -> u32 {
+        self.bits_per_byte() - 8
+    }
+
+    fn parity_bit(&self, byte: u8) -> Option<bool> {
+        let ones = byte.count_ones() % 2 == 1;
+        match self.parity {
+            Parity::None => None,
+            Parity::Even => Some(ones),
+            Parity::Odd => Some(!ones),
+        }
+    }
+
+    /// Serializes bytes onto an idle-high line (true = mark).
+    pub fn encode(&self, data: &[u8]) -> Vec<bool> {
+        let mut line = Vec::with_capacity(data.len() * self.bits_per_byte() as usize);
+        for &byte in data {
+            line.push(false); // start bit (space)
+            for bit in 0..8 {
+                line.push(byte & (1 << bit) != 0); // LSB first
+            }
+            if let Some(p) = self.parity_bit(byte) {
+                line.push(p);
+            }
+            for _ in 0..self.stop_bits {
+                line.push(true);
+            }
+        }
+        line
+    }
+
+    /// Deserializes a line capture; returns the bytes plus any framing
+    /// errors (decoding continues past errors, as real UARTs do).
+    pub fn decode(&self, line: &[bool]) -> (Vec<u8>, Vec<FrameError>) {
+        let frame = self.bits_per_byte() as usize;
+        let mut bytes = Vec::new();
+        let mut errors = Vec::new();
+        let mut i = 0;
+        let mut index = 0;
+        while i + frame <= line.len() {
+            if line[i] {
+                // Idle mark; hunt for a start bit.
+                i += 1;
+                continue;
+            }
+            let mut byte = 0u8;
+            for bit in 0..8 {
+                byte |= (line[i + 1 + bit] as u8) << bit;
+            }
+            let mut pos = i + 9;
+            if let Some(expect) = self.parity_bit(byte) {
+                if line[pos] != expect {
+                    errors.push(FrameError {
+                        index,
+                        kind: FrameErrorKind::BadParity,
+                    });
+                }
+                pos += 1;
+            }
+            for _ in 0..self.stop_bits {
+                if !line[pos] {
+                    errors.push(FrameError {
+                        index,
+                        kind: FrameErrorKind::BadStop,
+                    });
+                }
+                pos += 1;
+            }
+            bytes.push(byte);
+            index += 1;
+            i = pos;
+        }
+        (bytes, errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_formats() {
+        let data: Vec<u8> = (0..=255).collect();
+        for stop in [1, 2] {
+            for parity in [Parity::None, Parity::Even, Parity::Odd] {
+                let fmt = UartFormat::new(stop, parity).unwrap();
+                let (decoded, errors) = fmt.decode(&fmt.encode(&data));
+                assert_eq!(decoded, data, "{stop} stop, {parity:?}");
+                assert!(errors.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_matches_fig10() {
+        let one_stop = UartFormat::new(1, Parity::None).unwrap();
+        let two_stop = UartFormat::new(2, Parity::None).unwrap();
+        assert_eq!(one_stop.overhead_bits_per_byte(), 2);
+        assert_eq!(two_stop.overhead_bits_per_byte(), 3);
+    }
+
+    #[test]
+    fn invalid_stop_bits_rejected() {
+        assert!(UartFormat::new(0, Parity::None).is_err());
+        assert!(UartFormat::new(3, Parity::None).is_err());
+    }
+
+    #[test]
+    fn corrupted_stop_bit_reported() {
+        let fmt = UartFormat::new(1, Parity::None).unwrap();
+        let mut line = fmt.encode(&[0xFF]);
+        let last = line.len() - 1;
+        line[last] = false; // break the stop bit
+        let (bytes, errors) = fmt.decode(&line);
+        assert_eq!(bytes, vec![0xFF]);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].kind, FrameErrorKind::BadStop);
+    }
+
+    #[test]
+    fn parity_error_detected() {
+        let fmt = UartFormat::new(1, Parity::Even).unwrap();
+        let mut line = fmt.encode(&[0x01]);
+        // Flip a data bit: parity now mismatches.
+        line[1] = !line[1];
+        let (_, errors) = fmt.decode(&line);
+        assert!(errors.iter().any(|e| e.kind == FrameErrorKind::BadParity));
+    }
+
+    #[test]
+    fn idle_line_decodes_to_nothing() {
+        let fmt = UartFormat::new(1, Parity::None).unwrap();
+        let (bytes, errors) = fmt.decode(&[true; 64]);
+        assert!(bytes.is_empty());
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn leading_idle_is_skipped() {
+        let fmt = UartFormat::new(2, Parity::Odd).unwrap();
+        let mut line = vec![true; 7];
+        line.extend(fmt.encode(&[0x42, 0x43]));
+        let (bytes, errors) = fmt.decode(&line);
+        assert_eq!(bytes, vec![0x42, 0x43]);
+        assert!(errors.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion benches over the discrete-event kernel itself: event
+//! scheduling throughput and waveform/trace handling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mbus_sim::{Circuit, Component, Ctx, Logic, PinId, SimTime};
+
+/// A repeater chain exercises the drive→deliver→drive pipeline.
+struct Repeater {
+    output: PinId,
+}
+
+impl Component for Repeater {
+    fn on_signal(&mut self, _pin: PinId, value: Logic, ctx: &mut Ctx<'_>) {
+        ctx.drive_after(self.output, value, SimTime::from_ns(1));
+    }
+}
+
+fn chain_circuit(len: usize) -> (Circuit, mbus_sim::NetId) {
+    let mut c = Circuit::new();
+    let first = c.net("n0");
+    let mut prev = first;
+    for i in 0..len {
+        let next = c.net(format!("n{}", i + 1));
+        let comp = c.add_component(format!("rep{i}"));
+        let _input = c.input_delayed(comp, prev, SimTime::from_ns(10));
+        let output = c.output(comp, next);
+        c.bind(comp, Repeater { output });
+        prev = next;
+    }
+    (c, first)
+}
+
+fn bench_event_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_pipeline");
+    for len in [10usize, 100] {
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("chain", len), &len, |b, &len| {
+            b.iter(|| {
+                let (mut circuit, first) = chain_circuit(len);
+                for k in 0..100u64 {
+                    circuit.drive_external(
+                        first,
+                        if k % 2 == 0 { Logic::Low } else { Logic::High },
+                        SimTime::from_us(k),
+                    );
+                }
+                circuit.run_to_idle(1_000_000);
+                std::hint::black_box(circuit.events_processed())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    use mbus_sim::{EventKind, Scheduler};
+    c.bench_function("scheduler_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = Scheduler::new();
+            for i in 0..10_000u64 {
+                q.schedule(
+                    SimTime::from_ps(i * 37 % 5_000),
+                    EventKind::Timer {
+                        component: Default::default(),
+                        token: i,
+                    },
+                );
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            std::hint::black_box(count)
+        });
+    });
+}
+
+fn bench_trace_queries(c: &mut Criterion) {
+    let (mut circuit, first) = chain_circuit(20);
+    for k in 0..1_000u64 {
+        circuit.drive_external(
+            first,
+            if k % 2 == 0 { Logic::Low } else { Logic::High },
+            SimTime::from_us(k),
+        );
+    }
+    circuit.run_to_idle(10_000_000);
+    let trace = circuit.trace().clone();
+    let nets: Vec<_> = trace.nets().collect();
+    c.bench_function("trace_value_at_lookups", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &net in &nets {
+                for t in (0..1_000u64).step_by(97) {
+                    acc += trace.value_at(net, SimTime::from_us(t)).is_high() as usize;
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_pipeline, bench_scheduler, bench_trace_queries);
+criterion_main!(benches);

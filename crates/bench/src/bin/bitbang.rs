@@ -1,0 +1,32 @@
+//! §6.6: bitbanging MBus — worst-case ISR path and maximum bus clock.
+
+use mbus_mcu::bitbang;
+
+fn main() {
+    println!("=== §6.6: Bitbanging MBus ===\n");
+
+    let worst = bitbang::worst_case_path();
+    println!("worst-case path to drive an output in response to an edge:");
+    println!(
+        "  {} instructions, {} cycles including interrupt entry and exit",
+        worst.instructions, worst.cycles
+    );
+    println!("  (paper: 20 instructions, 65 cycles)\n");
+
+    println!("maximum supportable MBus clock:");
+    for mhz in [1u64, 4, 8, 16] {
+        println!(
+            "  {:>2} MHz core: {:>7.1} kHz",
+            mhz,
+            bitbang::max_bus_clock_hz(mhz * 1_000_000) as f64 / 1e3
+        );
+    }
+    println!("  (paper: \"up to a 120 kHz MBus clock\" at 8 MHz)\n");
+
+    let i2c = bitbang::i2c_bitbang_longest_path();
+    println!("bitbang I2C comparator (Wikipedia implementation):");
+    println!(
+        "  longest path {} instructions, {} cycles   (paper: 21 instructions)",
+        i2c.instructions, i2c.cycles
+    );
+}

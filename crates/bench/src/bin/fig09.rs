@@ -1,0 +1,24 @@
+//! Fig. 9: maximum MBus clock frequency vs. node count — signals must
+//! traverse the whole ring (10 ns per hop) within one clock period.
+
+use mbus_bench::two_col_table;
+use mbus_systems::many_node::fig9_series;
+
+fn main() {
+    println!("=== Fig. 9: Maximum Frequency vs. Node Count ===\n");
+    let rows: Vec<(f64, f64)> = fig9_series()
+        .into_iter()
+        .map(|(n, hz)| (n as f64, hz as f64 / 1e6))
+        .collect();
+    print!(
+        "{}",
+        two_col_table(
+            "max bus clock for 10 ns node-to-node delay",
+            "nodes",
+            "max clock (MHz)",
+            &rows,
+        )
+    );
+    println!("\npaper anchors: 2 nodes -> 50 MHz ceiling; 14 nodes -> 7.1 MHz");
+    println!("(\"For the maximum of 14 short-addressed nodes, MBus could support a 7.1 MHz bus clock.\")");
+}

@@ -1,0 +1,33 @@
+//! Fig. 14: saturating transaction rate vs. payload length at the
+//! paper's four clock rates, cross-validated by running the engine.
+
+use mbus_bench::multi_series_table;
+use mbus_sim::SimTime;
+use mbus_systems::many_node::{fig14_series, measured_saturating_rate};
+
+fn main() {
+    println!("=== Fig. 14: Saturating Transaction Rate ===\n");
+    let payloads: Vec<usize> = (0..=40).step_by(4).collect();
+    let grid = fig14_series(&payloads);
+    let names: Vec<String> = grid
+        .iter()
+        .map(|(hz, _)| format!("{:.1}kHz", *hz as f64 / 1e3))
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let rows: Vec<(f64, Vec<f64>)> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n as f64, grid.iter().map(|(_, r)| r[i]).collect()))
+        .collect();
+    print!(
+        "{}",
+        multi_series_table("transactions/second vs payload (bytes)", "bytes", &name_refs, &rows)
+    );
+
+    println!("\nengine validation (run flat-out for 0.5 s of bus time at 400 kHz):");
+    for n in [0usize, 8, 40] {
+        let measured = measured_saturating_rate(n, 400_000, SimTime::from_ms(500));
+        let formula = 400_000.0 / (19.0 + 8.0 * n as f64);
+        println!("  {n:>2} B: measured {measured:>9.1} txn/s, closed form {formula:>9.1} txn/s");
+    }
+}

@@ -1,0 +1,59 @@
+//! §6.3.2: the monitor-and-alert (motion camera) microbenchmark
+//! numbers.
+
+use mbus_systems::imager::{
+    frame_time, paper_frame_time, ImagerSystem, TransferAnalysis, IMAGE_BYTES,
+};
+
+fn main() {
+    println!("=== §6.3.2: Monitor and Alert (motion camera, Fig. 13) ===\n");
+
+    let mut sys = ImagerSystem::new();
+    sys.motion_detected();
+    let frame = sys.transfer_row_by_row();
+    assert_eq!(&frame, sys.captured().unwrap());
+    println!("motion wake: 1 null transaction; 160 row messages transferred losslessly");
+    println!(
+        "bus transactions: {} ({} cycles total)\n",
+        sys.bus().stats().transactions,
+        sys.bus().stats().busy_cycles
+    );
+
+    let a = TransferAnalysis::standard();
+    println!("overhead accounting for the {IMAGE_BYTES}-byte image:");
+    println!(
+        "  MBus, one message   : {:>6} bits of overhead",
+        a.mbus_single_bits
+    );
+    println!(
+        "  MBus, 160 rows      : {:>6} bits (+{} bits = {:.2} %)   (paper: 3,021 bits, 1.31 %)",
+        a.mbus_rows_bits, a.chunking_extra_bits, a.chunking_percent()
+    );
+    println!(
+        "  I2C, one message    : {:>6} bits (12.5 % of payload)   (paper: 28,810)",
+        a.i2c_single_bits
+    );
+    println!(
+        "  I2C, row-by-row     : {:>6} bits (13.2 %)              (paper: 30,400)",
+        a.i2c_rows_bits
+    );
+    println!(
+        "  message-oriented ACK reduction: {:.1} % (rows) to {:.2} % (single)  (paper: \"90-99 %\")\n",
+        a.ack_overhead_reduction_percent(true),
+        a.ack_overhead_reduction_percent(false)
+    );
+
+    println!("full-frame transfer time across the tunable clock range:");
+    println!("{:>12} {:>16} {:>22}", "clock", "bit-serial", "paper arithmetic");
+    for hz in [10_000u64, 400_000, 6_670_000] {
+        println!(
+            "{:>9} Hz {:>13.1} ms {:>19.1} ms",
+            hz,
+            frame_time(hz, 160).as_secs_f64() * 1e3,
+            paper_frame_time(hz).as_secs_f64() * 1e3
+        );
+    }
+    println!("\nnote: the paper's \"4.2 ms (238 fps) to 2.9 s (0.3 fps)\" figures divide the");
+    println!("28,800-BYTE image by the clock; a 1-bit-per-cycle bus needs 8x longer.");
+    println!("Our bit-serial times are the physically consistent ones (see EXPERIMENTS.md).");
+}

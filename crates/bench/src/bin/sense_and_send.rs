@@ -1,0 +1,44 @@
+//! §6.3.1: the sense-and-send microbenchmark numbers.
+
+use mbus_core::{Address, FuId, Message, ShortPrefix};
+use mbus_power::mbus_model::{message_energy, Calibration};
+use mbus_systems::temperature::{Routing, SenseAndSendComparison, TemperatureSystem};
+
+fn main() {
+    println!("=== §6.3.1: Sense and Send (temperature system, Fig. 12) ===\n");
+
+    // The message-energy arithmetic, exactly as printed in the paper.
+    let dest = Address::short(ShortPrefix::new(0x3).unwrap(), FuId::ZERO);
+    let eight = Message::new(dest, vec![0; 8]);
+    let e_msg = message_energy(&eight, 3, Calibration::Measured);
+    println!("8-byte message, 3-chip stack:");
+    println!("  (64+19) bits x (27.45 TX + 22.71 RX + 17.55 FWD) pJ/bit = {e_msg}   (paper: 5.6 nJ)");
+    println!("  sending it twice (via the processor) would cost {}", e_msg * 2.0);
+    println!("  plus 50 cycles x 20 pJ/cycle = 1 nJ of processor relay handling\n");
+
+    let mut sys = TemperatureSystem::new(Routing::Direct);
+    sys.run_events(5);
+    let e = sys.average_event_energy();
+    println!("full event (measured on the running system):");
+    println!("  bus {} + devices {} = {}   (paper: ~100 nJ)", e.bus, e.devices, e.total());
+    println!(
+        "  bus utilization {:.4} % at 400 kHz   (paper: 0.0022 %)\n",
+        sys.utilization() * 100.0
+    );
+
+    let cmp = SenseAndSendComparison::run(5);
+    println!("any-to-any vs processor-relay routing:");
+    println!("  direct:        {} / event", cmp.direct);
+    println!("  via processor: {} / event", cmp.via_processor);
+    println!(
+        "  saving {} (~{:.1} %)   (paper: 6.6 nJ, ~7 %)",
+        cmp.savings(),
+        cmp.savings() / cmp.direct * 100.0
+    );
+    println!(
+        "  lifetime on the 2 µAh battery: {:.1} -> {:.1} days (+{:.0} h)   (paper: 44.5 -> 47.5, +71 h)",
+        cmp.via_days,
+        cmp.direct_days,
+        cmp.extension_hours()
+    );
+}

@@ -1,0 +1,32 @@
+//! Table 2: synthesized size of the MBus components (180 nm), with the
+//! fitted gate/flop area model's predictions alongside.
+
+use mbus_power::area::{render_table2, AreaModel, MBUS_MODULES, MBUS_TOTAL, OTHER_BUSES};
+
+fn main() {
+    println!("=== Table 2: Size of MBus Components (180 nm) ===\n");
+    print!("{}", render_table2());
+
+    let mut rows = Vec::new();
+    rows.extend_from_slice(&MBUS_MODULES);
+    rows.extend_from_slice(&OTHER_BUSES);
+    let model = AreaModel::fit(&rows);
+    println!(
+        "\nfitted area model: {:.0} µm² fixed + {:.1} µm²/gate + {:.1} µm²/flop",
+        model.um2_fixed, model.um2_per_gate, model.um2_per_flop
+    );
+    println!("\n{:<22} {:>10} {:>10}", "module", "actual", "model");
+    for r in rows {
+        println!(
+            "{:<22} {:>10} {:>10.0}",
+            r.name,
+            r.area_um2,
+            model.estimate(r.gates, r.flip_flops)
+        );
+    }
+    println!(
+        "\nMBus total {} µm² vs SPI {} µm² / I2C {} µm²: \"a modest increase in area\" \
+         buying power-awareness, broadcast, and interrupts.",
+        MBUS_TOTAL.area_um2, OTHER_BUSES[0].area_um2, OTHER_BUSES[1].area_um2
+    );
+}

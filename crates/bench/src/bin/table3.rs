@@ -1,0 +1,42 @@
+//! Table 3: measured MBus power draw by role, plus the simulation
+//! anchor and the measured/simulated gap the paper discusses in §6.2.
+
+use mbus_power::mbus_model::{
+    measured_average_pj_per_bit, Calibration, MEASURED_FWD_PJ_PER_BIT, MEASURED_RX_PJ_PER_BIT,
+    MEASURED_TX_PJ_PER_BIT, SIMULATED_IDLE_PW_PER_CHIP, SIMULATED_PJ_PER_BIT_PER_CHIP,
+};
+use mbus_power::mbus_model::message_energy;
+use mbus_core::{Address, FuId, Message, ShortPrefix};
+
+fn main() {
+    println!("=== Table 3: Measured MBus Power Draw ===\n");
+    println!("{:<36}{:>14}", "", "Energy per bit");
+    println!(
+        "{:<36}{:>11.2} pJ",
+        "Member+Mediator Node sending", MEASURED_TX_PJ_PER_BIT
+    );
+    println!(
+        "{:<36}{:>11.2} pJ",
+        "Member Node receiving", MEASURED_RX_PJ_PER_BIT
+    );
+    println!(
+        "{:<36}{:>11.2} pJ",
+        "Member Node forwarding", MEASURED_FWD_PJ_PER_BIT
+    );
+    println!(
+        "{:<36}{:>11.2} pJ",
+        "Average", measured_average_pj_per_bit()
+    );
+
+    println!("\nPrimeTime simulation (§6.2):");
+    println!("  {SIMULATED_PJ_PER_BIT_PER_CHIP} pJ/bit/chip transmitting, {SIMULATED_IDLE_PW_PER_CHIP} pW/chip idle");
+
+    let dest = Address::short(ShortPrefix::new(0x3).expect("prefix"), FuId::ZERO);
+    let msg = Message::new(dest, vec![0; 8]);
+    let sim = message_energy(&msg, 3, Calibration::Simulated);
+    let meas = message_energy(&msg, 3, Calibration::Measured);
+    println!("\n8-byte message on the 3-chip stack:");
+    println!("  simulated {sim}, measured {meas} (ratio {:.1}x)", meas / sim);
+    println!("  paper attributes the ~6.5x gap to non-isolatable chip overheads");
+    println!("\npaper §6.3.1 check: (64+19) bits x (27.45+22.71+17.55) pJ/bit = {meas} (paper: 5.6 nJ)");
+}

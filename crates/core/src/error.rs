@@ -1,0 +1,120 @@
+//! Error types for the MBus protocol crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by MBus protocol operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MbusError {
+    /// A functional-unit ID larger than 4 bits.
+    FuIdOutOfRange {
+        /// The rejected value.
+        raw: u8,
+    },
+    /// A short prefix of `0x0` (broadcast) or `0xF` (full escape).
+    ReservedPrefix {
+        /// The rejected value.
+        raw: u8,
+    },
+    /// A prefix wider than its field (4 bits short / 20 bits full).
+    PrefixOutOfRange {
+        /// The rejected value.
+        raw: u32,
+    },
+    /// Undecodable address bytes.
+    MalformedAddress {
+        /// Human-readable cause.
+        reason: &'static str,
+    },
+    /// A message longer than the mediator-enforced maximum
+    /// (§7 "Runaway Messages").
+    MessageTooLong {
+        /// Payload length requested.
+        len: usize,
+        /// Mediator's configured maximum.
+        max: usize,
+    },
+    /// The node has no short prefix assigned and none was provided.
+    NotEnumerated,
+    /// All 14 short prefixes are already assigned.
+    PrefixesExhausted,
+    /// A node index outside the bus population.
+    UnknownNode {
+        /// The rejected index.
+        index: usize,
+    },
+    /// Operation requires an idle bus but a transaction is in flight.
+    BusBusy,
+    /// Configuration rejected (e.g. max message length below the 1 kB
+    /// minimum-maximum the spec requires).
+    InvalidConfig {
+        /// Human-readable cause.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MbusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MbusError::FuIdOutOfRange { raw } => {
+                write!(f, "functional unit id 0x{raw:x} does not fit in 4 bits")
+            }
+            MbusError::ReservedPrefix { raw } => {
+                write!(f, "short prefix 0x{raw:x} is reserved")
+            }
+            MbusError::PrefixOutOfRange { raw } => {
+                write!(f, "prefix 0x{raw:x} does not fit its field")
+            }
+            MbusError::MalformedAddress { reason } => {
+                write!(f, "malformed address: {reason}")
+            }
+            MbusError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} bytes exceeds maximum length {max}")
+            }
+            MbusError::NotEnumerated => {
+                write!(f, "node has no short prefix assigned")
+            }
+            MbusError::PrefixesExhausted => {
+                write!(f, "all 14 short prefixes are assigned")
+            }
+            MbusError::UnknownNode { index } => {
+                write!(f, "no node at index {index}")
+            }
+            MbusError::BusBusy => write!(f, "bus transaction already in flight"),
+            MbusError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MbusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_displayable_and_sendable() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<MbusError>();
+        let e = MbusError::MessageTooLong { len: 2048, max: 1024 };
+        assert!(e.to_string().contains("2048"));
+        assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let samples = [
+            MbusError::NotEnumerated,
+            MbusError::PrefixesExhausted,
+            MbusError::BusBusy,
+            MbusError::ReservedPrefix { raw: 0 },
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "{s:?}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The interjection detector (§4.9): "a reliable, independent
+//! interjection-detection module, essentially a saturating counter
+//! clocked by DATA and reset by CLK".
+//!
+//! In normal operation DATA never toggles without an accompanying CLK
+//! edge, so a few DATA edges with CLK quiet can only mean the mediator
+//! is signalling an interjection.
+
+use mbus_sim::Edge;
+
+/// Number of DATA edges (with no intervening CLK edge) that assert an
+/// interjection. The mediator generates three full DATA pulses (six
+/// edges) while holding CLK high, comfortably above this threshold even
+/// if a node misses the first edge.
+pub const INTERJECTION_THRESHOLD: u8 = 3;
+
+/// A saturating-counter interjection detector.
+///
+/// Feed it every CLK and DATA edge a node observes; it reports when the
+/// interjection condition asserts. The module is deliberately tiny and
+/// stateless beyond the counter — in silicon it lives in the always-on
+/// domain and must work with no local clock.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::interject::InterjectionDetector;
+/// use mbus_sim::Edge;
+///
+/// let mut det = InterjectionDetector::new();
+/// det.on_data_edge(Edge::Falling);
+/// det.on_clk_edge(Edge::Rising); // normal traffic: CLK resets the count
+/// assert!(!det.is_asserted());
+///
+/// det.on_data_edge(Edge::Falling);
+/// det.on_data_edge(Edge::Rising);
+/// assert!(!det.is_asserted());
+/// det.on_data_edge(Edge::Falling); // third DATA edge with CLK quiet
+/// assert!(det.is_asserted());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct InterjectionDetector {
+    count: u8,
+    asserted: bool,
+}
+
+impl InterjectionDetector {
+    /// Creates a cleared detector.
+    pub fn new() -> Self {
+        InterjectionDetector::default()
+    }
+
+    /// Observes a CLK edge: resets the counter (and the asserted flag —
+    /// the mediator resumes clocking to start the control phase, which
+    /// implicitly clears detectors for the next message).
+    pub fn on_clk_edge(&mut self, _edge: Edge) {
+        self.count = 0;
+        self.asserted = false;
+    }
+
+    /// Observes a DATA edge; returns `true` exactly when this edge
+    /// asserts the interjection.
+    pub fn on_data_edge(&mut self, _edge: Edge) -> bool {
+        if self.asserted {
+            return false; // saturated
+        }
+        self.count = self.count.saturating_add(1);
+        if self.count >= INTERJECTION_THRESHOLD {
+            self.asserted = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True while the interjection condition holds.
+    pub fn is_asserted(&self) -> bool {
+        self.asserted
+    }
+
+    /// Current raw counter value (for waveform annotation).
+    pub fn count(&self) -> u8 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_traffic_never_asserts() {
+        // Alternating DATA and CLK edges — a worst-case data pattern —
+        // must never trip the detector.
+        let mut det = InterjectionDetector::new();
+        for _ in 0..1_000 {
+            det.on_data_edge(Edge::Falling);
+            det.on_clk_edge(Edge::Rising);
+            det.on_data_edge(Edge::Rising);
+            det.on_clk_edge(Edge::Falling);
+            assert!(!det.is_asserted());
+        }
+    }
+
+    #[test]
+    fn three_quiet_data_edges_assert() {
+        let mut det = InterjectionDetector::new();
+        assert!(!det.on_data_edge(Edge::Falling));
+        assert!(!det.on_data_edge(Edge::Rising));
+        assert!(det.on_data_edge(Edge::Falling));
+        assert!(det.is_asserted());
+    }
+
+    #[test]
+    fn assertion_fires_once_then_saturates() {
+        let mut det = InterjectionDetector::new();
+        det.on_data_edge(Edge::Falling);
+        det.on_data_edge(Edge::Rising);
+        assert!(det.on_data_edge(Edge::Falling));
+        // Further edges keep it asserted but do not re-fire.
+        assert!(!det.on_data_edge(Edge::Rising));
+        assert!(!det.on_data_edge(Edge::Falling));
+        assert!(det.is_asserted());
+    }
+
+    #[test]
+    fn clk_edge_clears_assertion_for_next_message() {
+        let mut det = InterjectionDetector::new();
+        det.on_data_edge(Edge::Falling);
+        det.on_data_edge(Edge::Rising);
+        det.on_data_edge(Edge::Falling);
+        assert!(det.is_asserted());
+        det.on_clk_edge(Edge::Falling);
+        assert!(!det.is_asserted());
+        assert_eq!(det.count(), 0);
+    }
+
+    #[test]
+    fn two_edges_then_clk_is_safe() {
+        // A realistic near-miss: DATA toggles twice between CLK edges
+        // can only happen on glitches; the detector must tolerate it.
+        let mut det = InterjectionDetector::new();
+        det.on_data_edge(Edge::Falling);
+        det.on_data_edge(Edge::Rising);
+        det.on_clk_edge(Edge::Rising);
+        det.on_data_edge(Edge::Falling);
+        det.on_data_edge(Edge::Rising);
+        assert!(!det.is_asserted());
+    }
+}

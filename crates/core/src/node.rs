@@ -1,0 +1,174 @@
+//! Node specifications shared by the analytical and wire-level engines.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::addr::{BroadcastChannel, FullPrefix, ShortPrefix};
+
+/// Per-node behavioral parameters: identity, power-awareness, broadcast
+/// subscriptions, and receive-buffer capacity.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::{BroadcastChannel, FullPrefix, NodeSpec, ShortPrefix};
+///
+/// let sensor = NodeSpec::new("temp sensor", FullPrefix::new(0x00112)?)
+///     .with_short_prefix(ShortPrefix::new(0x4)?)
+///     .power_aware(true)
+///     .listen(BroadcastChannel::CONFIGURATION);
+/// assert!(sensor.is_power_aware());
+/// # Ok::<(), mbus_core::MbusError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    name: String,
+    full_prefix: FullPrefix,
+    short_prefix: Option<ShortPrefix>,
+    power_aware: bool,
+    broadcast_channels: BTreeSet<u8>,
+    rx_buffer_bytes: Option<usize>,
+}
+
+impl NodeSpec {
+    /// Creates a spec with the chip's unique 20-bit full prefix.
+    ///
+    /// Every node implicitly listens to the configuration broadcast
+    /// channel, as §7 requires for tracking bus parameters.
+    pub fn new(name: impl Into<String>, full_prefix: FullPrefix) -> Self {
+        let mut broadcast_channels = BTreeSet::new();
+        broadcast_channels.insert(BroadcastChannel::CONFIGURATION.raw());
+        broadcast_channels.insert(BroadcastChannel::DISCOVERY.raw());
+        NodeSpec {
+            name: name.into(),
+            full_prefix,
+            short_prefix: None,
+            power_aware: false,
+            broadcast_channels,
+            rx_buffer_bytes: None,
+        }
+    }
+
+    /// Statically assigns a short prefix ("akin to I2C addressing",
+    /// §4.7), skipping enumeration when there are no conflicts.
+    pub fn with_short_prefix(mut self, prefix: ShortPrefix) -> Self {
+        self.short_prefix = Some(prefix);
+        self
+    }
+
+    /// Marks the node power-aware: it power-gates its bus controller and
+    /// layer between transactions and relies on bus-provided wakeup.
+    pub fn power_aware(mut self, yes: bool) -> Self {
+        self.power_aware = yes;
+        self
+    }
+
+    /// Subscribes the node to a broadcast channel.
+    pub fn listen(mut self, channel: BroadcastChannel) -> Self {
+        self.broadcast_channels.insert(channel.raw());
+        self
+    }
+
+    /// Limits the receive buffer; longer messages trigger a mid-message
+    /// receiver interjection (§4.8 "buffer overrun").
+    pub fn with_rx_buffer(mut self, bytes: usize) -> Self {
+        self.rx_buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// The node's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The chip's unique full prefix.
+    pub fn full_prefix(&self) -> FullPrefix {
+        self.full_prefix
+    }
+
+    /// The assigned short prefix, if any.
+    pub fn short_prefix(&self) -> Option<ShortPrefix> {
+        self.short_prefix
+    }
+
+    /// Assigns the short prefix (used by enumeration).
+    pub fn assign_short_prefix(&mut self, prefix: ShortPrefix) {
+        self.short_prefix = Some(prefix);
+    }
+
+    /// Whether the node power-gates between transactions.
+    pub fn is_power_aware(&self) -> bool {
+        self.power_aware
+    }
+
+    /// Whether the node listens on `channel`.
+    pub fn listens_to(&self, channel: u8) -> bool {
+        self.broadcast_channels.contains(&channel)
+    }
+
+    /// Receive-buffer capacity, or `None` for unbounded.
+    pub fn rx_buffer_bytes(&self) -> Option<usize> {
+        self.rx_buffer_bytes
+    }
+}
+
+impl fmt::Display for NodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.full_prefix)?;
+        if let Some(sp) = self.short_prefix {
+            write!(f, " short={sp}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> NodeSpec {
+        NodeSpec::new("radio", FullPrefix::new(0x00ABC).unwrap())
+    }
+
+    #[test]
+    fn defaults() {
+        let s = spec();
+        assert_eq!(s.name(), "radio");
+        assert!(s.short_prefix().is_none());
+        assert!(!s.is_power_aware());
+        assert!(s.rx_buffer_bytes().is_none());
+        // Config + discovery channels subscribed by default.
+        assert!(s.listens_to(BroadcastChannel::CONFIGURATION.raw()));
+        assert!(s.listens_to(BroadcastChannel::DISCOVERY.raw()));
+        assert!(!s.listens_to(0x7));
+    }
+
+    #[test]
+    fn builder_chain() {
+        let s = spec()
+            .with_short_prefix(ShortPrefix::new(0x3).unwrap())
+            .power_aware(true)
+            .listen(BroadcastChannel::new(0x7).unwrap())
+            .with_rx_buffer(16);
+        assert_eq!(s.short_prefix().unwrap().raw(), 0x3);
+        assert!(s.is_power_aware());
+        assert!(s.listens_to(0x7));
+        assert_eq!(s.rx_buffer_bytes(), Some(16));
+    }
+
+    #[test]
+    fn display_includes_prefixes() {
+        let s = spec().with_short_prefix(ShortPrefix::new(0x9).unwrap());
+        let text = s.to_string();
+        assert!(text.contains("radio"));
+        assert!(text.contains("0x00abc"));
+        assert!(text.contains("0x9"));
+    }
+
+    #[test]
+    fn enumeration_assignment() {
+        let mut s = spec();
+        s.assign_short_prefix(ShortPrefix::new(0x1).unwrap());
+        assert_eq!(s.short_prefix().unwrap().raw(), 0x1);
+    }
+}

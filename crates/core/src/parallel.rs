@@ -1,0 +1,175 @@
+//! Parallel MBus (§7 "Increasing Bandwidth"): extra DATA lines stripe
+//! payload bits while arbitration, addressing, interjection, and
+//! control remain serial on DATA0 — keeping the extension backward
+//! compatible with an unmodified mediator.
+
+use crate::error::MbusError;
+use crate::timing::SHORT_OVERHEAD_CYCLES;
+
+/// A parallel-MBus lane configuration.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::parallel::ParallelMbus;
+///
+/// let four = ParallelMbus::new(4)?;
+/// // Fig. 15 asymptote: 4 lanes at 400 kHz approach 1.6 Mb/s goodput.
+/// let g = four.goodput_bps(128, 400_000);
+/// assert!(g > 1_480_000.0 && g < 1_600_000.0);
+/// assert!(four.goodput_bps(4096, 400_000) > 1_590_000.0);
+/// # Ok::<(), mbus_core::MbusError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelMbus {
+    data_wires: u32,
+}
+
+impl ParallelMbus {
+    /// Creates a configuration with `data_wires` DATA lines (1–8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbusError::InvalidConfig`] outside 1..=8 — beyond 8
+    /// lanes the pin count negates MBus's fixed-area advantage.
+    pub fn new(data_wires: u32) -> Result<Self, MbusError> {
+        if !(1..=8).contains(&data_wires) {
+            return Err(MbusError::InvalidConfig {
+                reason: "parallel MBus supports 1..=8 DATA wires",
+            });
+        }
+        Ok(ParallelMbus { data_wires })
+    }
+
+    /// Number of DATA lines.
+    pub fn data_wires(&self) -> u32 {
+        self.data_wires
+    }
+
+    /// Total pin count: CLKIN, CLKOUT, and a DIN/DOUT pair per lane.
+    pub fn pin_count(&self) -> u32 {
+        2 + 2 * self.data_wires
+    }
+
+    /// Cycles to move `payload_bytes` once the bus is won: address and
+    /// protocol elements are serial; payload bits stripe across lanes.
+    pub fn transaction_cycles(&self, payload_bytes: usize) -> u64 {
+        let payload_bits = 8 * payload_bytes as u64;
+        let data_cycles = payload_bits.div_ceil(self.data_wires as u64);
+        SHORT_OVERHEAD_CYCLES as u64 + data_cycles
+    }
+
+    /// Fig. 15: payload goodput in bits/second for back-to-back
+    /// `payload_bytes` messages at `clock_hz`.
+    pub fn goodput_bps(&self, payload_bytes: usize, clock_hz: u64) -> f64 {
+        if payload_bytes == 0 {
+            return 0.0;
+        }
+        let bits = 8.0 * payload_bytes as f64;
+        let cycles = self.transaction_cycles(payload_bytes) as f64;
+        bits * clock_hz as f64 / cycles
+    }
+
+    /// Stripes a payload across lanes: lane `i` carries bits
+    /// `i, i+W, i+2W, …` of the MSB-first bit stream. Returns one bit
+    /// vector per lane, padded with `false` to equal length.
+    pub fn stripe(&self, payload: &[u8]) -> Vec<Vec<bool>> {
+        let w = self.data_wires as usize;
+        let mut lanes: Vec<Vec<bool>> = vec![Vec::new(); w];
+        let mut index = 0usize;
+        for &byte in payload {
+            for bit in 0..8 {
+                let value = byte & (0x80 >> bit) != 0;
+                lanes[index % w].push(value);
+                index += 1;
+            }
+        }
+        let max_len = lanes.iter().map(Vec::len).max().unwrap_or(0);
+        for lane in &mut lanes {
+            lane.resize(max_len, false);
+        }
+        lanes
+    }
+
+    /// Reverses [`ParallelMbus::stripe`], returning `bit_count` bits.
+    pub fn destripe(&self, lanes: &[Vec<bool>], bit_count: usize) -> Vec<bool> {
+        let w = self.data_wires as usize;
+        assert_eq!(lanes.len(), w, "lane count mismatch");
+        let mut bits = Vec::with_capacity(bit_count);
+        for index in 0..bit_count {
+            bits.push(lanes[index % w][index / w]);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::bits_to_bytes;
+
+    #[test]
+    fn lane_bounds() {
+        assert!(ParallelMbus::new(0).is_err());
+        assert!(ParallelMbus::new(9).is_err());
+        assert!(ParallelMbus::new(1).is_ok());
+        assert!(ParallelMbus::new(8).is_ok());
+    }
+
+    #[test]
+    fn single_lane_matches_serial_mbus() {
+        let one = ParallelMbus::new(1).unwrap();
+        assert_eq!(one.transaction_cycles(8), 19 + 64);
+        assert_eq!(one.pin_count(), 4); // the headline 4-pin interface
+    }
+
+    #[test]
+    fn each_lane_roughly_doubles_throughput() {
+        // §7: "each additional DATA line doubles the MBus payload
+        // throughput" (asymptotically).
+        let payload = 1024; // long message to amortize overhead
+        let g1 = ParallelMbus::new(1).unwrap().goodput_bps(payload, 400_000);
+        let g2 = ParallelMbus::new(2).unwrap().goodput_bps(payload, 400_000);
+        let g4 = ParallelMbus::new(4).unwrap().goodput_bps(payload, 400_000);
+        assert!((g2 / g1 - 2.0).abs() < 0.01, "{}", g2 / g1);
+        assert!((g4 / g1 - 4.0).abs() < 0.05, "{}", g4 / g1);
+    }
+
+    #[test]
+    fn short_messages_are_overhead_dominated() {
+        // Fig. 15: "For very short messages, MBus protocol overhead
+        // dominates goodput" — lanes barely help at 1 byte.
+        let g1 = ParallelMbus::new(1).unwrap().goodput_bps(1, 400_000);
+        let g4 = ParallelMbus::new(4).unwrap().goodput_bps(1, 400_000);
+        assert!(g4 / g1 < 1.29, "{}", g4 / g1);
+    }
+
+    #[test]
+    fn stripe_destripe_round_trip() {
+        let payload: Vec<u8> = (0..=255).collect();
+        for wires in 1..=8 {
+            let p = ParallelMbus::new(wires).unwrap();
+            let lanes = p.stripe(&payload);
+            assert_eq!(lanes.len(), wires as usize);
+            let bits = p.destripe(&lanes, payload.len() * 8);
+            let (bytes, dropped) = bits_to_bytes(&bits);
+            assert_eq!(dropped, 0);
+            assert_eq!(bytes, payload);
+        }
+    }
+
+    #[test]
+    fn stripe_pads_ragged_lanes() {
+        let p = ParallelMbus::new(3).unwrap();
+        let lanes = p.stripe(&[0xFF]); // 8 bits over 3 lanes: 3,3,2
+        assert!(lanes.iter().all(|l| l.len() == 3));
+        // Padding bits are low.
+        assert!(!lanes[2][2]);
+    }
+
+    #[test]
+    fn goodput_zero_payload_is_zero() {
+        let p = ParallelMbus::new(2).unwrap();
+        assert_eq!(p.goodput_bps(0, 400_000), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Hierarchical power domains and the four-edge wakeup sequence (§3,
+//! "Power-Aware"; §4.4–4.5).
+//!
+//! A power-gated circuit must be brought up by four successive edges:
+//!
+//! 1. release power gate, 2. release clock, 3. release isolation,
+//! 4. release reset.
+//!
+//! MBus's key insight is that the CLK edges of the arbitration phase —
+//! which precede *every* message — can drive this sequence, so a
+//! sleeping bus controller is awake by the addressing phase with no
+//! custom wakeup circuitry.
+
+use std::fmt;
+
+/// The steps of the canonical wakeup sequence, in order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum WakeStep {
+    /// Supply power to the gated circuit.
+    ReleasePowerGate,
+    /// Let the (optional) local clock start and stabilize.
+    ReleaseClock,
+    /// Un-clamp the block's outputs once they are stable.
+    ReleaseIsolation,
+    /// Leave reset; the circuit may now interact with the system.
+    ReleaseReset,
+}
+
+impl WakeStep {
+    /// All steps in release order.
+    pub const SEQUENCE: [WakeStep; 4] = [
+        WakeStep::ReleasePowerGate,
+        WakeStep::ReleaseClock,
+        WakeStep::ReleaseIsolation,
+        WakeStep::ReleaseReset,
+    ];
+}
+
+impl fmt::Display for WakeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WakeStep::ReleasePowerGate => "release power gate",
+            WakeStep::ReleaseClock => "release clock",
+            WakeStep::ReleaseIsolation => "release isolation",
+            WakeStep::ReleaseReset => "release reset",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The observable power state of a domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PowerState {
+    /// Power-gated: zero state, outputs floating behind isolation.
+    #[default]
+    Off,
+    /// Mid-wakeup: some releases applied, not yet out of reset.
+    Waking,
+    /// Fully powered and out of reset.
+    On,
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerState::Off => "off",
+            PowerState::Waking => "waking",
+            PowerState::On => "on",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A power-gated domain driven through the four-edge wakeup sequence.
+///
+/// The domain refuses out-of-order releases — exactly the glitch hazard
+/// the sequence exists to prevent (e.g. releasing isolation before the
+/// clock is stable would let floating outputs reach live logic).
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::power_domain::{PowerDomain, PowerState, WakeStep};
+///
+/// let mut bus_ctl = PowerDomain::new("bus controller");
+/// for step in WakeStep::SEQUENCE {
+///     bus_ctl.apply_edge();
+/// }
+/// assert_eq!(bus_ctl.state(), PowerState::On);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PowerDomain {
+    name: &'static str,
+    applied: usize,
+    /// Cumulative count of sleep→on cycles, for energy accounting.
+    wake_count: u64,
+}
+
+impl PowerDomain {
+    /// Creates a powered-off domain.
+    pub fn new(name: &'static str) -> Self {
+        PowerDomain {
+            name,
+            applied: 0,
+            wake_count: 0,
+        }
+    }
+
+    /// The domain's name (for traces and error messages).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Applies the next wakeup edge; returns the step it performed, or
+    /// `None` if the domain is already on.
+    pub fn apply_edge(&mut self) -> Option<WakeStep> {
+        if self.applied >= WakeStep::SEQUENCE.len() {
+            return None;
+        }
+        let step = WakeStep::SEQUENCE[self.applied];
+        self.applied += 1;
+        if self.applied == WakeStep::SEQUENCE.len() {
+            self.wake_count += 1;
+        }
+        Some(step)
+    }
+
+    /// Number of wakeup edges still required to reach [`PowerState::On`].
+    pub fn edges_remaining(&self) -> usize {
+        WakeStep::SEQUENCE.len() - self.applied
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> PowerState {
+        match self.applied {
+            0 => PowerState::Off,
+            n if n < WakeStep::SEQUENCE.len() => PowerState::Waking,
+            _ => PowerState::On,
+        }
+    }
+
+    /// True once fully awake.
+    pub fn is_on(&self) -> bool {
+        self.state() == PowerState::On
+    }
+
+    /// Power-gates the domain again (reverse order is uninteresting at
+    /// this abstraction: state is lost wholesale).
+    pub fn power_gate(&mut self) {
+        self.applied = 0;
+    }
+
+    /// How many complete wake cycles this domain has been through.
+    pub fn wake_count(&self) -> u64 {
+        self.wake_count
+    }
+
+    /// Whether the domain's outputs are validly driven (isolation
+    /// released implies they must be stable).
+    pub fn outputs_driven(&self) -> bool {
+        self.applied >= 3 // power, clock, isolation released
+    }
+}
+
+/// The three-level MBus power hierarchy of Fig. 8: always-on frontend
+/// (green), bus controller (red), layer controller + local clock (blue).
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::power_domain::NodePower;
+///
+/// let mut p = NodePower::new();
+/// assert!(p.is_fully_asleep());
+/// // Arbitration edges wake the bus controller…
+/// for _ in 0..4 { p.clock_edge_toward_bus_ctl(); }
+/// assert!(p.bus_ctl().is_on());
+/// // …and only an address match wakes the layer.
+/// assert!(!p.layer().is_on());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NodePower {
+    bus_ctl: PowerDomain,
+    layer: PowerDomain,
+}
+
+impl Default for NodePower {
+    fn default() -> Self {
+        NodePower::new()
+    }
+}
+
+impl NodePower {
+    /// Creates the hierarchy with both gated domains off. The always-on
+    /// domain (sleep/wire/interrupt controllers) has no `PowerDomain` —
+    /// it is never gated, which is the point.
+    pub fn new() -> Self {
+        NodePower {
+            bus_ctl: PowerDomain::new("bus controller"),
+            layer: PowerDomain::new("layer controller"),
+        }
+    }
+
+    /// Routes one CLK edge into the bus-controller wakeup sequence
+    /// (what the sleep controller does during arbitration).
+    pub fn clock_edge_toward_bus_ctl(&mut self) -> Option<WakeStep> {
+        self.bus_ctl.apply_edge()
+    }
+
+    /// Routes one CLK edge into the layer wakeup sequence (what the bus
+    /// controller does after an address match, §4.4).
+    pub fn clock_edge_toward_layer(&mut self) -> Option<WakeStep> {
+        self.layer.apply_edge()
+    }
+
+    /// The bus-controller domain.
+    pub fn bus_ctl(&self) -> &PowerDomain {
+        &self.bus_ctl
+    }
+
+    /// The layer domain.
+    pub fn layer(&self) -> &PowerDomain {
+        &self.layer
+    }
+
+    /// Gates both domains (return to standby after a transaction).
+    pub fn sleep(&mut self) {
+        self.bus_ctl.power_gate();
+        self.layer.power_gate();
+    }
+
+    /// True when both gated domains are off.
+    pub fn is_fully_asleep(&self) -> bool {
+        self.bus_ctl.state() == PowerState::Off && self.layer.state() == PowerState::Off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_sequence_is_ordered() {
+        let mut d = PowerDomain::new("x");
+        assert_eq!(d.apply_edge(), Some(WakeStep::ReleasePowerGate));
+        assert_eq!(d.apply_edge(), Some(WakeStep::ReleaseClock));
+        assert_eq!(d.apply_edge(), Some(WakeStep::ReleaseIsolation));
+        assert_eq!(d.apply_edge(), Some(WakeStep::ReleaseReset));
+        assert_eq!(d.apply_edge(), None);
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut d = PowerDomain::new("x");
+        assert_eq!(d.state(), PowerState::Off);
+        d.apply_edge();
+        assert_eq!(d.state(), PowerState::Waking);
+        assert!(!d.outputs_driven());
+        d.apply_edge();
+        d.apply_edge();
+        assert!(d.outputs_driven());
+        assert_eq!(d.state(), PowerState::Waking);
+        d.apply_edge();
+        assert_eq!(d.state(), PowerState::On);
+        assert!(d.is_on());
+    }
+
+    #[test]
+    fn power_gate_loses_progress() {
+        let mut d = PowerDomain::new("x");
+        d.apply_edge();
+        d.apply_edge();
+        d.power_gate();
+        assert_eq!(d.state(), PowerState::Off);
+        assert_eq!(d.edges_remaining(), 4);
+    }
+
+    #[test]
+    fn wake_count_tracks_complete_cycles_only() {
+        let mut d = PowerDomain::new("x");
+        d.apply_edge();
+        d.power_gate(); // aborted wake does not count
+        assert_eq!(d.wake_count(), 0);
+        for _ in 0..4 {
+            d.apply_edge();
+        }
+        assert_eq!(d.wake_count(), 1);
+        d.power_gate();
+        for _ in 0..4 {
+            d.apply_edge();
+        }
+        assert_eq!(d.wake_count(), 2);
+    }
+
+    #[test]
+    fn arbitration_edges_suffice_for_bus_ctl() {
+        // The arbitration + priority + reserved cycles provide 6 edges;
+        // 4 are needed. The bus controller must be on before addressing.
+        let mut p = NodePower::new();
+        let mut edges = 0;
+        while !p.bus_ctl().is_on() {
+            p.clock_edge_toward_bus_ctl();
+            edges += 1;
+        }
+        assert!(edges <= 6, "bus controller must wake within arbitration");
+    }
+
+    #[test]
+    fn layer_wakes_only_via_its_own_edges() {
+        let mut p = NodePower::new();
+        for _ in 0..10 {
+            p.clock_edge_toward_bus_ctl();
+        }
+        assert!(p.bus_ctl().is_on());
+        assert!(!p.layer().is_on(), "only the destination node powers on");
+        for _ in 0..4 {
+            p.clock_edge_toward_layer();
+        }
+        assert!(p.layer().is_on());
+        p.sleep();
+        assert!(p.is_fully_asleep());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WakeStep::ReleaseIsolation.to_string(), "release isolation");
+        assert_eq!(PowerState::Waking.to_string(), "waking");
+    }
+}

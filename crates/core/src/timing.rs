@@ -1,0 +1,177 @@
+//! The analytical cycle/overhead model of §6.1 — the canonical cycle
+//! budget that the wire-level engine is tested against.
+//!
+//! "MBus transactions require arbitration (3 cycles), addressing (8 or
+//! 32 cycles), interjection (5 cycles), and control (3 cycles), an
+//! overhead of 19 or 43 cycles depending on the addressing scheme."
+
+use mbus_sim::SimTime;
+
+use crate::addr::Address;
+use crate::message::Message;
+
+/// Arbitration cycles: the arbitration sample, the priority round, and
+/// the reserved cycle of Fig. 5.
+pub const ARBITRATION_CYCLES: u32 = 3;
+/// Address cycles with a short (or broadcast) prefix.
+pub const SHORT_ADDRESS_CYCLES: u32 = 8;
+/// Address cycles with a full prefix.
+pub const FULL_ADDRESS_CYCLES: u32 = 32;
+/// Interjection cycles: request, detection, and the DATA-toggle pulses.
+pub const INTERJECTION_CYCLES: u32 = 5;
+/// Control cycles: the two control bits plus the return to idle.
+pub const CONTROL_CYCLES: u32 = 3;
+
+/// Protocol overhead in cycles for a short-addressed message: 19.
+pub const SHORT_OVERHEAD_CYCLES: u32 =
+    ARBITRATION_CYCLES + SHORT_ADDRESS_CYCLES + INTERJECTION_CYCLES + CONTROL_CYCLES;
+/// Protocol overhead in cycles for a full-addressed message: 43.
+pub const FULL_OVERHEAD_CYCLES: u32 =
+    ARBITRATION_CYCLES + FULL_ADDRESS_CYCLES + INTERJECTION_CYCLES + CONTROL_CYCLES;
+
+/// Overhead cycles for a given addressing mode.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::{Address, BroadcastChannel, timing};
+///
+/// let bcast = Address::broadcast(BroadcastChannel::DISCOVERY);
+/// assert_eq!(timing::overhead_cycles(&bcast), 19);
+/// ```
+pub fn overhead_cycles(addr: &Address) -> u32 {
+    match addr.wire_bits() {
+        8 => SHORT_OVERHEAD_CYCLES,
+        32 => FULL_OVERHEAD_CYCLES,
+        _ => unreachable!("addresses are 8 or 32 bits"),
+    }
+}
+
+/// Total bus-clock cycles for one transaction: overhead plus one cycle
+/// per payload bit. This is the `{19 or 43} + 8·n_bytes` term of the
+/// paper's per-message energy formula (§6.2).
+pub fn transaction_cycles(msg: &Message) -> u32 {
+    overhead_cycles(&msg.dest()) + 8 * msg.len() as u32
+}
+
+/// Wall-clock duration of one transaction at `clock_hz`, excluding the
+/// mediator's self-start latency.
+pub fn transaction_time(msg: &Message, clock_hz: u64) -> SimTime {
+    SimTime::period_of_hz(clock_hz) * transaction_cycles(msg) as u64
+}
+
+/// Fig. 14's saturating transaction rate: how many back-to-back
+/// transactions of `payload_bytes` (short-addressed) fit in one second
+/// at `clock_hz`.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::timing::saturating_transaction_rate;
+///
+/// // 8-byte payloads at 400 kHz: 400_000 / (19 + 64) ≈ 4819 txn/s.
+/// let rate = saturating_transaction_rate(8, 400_000);
+/// assert!((rate - 4819.2).abs() < 0.5);
+/// ```
+pub fn saturating_transaction_rate(payload_bytes: usize, clock_hz: u64) -> f64 {
+    let cycles = SHORT_OVERHEAD_CYCLES as f64 + 8.0 * payload_bytes as f64;
+    clock_hz as f64 / cycles
+}
+
+/// Goodput (payload bits per second) for back-to-back short-addressed
+/// messages of `payload_bytes` at `clock_hz`.
+pub fn goodput_bps(payload_bytes: usize, clock_hz: u64) -> f64 {
+    saturating_transaction_rate(payload_bytes, clock_hz) * 8.0 * payload_bytes as f64
+}
+
+/// Overhead in *bits* charged by MBus for an `n`-byte message — the
+/// quantity Fig. 10 plots (19 or 43, independent of `n`).
+pub fn overhead_bits(full_address: bool) -> u32 {
+    if full_address {
+        FULL_OVERHEAD_CYCLES
+    } else {
+        SHORT_OVERHEAD_CYCLES
+    }
+}
+
+/// Splitting an `image_bytes` transfer into `chunks` equal messages
+/// costs `(chunks − 1) × 19` additional overhead bits relative to one
+/// message (§6.3.2: 160 rows → 3,021 extra bits, 1.31 %).
+pub fn chunking_overhead_bits(chunks: u32) -> u32 {
+    chunks.saturating_sub(1) * SHORT_OVERHEAD_CYCLES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{BroadcastChannel, FuId, FullPrefix, ShortPrefix};
+
+    fn short() -> Address {
+        Address::short(ShortPrefix::new(0x4).unwrap(), FuId::ZERO)
+    }
+
+    fn full() -> Address {
+        Address::full(FullPrefix::new(0x54321).unwrap(), FuId::ZERO)
+    }
+
+    #[test]
+    fn headline_overheads() {
+        assert_eq!(SHORT_OVERHEAD_CYCLES, 19);
+        assert_eq!(FULL_OVERHEAD_CYCLES, 43);
+        assert_eq!(overhead_cycles(&short()), 19);
+        assert_eq!(overhead_cycles(&full()), 43);
+        assert_eq!(
+            overhead_cycles(&Address::broadcast(BroadcastChannel::DISCOVERY)),
+            19
+        );
+    }
+
+    #[test]
+    fn transaction_cycles_formula() {
+        // The §6.2 energy formula term: {19 or 43} + 8·n.
+        let msg = Message::new(short(), vec![0; 8]);
+        assert_eq!(transaction_cycles(&msg), 19 + 64);
+        let msg = Message::new(full(), vec![0; 100]);
+        assert_eq!(transaction_cycles(&msg), 43 + 800);
+    }
+
+    #[test]
+    fn transaction_time_at_400khz() {
+        let msg = Message::new(short(), vec![0; 8]);
+        let t = transaction_time(&msg, 400_000);
+        // 83 cycles × 2.5 µs.
+        assert_eq!(t, SimTime::from_ns(83 * 2_500));
+    }
+
+    #[test]
+    fn fig14_rates_bracket_the_paper_plot() {
+        // Fig. 14 y-axis spans 0.1..1000 txn/s over its parameter grid;
+        // spot-check the corners.
+        let slow = saturating_transaction_rate(40, 100_000);
+        assert!((slow - 100_000.0 / 339.0).abs() < 1e-9);
+        let fast = saturating_transaction_rate(0, 7_100_000);
+        assert!((fast - 7_100_000.0 / 19.0).abs() < 1e-6);
+        assert!(fast > 370_000.0);
+    }
+
+    #[test]
+    fn goodput_grows_with_payload() {
+        let g1 = goodput_bps(1, 400_000);
+        let g40 = goodput_bps(40, 400_000);
+        assert!(g40 > g1);
+        // Asymptote is the raw bit rate.
+        assert!(g40 < 400_000.0);
+    }
+
+    #[test]
+    fn imager_chunking_overhead_matches_6_3_2() {
+        // "By sending 160 180-byte messages instead of one 28.8 kB
+        // message, the image transmission incurs an additional 3,021
+        // bits or 1.31% of overhead."
+        let extra = chunking_overhead_bits(160);
+        assert_eq!(extra, 3_021);
+        let image_bits = 160 * 180 * 8;
+        let pct = extra as f64 / image_bits as f64 * 100.0;
+        assert!((pct - 1.31).abs() < 0.005, "{pct}");
+    }
+}

@@ -1,0 +1,475 @@
+//! The [`WireBus`] harness: assembles the CLK and DATA rings of Fig. 4
+//! over the `mbus-sim` kernel and offers a transaction-level API that
+//! mirrors [`AnalyticBus`](crate::AnalyticBus) for cross-checking.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mbus_sim::{Circuit, Component, Logic, NetId, PinId, SimTime, Trace};
+
+use crate::addr::Address;
+use crate::config::BusConfig;
+use crate::control::{ControlBits, TxOutcome};
+use crate::error::MbusError;
+use crate::message::Message;
+use crate::node::NodeSpec;
+use crate::wire::mediator::{MediatorComp, MediatorShared};
+use crate::wire::member::{MemberComp, MemberShared, WireReceived};
+
+/// A completed transaction as reconstructed from the wire-level run.
+#[derive(Clone, Debug)]
+pub struct WireTransaction {
+    /// When the request first pulled DATA low at the mediator.
+    pub request_at: SimTime,
+    /// First driven falling edge of the bus clock.
+    pub clock_start: SimTime,
+    /// Bus idle again.
+    pub idle_at: SimTime,
+    /// Measured bus-clock cycles — compare with
+    /// [`timing::transaction_cycles`](crate::timing::transaction_cycles).
+    pub cycles: u64,
+    /// Control bits the mediator latched, if the control phase ran.
+    pub control: Option<ControlBits>,
+    /// True for a null transaction (no arbitration winner).
+    pub null_transaction: bool,
+    /// True when the mediator's runaway counter ended the message.
+    pub runaway: bool,
+}
+
+/// The four ring pins (plus the interrupt port) handed to a custom
+/// ring occupant bound through [`WireBusBuilder::raw_node`].
+#[derive(Debug, Clone, Copy)]
+pub struct RawNodeIo {
+    /// CLK ring input.
+    pub clk_in: PinId,
+    /// DATA ring input.
+    pub data_in: PinId,
+    /// CLK ring output (this node drives the next segment).
+    pub clk_out: PinId,
+    /// DATA ring output.
+    pub data_out: PinId,
+    /// Interrupt/kick input (toggled by the harness).
+    pub int_in: PinId,
+}
+
+enum NodeKind {
+    Member(NodeSpec),
+    Raw {
+        name: String,
+        bind: Box<dyn FnOnce(RawNodeIo) -> Box<dyn Component>>,
+    },
+}
+
+impl std::fmt::Debug for NodeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeKind::Member(spec) => write!(f, "Member({})", spec.name()),
+            NodeKind::Raw { name, .. } => write!(f, "Raw({name})"),
+        }
+    }
+}
+
+/// Builder for a [`WireBus`].
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::wire::WireBusBuilder;
+/// use mbus_core::{BusConfig, FullPrefix, NodeSpec, ShortPrefix};
+///
+/// let bus = WireBusBuilder::new(BusConfig::default())
+///     .node(
+///         NodeSpec::new("cpu", FullPrefix::new(0x00001)?)
+///             .with_short_prefix(ShortPrefix::new(0x1)?),
+///     )
+///     .node(
+///         NodeSpec::new("sensor", FullPrefix::new(0x00002)?)
+///             .with_short_prefix(ShortPrefix::new(0x2)?),
+///     )
+///     .build();
+/// assert_eq!(bus.node_count(), 2);
+/// # Ok::<(), mbus_core::MbusError>(())
+/// ```
+#[derive(Debug)]
+pub struct WireBusBuilder {
+    config: BusConfig,
+    specs: Vec<NodeKind>,
+}
+
+impl WireBusBuilder {
+    /// Starts a builder with the given bus configuration.
+    pub fn new(config: BusConfig) -> Self {
+        WireBusBuilder {
+            config,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Appends a node at the next ring position. The first node sits
+    /// immediately downstream of the mediator frontend and therefore
+    /// has top arbitration priority — in the paper's systems this is
+    /// the processor hosting the mediator.
+    pub fn node(mut self, spec: NodeSpec) -> Self {
+        self.specs.push(NodeKind::Member(spec));
+        self
+    }
+
+    /// Appends a *custom* ring occupant — any [`Component`] wired to
+    /// the four bus pins, such as the bitbang-MCU node of §6.6. The
+    /// closure receives the pin handles and returns the component to
+    /// bind. Custom nodes have no member bookkeeping (`take_rx` and
+    /// friends panic for their index); they interact with the bus
+    /// purely electrically, which is the point.
+    pub fn raw_node(
+        mut self,
+        name: impl Into<String>,
+        bind: impl FnOnce(RawNodeIo) -> Box<dyn Component> + 'static,
+    ) -> Self {
+        self.specs.push(NodeKind::Raw {
+            name: name.into(),
+            bind: Box::new(bind),
+        });
+        self
+    }
+
+    /// Builds the circuit: one mediator frontend plus one member
+    /// component per node, chained into CLK and DATA rings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nodes were added.
+    pub fn build(self) -> WireBus {
+        assert!(!self.specs.is_empty(), "a bus needs at least one node");
+        let mut circuit = Circuit::new();
+        let n = self.specs.len();
+        let hop = self.config.hop_delay();
+        let period = self.config.clock_period();
+
+        // Nets: segment i carries the signal *into* member i; segment n
+        // wraps from the last member back into the mediator.
+        let clk_nets: Vec<NetId> = (0..=n).map(|i| circuit.net(format!("clk{i}"))).collect();
+        let data_nets: Vec<NetId> = (0..=n).map(|i| circuit.net(format!("data{i}"))).collect();
+
+        // Mediator frontend: drives segment 0, listens on segment n.
+        // The mediator shares a die with the first member (the paper's
+        // processor chip hosts it as a block), so the mediator→member0
+        // link is an on-chip connection, not a 10 ns chip-to-chip hop;
+        // the wrap from the last member back into the mediator is a
+        // real hop. This keeps the ring delay at n·hop, matching the
+        // Fig. 9 ceiling.
+        let on_chip = if hop > SimTime::from_ns(1) {
+            SimTime::from_ns(1)
+        } else {
+            hop
+        };
+        let mediator_shared = Rc::new(RefCell::new(MediatorShared::default()));
+        let med = circuit.add_component("mediator");
+        let med_clk_in = circuit.input_delayed(med, clk_nets[n], hop);
+        let med_data_in = circuit.input_delayed(med, data_nets[n], hop);
+        let med_clk_out = circuit.output(med, clk_nets[0]);
+        let med_data_out = circuit.output(med, data_nets[0]);
+        circuit.bind(
+            med,
+            MediatorComp::new(
+                med_clk_in,
+                med_data_in,
+                med_clk_out,
+                med_data_out,
+                period,
+                self.config.mediator_wakeup_cycles(),
+                self.config.max_message_bytes(),
+                Rc::clone(&mediator_shared),
+            ),
+        );
+
+        // Members: member i listens on segment i, drives segment i+1.
+        let mut members = Vec::with_capacity(n);
+        let mut int_nets = Vec::with_capacity(n);
+        for (i, kind) in self.specs.into_iter().enumerate() {
+            let name = match &kind {
+                NodeKind::Member(spec) => spec.name().to_string(),
+                NodeKind::Raw { name, .. } => name.clone(),
+            };
+            let comp = circuit.add_component(&name);
+            let int_net = circuit.net_with(format!("int{i}"), Logic::Low);
+            let in_delay = if i == 0 { on_chip } else { hop };
+            let io = RawNodeIo {
+                clk_in: circuit.input_delayed(comp, clk_nets[i], in_delay),
+                data_in: circuit.input_delayed(comp, data_nets[i], in_delay),
+                clk_out: circuit.output(comp, clk_nets[i + 1]),
+                data_out: circuit.output(comp, data_nets[i + 1]),
+                int_in: circuit.input(comp, int_net),
+            };
+            match kind {
+                NodeKind::Member(spec) => {
+                    let shared = Rc::new(RefCell::new(MemberShared::new(spec)));
+                    circuit.bind(
+                        comp,
+                        MemberComp::new(
+                            io.clk_in,
+                            io.data_in,
+                            io.clk_out,
+                            io.data_out,
+                            io.int_in,
+                            period,
+                            Rc::clone(&shared),
+                        ),
+                    );
+                    members.push(Some(shared));
+                }
+                NodeKind::Raw { bind, .. } => {
+                    let model = bind(io);
+                    circuit.bind_boxed(comp, model);
+                    members.push(None);
+                }
+            }
+            int_nets.push(int_net);
+        }
+
+        WireBus {
+            circuit,
+            config: self.config,
+            mediator: mediator_shared,
+            members,
+            int_nets,
+            clk_nets,
+            data_nets,
+            records_taken: 0,
+            int_level: vec![false; n],
+        }
+    }
+}
+
+/// The assembled wire-level bus.
+///
+/// The API mirrors [`AnalyticBus`](crate::AnalyticBus): queue messages,
+/// request wakeups, run to quiescence, drain receive logs — but every
+/// CLK/DATA edge in between is simulated and traced.
+pub struct WireBus {
+    circuit: Circuit,
+    config: BusConfig,
+    mediator: Rc<RefCell<MediatorShared>>,
+    /// `None` entries are raw/custom ring occupants.
+    members: Vec<Option<Rc<RefCell<MemberShared>>>>,
+    int_nets: Vec<NetId>,
+    clk_nets: Vec<NetId>,
+    data_nets: Vec<NetId>,
+    records_taken: usize,
+    int_level: Vec<bool>,
+}
+
+impl std::fmt::Debug for WireBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireBus")
+            .field("nodes", &self.members.len())
+            .field("now", &self.circuit.now())
+            .finish()
+    }
+}
+
+impl WireBus {
+    /// Number of member nodes (the mediator frontend is not counted).
+    pub fn node_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.circuit.now()
+    }
+
+    /// The full transition trace (for waveforms and energy accounting).
+    pub fn trace(&self) -> &Trace {
+        self.circuit.trace()
+    }
+
+    /// The CLK-ring segment nets, in ring order: `clk[i]` enters member
+    /// `i`; the last entry wraps into the mediator.
+    pub fn clk_nets(&self) -> &[NetId] {
+        &self.clk_nets
+    }
+
+    /// The DATA-ring segment nets, in ring order (see
+    /// [`WireBus::clk_nets`]).
+    pub fn data_nets(&self) -> &[NetId] {
+        &self.data_nets
+    }
+
+    /// Queues a message for transmission by `node` and notifies the
+    /// node's frontend (the layer-side "send" strobe).
+    ///
+    /// # Errors
+    ///
+    /// * [`MbusError::UnknownNode`] for an out-of-range index.
+    /// * [`MbusError::MessageTooLong`] if the payload exceeds the
+    ///   mediator limit (use [`WireBus::queue_unchecked`] to exercise
+    ///   the runaway counter).
+    pub fn queue(&mut self, node: usize, msg: Message) -> Result<(), MbusError> {
+        msg.validate(&self.config)?;
+        self.queue_unchecked(node, msg)
+    }
+
+    /// Queues a message without the length check, so tests can exercise
+    /// the mediator's runaway-message counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbusError::UnknownNode`] for an out-of-range index.
+    pub fn queue_unchecked(&mut self, node: usize, msg: Message) -> Result<(), MbusError> {
+        let shared = self
+            .members
+            .get(node)
+            .and_then(Option::as_ref)
+            .ok_or(MbusError::UnknownNode { index: node })?;
+        shared.borrow_mut().tx_queue.push_back(msg);
+        self.pulse_int(node);
+        Ok(())
+    }
+
+    /// Asserts a node's interrupt port (§4.5): its always-on frontend
+    /// will issue a null transaction to wake the node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbusError::UnknownNode`] for an out-of-range index.
+    pub fn request_wakeup(&mut self, node: usize) -> Result<(), MbusError> {
+        let shared = self
+            .members
+            .get(node)
+            .and_then(Option::as_ref)
+            .ok_or(MbusError::UnknownNode { index: node })?;
+        shared.borrow_mut().wake_requested = true;
+        self.pulse_int(node);
+        Ok(())
+    }
+
+
+    /// The shared state of member `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or a raw/custom occupant.
+    fn member(&self, node: usize) -> &Rc<RefCell<MemberShared>> {
+        self.members[node]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {node} is a raw/custom ring occupant"))
+    }
+
+    fn pulse_int(&mut self, node: usize) {
+        // Toggle the INT net so the member component gets an event.
+        let level = !self.int_level[node];
+        self.int_level[node] = level;
+        self.circuit
+            .drive_external(self.int_nets[node], Logic::from_bool(level), self.circuit.now());
+    }
+
+    /// Runs the circuit until all queues drain and the bus is idle.
+    /// Returns the transactions completed since the last call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit fails to settle within `max_events`
+    /// simulator events — a protocol livelock, which the fault-injection
+    /// tests rely on detecting.
+    pub fn run_until_quiescent(&mut self, max_events: u64) -> Vec<WireTransaction> {
+        self.circuit.run_to_idle(max_events);
+        self.take_records()
+    }
+
+    /// Runs for a bounded virtual duration (for waveform capture at a
+    /// precise window), returning completed transactions.
+    pub fn run_for(&mut self, duration: SimTime) -> Vec<WireTransaction> {
+        self.circuit.run_for(duration);
+        self.take_records()
+    }
+
+    fn take_records(&mut self) -> Vec<WireTransaction> {
+        let mediator = self.mediator.borrow();
+        let records = &mediator.records[self.records_taken..];
+        let out: Vec<WireTransaction> = records
+            .iter()
+            .map(|r| WireTransaction {
+                request_at: r.request_at,
+                clock_start: r.clock_start,
+                idle_at: r.idle_at,
+                cycles: r.cycles,
+                control: r.control,
+                null_transaction: r.no_winner,
+                runaway: r.runaway,
+            })
+            .collect();
+        drop(mediator);
+        self.records_taken += out.len();
+        out
+    }
+
+    /// Drains a node's received messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn take_rx(&mut self, node: usize) -> Vec<WireReceived> {
+        std::mem::take(&mut self.member(node).borrow_mut().rx_log)
+    }
+
+    /// Drains a node's transmit outcomes, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn take_outcomes(&mut self, node: usize) -> Vec<TxOutcome> {
+        std::mem::take(&mut self.member(node).borrow_mut().outcomes)
+    }
+
+    /// Number of completed self-wake events on a node.
+    pub fn wake_events(&self, node: usize) -> u64 {
+        self.member(node).borrow().wake_events
+    }
+
+    /// Whether a node's layer domain is powered.
+    pub fn layer_on(&self, node: usize) -> bool {
+        self.member(node).borrow().layer_on
+    }
+
+    /// Whether a node's bus-controller domain is powered.
+    pub fn bus_ctl_on(&self, node: usize) -> bool {
+        self.member(node).borrow().bus_ctl_on
+    }
+
+    /// Cumulative layer wake count for a node.
+    pub fn layer_wakes(&self, node: usize) -> u64 {
+        self.member(node).borrow().layer_wakes
+    }
+
+    /// Cumulative bus-controller wake count for a node.
+    pub fn bus_ctl_wakes(&self, node: usize) -> u64 {
+        self.member(node).borrow().bus_ctl_wakes
+    }
+
+    /// A node's spec (prefixes may change under enumeration).
+    pub fn spec(&self, node: usize) -> NodeSpec {
+        self.member(node).borrow().spec.clone()
+    }
+
+    /// Sends one message and runs to quiescence, returning the
+    /// transaction record — the one-line "send and wait" helper used by
+    /// examples and tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queueing errors; see [`WireBus::queue`].
+    pub fn send_and_run(
+        &mut self,
+        node: usize,
+        dest: Address,
+        payload: Vec<u8>,
+    ) -> Result<Vec<WireTransaction>, MbusError> {
+        self.queue(node, Message::new(dest, payload))?;
+        Ok(self.run_until_quiescent(5_000_000))
+    }
+}

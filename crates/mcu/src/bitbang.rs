@@ -1,0 +1,546 @@
+//! Bitbang MBus (§6.6): a hand-written, C-compiler-realistic interrupt
+//! service routine that implements an MBus member node on four GPIO
+//! pins, plus the Wikipedia-style bitbang I2C comparator.
+//!
+//! The paper: "our worst case path is 20 instructions (65 cycles
+//! including interrupt entry and exit) to drive an output in response
+//! to an edge. With an 8 MHz system clock speed, the MSP430 can support
+//! up to a 120 kHz MBus clock." Both numbers are *measured* here by
+//! driving the ISR through every edge/state combination.
+
+use crate::cpu::{mmio, Cpu};
+use crate::isa::{Alu, Asm, Insn, Reg, Src};
+
+/// GPIO pin assignment (Table: "requires only four GPIO pins, two must
+/// have edge-triggered interrupt support").
+pub mod pins {
+    /// CLK_IN (edge-interrupt capable).
+    pub const CLK_IN: u8 = 0;
+    /// DATA_IN (edge-interrupt capable).
+    pub const DATA_IN: u8 = 1;
+    /// CLK_OUT.
+    pub const CLK_OUT: u8 = 2;
+    /// DATA_OUT.
+    pub const DATA_OUT: u8 = 3;
+}
+
+const CLK_IN_MASK: u16 = 1 << pins::CLK_IN;
+const DATA_IN_MASK: u16 = 1 << pins::DATA_IN;
+const CLK_OUT_MASK: u16 = 1 << pins::CLK_OUT;
+const DATA_OUT_MASK: u16 = 1 << pins::DATA_OUT;
+
+/// RAM layout (word addresses) for the driver state.
+pub mod state {
+    /// 0 = forward DATA, nonzero = transmit from TXWORD.
+    pub const MODE: u16 = 0x10;
+    /// Word being transmitted, MSB-aligned against TXMASK.
+    pub const TXWORD: u16 = 0x12;
+    /// Single-bit mask selecting the current TX bit (walks right).
+    pub const TXMASK: u16 = 0x14;
+    /// Received bits, shifted in LSB-ward.
+    pub const RXBUF: u16 = 0x16;
+}
+
+/// Where the CLK ISR starts in the assembled program.
+#[derive(Debug, Clone, Copy)]
+pub struct BitbangProgram {
+    /// The program image.
+    pub isr_entry: usize,
+}
+
+/// Builds the bitbang MBus node program: a main loop that arms both
+/// CLK edges and sleeps, plus the CLK ISR.
+///
+/// The ISR mirrors what msp430-gcc emits for a C handler: two scratch
+/// registers are saved/restored, the interrupt flag is cleared through
+/// MMIO, and all driver state lives in RAM.
+pub fn mbus_program() -> (Vec<Insn>, BitbangProgram) {
+    let mut asm = Asm::new();
+    let alu = |op, dst, src| Insn::AluOp { op, dst, src };
+    let r12 = Reg(12);
+    let r13 = Reg(13);
+
+    // --- main ---
+    asm.push(Insn::BisAbs {
+        mask: CLK_IN_MASK,
+        addr: mmio::IE_RISE,
+    });
+    asm.push(Insn::BisAbs {
+        mask: CLK_IN_MASK,
+        addr: mmio::IE_FALL,
+    });
+    // Idle high on both outputs (MBus idle state).
+    asm.push(Insn::BisAbs {
+        mask: CLK_OUT_MASK | DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.push(Insn::Halt); // LPM: wait for edges
+
+    // --- clk isr ---
+    asm.label("isr");
+    asm.push(Insn::Push(r12));
+    asm.push(Insn::Push(r13));
+    asm.push(Insn::BicAbs {
+        mask: CLK_IN_MASK,
+        addr: mmio::IFG,
+    });
+    asm.push(Insn::BitAbs {
+        mask: CLK_IN_MASK,
+        addr: mmio::P_IN,
+    });
+    asm.jz("falling");
+
+    // Rising edge: forward CLK high, then latch DATA_IN into RXBUF.
+    asm.push(Insn::BisAbs {
+        mask: CLK_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.push(Insn::BitAbs {
+        mask: DATA_IN_MASK,
+        addr: mmio::P_IN,
+    });
+    asm.jz("rx_zero");
+    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Shl(r12));
+    asm.push(Insn::Inc(r12));
+    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.jmp("exit");
+    asm.label("rx_zero");
+    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Shl(r12));
+    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.jmp("exit");
+
+    // Falling edge: forward CLK low, then drive DATA (transmit or
+    // forward). This is the §6.6 critical path: an output must be
+    // driven in response to the edge.
+    asm.label("falling");
+    asm.push(Insn::BicAbs {
+        mask: CLK_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.push(Insn::Ld { dst: r12, addr: state::MODE });
+    asm.jz("forward");
+
+    // Transmit: emit the TXMASK-selected bit of TXWORD.
+    asm.push(Insn::Ld { dst: r12, addr: state::TXWORD });
+    asm.push(Insn::Ld { dst: r13, addr: state::TXMASK });
+    asm.push(alu(Alu::And, r12, Src::Reg(r13)));
+    asm.jz("tx_zero");
+    asm.push(Insn::BisAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.jmp("tx_shift");
+    asm.label("tx_zero");
+    asm.push(Insn::BicAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.label("tx_shift");
+    asm.push(Insn::Shr(r13));
+    asm.push(Insn::St { src: r13, addr: state::TXMASK });
+    asm.jmp("exit");
+
+    // Forward: copy DATA_IN to DATA_OUT (the shoot-through path).
+    asm.label("forward");
+    asm.push(Insn::BitAbs {
+        mask: DATA_IN_MASK,
+        addr: mmio::P_IN,
+    });
+    asm.jz("fwd_zero");
+    asm.push(Insn::BisAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.jmp("exit");
+    asm.label("fwd_zero");
+    asm.push(Insn::BicAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+
+    asm.label("exit");
+    asm.push(Insn::Pop(r13));
+    asm.push(Insn::Pop(r12));
+    asm.push(Insn::Reti);
+
+    let program = asm.assemble();
+    // The ISR starts right after main's halt.
+    let isr_entry = 4;
+    debug_assert_eq!(program[isr_entry], Insn::Push(r12));
+    (program, BitbangProgram { isr_entry })
+}
+
+/// Builds the *interoperation* variant of the bitbang node: in
+/// addition to the CLK ISR of [`mbus_program`], DATA edges are
+/// interrupt-enabled and forwarded level-for-level while in forward
+/// mode. This is what lets a software node sit in the middle of a
+/// hardware ring: requests, interjection toggles, and control bits all
+/// propagate through it even when CLK is quiet — and it is why §6.6
+/// requires that "two [pins] must have edge-triggered interrupt
+/// support".
+///
+/// The DATA dispatch adds two instructions to the CLK path, so this
+/// variant's worst case is slightly above the paper's measured 20/65
+/// (which [`mbus_program`] preserves exactly).
+pub fn mbus_interop_program() -> (Vec<Insn>, BitbangProgram) {
+    let mut asm = Asm::new();
+    let alu = |op, dst, src| Insn::AluOp { op, dst, src };
+    let r12 = Reg(12);
+    let r13 = Reg(13);
+
+    // --- main: arm CLK and DATA edges, idle high, sleep ---
+    asm.push(Insn::BisAbs { mask: CLK_IN_MASK | DATA_IN_MASK, addr: mmio::IE_RISE });
+    asm.push(Insn::BisAbs { mask: CLK_IN_MASK | DATA_IN_MASK, addr: mmio::IE_FALL });
+    asm.push(Insn::BisAbs { mask: CLK_OUT_MASK | DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::Halt);
+
+    // --- shared isr: dispatch on the interrupt flags ---
+    asm.label("isr");
+    asm.push(Insn::Push(r12));
+    asm.push(Insn::Push(r13));
+    asm.push(Insn::BitAbs { mask: CLK_IN_MASK, addr: mmio::IFG });
+    asm.jnz("clk_path");
+
+    // DATA edge: forward the level through (forward mode only).
+    asm.push(Insn::BicAbs { mask: DATA_IN_MASK, addr: mmio::IFG });
+    asm.push(Insn::Ld { dst: r12, addr: state::MODE });
+    asm.jnz("exit"); // transmitting: the TX owns DATA_OUT
+    asm.push(Insn::BitAbs { mask: DATA_IN_MASK, addr: mmio::P_IN });
+    asm.jz("dfwd_zero");
+    asm.push(Insn::BisAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.jmp("exit");
+    asm.label("dfwd_zero");
+    asm.push(Insn::BicAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.jmp("exit");
+
+    // CLK edge: identical to the measured driver.
+    asm.label("clk_path");
+    asm.push(Insn::BicAbs { mask: CLK_IN_MASK, addr: mmio::IFG });
+    asm.push(Insn::BitAbs { mask: CLK_IN_MASK, addr: mmio::P_IN });
+    asm.jz("falling");
+
+    asm.push(Insn::BisAbs { mask: CLK_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BitAbs { mask: DATA_IN_MASK, addr: mmio::P_IN });
+    asm.jz("rx_zero");
+    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Shl(r12));
+    asm.push(Insn::Inc(r12));
+    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.jmp("exit");
+    asm.label("rx_zero");
+    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Shl(r12));
+    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.jmp("exit");
+
+    asm.label("falling");
+    asm.push(Insn::BicAbs { mask: CLK_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::Ld { dst: r12, addr: state::MODE });
+    asm.jz("forward");
+    asm.push(Insn::Ld { dst: r12, addr: state::TXWORD });
+    asm.push(Insn::Ld { dst: r13, addr: state::TXMASK });
+    asm.push(alu(Alu::And, r12, Src::Reg(r13)));
+    asm.jz("tx_zero");
+    asm.push(Insn::BisAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.jmp("tx_shift");
+    asm.label("tx_zero");
+    asm.push(Insn::BicAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.label("tx_shift");
+    asm.push(Insn::Shr(r13));
+    asm.push(Insn::St { src: r13, addr: state::TXMASK });
+    asm.jmp("exit");
+
+    asm.label("forward");
+    asm.push(Insn::BitAbs { mask: DATA_IN_MASK, addr: mmio::P_IN });
+    asm.jz("fwd_zero");
+    asm.push(Insn::BisAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.jmp("exit");
+    asm.label("fwd_zero");
+    asm.push(Insn::BicAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+
+    asm.label("exit");
+    asm.push(Insn::Pop(r13));
+    asm.push(Insn::Pop(r12));
+    asm.push(Insn::Reti);
+
+    let program = asm.assemble();
+    let isr_entry = 4;
+    debug_assert_eq!(program[isr_entry], Insn::Push(r12));
+    (program, BitbangProgram { isr_entry })
+}
+
+/// One measured ISR activation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IsrPath {
+    /// Instructions retired from entry through `reti`.
+    pub instructions: u64,
+    /// Cycles including interrupt entry and exit.
+    pub cycles: u64,
+}
+
+/// A ready-to-measure bitbang MBus node.
+#[derive(Debug)]
+pub struct BitbangNode {
+    cpu: Cpu,
+}
+
+impl Default for BitbangNode {
+    fn default() -> Self {
+        BitbangNode::new()
+    }
+}
+
+impl BitbangNode {
+    /// Boots the node and runs main to the idle halt. The bus lines
+    /// start at the MBus idle level (both high).
+    pub fn new() -> Self {
+        let (program, meta) = mbus_program();
+        let mut cpu = Cpu::new(program);
+        cpu.set_irq_vector(meta.isr_entry);
+        // Idle-high lines, set before the enables are armed so no
+        // spurious edge is latched.
+        cpu.set_input(pins::CLK_IN, true);
+        cpu.set_input(pins::DATA_IN, true);
+        cpu.run(100);
+        assert!(cpu.is_halted(), "main must reach its idle halt");
+        BitbangNode { cpu }
+    }
+
+    /// Puts the node in transmit mode with `word` (left-aligned under
+    /// `mask_bits` bits).
+    pub fn arm_transmit(&mut self, word: u16, mask_bits: u8) {
+        self.cpu.set_ram(state::MODE as usize / 2, 1);
+        self.cpu.set_ram(state::TXWORD as usize / 2, word);
+        self.cpu
+            .set_ram(state::TXMASK as usize / 2, 1 << (mask_bits - 1));
+    }
+
+    /// Puts the node in forward mode.
+    pub fn arm_forward(&mut self) {
+        self.cpu.set_ram(state::MODE as usize / 2, 0);
+    }
+
+    /// Sets the DATA_IN level (no interrupt attached).
+    pub fn set_data_in(&mut self, level: bool) {
+        self.cpu.set_input(pins::DATA_IN, level);
+    }
+
+    /// Applies one CLK edge and runs the ISR to completion, returning
+    /// the measured path.
+    pub fn clock_edge(&mut self, level: bool) -> IsrPath {
+        let insns_before = self.cpu.insns_retired();
+        let cycles_before = self.cpu.cycles();
+        self.cpu.set_input(pins::CLK_IN, level);
+        let mut entered = false;
+        for _ in 0..300 {
+            self.cpu.step();
+            if self.cpu.in_isr() {
+                entered = true;
+            } else if entered {
+                break; // reti retired: stop before re-entering the halt
+            }
+        }
+        assert!(entered && !self.cpu.in_isr(), "isr must run and complete");
+        IsrPath {
+            instructions: self.cpu.insns_retired() - insns_before,
+            cycles: self.cpu.cycles() - cycles_before,
+        }
+    }
+
+    /// Current DATA_OUT level.
+    pub fn data_out(&self) -> bool {
+        self.cpu.output_pin(pins::DATA_OUT)
+    }
+
+    /// Current CLK_OUT level.
+    pub fn clk_out(&self) -> bool {
+        self.cpu.output_pin(pins::CLK_OUT)
+    }
+
+    /// Received bit buffer.
+    pub fn rx_buffer(&self) -> u16 {
+        self.cpu.ram(state::RXBUF as usize / 2)
+    }
+}
+
+/// Measures the worst-case ISR path over every edge/state combination —
+/// the §6.6 methodology.
+pub fn worst_case_path() -> IsrPath {
+    let mut worst = IsrPath {
+        instructions: 0,
+        cycles: 0,
+    };
+    let scenarios: Vec<(bool, u16, bool)> = vec![
+        // (transmit?, txword, data_in)
+        (false, 0, false),
+        (false, 0, true),
+        (true, 0xFFFF, false),
+        (true, 0x0000, false),
+        (true, 0xAAAA, true),
+    ];
+    for (tx, word, din) in scenarios {
+        let mut node = BitbangNode::new();
+        if tx {
+            node.arm_transmit(word, 16);
+        } else {
+            node.arm_forward();
+        }
+        node.set_data_in(din);
+        for level in [false, true, false, true, false] {
+            let path = node.clock_edge(level);
+            if path.cycles > worst.cycles {
+                worst = path;
+            }
+        }
+    }
+    worst
+}
+
+/// §6.6's capacity result: the bus half-period must cover the
+/// worst-case edge-to-output latency, so `f_bus ≤ f_cpu / worst_cycles`
+/// (each bus cycle delivers two edges, each needing service within its
+/// half period).
+pub fn max_bus_clock_hz(cpu_hz: u64) -> u64 {
+    cpu_hz / worst_case_path().cycles
+}
+
+/// The Wikipedia-style bitbang I2C comparator: the paper compiled it
+/// and "found it has similar overhead with a longest path of 21
+/// instructions". This builds an `i2c_write_bit`-plus-clock routine in
+/// the same ISA and measures its longest instruction path.
+pub fn i2c_bitbang_longest_path() -> IsrPath {
+    // Pin map: SCL = out pin 2, SDA = out pin 3, SDA_IN = in pin 1,
+    // SCL_IN = in pin 0 (for clock-stretch checks).
+    let mut asm = Asm::new();
+    let alu = |op, dst, src| Insn::AluOp { op, dst, src };
+    let r12 = Reg(12);
+    // write_bit(bit in r4): the hot path of the Wikipedia master.
+    asm.label("write_bit");
+    asm.push(alu(Alu::Cmp, Reg(4), Src::Imm(0)));
+    asm.jz("sda_low");
+    asm.push(Insn::BisAbs { mask: 1 << 3, addr: mmio::P_OUT });
+    asm.jmp("sda_done");
+    asm.label("sda_low");
+    asm.push(Insn::BicAbs { mask: 1 << 3, addr: mmio::P_OUT });
+    asm.label("sda_done");
+    // delay loop stand-in (I2C_delay()): two iterations.
+    asm.push(alu(Alu::Mov, r12, Src::Imm(2)));
+    asm.label("dly1");
+    asm.push(Insn::Dec(r12));
+    asm.jnz("dly1");
+    // SCL high, then clock-stretch check: read SCL back.
+    asm.push(Insn::BisAbs { mask: 1 << 2, addr: mmio::P_OUT });
+    asm.label("stretch");
+    asm.push(Insn::BitAbs { mask: 1 << 0, addr: mmio::P_IN });
+    asm.jz("stretch");
+    // Second I2C_delay() while SCL is high (the Wikipedia master
+    // delays on both phases).
+    asm.push(alu(Alu::Mov, r12, Src::Imm(2)));
+    asm.label("dly2");
+    asm.push(Insn::Dec(r12));
+    asm.jnz("dly2");
+    // Arbitration check: read SDA back; mismatch would be lost
+    // arbitration (ignored here — single master).
+    asm.push(Insn::BitAbs { mask: 1 << 1, addr: mmio::P_IN });
+    // SCL low, then end of the measured routine (a real master would
+    // `ret` into the byte loop; `halt` marks the measurement boundary).
+    asm.push(Insn::BicAbs { mask: 1 << 2, addr: mmio::P_OUT });
+    asm.push(Insn::Halt);
+
+    let program = asm.assemble();
+    let mut worst = IsrPath {
+        instructions: 0,
+        cycles: 0,
+    };
+    for bit in [0u16, 1] {
+        let mut cpu = Cpu::new(program.clone());
+        cpu.set_input(0, true); // SCL not stretched
+        cpu.set_input(1, true);
+        cpu.set_reg(Reg(4), bit);
+        cpu.run(300);
+        assert!(cpu.is_halted(), "i2c routine must finish");
+        let path = IsrPath {
+            instructions: cpu.insns_retired() - 1, // exclude the halt marker
+            cycles: cpu.cycles() - 1,
+        };
+        if path.cycles > worst.cycles {
+            worst = path;
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_matches_the_paper() {
+        // §6.6: "our worst case path is 20 instructions (65 cycles
+        // including interrupt entry and exit)".
+        let worst = worst_case_path();
+        assert_eq!(worst.instructions, 20);
+        assert_eq!(worst.cycles, 65);
+    }
+
+    #[test]
+    fn max_bus_clock_at_8mhz_is_about_120khz() {
+        // 8 MHz / 65 cycles ≈ 123 kHz; the paper rounds to "up to a
+        // 120 kHz MBus clock".
+        let f = max_bus_clock_hz(8_000_000);
+        assert!((120_000..=125_000).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn forwarding_copies_data_through() {
+        let mut node = BitbangNode::new();
+        node.arm_forward();
+        node.set_data_in(false);
+        node.clock_edge(false); // falling: drive DATA_OUT from DATA_IN
+        assert!(!node.data_out());
+        assert!(!node.clk_out(), "CLK forwarded low");
+        node.set_data_in(true);
+        node.clock_edge(true);
+        assert!(node.clk_out());
+        node.clock_edge(false);
+        assert!(node.data_out(), "forwarded high on next falling edge");
+    }
+
+    #[test]
+    fn transmit_shifts_bits_out_msb_first() {
+        let mut node = BitbangNode::new();
+        node.arm_transmit(0b1010_0000_0000_0000, 16);
+        let mut bits = Vec::new();
+        for _ in 0..4 {
+            node.clock_edge(false); // falling: drive
+            bits.push(node.data_out());
+            node.clock_edge(true); // rising
+        }
+        assert_eq!(bits, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn receive_latches_on_rising_edges() {
+        let mut node = BitbangNode::new();
+        node.arm_forward();
+        for bit in [true, false, true, true] {
+            node.clock_edge(false);
+            node.set_data_in(bit);
+            node.clock_edge(true);
+        }
+        assert_eq!(node.rx_buffer() & 0xF, 0b1011);
+    }
+
+    #[test]
+    fn i2c_bitbang_is_comparable() {
+        // "similar overhead with a longest path of 21 instructions".
+        let path = i2c_bitbang_longest_path();
+        assert!(
+            (15..=25).contains(&path.instructions),
+            "{} instructions",
+            path.instructions
+        );
+    }
+}

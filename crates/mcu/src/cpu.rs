@@ -1,0 +1,484 @@
+//! The m16 core: interpreter, RAM, memory-mapped GPIO with
+//! edge-triggered interrupts, and cycle accounting.
+
+use crate::isa::{Alu, Insn, Reg, Src, INTERRUPT_ENTRY_CYCLES};
+
+/// Memory-mapped I/O addresses.
+pub mod mmio {
+    /// GPIO input levels (read-only).
+    pub const P_IN: u16 = 0xFF00;
+    /// GPIO output levels.
+    pub const P_OUT: u16 = 0xFF02;
+    /// Rising-edge interrupt enable mask.
+    pub const IE_RISE: u16 = 0xFF04;
+    /// Falling-edge interrupt enable mask.
+    pub const IE_FALL: u16 = 0xFF06;
+    /// Interrupt flags (write 0 bits via `bic` to clear).
+    pub const IFG: u16 = 0xFF08;
+}
+
+/// Words of RAM below the MMIO window.
+pub const RAM_WORDS: usize = 0x1000;
+
+/// One recorded GPIO output change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OutputEvent {
+    /// Cycle count when the store retired.
+    pub at_cycle: u64,
+    /// New P_OUT value.
+    pub value: u16,
+}
+
+/// The m16 CPU with its GPIO port.
+///
+/// # Example
+///
+/// ```
+/// use mbus_mcu::cpu::{mmio, Cpu};
+/// use mbus_mcu::isa::{Asm, Insn};
+///
+/// let mut asm = Asm::new();
+/// asm.push(Insn::BisAbs { mask: 0x1, addr: mmio::P_OUT });
+/// asm.push(Insn::Halt);
+/// let mut cpu = Cpu::new(asm.assemble());
+/// cpu.run(100);
+/// assert_eq!(cpu.gpio_out() & 1, 1);
+/// assert_eq!(cpu.cycles(), 6);
+/// ```
+#[derive(Debug)]
+pub struct Cpu {
+    program: Vec<Insn>,
+    regs: [u16; 16],
+    zero: bool,
+    pc: usize,
+    stack: Vec<u16>,
+    ram: Vec<u16>,
+    gpio_in: u16,
+    gpio_out: u16,
+    ie_rise: u16,
+    ie_fall: u16,
+    ifg: u16,
+    irq_vector: Option<usize>,
+    in_isr: bool,
+    halted: bool,
+    cycles: u64,
+    insns_retired: u64,
+    output_log: Vec<OutputEvent>,
+}
+
+impl Cpu {
+    /// Creates a core loaded with `program`, PC at 0.
+    pub fn new(program: Vec<Insn>) -> Self {
+        Cpu {
+            program,
+            regs: [0; 16],
+            zero: false,
+            pc: 0,
+            stack: Vec::new(),
+            ram: vec![0; RAM_WORDS],
+            gpio_in: 0,
+            gpio_out: 0,
+            ie_rise: 0,
+            ie_fall: 0,
+            ifg: 0,
+            irq_vector: None,
+            in_isr: false,
+            halted: false,
+            cycles: 0,
+            insns_retired: 0,
+            output_log: Vec::new(),
+        }
+    }
+
+    /// Installs the interrupt service routine entry point.
+    pub fn set_irq_vector(&mut self, entry: usize) {
+        self.irq_vector = Some(entry);
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u16 {
+        self.regs[r.0 as usize]
+    }
+
+    /// Writes a register (test setup).
+    pub fn set_reg(&mut self, r: Reg, value: u16) {
+        self.regs[r.0 as usize] = value;
+    }
+
+    /// Reads a RAM word (word index).
+    pub fn ram(&self, index: usize) -> u16 {
+        self.ram[index]
+    }
+
+    /// Writes a RAM word (test setup).
+    pub fn set_ram(&mut self, index: usize, value: u16) {
+        self.ram[index] = value;
+    }
+
+    /// Current GPIO output register.
+    pub fn gpio_out(&self) -> u16 {
+        self.gpio_out
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Retired instruction count.
+    pub fn insns_retired(&self) -> u64 {
+        self.insns_retired
+    }
+
+    /// Whether the core hit `Halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether an ISR is executing.
+    pub fn in_isr(&self) -> bool {
+        self.in_isr
+    }
+
+    /// Output-change log (cycle-stamped P_OUT writes).
+    pub fn output_log(&self) -> &[OutputEvent] {
+        &self.output_log
+    }
+
+    /// Clears the output log.
+    pub fn clear_output_log(&mut self) {
+        self.output_log.clear();
+    }
+
+    /// Drives a GPIO input pin; edge-detects and latches interrupt
+    /// flags.
+    pub fn set_input(&mut self, pin: u8, level: bool) {
+        let mask = 1u16 << pin;
+        let old = self.gpio_in & mask != 0;
+        if old == level {
+            return;
+        }
+        if level {
+            self.gpio_in |= mask;
+            if self.ie_rise & mask != 0 {
+                self.ifg |= mask;
+            }
+        } else {
+            self.gpio_in &= !mask;
+            if self.ie_fall & mask != 0 {
+                self.ifg |= mask;
+            }
+        }
+    }
+
+    /// Reads a GPIO output pin.
+    pub fn output_pin(&self, pin: u8) -> bool {
+        self.gpio_out & (1 << pin) != 0
+    }
+
+    fn load(&self, addr: u16) -> u16 {
+        match addr {
+            mmio::P_IN => self.gpio_in,
+            mmio::P_OUT => self.gpio_out,
+            mmio::IE_RISE => self.ie_rise,
+            mmio::IE_FALL => self.ie_fall,
+            mmio::IFG => self.ifg,
+            a => self.ram[(a as usize / 2) % RAM_WORDS],
+        }
+    }
+
+    fn store(&mut self, addr: u16, value: u16) {
+        match addr {
+            mmio::P_IN => {} // read-only
+            mmio::P_OUT => {
+                if self.gpio_out != value {
+                    self.gpio_out = value;
+                    self.output_log.push(OutputEvent {
+                        at_cycle: self.cycles,
+                        value,
+                    });
+                }
+            }
+            mmio::IE_RISE => self.ie_rise = value,
+            mmio::IE_FALL => self.ie_fall = value,
+            mmio::IFG => self.ifg = value,
+            a => self.ram[(a as usize / 2) % RAM_WORDS] = value,
+        }
+    }
+
+    fn src_value(&self, src: Src) -> u16 {
+        match src {
+            Src::Reg(r) => self.regs[r.0 as usize],
+            Src::Imm(v) => v,
+        }
+    }
+
+    /// Executes one instruction (or takes a pending interrupt).
+    /// Returns `false` once halted with nothing pending.
+    pub fn step(&mut self) -> bool {
+        // Interrupt dispatch between instructions, MSP430-style.
+        if !self.in_isr && self.ifg != 0 {
+            if let Some(vector) = self.irq_vector {
+                self.stack.push(self.pc as u16);
+                self.pc = vector;
+                self.in_isr = true;
+                self.halted = false; // wake from LPM
+                self.cycles += INTERRUPT_ENTRY_CYCLES;
+                return true;
+            }
+        }
+        if self.halted || self.pc >= self.program.len() {
+            return false;
+        }
+        let insn = self.program[self.pc];
+        self.pc += 1;
+        self.cycles += insn.cycles();
+        self.insns_retired += 1;
+        match insn {
+            Insn::AluOp { op, dst, src } => {
+                let a = self.regs[dst.0 as usize];
+                let b = self.src_value(src);
+                let result = match op {
+                    Alu::Mov => b,
+                    Alu::Add => a.wrapping_add(b),
+                    Alu::Sub | Alu::Cmp => a.wrapping_sub(b),
+                    Alu::And => a & b,
+                    Alu::Or => a | b,
+                    Alu::Xor => a ^ b,
+                };
+                self.zero = result == 0;
+                if op != Alu::Cmp {
+                    self.regs[dst.0 as usize] = result;
+                }
+            }
+            Insn::Ld { dst, addr } => {
+                let v = self.load(addr);
+                self.zero = v == 0;
+                self.regs[dst.0 as usize] = v;
+            }
+            Insn::St { src, addr } => {
+                let v = self.regs[src.0 as usize];
+                self.store(addr, v);
+            }
+            Insn::BitAbs { mask, addr } => {
+                self.zero = self.load(addr) & mask == 0;
+            }
+            Insn::BisAbs { mask, addr } => {
+                let v = self.load(addr) | mask;
+                self.store(addr, v);
+            }
+            Insn::BicAbs { mask, addr } => {
+                let v = self.load(addr) & !mask;
+                self.store(addr, v);
+            }
+            Insn::Jmp(t) => self.pc = t,
+            Insn::Jz(t) => {
+                if self.zero {
+                    self.pc = t;
+                }
+            }
+            Insn::Jnz(t) => {
+                if !self.zero {
+                    self.pc = t;
+                }
+            }
+            Insn::Shl(r) => {
+                let v = self.regs[r.0 as usize] << 1;
+                self.regs[r.0 as usize] = v;
+                self.zero = v == 0;
+            }
+            Insn::Shr(r) => {
+                let v = self.regs[r.0 as usize] >> 1;
+                self.regs[r.0 as usize] = v;
+                self.zero = v == 0;
+            }
+            Insn::Inc(r) => {
+                let v = self.regs[r.0 as usize].wrapping_add(1);
+                self.regs[r.0 as usize] = v;
+                self.zero = v == 0;
+            }
+            Insn::Dec(r) => {
+                let v = self.regs[r.0 as usize].wrapping_sub(1);
+                self.regs[r.0 as usize] = v;
+                self.zero = v == 0;
+            }
+            Insn::Push(r) => self.stack.push(self.regs[r.0 as usize]),
+            Insn::Pop(r) => {
+                let v = self.stack.pop().expect("pop from empty stack");
+                self.regs[r.0 as usize] = v;
+            }
+            Insn::Call(t) => {
+                self.stack.push(self.pc as u16);
+                self.pc = t;
+            }
+            Insn::Ret => {
+                self.pc = self.stack.pop().expect("ret without call") as usize;
+            }
+            Insn::Reti => {
+                self.pc = self.stack.pop().expect("reti without interrupt") as usize;
+                self.in_isr = false;
+            }
+            Insn::Nop => {}
+            Insn::Halt => {
+                self.halted = true;
+                self.pc -= 1; // stay parked on the halt
+            }
+        }
+        true
+    }
+
+    /// Runs until halted with no pending interrupts, or `max_steps`.
+    pub fn run(&mut self, max_steps: u64) {
+        for _ in 0..max_steps {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Asm;
+
+    fn alu(op: Alu, dst: Reg, src: Src) -> Insn {
+        Insn::AluOp { op, dst, src }
+    }
+
+    #[test]
+    fn alu_basics() {
+        let mut asm = Asm::new();
+        asm.push(alu(Alu::Mov, Reg(4), Src::Imm(10)));
+        asm.push(alu(Alu::Add, Reg(4), Src::Imm(5)));
+        asm.push(alu(Alu::Sub, Reg(4), Src::Imm(15)));
+        asm.push(Insn::Halt);
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.run(10);
+        assert_eq!(cpu.reg(Reg(4)), 0);
+        assert!(cpu.is_halted());
+        // 2 + 2 + 2 + 1 cycles.
+        assert_eq!(cpu.cycles(), 7);
+    }
+
+    #[test]
+    fn conditional_branches_follow_zero_flag() {
+        let mut asm = Asm::new();
+        asm.push(alu(Alu::Mov, Reg(4), Src::Imm(2)));
+        asm.label("loop");
+        asm.push(Insn::Dec(Reg(4)));
+        asm.jnz("loop");
+        asm.push(Insn::Halt);
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.run(100);
+        assert_eq!(cpu.reg(Reg(4)), 0);
+        assert_eq!(cpu.insns_retired(), 1 + 2 * 2 + 1);
+    }
+
+    #[test]
+    fn gpio_store_and_log() {
+        let mut asm = Asm::new();
+        asm.push(Insn::BisAbs { mask: 0b10, addr: mmio::P_OUT });
+        asm.push(Insn::BicAbs { mask: 0b10, addr: mmio::P_OUT });
+        asm.push(Insn::Halt);
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.run(10);
+        assert_eq!(cpu.output_log().len(), 2);
+        assert_eq!(cpu.output_log()[0].value, 0b10);
+        assert_eq!(cpu.output_log()[1].value, 0);
+    }
+
+    #[test]
+    fn edge_interrupt_enters_and_exits_isr() {
+        let mut asm = Asm::new();
+        // main: enable falling-edge irq on pin 0, then spin.
+        asm.push(Insn::BisAbs { mask: 1, addr: mmio::IE_FALL });
+        asm.label("spin");
+        asm.jmp("spin");
+        // isr: clear flag, mark r5, return.
+        asm.label("isr");
+        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(alu(Alu::Mov, Reg(5), Src::Imm(0xBEEF)));
+        asm.push(Insn::Reti);
+        let isr_at = 2;
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.set_irq_vector(isr_at);
+        cpu.set_input(0, true);
+        cpu.run(5);
+        assert_eq!(cpu.reg(Reg(5)), 0, "no edge yet");
+        cpu.set_input(0, false); // falling edge
+        cpu.run(10);
+        assert_eq!(cpu.reg(Reg(5)), 0xBEEF);
+        assert!(!cpu.in_isr(), "reti restored main context");
+    }
+
+    #[test]
+    fn rising_and_falling_enables_are_independent() {
+        let mut asm = Asm::new();
+        asm.push(Insn::BisAbs { mask: 1, addr: mmio::IE_RISE });
+        asm.label("spin");
+        asm.jmp("spin");
+        asm.label("isr");
+        asm.push(Insn::Inc(Reg(5)));
+        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(Insn::Reti);
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.set_irq_vector(2);
+        cpu.run(3); // execute the enable first
+        cpu.set_input(0, true); // rising: fires
+        cpu.run(20);
+        cpu.set_input(0, false); // falling: ignored
+        cpu.run(20);
+        assert_eq!(cpu.reg(Reg(5)), 1);
+    }
+
+    #[test]
+    fn interrupt_entry_costs_six_cycles() {
+        let mut asm = Asm::new();
+        asm.label("spin");
+        asm.jmp("spin");
+        asm.label("isr");
+        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(Insn::Reti);
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.set_irq_vector(1);
+        cpu.set_input(0, true);
+        // Pre-arm the enable directly.
+        cpu.store(mmio::IE_FALL, 1);
+        cpu.set_input(0, false);
+        let before = cpu.cycles();
+        cpu.step(); // interrupt dispatch
+        assert_eq!(cpu.cycles() - before, INTERRUPT_ENTRY_CYCLES);
+        assert!(cpu.in_isr());
+    }
+
+    #[test]
+    fn halt_wakes_on_interrupt() {
+        let mut asm = Asm::new();
+        asm.push(Insn::BisAbs { mask: 1, addr: mmio::IE_RISE });
+        asm.push(Insn::Halt);
+        asm.label("isr");
+        asm.push(Insn::Inc(Reg(6)));
+        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(Insn::Reti);
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.set_irq_vector(2);
+        cpu.run(10);
+        assert!(cpu.is_halted());
+        cpu.set_input(0, true);
+        cpu.run(10);
+        assert_eq!(cpu.reg(Reg(6)), 1, "LPM-style wake on edge");
+    }
+
+    #[test]
+    fn ram_round_trip() {
+        let mut asm = Asm::new();
+        asm.push(alu(Alu::Mov, Reg(4), Src::Imm(0x1234)));
+        asm.push(Insn::St { src: Reg(4), addr: 0x20 });
+        asm.push(Insn::Ld { dst: Reg(5), addr: 0x20 });
+        asm.push(Insn::Halt);
+        let mut cpu = Cpu::new(asm.assemble());
+        cpu.run(10);
+        assert_eq!(cpu.reg(Reg(5)), 0x1234);
+    }
+}

@@ -1,0 +1,342 @@
+//! The m16 instruction set: a compact, MSP430-flavored 16-bit ISA.
+//!
+//! The §6.6 study needs an MCU whose per-instruction cycle costs are
+//! credible for an MSP430-class core, so each instruction carries the
+//! cycle count of its closest MSP430 addressing-mode equivalent
+//! (register ops are 1 cycle, immediate sources add a fetch, absolute
+//! MMIO accesses cost 3–5, taken or not jumps are 2, interrupt entry
+//! is 6).
+
+use std::fmt;
+
+/// A register index, `r0..=r15`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validates the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics above r15.
+    pub fn new(i: u8) -> Self {
+        assert!(i < 16, "registers are r0..=r15");
+        Reg(i)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Source operand for two-operand ALU forms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Src {
+    /// Another register (1 cycle total).
+    Reg(Reg),
+    /// An immediate word (adds a fetch cycle).
+    Imm(u16),
+}
+
+/// ALU operations sharing the two-operand form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Alu {
+    /// `dst = src`.
+    Mov,
+    /// `dst += src`.
+    Add,
+    /// `dst -= src`.
+    Sub,
+    /// `dst &= src`.
+    And,
+    /// `dst |= src`.
+    Or,
+    /// `dst ^= src`.
+    Xor,
+    /// Compare: sets flags from `dst - src`, discards the result.
+    Cmp,
+}
+
+/// One m16 instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Insn {
+    /// Two-operand ALU on registers/immediates.
+    AluOp {
+        /// Operation.
+        op: Alu,
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Src,
+    },
+    /// Load from an absolute address (RAM or MMIO).
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// Absolute address.
+        addr: u16,
+    },
+    /// Store to an absolute address (RAM or MMIO).
+    St {
+        /// Source register.
+        src: Reg,
+        /// Absolute address.
+        addr: u16,
+    },
+    /// Test bits at an absolute address: Z = ((mem & mask) == 0).
+    BitAbs {
+        /// Mask to test.
+        mask: u16,
+        /// Absolute address.
+        addr: u16,
+    },
+    /// Set bits at an absolute address.
+    BisAbs {
+        /// Mask to set.
+        mask: u16,
+        /// Absolute address.
+        addr: u16,
+    },
+    /// Clear bits at an absolute address.
+    BicAbs {
+        /// Mask to clear.
+        mask: u16,
+        /// Absolute address.
+        addr: u16,
+    },
+    /// Unconditional jump to an instruction index.
+    Jmp(usize),
+    /// Jump if the zero flag is set.
+    Jz(usize),
+    /// Jump if the zero flag is clear.
+    Jnz(usize),
+    /// Shift left one bit (`rla`).
+    Shl(Reg),
+    /// Shift right one bit (`rra`).
+    Shr(Reg),
+    /// Increment.
+    Inc(Reg),
+    /// Decrement.
+    Dec(Reg),
+    /// Push a register.
+    Push(Reg),
+    /// Pop a register.
+    Pop(Reg),
+    /// Call a subroutine at an instruction index.
+    Call(usize),
+    /// Return from subroutine.
+    Ret,
+    /// Return from interrupt.
+    Reti,
+    /// No operation.
+    Nop,
+    /// Stop the core (test harness convenience; a real MSP430 would
+    /// enter LPM).
+    Halt,
+}
+
+impl Insn {
+    /// MSP430-equivalent cycle cost.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            Insn::AluOp { src: Src::Reg(_), .. } => 1,
+            Insn::AluOp { src: Src::Imm(_), .. } => 2,
+            Insn::Ld { .. } => 3,
+            Insn::St { .. } => 4,
+            Insn::BitAbs { .. } => 4,
+            Insn::BisAbs { .. } | Insn::BicAbs { .. } => 5,
+            Insn::Jmp(_) | Insn::Jz(_) | Insn::Jnz(_) => 2,
+            Insn::Shl(_) | Insn::Shr(_) | Insn::Inc(_) | Insn::Dec(_) => 1,
+            Insn::Push(_) => 3,
+            Insn::Pop(_) => 2,
+            Insn::Call(_) => 5,
+            Insn::Ret => 4,
+            Insn::Reti => 5,
+            Insn::Nop => 1,
+            Insn::Halt => 1,
+        }
+    }
+}
+
+/// Cycles charged for interrupt entry (MSP430: 6).
+pub const INTERRUPT_ENTRY_CYCLES: u64 = 6;
+
+/// A small two-pass assembler: build programs with string labels
+/// instead of hand-counted instruction indices.
+///
+/// # Example
+///
+/// ```
+/// use mbus_mcu::isa::{Asm, Insn, Reg, Src, Alu};
+///
+/// let mut asm = Asm::new();
+/// asm.label("loop");
+/// asm.push(Insn::Inc(Reg(4)));
+/// asm.jmp("loop");
+/// let program = asm.assemble();
+/// assert_eq!(program.len(), 2);
+/// assert_eq!(program[1], Insn::Jmp(0));
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    labels: Vec<(String, usize)>,
+    fixups: Vec<(usize, String, FixupKind)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FixupKind {
+    Jmp,
+    Jz,
+    Jnz,
+    Call,
+}
+
+impl Asm {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.labels.push((name.to_string(), self.insns.len()));
+        self
+    }
+
+    /// Appends a non-branching instruction.
+    pub fn push(&mut self, insn: Insn) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Appends `jmp label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.branch(label, FixupKind::Jmp)
+    }
+
+    /// Appends `jz label`.
+    pub fn jz(&mut self, label: &str) -> &mut Self {
+        self.branch(label, FixupKind::Jz)
+    }
+
+    /// Appends `jnz label`.
+    pub fn jnz(&mut self, label: &str) -> &mut Self {
+        self.branch(label, FixupKind::Jnz)
+    }
+
+    /// Appends `call label`.
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.branch(label, FixupKind::Call)
+    }
+
+    fn branch(&mut self, label: &str, kind: FixupKind) -> &mut Self {
+        self.fixups.push((self.insns.len(), label.to_string(), kind));
+        self.insns.push(Insn::Nop); // placeholder
+        self
+    }
+
+    /// Current position (for tests).
+    pub fn here(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Resolves labels and returns the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undefined or duplicate label.
+    pub fn assemble(mut self) -> Vec<Insn> {
+        let resolve = |name: &str| -> usize {
+            let mut hits = self.labels.iter().filter(|(n, _)| n == name);
+            let target = hits
+                .next()
+                .unwrap_or_else(|| panic!("undefined label {name}"))
+                .1;
+            assert!(hits.next().is_none(), "duplicate label {name}");
+            target
+        };
+        for (pos, label, kind) in std::mem::take(&mut self.fixups) {
+            let target = resolve(&label);
+            self.insns[pos] = match kind {
+                FixupKind::Jmp => Insn::Jmp(target),
+                FixupKind::Jz => Insn::Jz(target),
+                FixupKind::Jnz => Insn::Jnz(target),
+                FixupKind::Call => Insn::Call(target),
+            };
+        }
+        self.insns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_costs_match_msp430_classes() {
+        let r = Reg(4);
+        assert_eq!(
+            Insn::AluOp {
+                op: Alu::Mov,
+                dst: r,
+                src: Src::Reg(Reg(5))
+            }
+            .cycles(),
+            1
+        );
+        assert_eq!(
+            Insn::AluOp {
+                op: Alu::Mov,
+                dst: r,
+                src: Src::Imm(7)
+            }
+            .cycles(),
+            2
+        );
+        assert_eq!(Insn::BitAbs { mask: 1, addr: 0 }.cycles(), 4);
+        assert_eq!(Insn::BisAbs { mask: 1, addr: 0 }.cycles(), 5);
+        assert_eq!(Insn::Reti.cycles(), 5);
+        assert_eq!(INTERRUPT_ENTRY_CYCLES, 6);
+    }
+
+    #[test]
+    fn assembler_resolves_forward_and_backward() {
+        let mut asm = Asm::new();
+        asm.jmp("end");
+        asm.label("mid");
+        asm.push(Insn::Nop);
+        asm.jmp("mid");
+        asm.label("end");
+        asm.push(Insn::Halt);
+        let p = asm.assemble();
+        assert_eq!(p[0], Insn::Jmp(3));
+        assert_eq!(p[2], Insn::Jmp(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut asm = Asm::new();
+        asm.jmp("nowhere");
+        asm.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut asm = Asm::new();
+        asm.label("x");
+        asm.label("x");
+        asm.jmp("x");
+        asm.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "r0..=r15")]
+    fn register_bounds() {
+        let _ = Reg::new(16);
+    }
+}

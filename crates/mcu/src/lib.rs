@@ -1,0 +1,37 @@
+//! # mbus-mcu — an MSP430-class MCU simulator and the bitbang MBus
+//! study (§6.6 of the paper)
+//!
+//! To investigate MBus viability on commodity microcontrollers without
+//! a dedicated interface, the paper bit-bangs MBus on an MSP430 and
+//! measures the worst-case edge-to-output path. This crate rebuilds
+//! that study from scratch:
+//!
+//! * [`isa`] — the m16 instruction set with MSP430-equivalent cycle
+//!   costs and a tiny two-pass assembler.
+//! * [`cpu`] — the interpreter: registers, RAM, memory-mapped GPIO,
+//!   edge-triggered interrupts (6-cycle entry), LPM-style halt/wake.
+//! * [`bitbang`] — the four-pin bitbang MBus node program (forward,
+//!   transmit, and receive paths), worst-case path measurement, and
+//!   the Wikipedia-style bitbang I2C comparator.
+//!
+//! ## Headline result
+//!
+//! ```
+//! use mbus_mcu::bitbang;
+//!
+//! let worst = bitbang::worst_case_path();
+//! assert_eq!(worst.instructions, 20); // the paper's 20 instructions
+//! assert_eq!(worst.cycles, 65);       // and 65 cycles
+//! assert!(bitbang::max_bus_clock_hz(8_000_000) >= 120_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitbang;
+pub mod cpu;
+pub mod isa;
+
+pub use bitbang::{max_bus_clock_hz, worst_case_path, BitbangNode, IsrPath};
+pub use cpu::Cpu;
+pub use isa::{Asm, Insn, Reg};

@@ -1,0 +1,279 @@
+//! Table 2: synthesized size of the MBus components in an industrial
+//! 180 nm process, with the OpenCores SPI/I2C and Lee-I2C comparison
+//! rows, plus a simple gate/flop area estimator fitted to the data.
+
+use std::fmt;
+
+/// One synthesized module's inventory row.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ModuleArea {
+    /// Module name as Table 2 prints it.
+    pub name: &'static str,
+    /// Verilog source lines.
+    pub verilog_sloc: u32,
+    /// Combinational gate count.
+    pub gates: u32,
+    /// Flip-flop count.
+    pub flip_flops: u32,
+    /// Synthesized area in the 180 nm process, µm².
+    pub area_um2: u32,
+    /// Whether the module is optional (only power-gated designs need
+    /// it).
+    pub optional: bool,
+}
+
+impl fmt::Display for ModuleArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:>5} {:>6} {:>5} {:>10}",
+            self.name, self.verilog_sloc, self.gates, self.flip_flops, self.area_um2
+        )
+    }
+}
+
+/// The MBus component rows of Table 2.
+pub const MBUS_MODULES: [ModuleArea; 4] = [
+    ModuleArea {
+        name: "Bus Controller",
+        verilog_sloc: 947,
+        gates: 1314,
+        flip_flops: 207,
+        area_um2: 27_376,
+        optional: false,
+    },
+    ModuleArea {
+        name: "Sleep Controller",
+        verilog_sloc: 130,
+        gates: 25,
+        flip_flops: 4,
+        area_um2: 3_150,
+        optional: true,
+    },
+    ModuleArea {
+        name: "Wire Controller",
+        verilog_sloc: 50,
+        gates: 7,
+        flip_flops: 0,
+        area_um2: 882,
+        optional: true,
+    },
+    ModuleArea {
+        name: "Interrupt Controller",
+        verilog_sloc: 58,
+        gates: 21,
+        flip_flops: 3,
+        area_um2: 2_646,
+        optional: true,
+    },
+];
+
+/// Table 2's totals row ("includes a small amount of additional
+/// integration overhead area").
+pub const MBUS_TOTAL: ModuleArea = ModuleArea {
+    name: "Total",
+    verilog_sloc: 1_185,
+    gates: 1_367,
+    flip_flops: 214,
+    area_um2: 37_200,
+    optional: false,
+};
+
+/// Comparison rows: other buses synthesized for the same process.
+pub const OTHER_BUSES: [ModuleArea; 3] = [
+    ModuleArea {
+        name: "SPI Master",
+        verilog_sloc: 516,
+        gates: 1_004,
+        flip_flops: 229,
+        area_um2: 37_068,
+        optional: false,
+    },
+    ModuleArea {
+        name: "I2C",
+        verilog_sloc: 720,
+        gates: 396,
+        flip_flops: 153,
+        area_um2: 19_813,
+        optional: false,
+    },
+    ModuleArea {
+        name: "Lee I2C",
+        verilog_sloc: 897,
+        gates: 908,
+        flip_flops: 278,
+        area_um2: 33_703,
+        optional: false,
+    },
+];
+
+/// A three-parameter area model: `area ≈ c + g·gates + f·flip_flops`,
+/// least-squares fitted over a set of rows. The intercept `c` captures
+/// the fixed integration/routing overhead every hard block pays, which
+/// dominates tiny modules like the 7-gate Wire Controller.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AreaModel {
+    /// Fixed per-module overhead, µm².
+    pub um2_fixed: f64,
+    /// µm² per combinational gate.
+    pub um2_per_gate: f64,
+    /// µm² per flip-flop.
+    pub um2_per_flop: f64,
+}
+
+impl AreaModel {
+    /// Fits the model to rows by unweighted least squares over the
+    /// 3×3 normal equations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three rows are given or the system is
+    /// degenerate.
+    pub fn fit(rows: &[ModuleArea]) -> Self {
+        assert!(rows.len() >= 3, "need at least three rows to fit");
+        // Design matrix columns: [1, gates, flops].
+        let mut ata = [[0f64; 3]; 3];
+        let mut atb = [0f64; 3];
+        for r in rows {
+            let row = [1.0, r.gates as f64, r.flip_flops as f64];
+            let a = r.area_um2 as f64;
+            for i in 0..3 {
+                for j in 0..3 {
+                    ata[i][j] += row[i] * row[j];
+                }
+                atb[i] += row[i] * a;
+            }
+        }
+        let x = solve3(ata, atb).expect("degenerate fit");
+        AreaModel {
+            um2_fixed: x[0],
+            um2_per_gate: x[1],
+            um2_per_flop: x[2],
+        }
+    }
+
+    /// Estimated area of a hypothetical module.
+    pub fn estimate(&self, gates: u32, flip_flops: u32) -> f64 {
+        self.um2_fixed + self.um2_per_gate * gates as f64 + self.um2_per_flop * flip_flops as f64
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting; `None` if singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let factor = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0f64; 3];
+    for row in (0..3).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..3 {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Renders Table 2 as the paper prints it.
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    out.push_str("Module                  SLOC  Gates  FFs   Area(um^2)\n");
+    for m in MBUS_MODULES {
+        out.push_str(&m.to_string());
+        out.push('\n');
+    }
+    out.push_str(&MBUS_TOTAL.to_string());
+    out.push_str("\nOther buses:\n");
+    for m in OTHER_BUSES {
+        out.push_str(&m.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_consistent_with_components() {
+        let sloc: u32 = MBUS_MODULES.iter().map(|m| m.verilog_sloc).sum();
+        let gates: u32 = MBUS_MODULES.iter().map(|m| m.gates).sum();
+        let flops: u32 = MBUS_MODULES.iter().map(|m| m.flip_flops).sum();
+        assert_eq!(sloc, MBUS_TOTAL.verilog_sloc);
+        assert_eq!(gates, MBUS_TOTAL.gates);
+        assert_eq!(flops, MBUS_TOTAL.flip_flops);
+        // Area total includes integration overhead beyond the sum.
+        let area: u32 = MBUS_MODULES.iter().map(|m| m.area_um2).sum();
+        assert!(MBUS_TOTAL.area_um2 >= area);
+        assert!(MBUS_TOTAL.area_um2 - area < 4_000, "modest overhead");
+    }
+
+    #[test]
+    fn non_power_gated_designs_need_only_the_bus_controller() {
+        // Table 2 caption: "Non power-gated designs require only the
+        // Bus Controller."
+        let required: Vec<_> = MBUS_MODULES.iter().filter(|m| !m.optional).collect();
+        assert_eq!(required.len(), 1);
+        assert_eq!(required[0].name, "Bus Controller");
+    }
+
+    #[test]
+    fn mbus_area_penalty_is_modest() {
+        // "MBus imposes an area cost penalty, but offsets this with its
+        // additional features" — within 2× of I2C, comparable to SPI.
+        let i2c = OTHER_BUSES[1].area_um2;
+        let spi = OTHER_BUSES[0].area_um2;
+        assert!(MBUS_TOTAL.area_um2 < 2 * i2c);
+        assert!((MBUS_TOTAL.area_um2 as i64 - spi as i64).abs() < 1_000);
+    }
+
+    #[test]
+    fn fitted_model_predicts_areas_reasonably() {
+        let mut rows = Vec::new();
+        rows.extend_from_slice(&MBUS_MODULES);
+        rows.extend_from_slice(&OTHER_BUSES);
+        let model = AreaModel::fit(&rows);
+        assert!(model.um2_per_gate > 0.0);
+        assert!(
+            model.um2_per_flop > model.um2_per_gate,
+            "a flop outweighs a gate"
+        );
+        // Large blocks predicted within 35 %; small blocks are
+        // dominated by layout noise, so only require the mean relative
+        // error over all rows to stay below 50 %.
+        let mut total_err = 0.0;
+        for r in &rows {
+            let est = model.estimate(r.gates, r.flip_flops);
+            let err = (est - r.area_um2 as f64).abs() / r.area_um2 as f64;
+            total_err += err;
+            if r.area_um2 > 10_000 {
+                assert!(err < 0.35, "{}: est {est:.0} vs {}", r.name, r.area_um2);
+            }
+        }
+        assert!(total_err / (rows.len() as f64) < 0.5);
+    }
+
+    #[test]
+    fn render_matches_paper_shape() {
+        let t = render_table2();
+        assert!(t.contains("Bus Controller"));
+        assert!(t.contains("37068".to_string().as_str()) || t.contains("37,068") || t.contains(" 37068"));
+        assert!(t.lines().count() >= 9);
+    }
+}

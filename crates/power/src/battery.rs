@@ -1,0 +1,108 @@
+//! Battery capacity and lifetime arithmetic for the §6.3 systems.
+
+use mbus_sim::SimTime;
+
+use crate::units::{Energy, Power};
+
+/// A thin-film micro-battery, characterized by charge capacity and
+/// terminal voltage.
+///
+/// # Example
+///
+/// ```
+/// use mbus_power::battery::Battery;
+///
+/// // §6.3.1's "crude battery capacity approximation of
+/// // 2 µAh × 3.8 V = 27.4 mJ".
+/// let b = Battery::new(2.0, 3.8);
+/// assert!((b.energy().as_mj() - 27.4).abs() < 0.1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Battery {
+    capacity_uah: f64,
+    voltage: f64,
+}
+
+impl Battery {
+    /// Creates a battery from capacity (µAh) and voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacity or voltage.
+    pub fn new(capacity_uah: f64, voltage: f64) -> Self {
+        assert!(capacity_uah > 0.0, "capacity must be positive");
+        assert!(voltage > 0.0, "voltage must be positive");
+        Battery {
+            capacity_uah,
+            voltage,
+        }
+    }
+
+    /// The temperature system's 2 µAh / 3.8 V cell (Fig. 12).
+    pub fn temperature_system() -> Self {
+        Battery::new(2.0, 3.8)
+    }
+
+    /// The imaging system's 5 µAh / 3.8 V cell (Fig. 13).
+    pub fn imaging_system() -> Self {
+        Battery::new(5.0, 3.8)
+    }
+
+    /// Charge capacity in µAh.
+    pub fn capacity_uah(&self) -> f64 {
+        self.capacity_uah
+    }
+
+    /// Total stored energy: `µAh × 3600 × V`.
+    pub fn energy(&self) -> Energy {
+        Energy::from_j(self.capacity_uah * 1e-6 * 3600.0 * self.voltage)
+    }
+
+    /// Lifetime at a constant average power draw.
+    pub fn lifetime(&self, draw: Power) -> SimTime {
+        self.energy() / draw
+    }
+
+    /// Lifetime in fractional days — the unit §6.3.1 reports.
+    pub fn lifetime_days(&self, draw: Power) -> f64 {
+        self.lifetime(draw).as_secs_f64() / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_battery_is_27_4_mj() {
+        let e = Battery::temperature_system().energy();
+        assert!((e.as_mj() - 27.36).abs() < 0.01);
+    }
+
+    #[test]
+    fn lifetime_matches_sense_and_send_numbers() {
+        // §6.3.1: ~44.5 days before the MBus saving, ~47.5 after —
+        // implying average draws of ≈7.12 nW and ≈6.67 nW.
+        let b = Battery::temperature_system();
+        let before = b.lifetime_days(Power::from_nw(7.12));
+        let after = b.lifetime_days(Power::from_nw(6.67));
+        assert!((before - 44.5).abs() < 0.3, "{before}");
+        assert!((after - 47.5).abs() < 0.3, "{after}");
+        // The 71-hour (~3 day) extension.
+        assert!(((after - before) - 3.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_draw() {
+        let b = Battery::imaging_system();
+        let d1 = b.lifetime_days(Power::from_nw(10.0));
+        let d2 = b.lifetime_days(Power::from_nw(20.0));
+        assert!((d1 / d2 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Battery::new(0.0, 3.8);
+    }
+}

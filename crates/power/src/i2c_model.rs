@@ -1,0 +1,291 @@
+//! Open-collector (I2C-style) energy models, derived exactly as §2.1
+//! of the paper does.
+//!
+//! The anchor numbers from the paper, all reproduced by tests below:
+//!
+//! * relaxed 50 pF fast-mode bus → pull-up R ≤ 15.5 kΩ;
+//! * per clock cycle: 23 pJ dumped from the bus capacitance, 116 pJ
+//!   burned in the resistor while the line is held low, 35 pJ while
+//!   the resistor pulls the line high;
+//! * generating the 400 kHz clock alone draws 69.6 µW.
+//!
+//! Two configurations are modeled:
+//!
+//! * [`OracleI2c`] — the paper's idealization: bus capacitance known
+//!   exactly, resistor sized so the rise consumes the whole half
+//!   period, 80 % V<sub>DD</sub> counts as logical 1.
+//! * [`StandardI2c`] — fast-mode I2C at a fixed capacitance with the
+//!   spec's 300 ns rise-time budget, which forces a small (hungry)
+//!   resistor.
+
+use crate::units::{Capacitance, Energy, Power};
+
+/// ln 5 ≈ 1.609: an RC line reaches 80 % of V<sub>DD</sub> after
+/// `R·C·ln 5`.
+const LN5: f64 = 1.609_437_912_434_100_3;
+
+/// Logical-1 threshold as a fraction of V<sub>DD</sub> (I2C: 80 %).
+const LOGIC_HIGH_FRACTION: f64 = 0.8;
+
+/// I2C bus capacitance for an `n`-chip system using the paper's pad
+/// model. Table 1's footnote: "When wirebonding, a shared bus requires
+/// two pads/chip" — so each chip contributes two 2 pF pads plus
+/// 0.25 pF of wire per line.
+pub fn shared_bus_capacitance(n_chips: usize) -> Capacitance {
+    Capacitance::from_pf(n_chips as f64 * (2.0 * 2.0 + 0.25))
+}
+
+/// The "Oracle I2C" of §6.2: exact capacitance known, ideally large
+/// pull-up, full-half-period rise times.
+///
+/// # Example
+///
+/// ```
+/// use mbus_power::i2c_model::OracleI2c;
+/// use mbus_power::units::Capacitance;
+///
+/// // §2.1's relaxed example: 50 pF, 400 kHz.
+/// let bus = OracleI2c::new(1.2, Capacitance::from_pf(50.0));
+/// let r = bus.pull_up_ohms(400_000.0);
+/// assert!((r - 15_500.0).abs() < 100.0);
+/// let p = bus.clock_power(400_000.0);
+/// assert!((p.as_uw() - 69.6).abs() < 0.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct OracleI2c {
+    vdd: f64,
+    capacitance: Capacitance,
+    /// Fraction of data bits that are 0 (held low for a full cycle),
+    /// charging the data-line pull-up. Default 0.5.
+    zero_fraction: f64,
+}
+
+impl OracleI2c {
+    /// Creates the model for a bus of the given capacitance per line.
+    pub fn new(vdd: f64, capacitance: Capacitance) -> Self {
+        OracleI2c {
+            vdd,
+            capacitance,
+            zero_fraction: 0.5,
+        }
+    }
+
+    /// Builds the model for an `n`-chip system using
+    /// [`shared_bus_capacitance`].
+    pub fn for_chips(n_chips: usize) -> Self {
+        OracleI2c::new(1.2, shared_bus_capacitance(n_chips))
+    }
+
+    /// Overrides the data-line zero fraction.
+    pub fn with_zero_fraction(mut self, f: f64) -> Self {
+        self.zero_fraction = f;
+        self
+    }
+
+    /// The largest pull-up that still reaches 80 % V<sub>DD</sub>
+    /// within half a clock period: `R = t_half / (C · ln 5)`.
+    pub fn pull_up_ohms(&self, clock_hz: f64) -> f64 {
+        let t_half = 0.5 / clock_hz;
+        t_half / (self.capacitance.as_f() * LN5)
+    }
+
+    /// Energy dumped from the bus capacitance when pulled low
+    /// (charged to 80 % V<sub>DD</sub>): §2.1's 23 pJ at 50 pF.
+    pub fn dump_energy(&self) -> Energy {
+        self.capacitance
+            .stored_energy(LOGIC_HIGH_FRACTION * self.vdd)
+    }
+
+    /// Energy burned in the pull-up while the line is held low for one
+    /// half period: `V²/R · t_half = V² · C · ln 5` — §2.1's 116 pJ.
+    /// Notably independent of frequency once R is ideally sized.
+    pub fn low_hold_energy(&self) -> Energy {
+        Energy::from_j(self.vdd * self.vdd * self.capacitance.as_f() * LN5)
+    }
+
+    /// Energy dissipated in the pull-up while it charges the line:
+    /// §2.1 approximates ½CV² (35 pJ at 50 pF).
+    pub fn rise_energy(&self) -> Energy {
+        self.capacitance.stored_energy(self.vdd)
+    }
+
+    /// Energy per clock cycle on the SCL line: 23 + 116 + 35 = 174 pJ
+    /// at 50 pF.
+    pub fn clock_cycle_energy(&self) -> Energy {
+        self.dump_energy() + self.low_hold_energy() + self.rise_energy()
+    }
+
+    /// §2.1's headline: the power to generate the clock alone
+    /// (69.6 µW at 400 kHz / 50 pF).
+    pub fn clock_power(&self, clock_hz: f64) -> Power {
+        Power::from_w(self.clock_cycle_energy().as_j() * clock_hz)
+    }
+
+    /// Average energy per bit on the data line: a 0-bit holds SDA low
+    /// for a *full* cycle (twice the clock's half-period burn) plus the
+    /// dump/rise switching amortized over transitions.
+    pub fn data_bit_energy(&self) -> Energy {
+        let hold = Energy::from_j(
+            2.0 * self.vdd * self.vdd * self.capacitance.as_f() * LN5 * self.zero_fraction,
+        );
+        // Transitions occur at bit boundaries with probability
+        // 2·p·(1−p); each costs a dump + rise pair.
+        let p = self.zero_fraction;
+        let switching = (self.dump_energy() + self.rise_energy()) * (2.0 * p * (1.0 - p));
+        hold + switching
+    }
+
+    /// Total energy per transferred bit (SCL + SDA).
+    pub fn bit_energy(&self) -> Energy {
+        self.clock_cycle_energy() + self.data_bit_energy()
+    }
+
+    /// Total bus power at `clock_hz`, both lines — the Fig. 11a series.
+    pub fn total_power(&self, clock_hz: f64) -> Power {
+        Power::from_w(self.bit_energy().as_j() * clock_hz)
+    }
+
+    /// Energy per *goodput* bit for an `n`-byte payload: I2C charges a
+    /// 9-bit frame per byte plus 10 bits of start/address/stop
+    /// (Table 1: 10 + n bits of overhead) — the Fig. 11b series.
+    pub fn energy_per_goodput_bit(&self, payload_bytes: usize) -> Energy {
+        if payload_bytes == 0 {
+            return Energy::ZERO;
+        }
+        let total_bits = 10.0 + 9.0 * payload_bytes as f64;
+        let goodput_bits = 8.0 * payload_bytes as f64;
+        self.bit_energy() * (total_bits / goodput_bits)
+    }
+}
+
+/// Standard fast-mode I2C at a fixed bus capacitance: the pull-up must
+/// meet the spec's 300 ns rise budget regardless of clock speed, so it
+/// burns a frequency-independent static power while any line is low.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct StandardI2c {
+    vdd: f64,
+    capacitance: Capacitance,
+    rise_budget_s: f64,
+    zero_fraction: f64,
+}
+
+impl StandardI2c {
+    /// The paper's "Standard I2C at 50 pF" configuration.
+    pub fn at_50pf() -> Self {
+        StandardI2c {
+            vdd: 1.2,
+            capacitance: Capacitance::from_pf(50.0),
+            rise_budget_s: 300e-9,
+            zero_fraction: 0.5,
+        }
+    }
+
+    /// Pull-up implied by the rise budget: `R = t_rise / (C ln 5)`.
+    pub fn pull_up_ohms(&self) -> f64 {
+        self.rise_budget_s / (self.capacitance.as_f() * LN5)
+    }
+
+    /// The highest clock at which the rise budget still fits in a half
+    /// period: fast-mode's 300 ns caps the model at ≈1.67 MHz (the spec
+    /// itself stops at 400 kHz).
+    pub fn max_feasible_hz(&self) -> f64 {
+        0.5 / self.rise_budget_s
+    }
+
+    /// Total bus power at `clock_hz`: switching scales with frequency;
+    /// resistor burn is a duty-cycle-weighted static draw.
+    pub fn total_power(&self, clock_hz: f64) -> Power {
+        let switching_per_cycle = self
+            .capacitance
+            .stored_energy(LOGIC_HIGH_FRACTION * self.vdd)
+            + self.capacitance.stored_energy(self.vdd);
+        // SCL low half the time; SDA low for `zero_fraction` of bits.
+        let low_duty = 0.5 + self.zero_fraction;
+        let static_w = self.vdd * self.vdd / self.pull_up_ohms() * low_duty;
+        Power::from_w(switching_per_cycle.as_j() * 1.5 * clock_hz + static_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relaxed_50pf() -> OracleI2c {
+        OracleI2c::new(1.2, Capacitance::from_pf(50.0))
+    }
+
+    #[test]
+    fn pull_up_matches_paper() {
+        // "This relaxed I2C bus requires a pull-up resistor no greater
+        // than 15.5 kΩ."
+        let r = relaxed_50pf().pull_up_ohms(400_000.0);
+        assert!((r - 15_534.0).abs() < 50.0, "{r}");
+    }
+
+    #[test]
+    fn cycle_energies_match_paper() {
+        let m = relaxed_50pf();
+        assert!((m.dump_energy().as_pj() - 23.0).abs() < 0.5);
+        assert!((m.low_hold_energy().as_pj() - 116.0).abs() < 1.0);
+        assert!((m.rise_energy().as_pj() - 35.0).abs() < 1.5);
+        assert!((m.clock_cycle_energy().as_pj() - 174.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn clock_power_is_69_6_uw() {
+        // "Thus, generating the clock alone draws 69.6 µW."
+        let p = relaxed_50pf().clock_power(400_000.0);
+        assert!((p.as_uw() - 69.6).abs() < 0.5, "{p}");
+    }
+
+    #[test]
+    fn oracle_scales_with_population() {
+        let two = OracleI2c::for_chips(2);
+        let fourteen = OracleI2c::for_chips(14);
+        assert!(fourteen.bit_energy().as_pj() > 6.0 * two.bit_energy().as_pj());
+        // The paper's claim ordering: 151 pJ/bit lost to the pull-up at
+        // 50 pF is what MBus eliminates.
+        let pull_up_loss = relaxed_50pf().low_hold_energy() + relaxed_50pf().rise_energy();
+        assert!((pull_up_loss.as_pj() - 151.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn standard_exceeds_oracle_at_same_capacitance() {
+        // Fig. 11a: standard I2C sits above Oracle I2C throughout the
+        // frequencies where the fixed 300 ns rise budget is feasible.
+        let std = StandardI2c::at_50pf();
+        let oracle = relaxed_50pf();
+        assert!((std.max_feasible_hz() - 1.67e6).abs() < 0.01e6);
+        for f in [100e3, 400e3, 1e6] {
+            assert!(
+                std.total_power(f).as_uw() > oracle.total_power(f).as_uw(),
+                "at {f} Hz"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_power_has_static_floor() {
+        let std = StandardI2c::at_50pf();
+        let slow = std.total_power(10e3);
+        // Even nearly idle, the small pull-up burns hundreds of µW.
+        assert!(slow.as_uw() > 200.0, "{slow}");
+    }
+
+    #[test]
+    fn goodput_energy_decreases_with_payload() {
+        let m = OracleI2c::for_chips(14);
+        let e1 = m.energy_per_goodput_bit(1);
+        let e12 = m.energy_per_goodput_bit(12);
+        assert!(e1 > e12);
+        assert_eq!(m.energy_per_goodput_bit(0).as_pj(), 0.0);
+    }
+
+    #[test]
+    fn zero_fraction_is_tunable() {
+        let all_ones = relaxed_50pf().with_zero_fraction(0.0);
+        assert_eq!(all_ones.data_bit_energy().as_pj(), 0.0);
+        let all_zeros = relaxed_50pf().with_zero_fraction(1.0);
+        assert!(all_zeros.data_bit_energy() > relaxed_50pf().data_bit_energy());
+    }
+}

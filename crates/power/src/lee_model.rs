@@ -1,0 +1,112 @@
+//! Lee et al.'s "I2C-like" bus (§2.2, [14]): the pull-up is replaced by
+//! active drive plus a bus-keeper, at the cost of a local clock running
+//! 5× the bus clock and hand-tuned, process-specific ratioed logic.
+
+use crate::units::{Energy, Power};
+
+/// The paper's summary number: "Lee's system is able to reduce bus
+/// energy to 88 pJ/bit (4 times that of MBus)".
+pub const LEE_PJ_PER_BIT: f64 = 88.0;
+
+/// How much faster than the bus clock Lee's internal clock must run.
+pub const INTERNAL_CLOCK_RATIO: u32 = 5;
+
+/// Energy/feature model for Lee's I2C variant.
+///
+/// # Example
+///
+/// ```
+/// use mbus_power::lee_model::LeeI2c;
+///
+/// let lee = LeeI2c::default();
+/// assert_eq!(lee.bit_energy().as_pj(), 88.0);
+/// // ~4× MBus's measured 22.6 pJ/bit/chip, as §2.2 states.
+/// assert!((lee.bit_energy().as_pj() / 22.6 - 3.9).abs() < 0.2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LeeI2c {
+    pj_per_bit: f64,
+}
+
+impl Default for LeeI2c {
+    fn default() -> Self {
+        LeeI2c {
+            pj_per_bit: LEE_PJ_PER_BIT,
+        }
+    }
+}
+
+impl LeeI2c {
+    /// Energy per transferred bit.
+    pub fn bit_energy(&self) -> Energy {
+        Energy::from_pj(self.pj_per_bit)
+    }
+
+    /// Bus power at `clock_hz` (one bit per cycle).
+    pub fn total_power(&self, clock_hz: f64) -> Power {
+        Power::from_w(self.pj_per_bit * 1e-12 * clock_hz)
+    }
+
+    /// The internal clock frequency the design needs — the §2.2
+    /// inefficiency MBus avoids by clocking everything off the bus.
+    pub fn internal_clock_hz(&self, bus_clock_hz: u64) -> u64 {
+        bus_clock_hz * INTERNAL_CLOCK_RATIO as u64
+    }
+
+    /// Overhead bits for an `n`-byte message (same framing as I2C:
+    /// 10 + n, Table 1).
+    pub fn overhead_bits(&self, payload_bytes: usize) -> u32 {
+        10 + payload_bytes as u32
+    }
+
+    /// Whether the design is synthesizable from plain HDL. It is not:
+    /// "requires hand-tuned, process-specific ratioed logic" (§2.2) —
+    /// the key qualitative difference Table 1 records.
+    pub fn synthesizable(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::i2c_model::OracleI2c;
+    use crate::mbus_model::{measured_average_pj_per_bit, SIMULATED_PJ_PER_BIT_PER_CHIP};
+
+    #[test]
+    fn lee_sits_between_mbus_and_open_collector_i2c() {
+        // §2.2's energy ladder: MBus < Lee < pull-up I2C (at 50 pF).
+        let lee = LeeI2c::default().bit_energy().as_pj();
+        assert!(measured_average_pj_per_bit() < lee);
+        assert!(SIMULATED_PJ_PER_BIT_PER_CHIP < lee);
+        let i2c = OracleI2c::new(1.2, crate::units::Capacitance::from_pf(50.0));
+        assert!(lee < i2c.bit_energy().as_pj());
+    }
+
+    #[test]
+    fn lee_is_about_4x_mbus() {
+        let ratio = LEE_PJ_PER_BIT / measured_average_pj_per_bit();
+        assert!((ratio - 4.0).abs() < 0.15, "{ratio}");
+    }
+
+    #[test]
+    fn internal_clock_is_5x() {
+        let lee = LeeI2c::default();
+        assert_eq!(lee.internal_clock_hz(400_000), 2_000_000);
+    }
+
+    #[test]
+    fn power_scales_linearly() {
+        let lee = LeeI2c::default();
+        let p400k = lee.total_power(400e3);
+        let p4m = lee.total_power(4e6);
+        assert!((p4m.as_uw() / p400k.as_uw() - 10.0).abs() < 1e-9);
+        assert!((p400k.as_uw() - 35.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn not_synthesizable() {
+        assert!(!LeeI2c::default().synthesizable());
+        assert_eq!(LeeI2c::default().overhead_bits(8), 18);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mbus-power — energy, power, and area models
+//!
+//! The quantitative substrate for the MBus reproduction's evaluation
+//! (§6.2 of the paper):
+//!
+//! * [`units`] — `Energy` / `Power` / `Capacitance` newtypes.
+//! * [`cmos`] — ½CV² switching-energy accounting over wire-level
+//!   traces, with the paper's pad/wire capacitance parameters.
+//! * [`i2c_model`] — the §2.1 open-collector derivation (15.5 kΩ,
+//!   23/116/35 pJ, 69.6 µW) plus "Oracle I2C" and standard fast-mode
+//!   configurations for Fig. 11.
+//! * [`lee_model`] — Lee et al.'s 88 pJ/bit I2C variant (§2.2).
+//! * [`mbus_model`] — simulated (3.5 pJ/bit/chip) and measured
+//!   (27.45/22.71/17.55 pJ/bit, Table 3) MBus energies and the §6.2
+//!   per-message formula.
+//! * [`battery`] — µAh → lifetime arithmetic for §6.3.
+//! * [`area`] — Table 2's synthesis inventory and a fitted area model.
+//!
+//! ## Example: the paper's headline energy comparison
+//!
+//! ```
+//! use mbus_power::i2c_model::OracleI2c;
+//! use mbus_power::lee_model::LeeI2c;
+//! use mbus_power::mbus_model::measured_average_pj_per_bit;
+//! use mbus_power::units::Capacitance;
+//!
+//! let i2c = OracleI2c::new(1.2, Capacitance::from_pf(50.0));
+//! let lee = LeeI2c::default();
+//! let mbus = measured_average_pj_per_bit();
+//!
+//! // The §2 energy ladder: MBus < Lee I2C < pull-up I2C.
+//! assert!(mbus < lee.bit_energy().as_pj());
+//! assert!(lee.bit_energy() < i2c.bit_energy());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod battery;
+pub mod cmos;
+pub mod i2c_model;
+pub mod lee_model;
+pub mod mbus_model;
+pub mod units;
+
+pub use battery::Battery;
+pub use cmos::SegmentModel;
+pub use units::{Capacitance, Energy, Power};

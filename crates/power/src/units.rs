@@ -1,0 +1,370 @@
+//! Physical units for energy accounting.
+//!
+//! Thin `f64` newtypes — enough type safety to keep picojoules,
+//! nanowatts, and picofarads from mixing silently, with the arithmetic
+//! the models need ([`Energy`] ÷ time → [`Power`], etc.).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use mbus_sim::SimTime;
+
+/// An amount of energy (stored in joules).
+///
+/// # Example
+///
+/// ```
+/// use mbus_power::units::Energy;
+/// use mbus_sim::SimTime;
+///
+/// let per_bit = Energy::from_pj(22.6);
+/// let message = per_bit * 83.0; // 19 + 64 bits
+/// assert!((message.as_nj() - 1.8758).abs() < 1e-3);
+/// let power = message / SimTime::from_us(207); // 83 cycles at 400 kHz
+/// assert!(power.as_uw() > 0.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// From joules.
+    pub fn from_j(j: f64) -> Self {
+        Energy(j)
+    }
+
+    /// From millijoules.
+    pub fn from_mj(mj: f64) -> Self {
+        Energy(mj * 1e-3)
+    }
+
+    /// From microjoules.
+    pub fn from_uj(uj: f64) -> Self {
+        Energy(uj * 1e-6)
+    }
+
+    /// From nanojoules.
+    pub fn from_nj(nj: f64) -> Self {
+        Energy(nj * 1e-9)
+    }
+
+    /// From picojoules.
+    pub fn from_pj(pj: f64) -> Self {
+        Energy(pj * 1e-12)
+    }
+
+    /// In joules.
+    pub fn as_j(self) -> f64 {
+        self.0
+    }
+
+    /// In millijoules.
+    pub fn as_mj(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// In nanojoules.
+    pub fn as_nj(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// In picojoules.
+    pub fn as_pj(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Div<SimTime> for Energy {
+    type Output = Power;
+    /// Average power over a duration.
+    fn div(self, rhs: SimTime) -> Power {
+        Power(self.0 / rhs.as_secs_f64())
+    }
+}
+
+impl Div<Energy> for Energy {
+    type Output = f64;
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let j = self.0.abs();
+        if j >= 1e-3 {
+            write!(f, "{:.3} mJ", self.0 * 1e3)
+        } else if j >= 1e-6 {
+            write!(f, "{:.3} µJ", self.0 * 1e6)
+        } else if j >= 1e-9 {
+            write!(f, "{:.3} nJ", self.0 * 1e9)
+        } else {
+            write!(f, "{:.3} pJ", self.0 * 1e12)
+        }
+    }
+}
+
+/// A power draw (stored in watts).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// From watts.
+    pub fn from_w(w: f64) -> Self {
+        Power(w)
+    }
+
+    /// From microwatts.
+    pub fn from_uw(uw: f64) -> Self {
+        Power(uw * 1e-6)
+    }
+
+    /// From nanowatts.
+    pub fn from_nw(nw: f64) -> Self {
+        Power(nw * 1e-9)
+    }
+
+    /// From picowatts.
+    pub fn from_pw(pw: f64) -> Self {
+        Power(pw * 1e-12)
+    }
+
+    /// In watts.
+    pub fn as_w(self) -> f64 {
+        self.0
+    }
+
+    /// In microwatts.
+    pub fn as_uw(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// In nanowatts.
+    pub fn as_nw(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// In picowatts.
+    pub fn as_pw(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Energy consumed over `duration` at this power.
+    pub fn over(self, duration: SimTime) -> Energy {
+        Energy(self.0 * duration.as_secs_f64())
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = SimTime;
+    /// How long this energy lasts at the given power.
+    fn div(self, rhs: Power) -> SimTime {
+        SimTime::from_ps((self.0 / rhs.0 * 1e12) as u64)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.0.abs();
+        if w >= 1e-3 {
+            write!(f, "{:.3} mW", self.0 * 1e3)
+        } else if w >= 1e-6 {
+            write!(f, "{:.3} µW", self.0 * 1e6)
+        } else if w >= 1e-9 {
+            write!(f, "{:.3} nW", self.0 * 1e9)
+        } else {
+            write!(f, "{:.3} pW", self.0 * 1e12)
+        }
+    }
+}
+
+/// A capacitance (stored in farads).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Capacitance(f64);
+
+impl Capacitance {
+    /// Zero capacitance.
+    pub const ZERO: Capacitance = Capacitance(0.0);
+
+    /// From farads.
+    pub fn from_f(f: f64) -> Self {
+        Capacitance(f)
+    }
+
+    /// From picofarads.
+    pub fn from_pf(pf: f64) -> Self {
+        Capacitance(pf * 1e-12)
+    }
+
+    /// In farads.
+    pub fn as_f(self) -> f64 {
+        self.0
+    }
+
+    /// In picofarads.
+    pub fn as_pf(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// The energy stored at `volts`: ½CV².
+    pub fn stored_energy(self, volts: f64) -> Energy {
+        Energy(0.5 * self.0 * volts * volts)
+    }
+}
+
+impl Add for Capacitance {
+    type Output = Capacitance;
+    fn add(self, rhs: Capacitance) -> Capacitance {
+        Capacitance(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Capacitance {
+    type Output = Capacitance;
+    fn mul(self, rhs: f64) -> Capacitance {
+        Capacitance(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Capacitance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} pF", self.0 * 1e12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_conversions() {
+        assert_eq!(Energy::from_pj(1000.0).as_nj(), 1.0);
+        assert_eq!(Energy::from_mj(1.0).as_j(), 1e-3);
+        assert!((Energy::from_uj(2.5).as_j() - 2.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let p = Power::from_nw(8.0); // the paper's 8 nW standby system
+        let day = SimTime::from_s(86_400);
+        let e = p.over(day);
+        assert!((e.as_mj() - 0.6912).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        // 27.4 mJ battery at ~7.1 nW lasts ~44.5 days (§6.3.1).
+        let battery = Energy::from_mj(27.4);
+        let draw = Power::from_nw(7.13);
+        let t = battery / draw;
+        let days = t.as_secs_f64() / 86_400.0;
+        assert!((days - 44.5).abs() < 0.5, "{days}");
+    }
+
+    #[test]
+    fn capacitor_energy() {
+        // ½ × 50 pF × (0.96 V)² = 23 pJ — §2.1's "dumping the charge".
+        let c = Capacitance::from_pf(50.0);
+        let e = c.stored_energy(0.96);
+        assert!((e.as_pj() - 23.04).abs() < 0.1);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Energy::from_pj(22.6).to_string(), "22.600 pJ");
+        assert_eq!(Power::from_nw(8.0).to_string(), "8.000 nW");
+        assert_eq!(Power::from_uw(69.6).to_string(), "69.600 µW");
+        assert_eq!(Capacitance::from_pf(4.25).to_string(), "4.25 pF");
+    }
+
+    #[test]
+    fn sums() {
+        let total: Energy = [Energy::from_pj(1.0), Energy::from_pj(2.0)]
+            .into_iter()
+            .sum();
+        assert!((total.as_pj() - 3.0).abs() < 1e-12);
+        let total: Power = [Power::from_nw(1.0), Power::from_nw(2.0)]
+            .into_iter()
+            .sum();
+        assert!((total.as_nw() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! The event queue at the heart of the kernel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::circuit::{ComponentId, PinId};
+use crate::logic::Logic;
+use crate::time::SimTime;
+
+/// What a scheduled event does when it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An output pin drives its net to `value`.
+    Drive {
+        /// The driving output pin.
+        pin: PinId,
+        /// The level to drive.
+        value: Logic,
+    },
+    /// A net transition arrives at an input pin after its propagation
+    /// delay; the owning component's `on_signal` runs.
+    Deliver {
+        /// The receiving input pin.
+        pin: PinId,
+        /// The delivered level.
+        value: Logic,
+    },
+    /// A component timer fires; the component's `on_timer` runs.
+    Timer {
+        /// The component that set the timer.
+        component: ComponentId,
+        /// The token the component chose when setting the timer.
+        token: u64,
+    },
+}
+
+/// A scheduled event: a time, a tie-breaking sequence number, and a kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion index; equal-time events fire in insertion
+    /// order, making every simulation bit-for-bit reproducible.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Ties in time are broken by insertion order (`seq`), never by heap
+/// internals, so replaying the same stimulus always produces the same
+/// trace — a property the cross-checking tests between the wire-level
+/// and analytical MBus engines rely on.
+///
+/// # Example
+///
+/// ```
+/// use mbus_sim::{EventKind, Scheduler, SimTime};
+///
+/// let mut q = Scheduler::new();
+/// q.schedule(SimTime::from_ns(5), EventKind::Timer { component: Default::default(), token: 1 });
+/// q.schedule(SimTime::from_ns(5), EventKind::Timer { component: Default::default(), token: 2 });
+/// let first = q.pop().unwrap();
+/// let second = q.pop().unwrap();
+/// assert!(first.seq < second.seq);
+/// ```
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl Scheduler {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Schedules `kind` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for throughput benches).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(token: u64) -> EventKind {
+        EventKind::Timer {
+            component: ComponentId::default(),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = Scheduler::new();
+        q.schedule(SimTime::from_ns(30), timer(3));
+        q.schedule(SimTime::from_ns(10), timer(1));
+        q.schedule(SimTime::from_ns(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = Scheduler::new();
+        for token in 0..100 {
+            q.schedule(SimTime::from_ns(7), timer(token));
+        }
+        for expect in 0..100 {
+            match q.pop().unwrap().kind {
+                EventKind::Timer { token, .. } => assert_eq!(token, expect),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = Scheduler::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_ns(9), timer(0));
+        q.schedule(SimTime::from_ns(4), timer(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(4)));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = Scheduler::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, timer(0));
+        q.schedule(SimTime::ZERO, timer(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

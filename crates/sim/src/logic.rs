@@ -1,0 +1,217 @@
+//! Logic values and edges.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A digital logic level on a net.
+///
+/// MBus segments are point-to-point totem-pole connections, so a driven
+/// net is always `Low` or `High`. `Floating` models the output of a
+/// power-gated block before its isolation latch is released (§3,
+/// "Power-Aware"): the paper requires such outputs to be clamped by
+/// always-on isolation gates, and the simulator lets tests observe what
+/// happens when they are not.
+///
+/// # Example
+///
+/// ```
+/// use mbus_sim::Logic;
+///
+/// assert_eq!(!Logic::Low, Logic::High);
+/// assert!(Logic::Floating.is_floating());
+/// assert_eq!(Logic::Floating.resolved(Logic::High), Logic::High);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Logic {
+    /// Driven low (0).
+    Low,
+    /// Driven high (1). Idle MBus rings forward `High` on CLK and DATA.
+    #[default]
+    High,
+    /// Undriven / unknown — the output of an un-isolated power-gated block.
+    Floating,
+}
+
+impl Logic {
+    /// Converts a boolean (`true` = high).
+    pub const fn from_bool(level: bool) -> Self {
+        if level {
+            Logic::High
+        } else {
+            Logic::Low
+        }
+    }
+
+    /// Converts one bit of a byte, MSB-first bit index 0..8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn from_bit_msb(byte: u8, bit: usize) -> Self {
+        assert!(bit < 8, "bit index out of range");
+        Logic::from_bool(byte & (0x80 >> bit) != 0)
+    }
+
+    /// True if the level is driven high.
+    pub const fn is_high(self) -> bool {
+        matches!(self, Logic::High)
+    }
+
+    /// True if the level is driven low.
+    pub const fn is_low(self) -> bool {
+        matches!(self, Logic::Low)
+    }
+
+    /// True if the net is undriven.
+    pub const fn is_floating(self) -> bool {
+        matches!(self, Logic::Floating)
+    }
+
+    /// Resolves a possibly-floating value against an isolation clamp.
+    ///
+    /// This is the simulator-level model of the always-on isolation gate
+    /// the paper requires between power domains: a floating input reads
+    /// as the clamp value, a driven input passes through.
+    pub const fn resolved(self, clamp: Logic) -> Logic {
+        match self {
+            Logic::Floating => clamp,
+            driven => driven,
+        }
+    }
+
+    /// Returns the edge formed by a transition from `self` to `next`,
+    /// if the transition is a clean driven-to-driven edge.
+    pub fn edge_to(self, next: Logic) -> Option<Edge> {
+        match (self, next) {
+            (Logic::Low, Logic::High) => Some(Edge::Rising),
+            (Logic::High, Logic::Low) => Some(Edge::Falling),
+            _ => None,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    /// Inverts a driven level; floating stays floating (an inverter with
+    /// a floating input has an undefined, still-undriven output).
+    fn not(self) -> Logic {
+        match self {
+            Logic::Low => Logic::High,
+            Logic::High => Logic::Low,
+            Logic::Floating => Logic::Floating,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(level: bool) -> Self {
+        Logic::from_bool(level)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Low => '0',
+            Logic::High => '1',
+            Logic::Floating => 'z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A signal edge: the unit of work for everything in MBus.
+///
+/// Transmitters drive DATA on falling CLK edges and receivers latch on
+/// rising edges (§4.8); the wakeup sequence is "four successive edges"
+/// (§3); the interjection detector counts DATA edges while CLK is high
+/// (§4.9).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Edge {
+    /// Low → high transition.
+    Rising,
+    /// High → low transition.
+    Falling,
+}
+
+impl Edge {
+    /// The level the net holds after this edge.
+    pub const fn level_after(self) -> Logic {
+        match self {
+            Edge::Rising => Logic::High,
+            Edge::Falling => Logic::Low,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Rising => write!(f, "rising"),
+            Edge::Falling => write!(f, "falling"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true), Logic::High);
+        assert_eq!(Logic::from_bool(false), Logic::Low);
+        assert_eq!(Logic::from(true), Logic::High);
+    }
+
+    #[test]
+    fn msb_first_bit_extraction() {
+        assert_eq!(Logic::from_bit_msb(0b1000_0000, 0), Logic::High);
+        assert_eq!(Logic::from_bit_msb(0b1000_0000, 7), Logic::Low);
+        assert_eq!(Logic::from_bit_msb(0b0000_0001, 7), Logic::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_index_out_of_range_panics() {
+        let _ = Logic::from_bit_msb(0xFF, 8);
+    }
+
+    #[test]
+    fn inversion() {
+        assert_eq!(!Logic::Low, Logic::High);
+        assert_eq!(!Logic::High, Logic::Low);
+        assert_eq!(!Logic::Floating, Logic::Floating);
+    }
+
+    #[test]
+    fn isolation_clamp_resolves_floating_only() {
+        assert_eq!(Logic::Floating.resolved(Logic::High), Logic::High);
+        assert_eq!(Logic::Floating.resolved(Logic::Low), Logic::Low);
+        assert_eq!(Logic::Low.resolved(Logic::High), Logic::Low);
+    }
+
+    #[test]
+    fn edges_only_between_driven_levels() {
+        assert_eq!(Logic::Low.edge_to(Logic::High), Some(Edge::Rising));
+        assert_eq!(Logic::High.edge_to(Logic::Low), Some(Edge::Falling));
+        assert_eq!(Logic::High.edge_to(Logic::High), None);
+        assert_eq!(Logic::Floating.edge_to(Logic::High), None);
+        assert_eq!(Logic::Low.edge_to(Logic::Floating), None);
+    }
+
+    #[test]
+    fn edge_levels() {
+        assert_eq!(Edge::Rising.level_after(), Logic::High);
+        assert_eq!(Edge::Falling.level_after(), Logic::Low);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Logic::Low.to_string(), "0");
+        assert_eq!(Logic::High.to_string(), "1");
+        assert_eq!(Logic::Floating.to_string(), "z");
+        assert_eq!(Edge::Rising.to_string(), "rising");
+    }
+}

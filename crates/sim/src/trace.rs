@@ -1,0 +1,227 @@
+//! Transition capture and queries.
+
+use std::collections::BTreeMap;
+
+use crate::circuit::NetId;
+use crate::logic::{Edge, Logic};
+use crate::time::SimTime;
+
+/// One recorded net transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// When the net changed.
+    pub time: SimTime,
+    /// The level it changed to.
+    pub value: Logic,
+}
+
+#[derive(Debug, Clone)]
+struct NetTrace {
+    name: String,
+    initial: Logic,
+    transitions: Vec<Transition>,
+}
+
+/// The full transition history of a simulation run.
+///
+/// The trace is the bridge between the wire-level simulator and the
+/// energy model: ½CV² accounting in `mbus-power` charges every recorded
+/// driven transition against the capacitance of its segment, the same
+/// abstraction post-APR power tools use at chip interfaces.
+///
+/// # Example
+///
+/// ```
+/// use mbus_sim::{Circuit, Logic, SimTime};
+///
+/// let mut c = Circuit::new();
+/// let n = c.net("clk");
+/// c.drive_external(n, Logic::Low, SimTime::from_ns(5));
+/// c.drive_external(n, Logic::High, SimTime::from_ns(10));
+/// c.run_until(SimTime::from_ns(20));
+/// assert_eq!(c.trace().edge_count(n), 2);
+/// assert_eq!(c.trace().value_at(n, SimTime::from_ns(7)), Logic::Low);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    nets: BTreeMap<NetId, NetTrace>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn register_net(&mut self, net: NetId, name: String, initial: Logic) {
+        self.nets.insert(
+            net,
+            NetTrace {
+                name,
+                initial,
+                transitions: Vec::new(),
+            },
+        );
+    }
+
+    pub(crate) fn record(&mut self, net: NetId, time: SimTime, value: Logic) {
+        let entry = self.nets.get_mut(&net).expect("unregistered net");
+        entry.transitions.push(Transition { time, value });
+    }
+
+    /// All transitions recorded on `net`, in time order.
+    pub fn transitions(&self, net: NetId) -> &[Transition] {
+        self.nets
+            .get(&net)
+            .map(|n| n.transitions.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The nets known to the trace, in id order.
+    pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.nets.keys().copied()
+    }
+
+    /// The registered name of a net.
+    pub fn net_name(&self, net: NetId) -> &str {
+        self.nets.get(&net).map(|n| n.name.as_str()).unwrap_or("?")
+    }
+
+    /// The level a net held before any transition.
+    pub fn initial_value(&self, net: NetId) -> Logic {
+        self.nets.get(&net).map(|n| n.initial).unwrap_or_default()
+    }
+
+    /// Total number of transitions on a net (each is one charged edge in
+    /// the energy model).
+    pub fn edge_count(&self, net: NetId) -> usize {
+        self.transitions(net).len()
+    }
+
+    /// Number of transitions on `net` within `[from, to)`.
+    pub fn edge_count_between(&self, net: NetId, from: SimTime, to: SimTime) -> usize {
+        let t = self.transitions(net);
+        let lo = t.partition_point(|tr| tr.time < from);
+        let hi = t.partition_point(|tr| tr.time < to);
+        hi - lo
+    }
+
+    /// Number of rising (or falling) edges on a net.
+    pub fn directed_edge_count(&self, net: NetId, edge: Edge) -> usize {
+        let mut prev = self.initial_value(net);
+        let mut count = 0;
+        for tr in self.transitions(net) {
+            if prev.edge_to(tr.value) == Some(edge) {
+                count += 1;
+            }
+            prev = tr.value;
+        }
+        count
+    }
+
+    /// The level of `net` at time `t` (exclusive of a transition exactly
+    /// at `t`... transitions at `t` are considered to have taken effect).
+    pub fn value_at(&self, net: NetId, t: SimTime) -> Logic {
+        let Some(entry) = self.nets.get(&net) else {
+            return Logic::default();
+        };
+        let idx = entry.transitions.partition_point(|tr| tr.time <= t);
+        if idx == 0 {
+            entry.initial
+        } else {
+            entry.transitions[idx - 1].value
+        }
+    }
+
+    /// Times of every edge of the given direction on a net.
+    pub fn edge_times(&self, net: NetId, edge: Edge) -> Vec<SimTime> {
+        let mut prev = self.initial_value(net);
+        let mut out = Vec::new();
+        for tr in self.transitions(net) {
+            if prev.edge_to(tr.value) == Some(edge) {
+                out.push(tr.time);
+            }
+            prev = tr.value;
+        }
+        out
+    }
+
+    /// Sum of transitions across all nets — the total switching activity
+    /// of the run.
+    pub fn total_edges(&self) -> usize {
+        self.nets.values().map(|n| n.transitions.len()).sum()
+    }
+
+    /// The time of the last transition anywhere, or zero.
+    pub fn last_activity(&self) -> SimTime {
+        self.nets
+            .values()
+            .filter_map(|n| n.transitions.last())
+            .map(|t| t.time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> (Trace, NetId) {
+        let mut trace = Trace::new();
+        let net = NetId(0);
+        trace.register_net(net, "clk".into(), Logic::High);
+        trace.record(net, SimTime::from_ns(10), Logic::Low);
+        trace.record(net, SimTime::from_ns(20), Logic::High);
+        trace.record(net, SimTime::from_ns(30), Logic::Low);
+        (trace, net)
+    }
+
+    #[test]
+    fn value_at_walks_history() {
+        let (trace, net) = sample_trace();
+        assert_eq!(trace.value_at(net, SimTime::from_ns(5)), Logic::High);
+        assert_eq!(trace.value_at(net, SimTime::from_ns(10)), Logic::Low);
+        assert_eq!(trace.value_at(net, SimTime::from_ns(25)), Logic::High);
+        assert_eq!(trace.value_at(net, SimTime::from_ns(99)), Logic::Low);
+    }
+
+    #[test]
+    fn edge_counting() {
+        let (trace, net) = sample_trace();
+        assert_eq!(trace.edge_count(net), 3);
+        assert_eq!(trace.directed_edge_count(net, Edge::Falling), 2);
+        assert_eq!(trace.directed_edge_count(net, Edge::Rising), 1);
+        assert_eq!(
+            trace.edge_count_between(net, SimTime::from_ns(10), SimTime::from_ns(30)),
+            2
+        );
+    }
+
+    #[test]
+    fn edge_times_are_directional() {
+        let (trace, net) = sample_trace();
+        assert_eq!(
+            trace.edge_times(net, Edge::Falling),
+            vec![SimTime::from_ns(10), SimTime::from_ns(30)]
+        );
+        assert_eq!(trace.edge_times(net, Edge::Rising), vec![SimTime::from_ns(20)]);
+    }
+
+    #[test]
+    fn totals() {
+        let (trace, net) = sample_trace();
+        assert_eq!(trace.total_edges(), 3);
+        assert_eq!(trace.last_activity(), SimTime::from_ns(30));
+        assert_eq!(trace.net_name(net), "clk");
+        assert_eq!(trace.initial_value(net), Logic::High);
+    }
+
+    #[test]
+    fn unknown_net_is_empty() {
+        let trace = Trace::new();
+        assert!(trace.transitions(NetId(9)).is_empty());
+        assert_eq!(trace.edge_count(NetId(9)), 0);
+        assert_eq!(trace.value_at(NetId(9), SimTime::ZERO), Logic::High);
+    }
+}

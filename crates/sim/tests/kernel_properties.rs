@@ -1,0 +1,120 @@
+//! Property-based tests over the discrete-event kernel: determinism,
+//! trace consistency, and transport-delay conservation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mbus_sim::{Circuit, Component, Ctx, Logic, PinId, SimTime, Transition};
+
+struct Repeater {
+    output: PinId,
+    delay: SimTime,
+}
+
+impl Component for Repeater {
+    fn on_signal(&mut self, _pin: PinId, value: Logic, ctx: &mut Ctx<'_>) {
+        ctx.drive_after(self.output, value, self.delay);
+    }
+}
+
+/// Builds a chain of `len` repeaters and applies the stimulus, returning
+/// the circuit plus the first and last nets.
+fn run_chain(
+    len: usize,
+    hop_ns: u64,
+    stimulus: &[(u64, bool)],
+) -> (Circuit, mbus_sim::NetId, mbus_sim::NetId) {
+    let mut c = Circuit::new();
+    let first = c.net("n0");
+    let mut prev = first;
+    for i in 0..len {
+        let next = c.net(format!("n{}", i + 1));
+        let comp = c.add_component(format!("rep{i}"));
+        let _input = c.input_delayed(comp, prev, SimTime::from_ns(hop_ns));
+        let output = c.output(comp, next);
+        c.bind(
+            comp,
+            Repeater {
+                output,
+                delay: SimTime::ZERO,
+            },
+        );
+        prev = next;
+    }
+    for &(t, level) in stimulus {
+        c.drive_external(first, Logic::from_bool(level), SimTime::from_us(t));
+    }
+    c.run_to_idle(10_000_000);
+    (c, first, prev)
+}
+
+fn stimulus_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    vec((0u64..500, any::<bool>()), 1..40).prop_map(|mut s| {
+        s.sort_by_key(|&(t, _)| t);
+        s.dedup_by_key(|&mut (t, _)| t);
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replays are bit-identical: the kernel is deterministic.
+    #[test]
+    fn replays_are_identical(stim in stimulus_strategy(), len in 1usize..8) {
+        let (a, _, last_a) = run_chain(len, 10, &stim);
+        let (b, _, last_b) = run_chain(len, 10, &stim);
+        let ta: &[Transition] = a.trace().transitions(last_a);
+        let tb: &[Transition] = b.trace().transitions(last_b);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(a.events_processed(), b.events_processed());
+    }
+
+    /// Transport delay conserves transitions: every edge on the first
+    /// net arrives at the last, shifted by the chain delay.
+    #[test]
+    fn transitions_are_conserved(stim in stimulus_strategy(), len in 1usize..8) {
+        let (c, first, last) = run_chain(len, 10, &stim);
+        let t_in = c.trace().transitions(first);
+        let t_out = c.trace().transitions(last);
+        prop_assert_eq!(t_in.len(), t_out.len());
+        let chain = SimTime::from_ns(10 * len as u64);
+        for (i, o) in t_in.iter().zip(t_out) {
+            prop_assert_eq!(o.time, i.time + chain);
+            prop_assert_eq!(o.value, i.value);
+        }
+    }
+
+    /// `value_at` agrees with the running net value at every recorded
+    /// transition boundary, and the final value matches the live net.
+    #[test]
+    fn trace_value_at_is_consistent(stim in stimulus_strategy()) {
+        let (c, first, _) = run_chain(1, 10, &stim);
+        let trace = c.trace();
+        let mut prev = trace.initial_value(first);
+        for tr in trace.transitions(first) {
+            // Just before the transition: the previous value.
+            if tr.time > SimTime::ZERO {
+                let before = tr.time - SimTime::from_ps(1);
+                prop_assert_eq!(trace.value_at(first, before), prev);
+            }
+            prop_assert_eq!(trace.value_at(first, tr.time), tr.value);
+            prev = tr.value;
+        }
+        prop_assert_eq!(trace.value_at(first, SimTime::from_s(1)), c.value(first));
+    }
+
+    /// Edge counts partition: rising + falling == total transitions
+    /// (when the net starts from a driven level).
+    #[test]
+    fn directed_edges_partition(stim in stimulus_strategy()) {
+        use mbus_sim::Edge;
+        let (c, first, _) = run_chain(1, 10, &stim);
+        let trace = c.trace();
+        let rising = trace.directed_edge_count(first, Edge::Rising);
+        let falling = trace.directed_edge_count(first, Edge::Falling);
+        prop_assert_eq!(rising + falling, trace.edge_count(first));
+        // Alternation: rising and falling counts differ by at most 1.
+        prop_assert!(rising.abs_diff(falling) <= 1);
+    }
+}

@@ -1,0 +1,423 @@
+//! The §6.3.2 "monitor and alert" system: a motion-activated 160×160,
+//! 9-bit grayscale imager with an always-on motion detector, a 5 µAh
+//! battery, a Cortex-M0, and a radio (Fig. 13).
+//!
+//! The system demonstrates two MBus faculties: the interrupt-port
+//! null-transaction wakeup (the motion detector "simply needs to
+//! assert one wire"), and efficient long transfers (a 28.8 kB image
+//! moved row-by-row with 1.31 % overhead).
+
+use mbus_core::{
+    timing, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
+};
+use mbus_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image geometry: 160×160 pixels, 9-bit single-channel grayscale.
+pub const WIDTH: usize = 160;
+/// Image height in pixels.
+pub const HEIGHT: usize = 160;
+/// Bits per pixel.
+pub const BITS_PER_PIXEL: usize = 9;
+/// Packed bytes per row: 160 × 9 / 8 = 180.
+pub const ROW_BYTES: usize = WIDTH * BITS_PER_PIXEL / 8;
+/// Packed bytes per full image: 28,800 (the paper's 28.8 kB).
+pub const IMAGE_BYTES: usize = ROW_BYTES * HEIGHT;
+
+/// A captured 9-bit grayscale image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Image {
+    pixels: Vec<u16>,
+}
+
+impl Image {
+    /// Synthesizes a deterministic scene: a radial gradient with
+    /// sensor noise — a stand-in for Fig. 13(b)'s sample capture.
+    pub fn synthetic(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = Vec::with_capacity(WIDTH * HEIGHT);
+        for y in 0..HEIGHT {
+            for x in 0..WIDTH {
+                let dx = x as f64 - WIDTH as f64 / 2.0;
+                let dy = y as f64 - HEIGHT as f64 / 2.0;
+                let r = (dx * dx + dy * dy).sqrt() / 113.0; // ≤1.0
+                let base = (511.0 * (1.0 - r).max(0.0)) as u16;
+                let noise: u16 = rng.gen_range(0..16);
+                pixels.push((base + noise).min(511));
+            }
+        }
+        Image { pixels }
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> u16 {
+        assert!(x < WIDTH && y < HEIGHT);
+        self.pixels[y * WIDTH + x]
+    }
+
+    /// Packs one row into its 180-byte wire form (9-bit pixels,
+    /// MSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of range.
+    pub fn pack_row(&self, y: usize) -> Vec<u8> {
+        assert!(y < HEIGHT);
+        let mut bits = Vec::with_capacity(WIDTH * BITS_PER_PIXEL);
+        for x in 0..WIDTH {
+            let p = self.pixels[y * WIDTH + x];
+            for b in (0..BITS_PER_PIXEL).rev() {
+                bits.push(p & (1 << b) != 0);
+            }
+        }
+        bits.chunks(8)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
+            .collect()
+    }
+
+    /// Unpacks a 180-byte row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly [`ROW_BYTES`] long.
+    pub fn unpack_row(bytes: &[u8]) -> Vec<u16> {
+        assert_eq!(bytes.len(), ROW_BYTES, "a packed row is 180 bytes");
+        let bits: Vec<bool> = bytes
+            .iter()
+            .flat_map(|&byte| (0..8).map(move |i| byte & (0x80 >> i) != 0))
+            .collect();
+        bits.chunks(BITS_PER_PIXEL)
+            .map(|c| c.iter().fold(0u16, |acc, &b| (acc << 1) | b as u16))
+            .collect()
+    }
+
+    /// Reassembles an image from 160 packed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong row count or size.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Self {
+        assert_eq!(rows.len(), HEIGHT, "need 160 rows");
+        let mut pixels = Vec::with_capacity(WIDTH * HEIGHT);
+        for row in rows {
+            pixels.extend(Image::unpack_row(row));
+        }
+        Image { pixels }
+    }
+}
+
+/// The §6.3.2 transfer arithmetic, exactly as the paper states it.
+#[derive(Clone, Copy, Debug)]
+pub struct TransferAnalysis {
+    /// MBus overhead sending the whole image as one message: 19 bits.
+    pub mbus_single_bits: u32,
+    /// MBus overhead for 160 row messages: 3,040 bits.
+    pub mbus_rows_bits: u32,
+    /// Extra bits paid for row-by-row: 3,021 (1.31 %).
+    pub chunking_extra_bits: u32,
+    /// I2C overhead for the whole image: 28,810 bits (12.5 %).
+    pub i2c_single_bits: u32,
+    /// I2C overhead row-by-row: 30,400 bits (13.2 %).
+    pub i2c_rows_bits: u32,
+}
+
+impl TransferAnalysis {
+    /// Computes the analysis for the standard 160×180 B image.
+    pub fn standard() -> Self {
+        let rows = HEIGHT as u32;
+        TransferAnalysis {
+            mbus_single_bits: timing::SHORT_OVERHEAD_CYCLES,
+            mbus_rows_bits: rows * timing::SHORT_OVERHEAD_CYCLES,
+            chunking_extra_bits: timing::chunking_overhead_bits(rows),
+            i2c_single_bits: 10 + IMAGE_BYTES as u32,
+            i2c_rows_bits: rows * (10 + ROW_BYTES as u32),
+        }
+    }
+
+    /// Row-by-row extra overhead as a percent of image bits: 1.31 %.
+    pub fn chunking_percent(&self) -> f64 {
+        self.chunking_extra_bits as f64 / (IMAGE_BYTES as f64 * 8.0) * 100.0
+    }
+
+    /// Reduction in acknowledgment/protocol overhead vs. a
+    /// byte-oriented bus: "90–99 %" (§6.3.2).
+    pub fn ack_overhead_reduction_percent(&self, row_by_row: bool) -> f64 {
+        let mbus = if row_by_row {
+            self.mbus_rows_bits
+        } else {
+            self.mbus_single_bits
+        } as f64;
+        let i2c = if row_by_row {
+            self.i2c_rows_bits
+        } else {
+            self.i2c_single_bits
+        } as f64;
+        (1.0 - mbus / i2c) * 100.0
+    }
+}
+
+/// Full-image transfer time at `clock_hz`, bit-serial, sent as
+/// `chunks` messages.
+pub fn frame_time(clock_hz: u64, chunks: u32) -> SimTime {
+    let cycles =
+        IMAGE_BYTES as u64 * 8 + (timing::SHORT_OVERHEAD_CYCLES as u64) * chunks as u64;
+    SimTime::period_of_hz(clock_hz) * cycles
+}
+
+/// The paper's §6.3.2 transfer-time arithmetic, which divides the byte
+/// count (28,800) rather than the bit count by the clock: "from 4.2 ms
+/// (238 fps) to 2.9 s (0.3 fps)". Reproduced for comparison; see
+/// EXPERIMENTS.md.
+pub fn paper_frame_time(clock_hz: u64) -> SimTime {
+    SimTime::period_of_hz(clock_hz) * IMAGE_BYTES as u64
+}
+
+/// Node ring positions (the processor/mediator is ring position 0).
+const IMAGER: usize = 1;
+const RADIO: usize = 2;
+
+/// The assembled motion-camera system on an [`AnalyticBus`].
+#[derive(Debug)]
+pub struct ImagerSystem {
+    bus: AnalyticBus,
+    captured: Option<Image>,
+    /// Completed motion wakeups.
+    pub motion_events: u64,
+    seed: u64,
+}
+
+impl Default for ImagerSystem {
+    fn default() -> Self {
+        ImagerSystem::new()
+    }
+}
+
+impl ImagerSystem {
+    /// Builds the system; the imager supports the 6.67 MHz tunable
+    /// maximum, but the default 400 kHz clock is used unless
+    /// reconfigured.
+    pub fn new() -> Self {
+        let config = BusConfig::default()
+            .with_max_message_bytes(IMAGE_BYTES)
+            .expect("image fits the configured maximum");
+        let mut bus = AnalyticBus::new(config);
+        bus.add_node(
+            NodeSpec::new("cpu+mediator", FullPrefix::new(0x0_0011).expect("prefix"))
+                .with_short_prefix(ShortPrefix::new(0x1).expect("prefix")),
+        );
+        bus.add_node(
+            NodeSpec::new("imager", FullPrefix::new(0x0_0012).expect("prefix"))
+                .with_short_prefix(ShortPrefix::new(0x2).expect("prefix"))
+                .power_aware(true),
+        );
+        bus.add_node(
+            NodeSpec::new("radio", FullPrefix::new(0x0_0013).expect("prefix"))
+                .with_short_prefix(ShortPrefix::new(0x3).expect("prefix"))
+                .power_aware(true),
+        );
+        ImagerSystem {
+            bus,
+            captured: None,
+            motion_events: 0,
+            seed: 1,
+        }
+    }
+
+    /// Retunes the bus clock (the implemented MBus clock is "run-time
+    /// tunable from 10 kHz to up to 6.67 MHz").
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`BusConfig`].
+    pub fn set_clock_hz(&mut self, hz: u64) -> Result<(), mbus_core::MbusError> {
+        let config = BusConfig::new(hz)?.with_max_message_bytes(IMAGE_BYTES)?;
+        self.bus.apply_config(config)
+    }
+
+    /// The always-on motion detector fires: one wire asserts, the bus
+    /// runs a null transaction, and the imager wakes and captures.
+    pub fn motion_detected(&mut self) {
+        assert!(!self.bus.layer_on(IMAGER), "imager starts power-gated");
+        self.bus.request_wakeup(IMAGER).expect("imager exists");
+        let record = self.bus.run_transaction().expect("null transaction runs");
+        assert!(record.winner.is_none(), "wakeup is a null transaction");
+        self.motion_events += 1;
+        self.captured = Some(Image::synthetic(self.seed));
+        self.seed += 1;
+    }
+
+    /// Transfers the captured image to the radio row-by-row ("the
+    /// camera sends each row as a separate message, with small delays
+    /// in-between while the next row is read out"). Returns the
+    /// reassembled image as the radio saw it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no image was captured.
+    pub fn transfer_row_by_row(&mut self) -> Image {
+        let image = self.captured.clone().expect("capture before transfer");
+        let readout_gap = SimTime::from_us(50);
+        for y in 0..HEIGHT {
+            let row = image.pack_row(y);
+            self.bus
+                .queue(IMAGER, Message::new(self.radio_addr(), row))
+                .expect("row fits");
+            let record = self.bus.run_transaction().expect("row transaction");
+            assert!(record.outcome.is_success(), "row {y} delivered");
+            self.bus.advance_idle(readout_gap);
+        }
+        let rows: Vec<Vec<u8>> = self
+            .bus
+            .take_rx(RADIO)
+            .into_iter()
+            .map(|m| m.payload)
+            .collect();
+        Image::from_rows(&rows)
+    }
+
+    /// Transfers the image as a single 28.8 kB message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no image was captured.
+    pub fn transfer_single_message(&mut self) -> Image {
+        let image = self.captured.clone().expect("capture before transfer");
+        let mut payload = Vec::with_capacity(IMAGE_BYTES);
+        for y in 0..HEIGHT {
+            payload.extend(image.pack_row(y));
+        }
+        self.bus
+            .queue(IMAGER, Message::new(self.radio_addr(), payload))
+            .expect("configured max admits the image");
+        let record = self.bus.run_transaction().expect("image transaction");
+        assert!(record.outcome.is_success());
+        let rx = self.bus.take_rx(RADIO);
+        let rows: Vec<Vec<u8>> = rx[0].payload.chunks(ROW_BYTES).map(<[u8]>::to_vec).collect();
+        Image::from_rows(&rows)
+    }
+
+    fn radio_addr(&self) -> Address {
+        Address::short(ShortPrefix::new(0x3).expect("prefix"), FuId::ZERO)
+    }
+
+    /// The captured image (for comparison with what arrived).
+    pub fn captured(&self) -> Option<&Image> {
+        self.captured.as_ref()
+    }
+
+    /// Access to the underlying bus.
+    pub fn bus(&self) -> &AnalyticBus {
+        &self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_the_paper() {
+        assert_eq!(ROW_BYTES, 180);
+        assert_eq!(IMAGE_BYTES, 28_800, "the 28.8 kB full-resolution image");
+    }
+
+    #[test]
+    fn row_packing_round_trips() {
+        let img = Image::synthetic(42);
+        for y in [0, 1, 79, 159] {
+            let packed = img.pack_row(y);
+            assert_eq!(packed.len(), ROW_BYTES);
+            let pixels = Image::unpack_row(&packed);
+            for (x, &p) in pixels.iter().enumerate() {
+                assert_eq!(p, img.pixel(x, y), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn pixels_are_nine_bit() {
+        let img = Image::synthetic(7);
+        for y in 0..HEIGHT {
+            for x in 0..WIDTH {
+                assert!(img.pixel(x, y) < 512);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_analysis_matches_6_3_2() {
+        let a = TransferAnalysis::standard();
+        assert_eq!(a.chunking_extra_bits, 3_021);
+        assert!((a.chunking_percent() - 1.31).abs() < 0.005);
+        assert_eq!(a.i2c_single_bits, 28_810);
+        assert_eq!(a.i2c_rows_bits, 30_400);
+        // "a 90−99% reduction in overhead compared to a byte-oriented
+        // approach".
+        let row_reduction = a.ack_overhead_reduction_percent(true);
+        let single_reduction = a.ack_overhead_reduction_percent(false);
+        assert!(row_reduction > 89.9, "{row_reduction}");
+        assert!(single_reduction > 99.0, "{single_reduction}");
+    }
+
+    #[test]
+    fn i2c_overhead_percentages() {
+        let a = TransferAnalysis::standard();
+        let image_bits = IMAGE_BYTES as f64 * 8.0;
+        assert!((a.i2c_single_bits as f64 / image_bits * 100.0 - 12.5).abs() < 0.01);
+        assert!((a.i2c_rows_bits as f64 / image_bits * 100.0 - 13.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn motion_wakes_and_row_transfer_is_lossless() {
+        let mut sys = ImagerSystem::new();
+        sys.motion_detected();
+        let received = sys.transfer_row_by_row();
+        assert_eq!(&received, sys.captured().unwrap());
+        assert_eq!(sys.bus().stats().transactions, 1 + 160);
+    }
+
+    #[test]
+    fn single_message_transfer_is_lossless() {
+        let mut sys = ImagerSystem::new();
+        sys.motion_detected();
+        let received = sys.transfer_single_message();
+        assert_eq!(&received, sys.captured().unwrap());
+    }
+
+    #[test]
+    fn frame_times_bracket_the_clock_range() {
+        // Bit-serial: 28.8 kB × 8 bits at 6.67 MHz ≈ 34.6 ms; at
+        // 10 kHz ≈ 23 s.
+        let fast = frame_time(6_670_000, 160);
+        assert!((fast.as_secs_f64() - 0.0346).abs() < 0.001, "{fast}");
+        let slow = frame_time(10_000, 160);
+        assert!((slow.as_secs_f64() - 23.3).abs() < 0.2, "{slow}");
+        // The paper's byte-based arithmetic: 4.3 ms and 2.88 s.
+        let paper_fast = paper_frame_time(6_670_000);
+        assert!((paper_fast.as_secs_f64() - 0.00432).abs() < 0.0002);
+        let paper_slow = paper_frame_time(10_000);
+        assert!((paper_slow.as_secs_f64() - 2.88).abs() < 0.01);
+    }
+
+    #[test]
+    fn clock_retuning_works_when_idle() {
+        let mut sys = ImagerSystem::new();
+        sys.set_clock_hz(6_670_000).unwrap();
+        assert_eq!(sys.bus().config().clock_hz(), 6_670_000);
+        sys.motion_detected();
+        let img = sys.transfer_row_by_row();
+        assert_eq!(&img, sys.captured().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "capture before transfer")]
+    fn transfer_requires_capture() {
+        let mut sys = ImagerSystem::new();
+        let _ = sys.transfer_row_by_row();
+    }
+}

@@ -1,0 +1,41 @@
+//! # mbus-systems — the paper's microbenchmark systems (§6.3–6.4)
+//!
+//! Complete system models built on the `mbus-core` engines:
+//!
+//! * [`temperature`] — the Fig. 12 "sense and send" stack (processor +
+//!   mediator, temperature sensor, radio): periodic sampling, direct
+//!   vs. processor-routed replies, the 6.6 nJ / ~7 % per-event saving,
+//!   and the 44.5 → 47.5-day battery-lifetime extension.
+//! * [`imager`] — the Fig. 13 motion-activated camera: null-transaction
+//!   wakeup from an always-on motion detector, 160×160×9-bit image
+//!   capture, row-by-row transfer with 1.31 % overhead, and the I2C
+//!   comparisons of §6.3.2.
+//! * [`many_node`] — §6.4's scalability sweeps: Fig. 9's frequency
+//!   ceiling and Fig. 14's saturating transaction rate, validated by
+//!   running the engine flat-out.
+//! * [`devices`] — calibrated device energy models (the paper reports
+//!   only aggregates; EXPERIMENTS.md shows the calibration).
+//!
+//! ## Example
+//!
+//! ```
+//! use mbus_systems::temperature::{Routing, TemperatureSystem};
+//!
+//! let mut system = TemperatureSystem::new(Routing::Direct);
+//! system.run_events(2);
+//! let energy = system.average_event_energy().total();
+//! assert!((energy.as_nj() - 100.0).abs() < 1.5); // §6.3.1's ~100 nJ
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitbang_node;
+pub mod devices;
+pub mod imager;
+pub mod many_node;
+pub mod temperature;
+
+pub use bitbang_node::BitbangRingNode;
+pub use imager::{Image, ImagerSystem};
+pub use temperature::{Routing, SenseAndSendComparison, TemperatureSystem};

@@ -1,0 +1,151 @@
+//! Many-node scalability (§6.4): the Fig. 9 frequency ceiling and the
+//! Fig. 14 saturating transaction rate, measured by actually running
+//! the bus rather than just evaluating the closed forms.
+
+use mbus_core::{
+    config, timing, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec,
+    ShortPrefix,
+};
+use mbus_sim::SimTime;
+
+/// Builds an `n`-node analytic bus at `clock_hz` with zero mediator
+/// wakeup latency (back-to-back saturation measurement).
+///
+/// # Panics
+///
+/// Panics for fewer than 2 or more than 14 nodes (the short-address
+/// population limit).
+pub fn build_bus(n: usize, clock_hz: u64) -> AnalyticBus {
+    assert!((2..=14).contains(&n), "2..=14 short-addressed nodes");
+    let config = BusConfig::new(clock_hz)
+        .expect("valid clock")
+        .with_mediator_wakeup_cycles(0);
+    let mut bus = AnalyticBus::new(config);
+    for i in 0..n {
+        bus.add_node(
+            NodeSpec::new(
+                format!("n{i}"),
+                FullPrefix::new(0x200 + i as u32).expect("prefix"),
+            )
+            .with_short_prefix(ShortPrefix::new((i + 1) as u8).expect("prefix")),
+        );
+    }
+    bus
+}
+
+/// Measures the saturating transaction rate by running back-to-back
+/// `payload_bytes` messages for `duration` of bus time (Fig. 14).
+pub fn measured_saturating_rate(
+    payload_bytes: usize,
+    clock_hz: u64,
+    duration: SimTime,
+) -> f64 {
+    let mut bus = build_bus(2, clock_hz);
+    let dest = Address::short(ShortPrefix::new(0x2).expect("prefix"), FuId::ZERO);
+    let mut transactions = 0u64;
+    while bus.now() < duration {
+        bus.queue(0, Message::new(dest, vec![0xA5; payload_bytes]))
+            .expect("payload fits");
+        bus.run_transaction().expect("transaction runs");
+        transactions += 1;
+    }
+    transactions as f64 / bus.now().as_secs_f64()
+}
+
+/// Fig. 9's series: `(nodes, max clock Hz)` for 2..=14 nodes at the
+/// specification's 10 ns hop delay.
+pub fn fig9_series() -> Vec<(usize, u64)> {
+    (2..=14)
+        .map(|n| (n, config::max_clock_hz(n, SimTime::from_ns(10))))
+        .collect()
+}
+
+/// Fig. 14's grid: transactions/s for each payload length at each of
+/// the paper's four clock rates.
+pub fn fig14_series(payloads: &[usize]) -> Vec<(u64, Vec<f64>)> {
+    [100_000u64, 400_000, 1_000_000, 7_100_000]
+        .iter()
+        .map(|&hz| {
+            let rates = payloads
+                .iter()
+                .map(|&n| timing::saturating_transaction_rate(n, hz))
+                .collect();
+            (hz, rates)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rate_matches_closed_form() {
+        // The engine, run flat out, must reproduce the Fig. 14 formula.
+        for payload in [0usize, 8, 24] {
+            let formula = timing::saturating_transaction_rate(payload, 400_000);
+            let measured =
+                measured_saturating_rate(payload, 400_000, SimTime::from_ms(500));
+            let err = (measured - formula).abs() / formula;
+            assert!(err < 0.01, "payload {payload}: {measured} vs {formula}");
+        }
+    }
+
+    #[test]
+    fn fig9_endpoints() {
+        let series = fig9_series();
+        assert_eq!(series.first(), Some(&(2, 50_000_000)));
+        let (n, f) = *series.last().unwrap();
+        assert_eq!(n, 14);
+        assert!((7_100_000..=7_150_000).contains(&f));
+    }
+
+    #[test]
+    fn fig14_rates_span_the_papers_axes() {
+        let payloads = [0usize, 8, 16, 40];
+        let grid = fig14_series(&payloads);
+        assert_eq!(grid.len(), 4);
+        // Slowest corner: 100 kHz, 40 B → ~295 txn/s; fastest:
+        // 7.1 MHz, 0 B → ~374k txn/s. The paper's y-axis runs
+        // 0.1..1000 for its shown range.
+        let slow = grid[0].1[3];
+        assert!((slow - 100_000.0 / 339.0).abs() < 0.01);
+        let fast = grid[3].1[0];
+        assert!(fast > 370_000.0);
+        // Monotonic: longer payloads → fewer transactions/s.
+        for (_, rates) in &grid {
+            for w in rates.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn two_nodes_sending_at_1hz_equals_one_at_2hz() {
+        // §6.4's utilization argument. Run both patterns and compare
+        // busy cycles.
+        let dest = |p: u8| Address::short(ShortPrefix::new(p).expect("p"), FuId::ZERO);
+        let mut two_senders = build_bus(3, 400_000);
+        for _ in 0..10 {
+            two_senders.queue(1, Message::new(dest(0x1), vec![0; 4])).unwrap();
+            two_senders.run_transaction();
+            two_senders.queue(2, Message::new(dest(0x1), vec![0; 4])).unwrap();
+            two_senders.run_transaction();
+        }
+        let mut one_sender = build_bus(3, 400_000);
+        for _ in 0..20 {
+            one_sender.queue(1, Message::new(dest(0x1), vec![0; 4])).unwrap();
+            one_sender.run_transaction();
+        }
+        assert_eq!(
+            two_senders.stats().busy_cycles,
+            one_sender.stats().busy_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=14")]
+    fn population_limit_enforced() {
+        let _ = build_bus(15, 400_000);
+    }
+}

@@ -1,0 +1,348 @@
+//! The §6.3.1 "sense and send" system: a 2 µAh battery, a 900 MHz
+//! near-field radio, an ARM Cortex-M0 (hosting the mediator), and an
+//! ultra-low power temperature sensor, all on MBus (Fig. 12).
+//!
+//! Every 15 s the processor asks the sensor for a reading; the sensor
+//! replies either *directly to the radio* (MBus's any-to-any transfer)
+//! or *via the processor* (the master-routed pattern SPI-class buses
+//! force). The energy difference — 6.6 nJ per event, ≈7 % — is the
+//! paper's headline system result.
+
+use mbus_core::{
+    Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
+};
+use mbus_power::battery::Battery;
+use mbus_power::mbus_model::{message_energy, Calibration};
+use mbus_power::units::Energy;
+use mbus_sim::SimTime;
+
+use crate::devices::{Processor, Radio, TemperatureSensor};
+
+/// How the sensor's response reaches the radio.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Routing {
+    /// Sensor transmits straight to the radio (MBus any-to-any).
+    Direct,
+    /// Sensor replies to the processor, which relays to the radio —
+    /// what a single-master bus would require.
+    ViaProcessor,
+}
+
+/// Command byte in the 4-byte request.
+const CMD_SAMPLE: u8 = 0x51;
+
+/// Node ring positions.
+const CPU: usize = 0;
+const SENSOR: usize = 1;
+const RADIO: usize = 2;
+
+fn short(prefix: u8) -> Address {
+    Address::short(ShortPrefix::new(prefix).expect("valid prefix"), FuId::ZERO)
+}
+
+/// Per-event energy breakdown.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EventEnergy {
+    /// Energy spent on MBus transactions.
+    pub bus: Energy,
+    /// Energy spent in the sensor, radio, and processor.
+    pub devices: Energy,
+}
+
+impl EventEnergy {
+    /// Total event energy.
+    pub fn total(&self) -> Energy {
+        self.bus + self.devices
+    }
+}
+
+/// The assembled temperature-logging system.
+#[derive(Debug)]
+pub struct TemperatureSystem {
+    bus: AnalyticBus,
+    routing: Routing,
+    processor: Processor,
+    sensor: TemperatureSensor,
+    radio: Radio,
+    sample_period: SimTime,
+    events: u64,
+    device_energy: Energy,
+    bus_energy: Energy,
+    /// Payloads handed to the radio for transmission.
+    pub radio_packets: Vec<Vec<u8>>,
+}
+
+impl TemperatureSystem {
+    /// Builds the 3-chip stack at the paper's default 400 kHz bus clock
+    /// and 15 s sample period.
+    pub fn new(routing: Routing) -> Self {
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        bus.add_node(
+            NodeSpec::new("cpu+mediator", FullPrefix::new(0x0_0001).expect("prefix"))
+                .with_short_prefix(ShortPrefix::new(0x1).expect("prefix")),
+        );
+        bus.add_node(
+            NodeSpec::new("temp sensor", FullPrefix::new(0x0_0002).expect("prefix"))
+                .with_short_prefix(ShortPrefix::new(0x2).expect("prefix"))
+                .power_aware(true),
+        );
+        bus.add_node(
+            NodeSpec::new("radio", FullPrefix::new(0x0_0003).expect("prefix"))
+                .with_short_prefix(ShortPrefix::new(0x3).expect("prefix"))
+                .power_aware(true),
+        );
+        TemperatureSystem {
+            bus,
+            routing,
+            processor: Processor::default(),
+            sensor: TemperatureSensor::default(),
+            radio: Radio::default(),
+            sample_period: SimTime::from_s(15),
+            events: 0,
+            device_energy: Energy::ZERO,
+            bus_energy: Energy::ZERO,
+            radio_packets: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample period.
+    pub fn with_sample_period(mut self, period: SimTime) -> Self {
+        self.sample_period = period;
+        self
+    }
+
+    fn charge_message(&mut self, msg: &Message) {
+        self.bus_energy += message_energy(msg, 3, Calibration::Measured);
+    }
+
+    /// Runs one complete sense-and-send event and advances to the next
+    /// sample instant.
+    pub fn run_event(&mut self) {
+        let k = self.events;
+
+        // 1. Processor wakes, orchestrates, requests a reading. The
+        //    4-byte request names the reply destination.
+        self.device_energy += self.processor.orchestration_energy();
+        let reply_to = match self.routing {
+            Routing::Direct => 0x3,
+            Routing::ViaProcessor => 0x1,
+        };
+        let request = Message::new(short(0x2), vec![CMD_SAMPLE, reply_to, 0x00, 0x00]);
+        self.charge_message(&request);
+        self.bus.queue(CPU, request).expect("queue request");
+        self.bus.run_transaction().expect("request transaction");
+
+        // 2. Sensor wakes (bus-provided), samples, replies with an
+        //    8-byte reading (sequence number + value + padding).
+        let rx = self.bus.take_rx(SENSOR);
+        assert_eq!(rx.len(), 1, "sensor received the request");
+        assert_eq!(rx[0].payload[0], CMD_SAMPLE);
+        self.device_energy += self.sensor.sample_energy;
+        let value = self.sensor.sample(k);
+        let reading = vec![
+            (k >> 8) as u8,
+            k as u8,
+            (value >> 8) as u8,
+            value as u8,
+            0,
+            0,
+            0,
+            0,
+        ];
+        let dest = rx[0].payload[1];
+        let response = Message::new(short(dest), reading.clone());
+        self.charge_message(&response);
+        self.bus.queue(SENSOR, response).expect("queue response");
+        self.bus.run_transaction().expect("response transaction");
+
+        // 3. If routed via the processor, it relays to the radio.
+        if self.routing == Routing::ViaProcessor {
+            let relayed = self.bus.take_rx(CPU);
+            assert_eq!(relayed.len(), 1, "cpu received the reading");
+            self.device_energy += self.processor.relay_energy();
+            let fwd = Message::new(short(0x3), relayed[0].payload.clone());
+            self.charge_message(&fwd);
+            self.bus.queue(CPU, fwd).expect("queue relay");
+            self.bus.run_transaction().expect("relay transaction");
+        }
+
+        // 4. Radio transmits.
+        let pkt = self.bus.take_rx(RADIO);
+        assert_eq!(pkt.len(), 1, "radio received the reading");
+        self.device_energy += self.radio.transmit_energy(pkt[0].payload.len());
+        self.radio_packets.push(pkt[0].payload.clone());
+
+        self.events += 1;
+        // Sleep until the next sample.
+        let next = self.sample_period * self.events;
+        if next > self.bus.now() {
+            self.bus.advance_idle(next - self.bus.now());
+        }
+    }
+
+    /// Runs `n` events.
+    pub fn run_events(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_event();
+        }
+    }
+
+    /// Number of completed events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Average energy per event so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first event.
+    pub fn average_event_energy(&self) -> EventEnergy {
+        assert!(self.events > 0, "run at least one event first");
+        let n = self.events as f64;
+        EventEnergy {
+            bus: self.bus_energy / n,
+            devices: self.device_energy / n,
+        }
+    }
+
+    /// Bus utilization so far — §6.3.1 reports 0.0022 % at 400 kHz.
+    pub fn utilization(&self) -> f64 {
+        self.bus
+            .stats()
+            .utilization(self.bus.now(), self.bus.config().clock_hz())
+    }
+
+    /// Node lifetime on the paper's 2 µAh battery, charging only the
+    /// event energy (the paper's §6.3.1 arithmetic; the 8 nW idle floor
+    /// is discussed separately in EXPERIMENTS.md).
+    pub fn lifetime_days(&self) -> f64 {
+        let avg_power = self.average_event_energy().total() / self.sample_period;
+        Battery::temperature_system().lifetime_days(avg_power)
+    }
+
+    /// Access to the underlying bus (inspection).
+    pub fn bus(&self) -> &AnalyticBus {
+        &self.bus
+    }
+}
+
+/// The §6.3.1 comparison: energy saved per event by direct any-to-any
+/// routing, and the battery-lifetime extension it buys.
+#[derive(Clone, Copy, Debug)]
+pub struct SenseAndSendComparison {
+    /// Average event energy with direct routing.
+    pub direct: Energy,
+    /// Average event energy routed via the processor.
+    pub via_processor: Energy,
+    /// Lifetime (days) with direct routing.
+    pub direct_days: f64,
+    /// Lifetime (days) via the processor.
+    pub via_days: f64,
+}
+
+impl SenseAndSendComparison {
+    /// Runs both configurations for `events` events and compares.
+    pub fn run(events: u64) -> Self {
+        let mut direct = TemperatureSystem::new(Routing::Direct);
+        direct.run_events(events);
+        let mut via = TemperatureSystem::new(Routing::ViaProcessor);
+        via.run_events(events);
+        SenseAndSendComparison {
+            direct: direct.average_event_energy().total(),
+            via_processor: via.average_event_energy().total(),
+            direct_days: direct.lifetime_days(),
+            via_days: via.lifetime_days(),
+        }
+    }
+
+    /// Energy saved per event.
+    pub fn savings(&self) -> Energy {
+        self.via_processor - self.direct
+    }
+
+    /// Lifetime extension in hours.
+    pub fn extension_hours(&self) -> f64 {
+        (self.direct_days - self.via_days) * 24.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_energy_is_about_100_nj() {
+        // §6.3.1: "each sense and send event requires about 100 nJ".
+        let mut sys = TemperatureSystem::new(Routing::Direct);
+        sys.run_events(4);
+        let e = sys.average_event_energy();
+        assert!((e.total().as_nj() - 100.0).abs() < 1.0, "{}", e.total());
+    }
+
+    #[test]
+    fn direct_routing_saves_6_6_nj() {
+        // "MBus reduces the energy consumption of each sense and send
+        // event by 6.6 nJ (~7%)".
+        let cmp = SenseAndSendComparison::run(3);
+        let saved = cmp.savings().as_nj();
+        assert!((saved - 6.6).abs() < 0.1, "{saved}");
+        let pct = cmp.savings() / cmp.direct * 100.0;
+        assert!((pct - 6.6).abs() < 0.5, "{pct}%");
+    }
+
+    #[test]
+    fn lifetimes_match_the_paper() {
+        // "...this increases node lifetime by 71 hours, from ~44.5 to
+        // ~47.5 days."
+        let cmp = SenseAndSendComparison::run(3);
+        assert!((cmp.via_days - 44.5).abs() < 0.5, "{}", cmp.via_days);
+        assert!((cmp.direct_days - 47.5).abs() < 0.5, "{}", cmp.direct_days);
+        assert!((cmp.extension_hours() - 71.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn utilization_is_0_0022_percent() {
+        let mut sys = TemperatureSystem::new(Routing::Direct);
+        sys.run_events(4);
+        let pct = sys.utilization() * 100.0;
+        assert!((pct - 0.0022).abs() < 0.0004, "{pct}");
+    }
+
+    #[test]
+    fn radio_receives_monotonic_sequence_numbers() {
+        let mut sys = TemperatureSystem::new(Routing::Direct);
+        sys.run_events(5);
+        assert_eq!(sys.radio_packets.len(), 5);
+        for (i, pkt) in sys.radio_packets.iter().enumerate() {
+            let seq = u16::from_be_bytes([pkt[0], pkt[1]]);
+            assert_eq!(seq as usize, i);
+        }
+    }
+
+    #[test]
+    fn via_processor_delivers_identical_data() {
+        let mut direct = TemperatureSystem::new(Routing::Direct);
+        let mut via = TemperatureSystem::new(Routing::ViaProcessor);
+        direct.run_events(3);
+        via.run_events(3);
+        assert_eq!(direct.radio_packets, via.radio_packets);
+    }
+
+    #[test]
+    fn direct_routing_uses_fewer_transactions() {
+        let mut direct = TemperatureSystem::new(Routing::Direct);
+        let mut via = TemperatureSystem::new(Routing::ViaProcessor);
+        direct.run_events(2);
+        via.run_events(2);
+        assert_eq!(direct.bus().stats().transactions, 4);
+        assert_eq!(via.bus().stats().transactions, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn average_requires_an_event() {
+        let sys = TemperatureSystem::new(Routing::Direct);
+        let _ = sys.average_event_energy();
+    }
+}

@@ -1,0 +1,43 @@
+//! Bitbang MBus on a commodity MCU (§6.6): measure the worst-case
+//! interrupt path of a four-GPIO software MBus node and derive the
+//! maximum supportable bus clock.
+//!
+//! Run with: `cargo run -p mbus-systems --example bitbang_mcu`
+
+use mbus_mcu::bitbang::{self, BitbangNode};
+
+fn main() {
+    println!("Bitbang MBus on an MSP430-class MCU (paper §6.6)\n");
+
+    let worst = bitbang::worst_case_path();
+    println!(
+        "worst-case edge-to-output path: {} instructions, {} cycles (incl. interrupt entry/exit)",
+        worst.instructions, worst.cycles
+    );
+    println!("  paper: 20 instructions, 65 cycles\n");
+
+    for mhz in [1u64, 8, 16] {
+        let f = bitbang::max_bus_clock_hz(mhz * 1_000_000);
+        println!("  at {mhz:>2} MHz core clock: max MBus clock ≈ {:>6.1} kHz", f as f64 / 1e3);
+    }
+    println!("  paper: \"up to a 120 kHz MBus clock\" at 8 MHz\n");
+
+    let i2c = bitbang::i2c_bitbang_longest_path();
+    println!(
+        "bitbang I2C comparator: longest path {} instructions ({} cycles)",
+        i2c.instructions, i2c.cycles
+    );
+    println!("  paper: Wikipedia's I2C bitbang has a 21-instruction longest path\n");
+
+    // Drive the software node through a few bus cycles to show it
+    // actually shifting bits.
+    let mut node = BitbangNode::new();
+    node.arm_transmit(0b1011_0010_0000_0000, 16);
+    print!("software node transmits: ");
+    for _ in 0..8 {
+        node.clock_edge(false);
+        print!("{}", node.data_out() as u8);
+        node.clock_edge(true);
+    }
+    println!("  (expected 10110010)");
+}

@@ -1,0 +1,249 @@
+//! Cross-checks the two MBus engines against each other: the
+//! transaction-level `AnalyticBus` (the §6.1 cycle budget) and the
+//! edge-accurate `WireBus` must agree on winners, deliveries, control
+//! bits, and cycle counts for the same scenarios.
+
+use mbus_core::wire::WireBusBuilder;
+use mbus_core::{
+    timing, Address, AnalyticBus, BroadcastChannel, BusConfig, FuId, FullPrefix, Message,
+    NodeSpec, ShortPrefix,
+};
+
+const MAX_EVENTS: u64 = 50_000_000;
+
+fn sp(x: u8) -> ShortPrefix {
+    ShortPrefix::new(x).unwrap()
+}
+
+fn addr(x: u8) -> Address {
+    Address::short(sp(x), FuId::ZERO)
+}
+
+fn specs(n: usize) -> Vec<NodeSpec> {
+    (0..n)
+        .map(|i| {
+            NodeSpec::new(format!("n{i}"), FullPrefix::new(0x300 + i as u32).unwrap())
+                .with_short_prefix(sp((i + 1) as u8))
+        })
+        .collect()
+}
+
+fn build_both(n: usize) -> (AnalyticBus, mbus_core::wire::WireBus) {
+    let config = BusConfig::default();
+    let mut analytic = AnalyticBus::new(config);
+    let mut wire = WireBusBuilder::new(config);
+    for spec in specs(n) {
+        analytic.add_node(spec.clone());
+        wire = wire.node(spec);
+    }
+    (analytic, wire.build())
+}
+
+#[test]
+fn cycle_counts_agree_across_payload_sizes() {
+    for payload in [0usize, 1, 2, 7, 8, 16, 64, 200] {
+        let (mut analytic, mut wire) = build_both(3);
+        let msg = Message::new(addr(0x2), vec![0x3C; payload]);
+
+        analytic.queue(0, msg.clone()).unwrap();
+        let a = analytic.run_transaction().unwrap();
+
+        wire.queue(0, msg.clone()).unwrap();
+        let w = wire.run_until_quiescent(MAX_EVENTS);
+
+        assert_eq!(w.len(), 1);
+        assert_eq!(a.cycles, w[0].cycles, "payload {payload}");
+        assert_eq!(a.cycles, timing::transaction_cycles(&msg) as u64);
+        assert_eq!(a.control, w[0].control.unwrap());
+    }
+}
+
+#[test]
+fn full_address_cycles_agree() {
+    let (mut analytic, mut wire) = build_both(3);
+    let dest = Address::full(FullPrefix::new(0x302).unwrap(), FuId::ZERO);
+    let msg = Message::new(dest, vec![9; 12]);
+
+    analytic.queue(0, msg.clone()).unwrap();
+    let a = analytic.run_transaction().unwrap();
+    wire.queue(0, msg).unwrap();
+    let w = wire.run_until_quiescent(MAX_EVENTS);
+
+    assert_eq!(a.cycles, 43 + 96);
+    assert_eq!(a.cycles, w[0].cycles);
+    assert_eq!(analytic.take_rx(2)[0].payload, wire.take_rx(2)[0].payload);
+}
+
+#[test]
+fn deliveries_agree_for_member_to_member() {
+    let (mut analytic, mut wire) = build_both(4);
+    let payload = vec![0xDE, 0xAD, 0xBE, 0xEF];
+    let msg = Message::new(addr(0x4), payload.clone());
+
+    analytic.queue(1, msg.clone()).unwrap();
+    analytic.run_transaction().unwrap();
+    wire.queue(1, msg).unwrap();
+    wire.run_until_quiescent(MAX_EVENTS);
+
+    assert_eq!(analytic.take_rx(3)[0].payload, payload);
+    assert_eq!(wire.take_rx(3)[0].payload, payload);
+}
+
+#[test]
+fn arbitration_order_agrees_under_contention() {
+    let (mut analytic, mut wire) = build_both(4);
+    // Nodes 1, 2, 3 all want to talk to node 0.
+    for i in [3usize, 1, 2] {
+        let msg = Message::new(addr(0x1), vec![i as u8]);
+        analytic.queue(i, msg.clone()).unwrap();
+        wire.queue(i, msg).unwrap();
+    }
+    analytic.run_until_quiescent();
+    wire.run_until_quiescent(MAX_EVENTS);
+
+    let a_order: Vec<u8> = analytic.take_rx(0).iter().map(|m| m.payload[0]).collect();
+    let w_order: Vec<u8> = wire.take_rx(0).iter().map(|m| m.payload[0]).collect();
+    assert_eq!(a_order, vec![1, 2, 3], "topological order");
+    assert_eq!(a_order, w_order);
+}
+
+#[test]
+fn priority_claim_agrees() {
+    let (mut analytic, mut wire) = build_both(4);
+    let plain = Message::new(addr(0x1), vec![0x0B]);
+    let urgent = Message::new(addr(0x1), vec![0x0C]).with_priority();
+    analytic.queue(1, plain.clone()).unwrap();
+    analytic.queue(3, urgent.clone()).unwrap();
+    wire.queue(1, plain).unwrap();
+    wire.queue(3, urgent).unwrap();
+
+    analytic.run_until_quiescent();
+    wire.run_until_quiescent(MAX_EVENTS);
+
+    let a_order: Vec<u8> = analytic.take_rx(0).iter().map(|m| m.payload[0]).collect();
+    let w_order: Vec<u8> = wire.take_rx(0).iter().map(|m| m.payload[0]).collect();
+    assert_eq!(a_order, vec![0x0C, 0x0B], "priority message first");
+    assert_eq!(a_order, w_order);
+}
+
+#[test]
+fn broadcast_fanout_agrees() {
+    let (mut analytic, mut wire) = build_both(5);
+    let msg = Message::new(
+        Address::broadcast(BroadcastChannel::CONFIGURATION),
+        vec![0x11],
+    );
+    analytic.queue(0, msg.clone()).unwrap();
+    analytic.run_transaction().unwrap();
+    wire.queue(0, msg).unwrap();
+    wire.run_until_quiescent(MAX_EVENTS);
+
+    for node in 1..5 {
+        assert_eq!(analytic.take_rx(node).len(), 1, "analytic node {node}");
+        assert_eq!(wire.take_rx(node).len(), 1, "wire node {node}");
+    }
+    assert!(analytic.take_rx(0).is_empty());
+    assert!(wire.take_rx(0).is_empty());
+}
+
+#[test]
+fn null_transaction_cycles_agree() {
+    let (mut analytic, mut wire) = build_both(3);
+    analytic.request_wakeup(2).unwrap();
+    let a = analytic.run_transaction().unwrap();
+    wire.request_wakeup(2).unwrap();
+    let w = wire.run_until_quiescent(MAX_EVENTS);
+
+    assert_eq!(a.winner, None);
+    assert!(w[0].null_transaction);
+    assert_eq!(a.cycles, w[0].cycles);
+    assert_eq!(a.cycles, 11);
+    assert_eq!(analytic.wake_events(2), 1);
+    assert_eq!(wire.wake_events(2), 1);
+}
+
+#[test]
+fn runaway_enforcement_agrees() {
+    let (mut analytic, mut wire) = build_both(3);
+    let oversized = Message::new(addr(0x2), vec![0; 1500]);
+    analytic.queue_unchecked(0, oversized.clone()).unwrap();
+    let a = analytic.run_transaction().unwrap();
+    wire.queue_unchecked(0, oversized).unwrap();
+    let w = wire.run_until_quiescent(MAX_EVENTS);
+
+    assert_eq!(a.cycles, 19 + 8 * 1024 + 1);
+    assert_eq!(a.cycles, w[0].cycles);
+    assert!(w[0].runaway);
+    assert!(analytic.take_rx(1).is_empty());
+    assert!(wire.take_rx(1).is_empty());
+}
+
+#[test]
+fn receiver_abort_cycles_agree() {
+    let config = BusConfig::default();
+    let mut analytic = AnalyticBus::new(config);
+    let mut wire_b = WireBusBuilder::new(config);
+    for (i, mut spec) in specs(3).into_iter().enumerate() {
+        if i == 1 {
+            spec = spec.with_rx_buffer(16);
+        }
+        analytic.add_node(spec.clone());
+        wire_b = wire_b.node(spec);
+    }
+    let mut wire = wire_b.build();
+
+    let msg = Message::new(addr(0x2), vec![0x44; 100]);
+    analytic.queue(0, msg.clone()).unwrap();
+    let a = analytic.run_transaction().unwrap();
+    wire.queue(0, msg).unwrap();
+    let w = wire.run_until_quiescent(MAX_EVENTS);
+
+    assert_eq!(a.cycles, 19 + 8 * 16 + 1);
+    assert_eq!(a.cycles, w[0].cycles);
+    assert!(a.control.is_error());
+    assert!(w[0].control.unwrap().is_error());
+}
+
+#[test]
+fn power_wake_accounting_agrees() {
+    let config = BusConfig::default();
+    let mut analytic = AnalyticBus::new(config);
+    let mut wire_b = WireBusBuilder::new(config);
+    for (i, spec) in specs(3).into_iter().enumerate() {
+        let spec = if i > 0 { spec.power_aware(true) } else { spec };
+        analytic.add_node(spec.clone());
+        wire_b = wire_b.node(spec);
+    }
+    let mut wire = wire_b.build();
+
+    let msg = Message::new(addr(0x2), vec![0x01]);
+    analytic.queue(0, msg.clone()).unwrap();
+    analytic.run_transaction().unwrap();
+    wire.queue(0, msg).unwrap();
+    wire.run_until_quiescent(MAX_EVENTS);
+
+    // Destination layer woke exactly once; bystander layer never.
+    assert_eq!(analytic.stats().layer_wakes[1], 1);
+    assert_eq!(wire.layer_wakes(1), 1);
+    assert_eq!(analytic.stats().layer_wakes[2], 0);
+    assert_eq!(wire.layer_wakes(2), 0);
+}
+
+#[test]
+fn back_to_back_stream_cycles_agree() {
+    let (mut analytic, mut wire) = build_both(3);
+    let mut a_total = 0u64;
+    for i in 0..10u8 {
+        let msg = Message::new(addr(0x3), vec![i; (i as usize % 5) + 1]);
+        analytic.queue(0, msg.clone()).unwrap();
+        a_total += analytic.run_transaction().unwrap().cycles;
+        wire.queue(0, msg).unwrap();
+    }
+    let w_total: u64 = wire
+        .run_until_quiescent(MAX_EVENTS)
+        .iter()
+        .map(|t| t.cycles)
+        .sum();
+    assert_eq!(a_total, w_total);
+    assert_eq!(analytic.take_rx(2).len(), wire.take_rx(2).len());
+}

@@ -1,0 +1,129 @@
+//! End-to-end layer-controller tests: FU-ID-addressed messages crossing
+//! the bus and landing in a chip's register file, memory, and
+//! mailboxes — the Fig. 8 interface exercised through real traffic.
+
+use mbus_core::layer::{LayerAction, LayerController, FU_MEMORY_READ, FU_MEMORY_WRITE};
+use mbus_core::{
+    Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
+};
+
+fn sp(x: u8) -> ShortPrefix {
+    ShortPrefix::new(x).unwrap()
+}
+
+fn fu(x: u8) -> FuId {
+    FuId::new(x).unwrap()
+}
+
+/// A two-chip system where node 1's layer is a real `LayerController`.
+struct Chip {
+    bus: AnalyticBus,
+    layer: LayerController,
+}
+
+impl Chip {
+    fn new() -> Self {
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        bus.add_node(NodeSpec::new("cpu", FullPrefix::new(0x1).unwrap()).with_short_prefix(sp(0x1)));
+        bus.add_node(NodeSpec::new("chip", FullPrefix::new(0x2).unwrap()).with_short_prefix(sp(0x2)));
+        let mut layer = LayerController::new(256);
+        layer.set_reply_dest(Address::short(sp(0x1), FuId::ZERO));
+        Chip { bus, layer }
+    }
+
+    /// Sends a message from the cpu to the chip's `fu` and pumps it
+    /// through the layer, returning the layer's action.
+    fn send(&mut self, fu_id: FuId, payload: Vec<u8>) -> LayerAction {
+        self.bus
+            .queue(0, Message::new(Address::short(sp(0x2), fu_id), payload))
+            .unwrap();
+        self.bus.run_transaction().unwrap();
+        let rx = self.bus.take_rx(1);
+        assert_eq!(rx.len(), 1);
+        self.layer.deliver(&rx[0])
+    }
+
+    /// Transmits any queued layer replies back over the bus and returns
+    /// what the cpu received.
+    fn pump_replies(&mut self) -> Vec<Vec<u8>> {
+        for reply in self.layer.take_replies() {
+            self.bus.queue(1, reply).unwrap();
+            self.bus.run_transaction().unwrap();
+        }
+        self.bus.take_rx(0).into_iter().map(|m| m.payload).collect()
+    }
+}
+
+#[test]
+fn register_writes_over_the_bus() {
+    let mut chip = Chip::new();
+    let action = chip.send(FuId::ZERO, vec![0x10, 0x00, 0x12, 0x34, 0x42, 0xAB, 0xCD, 0xEF]);
+    assert_eq!(action, LayerAction::RegistersWritten { count: 2 });
+    assert_eq!(chip.layer.register(0x10), 0x001234);
+    assert_eq!(chip.layer.register(0x42), 0xABCDEF);
+}
+
+#[test]
+fn memory_write_then_read_round_trip_over_the_bus() {
+    let mut chip = Chip::new();
+
+    // Write three words at byte address 0x40.
+    let mut payload = 0x40u32.to_be_bytes().to_vec();
+    for w in [0x1111_1111u32, 0x2222_2222, 0x3333_3333] {
+        payload.extend(w.to_be_bytes());
+    }
+    let action = chip.send(fu(FU_MEMORY_WRITE), payload);
+    assert_eq!(action, LayerAction::MemoryWritten { addr: 0x40, words: 3 });
+
+    // Read them back: the layer queues a reply, which crosses the bus.
+    let mut req = 0x40u32.to_be_bytes().to_vec();
+    req.extend(3u32.to_be_bytes());
+    let action = chip.send(fu(FU_MEMORY_READ), req);
+    assert_eq!(action, LayerAction::ReadReplyQueued { words: 3 });
+
+    let replies = chip.pump_replies();
+    assert_eq!(replies.len(), 1);
+    let r = &replies[0];
+    assert_eq!(&r[0..4], &0x40u32.to_be_bytes());
+    assert_eq!(&r[4..8], &0x1111_1111u32.to_be_bytes());
+    assert_eq!(&r[12..16], &0x3333_3333u32.to_be_bytes());
+}
+
+#[test]
+fn chip_specific_fus_collect_in_mailboxes() {
+    let mut chip = Chip::new();
+    let action = chip.send(fu(0x9), vec![0xCA, 0xFE]);
+    assert_eq!(action, LayerAction::Mailboxed { fu: 0x9 });
+    chip.send(fu(0x9), vec![0x01]);
+    let mail = chip.layer.take_mailbox(0x9);
+    assert_eq!(mail, vec![vec![0xCA, 0xFE], vec![0x01]]);
+}
+
+#[test]
+fn malformed_payloads_are_contained() {
+    // A garbage register write must not corrupt state or wedge the bus.
+    let mut chip = Chip::new();
+    let action = chip.send(FuId::ZERO, vec![0x10, 0x01]); // ragged
+    assert_eq!(action, LayerAction::Malformed);
+    assert_eq!(chip.layer.register(0x10), 0);
+    // The bus remains usable.
+    let action = chip.send(FuId::ZERO, vec![0x10, 0x00, 0x00, 0x07]);
+    assert_eq!(action, LayerAction::RegistersWritten { count: 1 });
+    assert_eq!(chip.layer.register(0x10), 7);
+}
+
+#[test]
+fn fu_ids_multiplex_one_physical_interface() {
+    // §4.6: FU-IDs address chip sub-components behind a single MBus
+    // frontend. Distinct FUs must not interfere.
+    let mut chip = Chip::new();
+    chip.send(FuId::ZERO, vec![0x01, 0x00, 0x00, 0xAA]);
+    let mut mem = 0u32.to_be_bytes().to_vec();
+    mem.extend(0xBBBB_BBBBu32.to_be_bytes());
+    chip.send(fu(FU_MEMORY_WRITE), mem);
+    chip.send(fu(0xF), vec![0xCC]);
+
+    assert_eq!(chip.layer.register(0x01), 0xAA);
+    assert_eq!(chip.layer.memory_word(0), Some(0xBBBB_BBBB));
+    assert_eq!(chip.layer.take_mailbox(0xF), vec![vec![0xCC]]);
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over the MBus protocol invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mbus_core::message::bits_to_bytes;
+use mbus_core::wire::WireBusBuilder;
+use mbus_core::{
+    enumeration, timing, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec,
+    ParallelMbus, ShortPrefix,
+};
+
+fn sp(x: u8) -> ShortPrefix {
+    ShortPrefix::new(x).unwrap()
+}
+
+fn short_addr_strategy() -> impl Strategy<Value = Address> {
+    (1u8..=0xE, 0u8..=0xF)
+        .prop_map(|(p, f)| Address::short(sp(p), FuId::new(f).unwrap()))
+}
+
+fn any_addr_strategy() -> impl Strategy<Value = Address> {
+    prop_oneof![
+        short_addr_strategy(),
+        (0u32..(1 << 20), 0u8..=0xF).prop_map(|(p, f)| Address::full(
+            FullPrefix::new(p).unwrap(),
+            FuId::new(f).unwrap()
+        )),
+        (0u8..=0xF).prop_map(|c| Address::broadcast(
+            mbus_core::BroadcastChannel::new(c).unwrap()
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every address survives the wire encoding round trip.
+    #[test]
+    fn address_codec_round_trips(addr in any_addr_strategy()) {
+        let bytes = addr.encode();
+        let decoded = Address::decode(&bytes).unwrap();
+        prop_assert_eq!(addr, decoded);
+        prop_assert_eq!(bytes.len() as u32 * 8, addr.wire_bits());
+    }
+
+    /// Message bit streams are byte-aligned and reassemble exactly.
+    #[test]
+    fn message_bits_round_trip(
+        addr in short_addr_strategy(),
+        payload in vec(any::<u8>(), 0..64),
+    ) {
+        let msg = Message::new(addr, payload.clone());
+        let bits = msg.to_bits();
+        prop_assert_eq!(bits.len() % 8, 0);
+        let (bytes, dropped) = bits_to_bytes(&bits);
+        prop_assert_eq!(dropped, 0);
+        prop_assert_eq!(&bytes[1..], payload.as_slice());
+    }
+
+    /// §4.9: receivers discard up to 7 trailing bits; the whole bytes
+    /// always survive.
+    #[test]
+    fn byte_alignment_discards_only_the_tail(
+        payload in vec(any::<u8>(), 0..32),
+        extra in 0usize..8,
+    ) {
+        let mut bits: Vec<bool> = payload
+            .iter()
+            .flat_map(|&b| (0..8).map(move |i| b & (0x80 >> i) != 0))
+            .collect();
+        bits.extend(std::iter::repeat_n(true, extra));
+        let (bytes, dropped) = bits_to_bytes(&bits);
+        prop_assert_eq!(bytes, payload);
+        prop_assert_eq!(dropped, extra);
+    }
+
+    /// The analytic engine's cycle count always equals the §6.1
+    /// budget for deliverable messages.
+    #[test]
+    fn analytic_cycles_match_budget(
+        payload in vec(any::<u8>(), 0..200),
+        full in any::<bool>(),
+    ) {
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        bus.add_node(
+            NodeSpec::new("a", FullPrefix::new(0x1).unwrap()).with_short_prefix(sp(0x1)),
+        );
+        bus.add_node(
+            NodeSpec::new("b", FullPrefix::new(0x2).unwrap()).with_short_prefix(sp(0x2)),
+        );
+        let dest = if full {
+            Address::full(FullPrefix::new(0x2).unwrap(), FuId::ZERO)
+        } else {
+            Address::short(sp(0x2), FuId::ZERO)
+        };
+        let msg = Message::new(dest, payload);
+        bus.queue(0, msg.clone()).unwrap();
+        let record = bus.run_transaction().unwrap();
+        prop_assert_eq!(record.cycles, timing::transaction_cycles(&msg) as u64);
+    }
+
+    /// Arbitration winner is always the topologically-first contender
+    /// (no priority messages involved).
+    #[test]
+    fn arbitration_is_topological(
+        contenders in vec(any::<bool>(), 5..9),
+    ) {
+        prop_assume!(contenders.iter().any(|&c| c));
+        let n = contenders.len();
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        for i in 0..n {
+            bus.add_node(
+                NodeSpec::new(
+                    format!("n{i}"),
+                    FullPrefix::new(0x400 + i as u32).unwrap(),
+                )
+                .with_short_prefix(sp((i + 1) as u8)),
+            );
+        }
+        let first = contenders.iter().position(|&c| c).unwrap();
+        let dest = Address::short(sp(((first + 1) % n + 1) as u8), FuId::ZERO);
+        for (i, &wants) in contenders.iter().enumerate() {
+            if wants {
+                bus.queue(i, Message::new(dest, vec![i as u8])).unwrap();
+            }
+        }
+        let record = bus.run_transaction().unwrap();
+        prop_assert_eq!(record.winner, Some(first));
+    }
+
+    /// Parallel-MBus striping is lossless for every lane count.
+    #[test]
+    fn parallel_stripe_round_trips(
+        wires in 1u32..=8,
+        payload in vec(any::<u8>(), 0..64),
+    ) {
+        let p = ParallelMbus::new(wires).unwrap();
+        let lanes = p.stripe(&payload);
+        let bits = p.destripe(&lanes, payload.len() * 8);
+        let (bytes, dropped) = bits_to_bytes(&bits);
+        prop_assert_eq!(dropped, 0);
+        prop_assert_eq!(bytes, payload);
+    }
+
+    /// Enumeration always assigns unique prefixes in topological order,
+    /// for any population that fits.
+    #[test]
+    fn enumeration_is_unique_and_ordered(n in 1usize..=14) {
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        for i in 0..n {
+            bus.add_node(NodeSpec::new(
+                format!("chip{i}"),
+                FullPrefix::new(0x500 + i as u32).unwrap(),
+            ));
+        }
+        let assignments = enumeration::enumerate(&mut bus, 0).unwrap();
+        prop_assert_eq!(assignments.len(), n);
+        for (k, a) in assignments.iter().enumerate() {
+            prop_assert_eq!(a.node, k);
+            prop_assert_eq!(a.prefix.raw() as usize, k + 1);
+        }
+    }
+
+    /// MBus overhead is payload-independent; length-dependent protocols
+    /// always cross it eventually (Fig. 10's structure).
+    #[test]
+    fn overhead_crossover_exists(per_byte in 1u32..4) {
+        let mbus = timing::SHORT_OVERHEAD_CYCLES;
+        let crossover = (0..200).find(|&n| per_byte * n > mbus);
+        prop_assert!(crossover.is_some());
+        let n = crossover.unwrap();
+        prop_assert!(per_byte * (n - 1) <= mbus);
+    }
+}
+
+proptest! {
+    // Wire-level cases are slower; fewer but still meaningful cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload crosses the wire-level ring intact — the end-to-end
+    /// integrity property that subsumes glitch, latch-timing, and
+    /// alignment concerns.
+    #[test]
+    fn wire_engine_delivers_arbitrary_payloads(
+        payload in vec(any::<u8>(), 0..48),
+        sender in 0usize..3,
+    ) {
+        let mut bus = WireBusBuilder::new(BusConfig::default())
+            .node(NodeSpec::new("a", FullPrefix::new(0x1).unwrap()).with_short_prefix(sp(0x1)))
+            .node(NodeSpec::new("b", FullPrefix::new(0x2).unwrap()).with_short_prefix(sp(0x2)))
+            .node(NodeSpec::new("c", FullPrefix::new(0x3).unwrap()).with_short_prefix(sp(0x3)))
+            .build();
+        let dest_node = (sender + 1) % 3;
+        let dest = Address::short(sp((dest_node + 1) as u8), FuId::ZERO);
+        bus.queue(sender, Message::new(dest, payload.clone())).unwrap();
+        let records = bus.run_until_quiescent(50_000_000);
+        prop_assert!(!records.is_empty());
+        let rx = bus.take_rx(dest_node);
+        prop_assert_eq!(rx.len(), 1);
+        prop_assert_eq!(&rx[0].payload, &payload);
+    }
+}
