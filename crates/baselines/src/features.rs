@@ -166,7 +166,10 @@ pub fn render_table1() -> String {
         out.push_str(&format!(
             "{:<28}{}\n",
             label,
-            buses.iter().map(|b| format!("{:>9}", f(b))).collect::<String>()
+            buses
+                .iter()
+                .map(|b| format!("{:>9}", f(b)))
+                .collect::<String>()
         ));
     };
     row("I/O Pads (n nodes)", &|b| b.io_pads.to_string());
@@ -178,7 +181,9 @@ pub fn render_table1() -> String {
         Some(n) => n.to_string(),
         None => "-".to_string(),
     });
-    row("Multi-Master (Interrupt)", &|b| yn(b.multi_master).to_string());
+    row("Multi-Master (Interrupt)", &|b| {
+        yn(b.multi_master).to_string()
+    });
     row("Broadcast Messages", &|b| yn(b.broadcast).to_string());
     row("Data-Independent", &|b| yn(b.data_independent).to_string());
     row("Power Aware", &|b| yn(b.power_aware).to_string());

@@ -173,7 +173,10 @@ impl I2cBus {
     pub fn new() -> Self {
         I2cBus {
             slaves: BTreeMap::new(),
-            waveform: vec![LineState { scl: true, sda: true }],
+            waveform: vec![LineState {
+                scl: true,
+                sda: true,
+            }],
             events: Vec::new(),
         }
     }
@@ -260,7 +263,10 @@ impl I2cBus {
             self.stop();
             return Err(I2cError::AddressNak);
         }
-        self.slaves.get_mut(&addr).expect("checked present").on_start();
+        self.slaves
+            .get_mut(&addr)
+            .expect("checked present")
+            .on_start();
         for (i, &byte) in data.iter().enumerate() {
             let acked = self
                 .slaves
@@ -291,7 +297,10 @@ impl I2cBus {
             self.stop();
             return Err(I2cError::AddressNak);
         }
-        self.slaves.get_mut(&addr).expect("checked present").on_start();
+        self.slaves
+            .get_mut(&addr)
+            .expect("checked present")
+            .on_start();
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let byte = self.slaves.get_mut(&addr).expect("checked present").read();

@@ -107,7 +107,9 @@ pub fn fig10_series() -> Vec<Box<dyn BusOverhead>> {
         Box::new(UartOverhead { stop_bits: 2 }),
         Box::new(I2cOverhead),
         Box::new(SpiOverhead),
-        Box::new(MbusOverhead { full_address: false }),
+        Box::new(MbusOverhead {
+            full_address: false,
+        }),
         Box::new(MbusOverhead { full_address: true }),
     ]
 }
@@ -135,7 +137,13 @@ mod tests {
         assert_eq!(SpiOverhead.overhead_bits(1000), 2);
         assert_eq!(UartOverhead { stop_bits: 1 }.overhead_bits(4), 8);
         assert_eq!(UartOverhead { stop_bits: 2 }.overhead_bits(4), 12);
-        assert_eq!(MbusOverhead { full_address: false }.overhead_bits(9999), 19);
+        assert_eq!(
+            MbusOverhead {
+                full_address: false
+            }
+            .overhead_bits(9999),
+            19
+        );
         assert_eq!(MbusOverhead { full_address: true }.overhead_bits(0), 43);
     }
 
@@ -144,7 +152,9 @@ mod tests {
         // "MBus short-addressed messages become more efficient than
         // 2-mark UART after 7 bytes and more efficient than I2C and
         // 1-mark UART after 9 bytes."
-        let mbus = MbusOverhead { full_address: false };
+        let mbus = MbusOverhead {
+            full_address: false,
+        };
         let uart2 = UartOverhead { stop_bits: 2 };
         let uart1 = UartOverhead { stop_bits: 1 };
         let i2c = I2cOverhead;

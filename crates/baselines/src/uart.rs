@@ -111,9 +111,7 @@ impl UartFormat {
             if let Some(p) = self.parity_bit(byte) {
                 line.push(p);
             }
-            for _ in 0..self.stop_bits {
-                line.push(true);
-            }
+            line.extend(std::iter::repeat_n(true, self.stop_bits as usize));
         }
         line
     }

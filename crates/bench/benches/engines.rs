@@ -1,12 +1,15 @@
-//! Criterion benches over the two protocol engines: how fast can the
+//! Micro-benches over the two protocol engines: how fast can the
 //! reproduction itself execute MBus traffic? These quantify the
 //! analytic-vs-wire-level speed gap that justifies keeping both
 //! engines (DESIGN.md ablation #4).
+//!
+//! Run with `cargo bench -p mbus-bench --bench engines`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use mbus_bench::harness::bench;
 use mbus_core::wire::WireBusBuilder;
-use mbus_core::{Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix};
+use mbus_core::{
+    Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
+};
 
 fn sp(x: u8) -> ShortPrefix {
     ShortPrefix::new(x).unwrap()
@@ -23,108 +26,93 @@ fn analytic_bus(n: usize) -> AnalyticBus {
     bus
 }
 
-fn bench_analytic_transactions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analytic_engine");
+fn bench_analytic_transactions() {
     for payload in [8usize, 64, 1024] {
-        group.throughput(Throughput::Bytes(payload as u64));
-        group.bench_with_input(
-            BenchmarkId::new("transaction", payload),
-            &payload,
-            |b, &payload| {
-                let mut bus = analytic_bus(3);
-                let dest = Address::short(sp(0x2), FuId::ZERO);
-                b.iter(|| {
-                    bus.queue(0, Message::new(dest, vec![0xA5; payload])).unwrap();
-                    let record = bus.run_transaction().unwrap();
-                    bus.take_rx(1);
-                    std::hint::black_box(record.cycles)
-                });
+        let mut bus = analytic_bus(3);
+        let dest = Address::short(sp(0x2), FuId::ZERO);
+        bench(
+            &format!("analytic_engine/transaction/{payload}B"),
+            2_000,
+            5,
+            || {
+                bus.queue(0, Message::new(dest, vec![0xA5; payload]))
+                    .unwrap();
+                let record = bus.run_transaction().unwrap();
+                bus.take_rx(1);
+                std::hint::black_box(record.cycles);
             },
         );
     }
-    group.finish();
 }
 
-fn bench_wire_transactions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire_engine");
-    group.sample_size(20);
+fn bench_wire_transactions() {
     for payload in [8usize, 64] {
-        group.throughput(Throughput::Bytes(payload as u64));
-        group.bench_with_input(
-            BenchmarkId::new("transaction", payload),
-            &payload,
-            |b, &payload| {
-                b.iter(|| {
-                    let mut bus = WireBusBuilder::new(BusConfig::default())
-                        .node(
-                            NodeSpec::new("a", FullPrefix::new(0x1).unwrap())
-                                .with_short_prefix(sp(0x1)),
-                        )
-                        .node(
-                            NodeSpec::new("b", FullPrefix::new(0x2).unwrap())
-                                .with_short_prefix(sp(0x2)),
-                        )
-                        .node(
-                            NodeSpec::new("c", FullPrefix::new(0x3).unwrap())
-                                .with_short_prefix(sp(0x3)),
-                        )
-                        .build();
-                    let dest = Address::short(sp(0x2), FuId::ZERO);
-                    bus.queue(0, Message::new(dest, vec![0xA5; payload])).unwrap();
-                    let records = bus.run_until_quiescent(50_000_000);
-                    std::hint::black_box(records.len())
-                });
+        bench(
+            &format!("wire_engine/transaction/{payload}B"),
+            20,
+            5,
+            || {
+                let mut bus = WireBusBuilder::new(BusConfig::default())
+                    .node(
+                        NodeSpec::new("a", FullPrefix::new(0x1).unwrap())
+                            .with_short_prefix(sp(0x1)),
+                    )
+                    .node(
+                        NodeSpec::new("b", FullPrefix::new(0x2).unwrap())
+                            .with_short_prefix(sp(0x2)),
+                    )
+                    .node(
+                        NodeSpec::new("c", FullPrefix::new(0x3).unwrap())
+                            .with_short_prefix(sp(0x3)),
+                    )
+                    .build();
+                let dest = Address::short(sp(0x2), FuId::ZERO);
+                bus.queue(0, Message::new(dest, vec![0xA5; payload]))
+                    .unwrap();
+                let records = bus.run_until_quiescent(50_000_000);
+                std::hint::black_box(records.len());
             },
         );
     }
-    group.finish();
 }
 
-fn bench_ring_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire_engine_ring_scaling");
-    group.sample_size(20);
+fn bench_ring_scaling() {
     for nodes in [2usize, 8, 14] {
-        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &nodes| {
-            b.iter(|| {
-                let mut builder = WireBusBuilder::new(BusConfig::default());
-                for i in 0..nodes {
-                    builder = builder.node(
-                        NodeSpec::new(format!("n{i}"), FullPrefix::new(0xA00 + i as u32).unwrap())
-                            .with_short_prefix(sp((i + 1) as u8)),
-                    );
-                }
-                let mut bus = builder.build();
-                let dest = Address::short(sp(0x1), FuId::ZERO);
-                bus.queue(nodes - 1, Message::new(dest, vec![0x42; 8])).unwrap();
-                let records = bus.run_until_quiescent(100_000_000);
-                std::hint::black_box(records.len())
-            });
+        bench(&format!("wire_engine/ring_scaling/{nodes}n"), 10, 5, || {
+            let mut builder = WireBusBuilder::new(BusConfig::default());
+            for i in 0..nodes {
+                builder = builder.node(
+                    NodeSpec::new(format!("n{i}"), FullPrefix::new(0xA00 + i as u32).unwrap())
+                        .with_short_prefix(sp((i + 1) as u8)),
+                );
+            }
+            let mut bus = builder.build();
+            let dest = Address::short(sp(0x1), FuId::ZERO);
+            bus.queue(nodes - 1, Message::new(dest, vec![0x42; 8]))
+                .unwrap();
+            let records = bus.run_until_quiescent(100_000_000);
+            std::hint::black_box(records.len());
         });
     }
-    group.finish();
 }
 
-fn bench_enumeration(c: &mut Criterion) {
-    c.bench_function("enumeration_14_nodes", |b| {
-        b.iter(|| {
-            let mut bus = AnalyticBus::new(BusConfig::default());
-            for i in 0..14 {
-                bus.add_node(NodeSpec::new(
-                    format!("chip{i}"),
-                    FullPrefix::new(0xB00 + i).unwrap(),
-                ));
-            }
-            let assignments = mbus_core::enumeration::enumerate(&mut bus, 0).unwrap();
-            std::hint::black_box(assignments.len())
-        });
+fn bench_enumeration() {
+    bench("enumeration_14_nodes", 200, 5, || {
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        for i in 0..14 {
+            bus.add_node(NodeSpec::new(
+                format!("chip{i}"),
+                FullPrefix::new(0xB00 + i).unwrap(),
+            ));
+        }
+        let assignments = mbus_core::enumeration::enumerate(&mut bus, 0).unwrap();
+        std::hint::black_box(assignments.len());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_analytic_transactions,
-    bench_wire_transactions,
-    bench_ring_scaling,
-    bench_enumeration
-);
-criterion_main!(benches);
+fn main() {
+    bench_analytic_transactions();
+    bench_wire_transactions();
+    bench_ring_scaling();
+    bench_enumeration();
+}

@@ -1,8 +1,9 @@
-//! Criterion benches over the discrete-event kernel itself: event
+//! Micro-benches over the discrete-event kernel itself: event
 //! scheduling throughput and waveform/trace handling.
+//!
+//! Run with `cargo bench -p mbus-bench --bench kernel`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use mbus_bench::harness::bench;
 use mbus_sim::{Circuit, Component, Ctx, Logic, PinId, SimTime};
 
 /// A repeater chain exercises the drive→deliver→drive pipeline.
@@ -31,52 +32,45 @@ fn chain_circuit(len: usize) -> (Circuit, mbus_sim::NetId) {
     (c, first)
 }
 
-fn bench_event_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_pipeline");
+fn bench_event_pipeline() {
     for len in [10usize, 100] {
-        group.throughput(Throughput::Elements(len as u64));
-        group.bench_with_input(BenchmarkId::new("chain", len), &len, |b, &len| {
-            b.iter(|| {
-                let (mut circuit, first) = chain_circuit(len);
-                for k in 0..100u64 {
-                    circuit.drive_external(
-                        first,
-                        if k % 2 == 0 { Logic::Low } else { Logic::High },
-                        SimTime::from_us(k),
-                    );
-                }
-                circuit.run_to_idle(1_000_000);
-                std::hint::black_box(circuit.events_processed())
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_scheduler(c: &mut Criterion) {
-    use mbus_sim::{EventKind, Scheduler};
-    c.bench_function("scheduler_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = Scheduler::new();
-            for i in 0..10_000u64 {
-                q.schedule(
-                    SimTime::from_ps(i * 37 % 5_000),
-                    EventKind::Timer {
-                        component: Default::default(),
-                        token: i,
-                    },
+        bench(&format!("kernel_pipeline/chain/{len}"), 50, 5, || {
+            let (mut circuit, first) = chain_circuit(len);
+            for k in 0..100u64 {
+                circuit.drive_external(
+                    first,
+                    if k % 2 == 0 { Logic::Low } else { Logic::High },
+                    SimTime::from_us(k),
                 );
             }
-            let mut count = 0u64;
-            while q.pop().is_some() {
-                count += 1;
-            }
-            std::hint::black_box(count)
+            circuit.run_to_idle(1_000_000);
+            std::hint::black_box(circuit.events_processed());
         });
+    }
+}
+
+fn bench_scheduler() {
+    use mbus_sim::{EventKind, Scheduler};
+    bench("scheduler_push_pop_10k", 50, 5, || {
+        let mut q = Scheduler::new();
+        for i in 0..10_000u64 {
+            q.schedule(
+                SimTime::from_ps(i * 37 % 5_000),
+                EventKind::Timer {
+                    component: Default::default(),
+                    token: i,
+                },
+            );
+        }
+        let mut count = 0u64;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        std::hint::black_box(count);
     });
 }
 
-fn bench_trace_queries(c: &mut Criterion) {
+fn bench_trace_queries() {
     let (mut circuit, first) = chain_circuit(20);
     for k in 0..1_000u64 {
         circuit.drive_external(
@@ -88,18 +82,19 @@ fn bench_trace_queries(c: &mut Criterion) {
     circuit.run_to_idle(10_000_000);
     let trace = circuit.trace().clone();
     let nets: Vec<_> = trace.nets().collect();
-    c.bench_function("trace_value_at_lookups", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for &net in &nets {
-                for t in (0..1_000u64).step_by(97) {
-                    acc += trace.value_at(net, SimTime::from_us(t)).is_high() as usize;
-                }
+    bench("trace_value_at_lookups", 20, 5, || {
+        let mut acc = 0usize;
+        for &net in &nets {
+            for t in (0..1_000u64).step_by(97) {
+                acc += trace.value_at(net, SimTime::from_us(t)).is_high() as usize;
             }
-            std::hint::black_box(acc)
-        });
+        }
+        std::hint::black_box(acc);
     });
 }
 
-criterion_group!(benches, bench_event_pipeline, bench_scheduler, bench_trace_queries);
-criterion_main!(benches);
+fn main() {
+    bench_event_pipeline();
+    bench_scheduler();
+    bench_trace_queries();
+}

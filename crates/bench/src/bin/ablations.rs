@@ -2,7 +2,9 @@
 //! end-of-message mechanisms, the priority round, and message
 //! coalescing.
 
-use mbus_core::{timing, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix};
+use mbus_core::{
+    timing, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
+};
 use mbus_power::mbus_model::{energy_per_goodput_bit, Calibration};
 
 fn sp(x: u8) -> ShortPrefix {
@@ -27,7 +29,9 @@ fn main() {
     }
     println!("\nthe length header beats interjection by 11 bits for a *known-length* message,");
     println!("but cannot end a message early (receiver error), cannot rescue a hung bus,");
-    println!("and caps message length at its field width — the paper's in-band reset argument (§4.9).");
+    println!(
+        "and caps message length at its field width — the paper's in-band reset argument (§4.9)."
+    );
 
     println!("\n=== Ablation 2: priority round latency ===\n");
     // A far node (index 5) with an urgent message contends against a
@@ -43,11 +47,18 @@ fn main() {
         }
         // Near node floods; far node has one urgent message.
         for k in 0..8u8 {
-            bus.queue(1, Message::new(Address::short(sp(0x1), FuId::ZERO), vec![k; 32]))
-                .unwrap();
+            bus.queue(
+                1,
+                Message::new(Address::short(sp(0x1), FuId::ZERO), vec![k; 32]),
+            )
+            .unwrap();
         }
         let urgent = Message::new(Address::short(sp(0x1), FuId::ZERO), vec![0xEE]);
-        let urgent = if priority { urgent.with_priority() } else { urgent };
+        let urgent = if priority {
+            urgent.with_priority()
+        } else {
+            urgent
+        };
         bus.queue(5, urgent).unwrap();
         let records = bus.run_until_quiescent();
         let position = records

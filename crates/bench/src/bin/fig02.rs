@@ -36,16 +36,30 @@ fn main() {
     // energy burned *while pulling up* nor on zero-data bits.
     let unbalanced: Vec<bool> = wf
         .iter()
-        .flat_map(|s| if s.scl { vec![true, true, true] } else { vec![false] })
+        .flat_map(|s| {
+            if s.scl {
+                vec![true, true, true]
+            } else {
+                vec![false]
+            }
+        })
         .collect();
     let sda_unb: Vec<bool> = wf
         .iter()
-        .flat_map(|s| if s.scl { vec![s.sda, s.sda, s.sda] } else { vec![s.sda] })
+        .flat_map(|s| {
+            if s.scl {
+                vec![s.sda, s.sda, s.sda]
+            } else {
+                vec![s.sda]
+            }
+        })
         .collect();
     println!("Proposed unbalanced improvement (short low phase):");
     println!("{}", strip("SCL", &unbalanced));
     println!("{}", strip("SDA", &sda_unb));
-    println!("  rejected: \"does not reduce the energy consumed by the pull-up while pulling up\"\n");
+    println!(
+        "  rejected: \"does not reduce the energy consumed by the pull-up while pulling up\"\n"
+    );
 
     // Lee I2C variant: actively driven, but needs an internal clock at
     // 5x the bus clock (rendered under the bus clock).

@@ -17,13 +17,34 @@ fn main() {
         ("IDLE", "all nodes forward high CLK and DATA"),
         ("Request", "node1 pulls DATA low; mediator self-starts"),
         ("Arbitrate (1 cycle)", "node1 samples DATA_IN high -> wins"),
-        ("Priority (1 cycle)", "no priority requests; node1 keeps the bus"),
-        ("Reserved (1 cycle)", "winner parks DATA high, commits message"),
-        ("Address (8 cycles)", "node2 matches -> Receiving; node3 -> Ignore/forward"),
-        ("Data (16 cycles)", "drive on falling edges, latch on rising"),
-        ("Interjection (5 cycles)", "node1 holds CLK; mediator toggles DATA"),
-        ("Control (3 cycles)", "bit0 = EoM (node1), bit1 = ACK (node2)"),
-        ("IDLE", "mediator parks DATA high; power-aware nodes re-gate"),
+        (
+            "Priority (1 cycle)",
+            "no priority requests; node1 keeps the bus",
+        ),
+        (
+            "Reserved (1 cycle)",
+            "winner parks DATA high, commits message",
+        ),
+        (
+            "Address (8 cycles)",
+            "node2 matches -> Receiving; node3 -> Ignore/forward",
+        ),
+        (
+            "Data (16 cycles)",
+            "drive on falling edges, latch on rising",
+        ),
+        (
+            "Interjection (5 cycles)",
+            "node1 holds CLK; mediator toggles DATA",
+        ),
+        (
+            "Control (3 cycles)",
+            "bit0 = EoM (node1), bit1 = ACK (node2)",
+        ),
+        (
+            "IDLE",
+            "mediator parks DATA high; power-aware nodes re-gate",
+        ),
     ];
     for (state, what) in phases {
         println!("  {state:<24} {what}");
@@ -47,7 +68,10 @@ fn main() {
     );
     println!(
         "  control bits observed: {}",
-        records[0].control.map(|c| c.to_string()).unwrap_or_default()
+        records[0]
+            .control
+            .map(|c| c.to_string())
+            .unwrap_or_default()
     );
     println!("  node2 received: {:02x?}", bus.take_rx(1)[0].payload);
 }

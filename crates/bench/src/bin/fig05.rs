@@ -21,10 +21,16 @@ fn main() {
 
     // The paper's scenario: node 1 requests; node 3 wants the bus with
     // priority and claims it in the priority-arbitration cycle.
-    bus.queue(0, Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xB1]))
-        .unwrap();
-    bus.queue(2, Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xC3]).with_priority())
-        .unwrap();
+    bus.queue(
+        0,
+        Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xB1]),
+    )
+    .unwrap();
+    bus.queue(
+        2,
+        Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xC3]).with_priority(),
+    )
+    .unwrap();
     let records = bus.run_until_quiescent(50_000_000);
 
     // Node 3's priority message wins the first transaction.

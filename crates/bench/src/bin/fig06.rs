@@ -22,7 +22,11 @@ fn main() {
         )
         .build();
 
-    println!("imager fully power-gated: bus_ctl={}, layer={}", bus.bus_ctl_on(1), bus.layer_on(1));
+    println!(
+        "imager fully power-gated: bus_ctl={}, layer={}",
+        bus.bus_ctl_on(1),
+        bus.layer_on(1)
+    );
     println!("motion detector asserts the interrupt port…\n");
     bus.request_wakeup(1).unwrap();
     let records = bus.run_until_quiescent(50_000_000);

@@ -19,8 +19,11 @@ fn main() {
         .build();
 
     // Node 2 transmits one byte to node 1; node 3 forwards.
-    bus.queue(1, Message::new(Address::short(sp(0x1), FuId::ZERO), vec![0xA7]))
-        .unwrap();
+    bus.queue(
+        1,
+        Message::new(Address::short(sp(0x1), FuId::ZERO), vec![0xA7]),
+    )
+    .unwrap();
     let records = bus.run_until_quiescent(50_000_000);
     let r = &records[0];
 
@@ -29,7 +32,10 @@ fn main() {
         r.cycles,
         r.control.map(|c| c.to_string()).unwrap_or_default()
     );
-    println!("payload delivered to node1: {:02x?}\n", bus.take_rx(0)[0].payload);
+    println!(
+        "payload delivered to node1: {:02x?}\n",
+        bus.take_rx(0)[0].payload
+    );
 
     // Window over the tail: last data bits, interjection, control.
     let period = SimTime::from_ns(2_500);
@@ -47,7 +53,9 @@ fn main() {
         .sample_every(SimTime::from_ns(312))
         .label_width(8)
         .render(bus.trace(), &nets);
-    println!("tail of the transaction (note CLK held high while DATA toggles — the interjection):\n");
+    println!(
+        "tail of the transaction (note CLK held high while DATA toggles — the interjection):\n"
+    );
     println!("{wave}");
     println!("events: TX requests interjection by holding CLK | mediator toggles DATA |");
     println!("        control bit 0 (EoM, high) | control bit 1 (ACK, low) | idle");

@@ -1,7 +1,9 @@
 //! Fig. 10: bus overhead in bits vs. message length for UART (1/2-stop),
 //! I2C, SPI, and MBus (short/full addressing).
 
-use mbus_baselines::overhead::{crossover_bytes, fig10_series, I2cOverhead, MbusOverhead, UartOverhead};
+use mbus_baselines::overhead::{
+    crossover_bytes, fig10_series, I2cOverhead, MbusOverhead, UartOverhead,
+};
 use mbus_bench::multi_series_table;
 
 fn main() {
@@ -19,10 +21,17 @@ fn main() {
         .collect();
     print!(
         "{}",
-        multi_series_table("overhead bits by payload length (bytes)", "bytes", &names, &rows)
+        multi_series_table(
+            "overhead bits by payload length (bytes)",
+            "bytes",
+            &names,
+            &rows
+        )
     );
 
-    let mbus = MbusOverhead { full_address: false };
+    let mbus = MbusOverhead {
+        full_address: false,
+    };
     println!("\ncrossovers (first payload where MBus short strictly wins):");
     println!(
         "  vs UART 2-stop: {:?} bytes   (paper: \"after 7 bytes\")",

@@ -73,16 +73,24 @@ fn main() {
     ];
     print!(
         "{}",
-        multi_series_table("energy per goodput bit (pJ) vs payload (bytes)", "bytes", &names_b, &rows)
+        multi_series_table(
+            "energy per goodput bit (pJ) vs payload (bytes)",
+            "bytes",
+            &names_b,
+            &rows
+        )
     );
 
     println!("\npaper-text checks:");
-    println!("  simulated MBus < Oracle I2C for all payload lengths: {}", {
-        (1..=12).all(|n| {
-            energy_per_goodput_bit(n, 14, Calibration::Simulated).as_pj()
-                < oracle14.energy_per_goodput_bit(n).as_pj()
-        })
-    });
+    println!(
+        "  simulated MBus < Oracle I2C for all payload lengths: {}",
+        {
+            (1..=12).all(|n| {
+                energy_per_goodput_bit(n, 14, Calibration::Simulated).as_pj()
+                    < oracle14.energy_per_goodput_bit(n).as_pj()
+            })
+        }
+    );
     println!(
         "  measured MBus suffers for 1-2 byte messages (coalesce!): 1B costs {:.0} pJ/bit vs {:.0} pJ/bit at 12B",
         energy_per_goodput_bit(1, 14, Calibration::Measured).as_pj(),

@@ -21,7 +21,12 @@ fn main() {
         .collect();
     print!(
         "{}",
-        multi_series_table("transactions/second vs payload (bytes)", "bytes", &name_refs, &rows)
+        multi_series_table(
+            "transactions/second vs payload (bytes)",
+            "bytes",
+            &name_refs,
+            &rows
+        )
     );
 
     println!("\nengine validation (run flat-out for 0.5 s of bus time at 400 kHz):");

@@ -7,7 +7,12 @@ use mbus_core::ParallelMbus;
 fn main() {
     println!("=== Fig. 15: Parallel MBus Goodput (400 kHz bus clock) ===\n");
     let lanes: Vec<ParallelMbus> = (1..=4).map(|w| ParallelMbus::new(w).unwrap()).collect();
-    let names = ["1 DATA wire", "2 DATA wires", "3 DATA wires", "4 DATA wires"];
+    let names = [
+        "1 DATA wire",
+        "2 DATA wires",
+        "3 DATA wires",
+        "4 DATA wires",
+    ];
     let rows: Vec<(f64, Vec<f64>)> = (0..=128usize)
         .step_by(8)
         .map(|n| {
@@ -22,10 +27,20 @@ fn main() {
         .collect();
     print!(
         "{}",
-        multi_series_table("goodput (kbit/s) vs payload (bytes)", "bytes", &names, &rows)
+        multi_series_table(
+            "goodput (kbit/s) vs payload (bytes)",
+            "bytes",
+            &names,
+            &rows
+        )
     );
     println!("\nasymptotes: each DATA line adds ~400 kbit/s; overhead dominates short messages.");
-    println!("pin cost: {} pins for 1 lane -> {} pins for 4 lanes",
-        lanes[0].pin_count(), lanes[3].pin_count());
-    println!("backward compatible: lane 0 carries all protocol elements; the mediator is unmodified.");
+    println!(
+        "pin cost: {} pins for 1 lane -> {} pins for 4 lanes",
+        lanes[0].pin_count(),
+        lanes[3].pin_count()
+    );
+    println!(
+        "backward compatible: lane 0 carries all protocol elements; the mediator is unmodified."
+    );
 }

@@ -1,13 +1,47 @@
 //! §6.3.2: the monitor-and-alert (motion camera) microbenchmark
-//! numbers.
+//! numbers — the wake-plus-frame-transfer pattern defined once as an
+//! engine-generic [`Workload`] and executed on both protocol engines,
+//! then the paper's overhead accounting on top.
 
+use mbus_core::{EngineKind, ScenarioReport, Workload};
 use mbus_systems::imager::{
-    frame_time, paper_frame_time, ImagerSystem, TransferAnalysis, IMAGE_BYTES,
+    frame_time, paper_frame_time, ImagerSystem, TransferAnalysis, HEIGHT, IMAGE_BYTES, ROW_BYTES,
 };
+
+fn report_engine(report: &ScenarioReport) {
+    println!(
+        "  [{:>8}] {} transactions ({} null wake + {} rows), {} bus cycles",
+        report.kind.name(),
+        report.records.len(),
+        report.records.iter().filter(|r| r.is_null()).count(),
+        report.records.iter().filter(|r| !r.is_null()).count(),
+        report.total_cycles(),
+    );
+}
 
 fn main() {
     println!("=== §6.3.2: Monitor and Alert (motion camera, Fig. 13) ===\n");
 
+    // Motion wake + full-height row transfer, once, on both engines.
+    // (The wire engine simulates every edge of all 160 row messages —
+    // about a quarter-million bus cycles.)
+    let workload = Workload::monitor_alert(HEIGHT, ROW_BYTES);
+    println!("workload '{}' on both engines:", workload.name());
+    let reports: Vec<ScenarioReport> = EngineKind::ALL
+        .iter()
+        .map(|&kind| workload.run_on(kind))
+        .collect();
+    for report in &reports {
+        report_engine(report);
+    }
+    assert_eq!(
+        reports[0].signature(),
+        reports[1].signature(),
+        "engines disagree on the monitor-alert record stream"
+    );
+    println!("  cross-check: signatures identical\n");
+
+    // The full system model (device energies, lossless pixel check).
     let mut sys = ImagerSystem::new();
     sys.motion_detected();
     let frame = sys.transfer_row_by_row();
@@ -27,7 +61,9 @@ fn main() {
     );
     println!(
         "  MBus, 160 rows      : {:>6} bits (+{} bits = {:.2} %)   (paper: 3,021 bits, 1.31 %)",
-        a.mbus_rows_bits, a.chunking_extra_bits, a.chunking_percent()
+        a.mbus_rows_bits,
+        a.chunking_extra_bits,
+        a.chunking_percent()
     );
     println!(
         "  I2C, one message    : {:>6} bits (12.5 % of payload)   (paper: 28,810)",
@@ -44,7 +80,10 @@ fn main() {
     );
 
     println!("full-frame transfer time across the tunable clock range:");
-    println!("{:>12} {:>16} {:>22}", "clock", "bit-serial", "paper arithmetic");
+    println!(
+        "{:>12} {:>16} {:>22}",
+        "clock", "bit-serial", "paper arithmetic"
+    );
     for hz in [10_000u64, 400_000, 6_670_000] {
         println!(
             "{:>9} Hz {:>13.1} ms {:>19.1} ms",

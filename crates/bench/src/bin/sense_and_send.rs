@@ -1,26 +1,69 @@
-//! §6.3.1: the sense-and-send microbenchmark numbers.
+//! §6.3.1: the sense-and-send microbenchmark numbers — defined once as
+//! an engine-generic [`Workload`] and executed on *both* protocol
+//! engines, then the paper's energy arithmetic on top.
 
 use mbus_core::{Address, FuId, Message, ShortPrefix};
+use mbus_core::{EngineKind, ScenarioReport, Workload};
 use mbus_power::mbus_model::{message_energy, Calibration};
 use mbus_systems::temperature::{Routing, SenseAndSendComparison, TemperatureSystem};
 
+/// Prints one engine's view of the workload — the same function for
+/// every engine, which is the point of the `BusEngine` layer.
+fn report_engine(report: &ScenarioReport) {
+    println!(
+        "  [{:>8}] {} transactions ({} self-wake nulls), {} bus cycles, {} deliveries",
+        report.kind.name(),
+        report.records.len(),
+        report.records.iter().filter(|r| r.is_null()).count(),
+        report.total_cycles(),
+        report.delivered_messages(),
+    );
+}
+
 fn main() {
     println!("=== §6.3.1: Sense and Send (temperature system, Fig. 12) ===\n");
+
+    // The transaction pattern, once, on both engines.
+    let workload = Workload::sense_and_send(3);
+    println!("workload '{}' on both engines:", workload.name());
+    let reports: Vec<ScenarioReport> = EngineKind::ALL
+        .iter()
+        .map(|&kind| workload.run_on(kind))
+        .collect();
+    for report in &reports {
+        report_engine(report);
+    }
+    assert_eq!(
+        reports[0].signature(),
+        reports[1].signature(),
+        "engines disagree on the sense-and-send record stream"
+    );
+    println!("  cross-check: signatures identical\n");
 
     // The message-energy arithmetic, exactly as printed in the paper.
     let dest = Address::short(ShortPrefix::new(0x3).unwrap(), FuId::ZERO);
     let eight = Message::new(dest, vec![0; 8]);
     let e_msg = message_energy(&eight, 3, Calibration::Measured);
     println!("8-byte message, 3-chip stack:");
-    println!("  (64+19) bits x (27.45 TX + 22.71 RX + 17.55 FWD) pJ/bit = {e_msg}   (paper: 5.6 nJ)");
-    println!("  sending it twice (via the processor) would cost {}", e_msg * 2.0);
+    println!(
+        "  (64+19) bits x (27.45 TX + 22.71 RX + 17.55 FWD) pJ/bit = {e_msg}   (paper: 5.6 nJ)"
+    );
+    println!(
+        "  sending it twice (via the processor) would cost {}",
+        e_msg * 2.0
+    );
     println!("  plus 50 cycles x 20 pJ/cycle = 1 nJ of processor relay handling\n");
 
     let mut sys = TemperatureSystem::new(Routing::Direct);
     sys.run_events(5);
     let e = sys.average_event_energy();
     println!("full event (measured on the running system):");
-    println!("  bus {} + devices {} = {}   (paper: ~100 nJ)", e.bus, e.devices, e.total());
+    println!(
+        "  bus {} + devices {} = {}   (paper: ~100 nJ)",
+        e.bus,
+        e.devices,
+        e.total()
+    );
     println!(
         "  bus utilization {:.4} % at 400 kHz   (paper: 0.0022 %)\n",
         sys.utilization() * 100.0

@@ -10,7 +10,11 @@ fn main() {
         println!(
             "  {:<8} meets all critical §3 requirements: {}",
             bus.name,
-            if meets_critical_requirements(&bus) { "YES" } else { "no" }
+            if meets_critical_requirements(&bus) {
+                "YES"
+            } else {
+                "no"
+            }
         );
     }
     println!("\npaper: \"Only MBus satisfies all of our required features.\"");

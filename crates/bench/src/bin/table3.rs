@@ -1,12 +1,12 @@
 //! Table 3: measured MBus power draw by role, plus the simulation
 //! anchor and the measured/simulated gap the paper discusses in §6.2.
 
+use mbus_core::{Address, FuId, Message, ShortPrefix};
+use mbus_power::mbus_model::message_energy;
 use mbus_power::mbus_model::{
     measured_average_pj_per_bit, Calibration, MEASURED_FWD_PJ_PER_BIT, MEASURED_RX_PJ_PER_BIT,
     MEASURED_TX_PJ_PER_BIT, SIMULATED_IDLE_PW_PER_CHIP, SIMULATED_PJ_PER_BIT_PER_CHIP,
 };
-use mbus_power::mbus_model::message_energy;
-use mbus_core::{Address, FuId, Message, ShortPrefix};
 
 fn main() {
     println!("=== Table 3: Measured MBus Power Draw ===\n");
@@ -25,7 +25,8 @@ fn main() {
     );
     println!(
         "{:<36}{:>11.2} pJ",
-        "Average", measured_average_pj_per_bit()
+        "Average",
+        measured_average_pj_per_bit()
     );
 
     println!("\nPrimeTime simulation (§6.2):");
@@ -36,7 +37,12 @@ fn main() {
     let sim = message_energy(&msg, 3, Calibration::Simulated);
     let meas = message_energy(&msg, 3, Calibration::Measured);
     println!("\n8-byte message on the 3-chip stack:");
-    println!("  simulated {sim}, measured {meas} (ratio {:.1}x)", meas / sim);
+    println!(
+        "  simulated {sim}, measured {meas} (ratio {:.1}x)",
+        meas / sim
+    );
     println!("  paper attributes the ~6.5x gap to non-isolatable chip overheads");
-    println!("\npaper §6.3.1 check: (64+19) bits x (27.45+22.71+17.55) pJ/bit = {meas} (paper: 5.6 nJ)");
+    println!(
+        "\npaper §6.3.1 check: (64+19) bits x (27.45+22.71+17.55) pJ/bit = {meas} (paper: 5.6 nJ)"
+    );
 }

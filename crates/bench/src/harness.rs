@@ -1,0 +1,74 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The build image has no access to a crate registry, so the benches
+//! cannot use criterion; this module provides the small slice of it
+//! they need: warmup, repeated timed batches, and a median-of-batches
+//! report that is robust to scheduler noise.
+//!
+//! Used by the `[[bench]]` targets (which set `harness = false`) via
+//! `cargo bench -p mbus-bench`.
+
+use std::time::Instant;
+
+/// Runs `f` repeatedly and reports the median per-iteration time.
+///
+/// `f` is invoked `iters` times per batch for `batches` batches after
+/// one untimed warmup batch; the printed figure is the median batch
+/// divided by `iters`.
+pub fn bench(name: &str, iters: u32, batches: u32, mut f: impl FnMut()) {
+    assert!(iters > 0 && batches > 0, "empty benchmark");
+    for _ in 0..iters {
+        f(); // warmup
+    }
+    let mut samples: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name:<44} {:>12}  (min {} / max {})",
+        format_duration(median),
+        format_duration(lo),
+        format_duration(hi)
+    );
+}
+
+/// Formats seconds as an adaptive ns/µs/ms/s figure.
+pub fn format_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_span_the_units() {
+        assert!(format_duration(5e-9).ends_with("ns"));
+        assert!(format_duration(5e-6).ends_with("µs"));
+        assert!(format_duration(5e-3).ends_with("ms"));
+        assert!(format_duration(5.0).ends_with('s'));
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u32;
+        bench("noop", 3, 2, || count += 1);
+        assert_eq!(count, 3 * 3); // warmup + 2 batches
+    }
+}

@@ -18,18 +18,26 @@
 //! | `fig11` | power and energy-per-goodput-bit comparisons |
 //! | `fig14` | saturating transaction rate |
 //! | `fig15` | parallel-MBus goodput |
-//! | `sense_and_send` | §6.3.1 numbers |
-//! | `monitor_alert` | §6.3.2 numbers |
+//! | `sense_and_send` | §6.3.1 numbers, engine-generic (both engines) |
+//! | `monitor_alert` | §6.3.2 numbers, engine-generic (both engines) |
+//! | `storm` | many-node contention storms on both engines |
+//! | `sweep` | parallel engine-backed sweeps, serial-vs-sharded verified |
 //! | `bitbang` | §6.6 numbers |
 //! | `ablations` | DESIGN.md's design-choice studies |
 //!
 //! Run any of them with `cargo run -p mbus-bench --bin <name>`.
-//! The Criterion benches (`cargo bench -p mbus-bench`) measure the
-//! throughput of the two protocol engines and the event kernel.
+//! The workload binaries are written once against
+//! [`mbus_core::engine::BusEngine`] and executed on both protocol
+//! engines, cross-checking the record streams as they go.
+//! The micro-benches (`cargo bench -p mbus-bench`, using the
+//! dependency-free [`harness`]) measure the throughput of the two
+//! protocol engines and the event kernel.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+
+pub mod harness;
 
 /// Formats a numeric series as an aligned two-column table.
 pub fn two_col_table(title: &str, x_label: &str, y_label: &str, rows: &[(f64, f64)]) -> String {

@@ -332,7 +332,10 @@ mod tests {
     #[test]
     fn fu_id_bounds() {
         assert!(FuId::new(0xF).is_ok());
-        assert_eq!(FuId::new(0x10), Err(MbusError::FuIdOutOfRange { raw: 0x10 }));
+        assert_eq!(
+            FuId::new(0x10),
+            Err(MbusError::FuIdOutOfRange { raw: 0x10 })
+        );
     }
 
     #[test]

@@ -9,23 +9,23 @@
 //! to.
 
 use std::collections::VecDeque;
-use std::fmt;
 
 use mbus_sim::SimTime;
 
 use crate::addr::Address;
 use crate::config::BusConfig;
+use crate::config::MIN_BYTES_BEFORE_INTERJECT;
 use crate::control::{ControlBits, Interjector, TxOutcome};
+use crate::engine::transaction_activity;
 use crate::error::MbusError;
 use crate::message::Message;
 use crate::node::NodeSpec;
 use crate::power_domain::NodePower;
-use crate::config::MIN_BYTES_BEFORE_INTERJECT;
 use crate::timing::{ARBITRATION_CYCLES, CONTROL_CYCLES, INTERJECTION_CYCLES};
 
-/// Index of a node on the bus; the mediator is always index 0 and
-/// topological priority decreases with increasing index (§4.3).
-pub type NodeIndex = usize;
+// The bookkeeping types are shared with the wire-level engine and live
+// in `crate::engine`; re-exported here for backward compatibility.
+pub use crate::engine::{BusStats, NodeIndex, ReceivedMessage, Role};
 
 /// How plain (non-priority-round) arbitration resolves ties (§7,
 /// "Topological Priority, Fairness, and Progress").
@@ -40,41 +40,6 @@ pub enum ArbitrationPolicy {
     /// nodes are served round-robin. Costs state in the always-on
     /// wire controller — which is why the paper left it future work.
     Rotating,
-}
-
-/// The role a node played in one transaction, for energy accounting
-/// (Table 3 distinguishes sending / receiving / forwarding energy).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Role {
-    /// Drove the message onto the bus.
-    Transmit,
-    /// Latched the message as its destination.
-    Receive,
-    /// Passed CLK and DATA through (every other active node).
-    Forward,
-}
-
-impl fmt::Display for Role {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Role::Transmit => write!(f, "tx"),
-            Role::Receive => write!(f, "rx"),
-            Role::Forward => write!(f, "fwd"),
-        }
-    }
-}
-
-/// A message delivered to a node's layer controller.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ReceivedMessage {
-    /// Index of the transmitting node.
-    pub from: NodeIndex,
-    /// The address it was sent to (broadcasts keep their channel).
-    pub dest: Address,
-    /// Payload bytes, byte-aligned per §4.9.
-    pub payload: Vec<u8>,
-    /// Bus time at delivery (end of the control phase).
-    pub at: SimTime,
 }
 
 /// Everything that happened in one bus transaction.
@@ -111,45 +76,6 @@ impl TransactionRecord {
     }
 }
 
-/// Cumulative statistics over a bus's lifetime.
-#[derive(Clone, Debug, Default)]
-pub struct BusStats {
-    /// Completed transactions (including null transactions).
-    pub transactions: u64,
-    /// Total bus-clock cycles spent non-idle.
-    pub busy_cycles: u64,
-    /// Per-node cumulative transmitted bits.
-    pub tx_bits: Vec<u64>,
-    /// Per-node cumulative received bits.
-    pub rx_bits: Vec<u64>,
-    /// Per-node cumulative forwarded bits.
-    pub fwd_bits: Vec<u64>,
-    /// Per-node layer wake count.
-    pub layer_wakes: Vec<u64>,
-    /// Per-node bus-controller wake count.
-    pub bus_ctl_wakes: Vec<u64>,
-}
-
-impl BusStats {
-    fn ensure_nodes(&mut self, n: usize) {
-        self.tx_bits.resize(n, 0);
-        self.rx_bits.resize(n, 0);
-        self.fwd_bits.resize(n, 0);
-        self.layer_wakes.resize(n, 0);
-        self.bus_ctl_wakes.resize(n, 0);
-    }
-
-    /// Bus utilization over `elapsed` at `clock_hz` — §6.3.1 reports
-    /// 0.0022 % for the temperature system.
-    pub fn utilization(&self, elapsed: SimTime, clock_hz: u64) -> f64 {
-        if elapsed.is_zero() {
-            return 0.0;
-        }
-        let busy_secs = self.busy_cycles as f64 / clock_hz as f64;
-        busy_secs / elapsed.as_secs_f64()
-    }
-}
-
 #[derive(Debug)]
 struct NodeState {
     spec: NodeSpec,
@@ -167,7 +93,10 @@ impl NodeState {
     }
 
     fn priority_pending(&self) -> bool {
-        self.tx_queue.front().map(Message::is_priority).unwrap_or(false)
+        self.tx_queue
+            .front()
+            .map(Message::is_priority)
+            .unwrap_or(false)
     }
 }
 
@@ -239,9 +168,17 @@ impl AnalyticBus {
     /// returns its index. Index 0 is the mediator node.
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeIndex {
         let index = self.nodes.len();
+        // Only power-aware nodes boot gated; everything else keeps its
+        // domains on, exactly like the wire-level engine — so wake
+        // counting agrees across engines.
+        let mut power = NodePower::new();
+        if !spec.is_power_aware() {
+            while power.clock_edge_toward_bus_ctl().is_some() {}
+            while power.clock_edge_toward_layer().is_some() {}
+        }
         self.nodes.push(NodeState {
             spec,
-            power: NodePower::new(),
+            power,
             tx_queue: VecDeque::new(),
             rx_log: Vec::new(),
             wake_requested: false,
@@ -433,7 +370,11 @@ impl AnalyticBus {
             .ring_order_after(arb_winner)
             .into_iter()
             .find(|&i| self.nodes[i].priority_pending() && !self.nodes[i].tx_queue.is_empty())
-            .filter(|_| tx_contenders.iter().any(|&i| self.nodes[i].priority_pending()))
+            .filter(|_| {
+                tx_contenders
+                    .iter()
+                    .any(|&i| self.nodes[i].priority_pending())
+            })
             .unwrap_or(arb_winner);
 
         let msg = self.nodes[winner]
@@ -488,12 +429,11 @@ impl AnalyticBus {
         // Fig. 6: mediator wakes, finds no arbitration winner, raises a
         // general error, and returns the bus to idle. The generated
         // edges wake every hierarchical power domain of the requesters.
-        let cycles =
-            (ARBITRATION_CYCLES + INTERJECTION_CYCLES + CONTROL_CYCLES) as u64;
+        let cycles = (ARBITRATION_CYCLES + INTERJECTION_CYCLES + CONTROL_CYCLES) as u64;
         for &i in requesters {
             self.complete_self_wake(i);
         }
-        let activity = self.forwarding_activity(cycles, &[]);
+        let activity = transaction_activity(self.nodes.len(), None, &[], cycles);
         let record = TransactionRecord {
             seq: self.seq,
             start: self.now,
@@ -542,40 +482,40 @@ impl AnalyticBus {
             .min()
             .map(|cap| cap.max(MIN_BYTES_BEFORE_INTERJECT));
 
-        let (bytes_on_wire, extra_bits, outcome, interjector, control) =
-            if msg.len() > mediator_cap {
-                (
-                    mediator_cap,
-                    1,
-                    TxOutcome::LengthEnforced,
-                    Interjector::Mediator,
-                    ControlBits::GENERAL_ERROR,
-                )
-            } else if let Some(allowed) = rx_allowed.filter(|&allowed| msg.len() > allowed) {
-                (
-                    allowed,
-                    1,
-                    TxOutcome::ReceiverAbort,
-                    Interjector::Receiver,
-                    ControlBits::GENERAL_ERROR,
-                )
-            } else if dest_nodes.is_empty() {
-                (
-                    msg.len(),
-                    0,
-                    TxOutcome::NoDestination,
-                    Interjector::Transmitter,
-                    ControlBits::END_OF_MESSAGE_NAK,
-                )
-            } else {
-                (
-                    msg.len(),
-                    0,
-                    TxOutcome::Acked,
-                    Interjector::Transmitter,
-                    ControlBits::END_OF_MESSAGE_ACK,
-                )
-            };
+        let (bytes_on_wire, extra_bits, outcome, interjector, control) = if msg.len() > mediator_cap
+        {
+            (
+                mediator_cap,
+                1,
+                TxOutcome::LengthEnforced,
+                Interjector::Mediator,
+                ControlBits::GENERAL_ERROR,
+            )
+        } else if let Some(allowed) = rx_allowed.filter(|&allowed| msg.len() > allowed) {
+            (
+                allowed,
+                1,
+                TxOutcome::ReceiverAbort,
+                Interjector::Receiver,
+                ControlBits::GENERAL_ERROR,
+            )
+        } else if dest_nodes.is_empty() {
+            (
+                msg.len(),
+                0,
+                TxOutcome::NoDestination,
+                Interjector::Transmitter,
+                ControlBits::END_OF_MESSAGE_NAK,
+            )
+        } else {
+            (
+                msg.len(),
+                0,
+                TxOutcome::Acked,
+                Interjector::Transmitter,
+                ControlBits::END_OF_MESSAGE_ACK,
+            )
+        };
 
         let data_cycles = 8 * bytes_on_wire as u64 + extra_bits;
         let cycles = ARBITRATION_CYCLES as u64
@@ -603,20 +543,11 @@ impl AnalyticBus {
             }
         }
 
-        // Activity: winner transmits, destinations receive, every other
-        // node forwards. Bits = message bits on the wire (the overhead
-        // cycles also clock every hop; include them — that is what the
-        // paper's E_message formula does by charging (overhead + 8n)).
-        let message_bits = cycles;
-        let mut activity = vec![(winner, Role::Transmit, message_bits)];
-        for &i in &dest_nodes {
-            activity.push((i, Role::Receive, message_bits));
-        }
-        for i in 0..self.nodes.len() {
-            if i != winner && !dest_nodes.contains(&i) {
-                activity.push((i, Role::Forward, message_bits));
-            }
-        }
+        // Activity: winner transmits, address-matched nodes receive
+        // (even on an abort — their controller latched bits), every
+        // other node forwards. Bits = full cycle count, which is what
+        // the paper's E_message formula charges (overhead + 8n).
+        let activity = transaction_activity(self.nodes.len(), Some(winner), &dest_nodes, cycles);
 
         let record = TransactionRecord {
             seq: self.seq,
@@ -634,28 +565,10 @@ impl AnalyticBus {
         record
     }
 
-    fn forwarding_activity(
-        &self,
-        cycles: u64,
-        exclude: &[NodeIndex],
-    ) -> Vec<(NodeIndex, Role, u64)> {
-        (0..self.nodes.len())
-            .filter(|i| !exclude.contains(i))
-            .map(|i| (i, Role::Forward, cycles))
-            .collect()
-    }
-
     fn finish_transaction(&mut self, record: &TransactionRecord) {
         self.seq += 1;
-        self.stats.transactions += 1;
-        self.stats.busy_cycles += record.cycles;
-        for &(node, role, bits) in &record.activity {
-            match role {
-                Role::Transmit => self.stats.tx_bits[node] += bits,
-                Role::Receive => self.stats.rx_bits[node] += bits,
-                Role::Forward => self.stats.fwd_bits[node] += bits,
-            }
-        }
+        self.stats
+            .record_transaction(record.cycles, &record.activity);
         let wakeup = self.config.clock_period() * self.config.mediator_wakeup_cycles() as u64;
         self.now += wakeup + self.config.clock_period() * record.cycles;
     }
@@ -705,7 +618,8 @@ mod tests {
     #[test]
     fn simple_delivery_and_cycles() {
         let mut bus = three_node_bus();
-        bus.queue(0, Message::new(addr(0x2), vec![1, 2, 3, 4])).unwrap();
+        bus.queue(0, Message::new(addr(0x2), vec![1, 2, 3, 4]))
+            .unwrap();
         let r = bus.run_transaction().unwrap();
         assert_eq!(r.winner, Some(0));
         assert_eq!(r.cycles, 19 + 32);
@@ -817,7 +731,10 @@ mod tests {
         assert_eq!(r.outcome, TxOutcome::ReceiverAbort);
         assert_eq!(r.interjector, Interjector::Receiver);
         assert_eq!(r.bytes_on_wire, 8);
-        assert!(bus.take_rx(1).is_empty(), "aborted message is not delivered");
+        assert!(
+            bus.take_rx(1).is_empty(),
+            "aborted message is not delivered"
+        );
         // Cycles: 19 overhead + 64 bits + the 1 excess bit that makes
         // the overrun observable.
         assert_eq!(r.cycles, 19 + 64 + 1);
@@ -831,7 +748,8 @@ mod tests {
         *bus.spec_mut(1) = NodeSpec::new("sensor", FullPrefix::new(0x00002).unwrap())
             .with_short_prefix(sp(0x2))
             .with_rx_buffer(2);
-        bus.queue(0, Message::new(addr(0x2), vec![1, 2, 3])).unwrap();
+        bus.queue(0, Message::new(addr(0x2), vec![1, 2, 3]))
+            .unwrap();
         let r = bus.run_transaction().unwrap();
         assert_eq!(r.outcome, TxOutcome::Acked, "3 bytes fit under the floor");
         assert_eq!(bus.take_rx(1).len(), 1);
@@ -977,8 +895,10 @@ mod tests {
             NodeSpec::new("far", FullPrefix::new(0x00003).unwrap()).with_short_prefix(sp(0x3)),
         );
         for k in 0..4u8 {
-            bus.queue(1, Message::new(addr(0x1), vec![0x10 + k])).unwrap();
-            bus.queue(2, Message::new(addr(0x1), vec![0x20 + k])).unwrap();
+            bus.queue(1, Message::new(addr(0x1), vec![0x10 + k]))
+                .unwrap();
+            bus.queue(2, Message::new(addr(0x1), vec![0x20 + k]))
+                .unwrap();
         }
         let records = bus.run_until_quiescent();
         let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
@@ -991,8 +911,10 @@ mod tests {
         // drains the near node's queue first.
         let mut bus = three_node_bus();
         for k in 0..3u8 {
-            bus.queue(1, Message::new(addr(0x1), vec![0x10 + k])).unwrap();
-            bus.queue(2, Message::new(addr(0x1), vec![0x20 + k])).unwrap();
+            bus.queue(1, Message::new(addr(0x1), vec![0x10 + k]))
+                .unwrap();
+            bus.queue(2, Message::new(addr(0x1), vec![0x20 + k]))
+                .unwrap();
         }
         let records = bus.run_until_quiescent();
         let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();

@@ -219,7 +219,9 @@ mod tests {
         let c = BusConfig::default();
         assert!(c.with_max_message_bytes(1023).is_err());
         assert_eq!(
-            c.with_max_message_bytes(28_800).unwrap().max_message_bytes(),
+            c.with_max_message_bytes(28_800)
+                .unwrap()
+                .max_message_bytes(),
             28_800
         );
     }

@@ -1,0 +1,501 @@
+//! The engine abstraction: one transaction-level surface over both
+//! MBus executions.
+//!
+//! The repository ships two protocol engines — the transaction-level
+//! [`AnalyticBus`] (§6.1 cycle budget) and the edge-accurate
+//! [`WireEngine`](crate::wire::WireEngine) — whose APIs historically
+//! mirrored each other only by convention, so every workload and
+//! cross-check was written twice. The [`BusEngine`] trait captures the
+//! shared surface (add nodes, queue messages, request wakeups, run,
+//! drain receive logs, read statistics), and [`EngineRecord`] is the
+//! normalized per-transaction observation both engines can produce
+//! *identically*, which is what the cross-check suite compares.
+//!
+//! This module also holds the bookkeeping types the two engines share:
+//! [`BusStats`], [`Role`], [`ReceivedMessage`], and the activity
+//! attribution helper, so the accounting is computed by one code path
+//! regardless of engine.
+//!
+//! # Engine differences
+//!
+//! The engines agree cycle-for-cycle on every transaction that runs.
+//! One *scheduling* difference is inherent: a power-gated node that
+//! wants to transmit on an otherwise idle bus first self-wakes with a
+//! null transaction at the wire level (its bus controller needs the
+//! 4-edge wakeup before it may drive, see
+//! `crates/core/tests/wire_engine.rs`), while the analytic engine folds
+//! that wakeup into the transaction itself. The scenario layer
+//! normalizes this when comparing engines; see
+//! [`crate::scenario::ScenarioReport::signature`].
+//!
+//! # Example
+//!
+//! ```
+//! use mbus_core::engine::{build_engine, BusEngine, EngineKind};
+//! use mbus_core::{Address, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix};
+//!
+//! for kind in EngineKind::ALL {
+//!     let mut bus = build_engine(kind, BusConfig::default());
+//!     let a = bus.add_node(
+//!         NodeSpec::new("a", FullPrefix::new(0x1)?).with_short_prefix(ShortPrefix::new(0x1)?),
+//!     );
+//!     let b = bus.add_node(
+//!         NodeSpec::new("b", FullPrefix::new(0x2)?).with_short_prefix(ShortPrefix::new(0x2)?),
+//!     );
+//!     bus.queue(
+//!         a,
+//!         Message::new(Address::short(ShortPrefix::new(0x2)?, FuId::ZERO), vec![0x42]),
+//!     )?;
+//!     let records = bus.run_until_quiescent();
+//!     assert_eq!(records.len(), 1);
+//!     assert_eq!(records[0].cycles, 19 + 8);
+//!     assert_eq!(bus.take_rx(b)[0].payload, vec![0x42]);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use mbus_sim::SimTime;
+
+use crate::addr::Address;
+use crate::analytic::{AnalyticBus, TransactionRecord};
+use crate::config::BusConfig;
+use crate::control::{ControlBits, TxOutcome};
+use crate::error::MbusError;
+use crate::message::Message;
+use crate::node::NodeSpec;
+use crate::wire::WireEngine;
+
+/// Index of a node on the bus; the mediator is always index 0 and
+/// topological priority decreases with increasing index (§4.3).
+pub type NodeIndex = usize;
+
+/// The role a node played in one transaction, for energy accounting
+/// (Table 3 distinguishes sending / receiving / forwarding energy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Drove the message onto the bus.
+    Transmit,
+    /// Latched the message as its destination.
+    Receive,
+    /// Passed CLK and DATA through (every other active node).
+    Forward,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Transmit => write!(f, "tx"),
+            Role::Receive => write!(f, "rx"),
+            Role::Forward => write!(f, "fwd"),
+        }
+    }
+}
+
+/// A message delivered to a node's layer controller.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReceivedMessage {
+    /// Index of the transmitting node.
+    pub from: NodeIndex,
+    /// The address it was sent to (broadcasts keep their channel).
+    pub dest: Address,
+    /// Payload bytes, byte-aligned per §4.9.
+    pub payload: Vec<u8>,
+    /// Bus time at delivery (end of the control phase).
+    pub at: SimTime,
+}
+
+/// Cumulative statistics over a bus's lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Completed transactions (including null transactions).
+    pub transactions: u64,
+    /// Total bus-clock cycles spent non-idle.
+    pub busy_cycles: u64,
+    /// Per-node cumulative transmitted bits.
+    pub tx_bits: Vec<u64>,
+    /// Per-node cumulative received bits.
+    pub rx_bits: Vec<u64>,
+    /// Per-node cumulative forwarded bits.
+    pub fwd_bits: Vec<u64>,
+    /// Per-node layer wake count.
+    pub layer_wakes: Vec<u64>,
+    /// Per-node bus-controller wake count.
+    pub bus_ctl_wakes: Vec<u64>,
+}
+
+impl BusStats {
+    pub(crate) fn ensure_nodes(&mut self, n: usize) {
+        self.tx_bits.resize(n, 0);
+        self.rx_bits.resize(n, 0);
+        self.fwd_bits.resize(n, 0);
+        self.layer_wakes.resize(n, 0);
+        self.bus_ctl_wakes.resize(n, 0);
+    }
+
+    /// Folds one transaction's activity into the per-role bit counters
+    /// and the transaction/busy totals — the single accounting path
+    /// both engines share.
+    pub(crate) fn record_transaction(&mut self, cycles: u64, activity: &[(NodeIndex, Role, u64)]) {
+        self.transactions += 1;
+        self.busy_cycles += cycles;
+        for &(node, role, bits) in activity {
+            match role {
+                Role::Transmit => self.tx_bits[node] += bits,
+                Role::Receive => self.rx_bits[node] += bits,
+                Role::Forward => self.fwd_bits[node] += bits,
+            }
+        }
+    }
+
+    /// Bus utilization over `elapsed` at `clock_hz` — §6.3.1 reports
+    /// 0.0022 % for the temperature system.
+    pub fn utilization(&self, elapsed: SimTime, clock_hz: u64) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        let busy_secs = self.busy_cycles as f64 / clock_hz as f64;
+        busy_secs / elapsed.as_secs_f64()
+    }
+}
+
+/// Builds the per-node `(role, bits)` activity of one transaction:
+/// the winner transmits, the destinations receive, and every other
+/// ring node forwards. `bits` is the full cycle count — the paper's
+/// per-message energy formula charges `overhead + 8n` bits to every
+/// role (§6.2). A null transaction (`winner == None`) is all-forward.
+pub(crate) fn transaction_activity(
+    node_count: usize,
+    winner: Option<NodeIndex>,
+    delivered_to: &[NodeIndex],
+    bits: u64,
+) -> Vec<(NodeIndex, Role, u64)> {
+    let mut activity = Vec::with_capacity(node_count);
+    if let Some(w) = winner {
+        activity.push((w, Role::Transmit, bits));
+    }
+    for &d in delivered_to {
+        activity.push((d, Role::Receive, bits));
+    }
+    for i in 0..node_count {
+        if Some(i) != winner && !delivered_to.contains(&i) {
+            activity.push((i, Role::Forward, bits));
+        }
+    }
+    activity
+}
+
+/// One bus transaction, normalized to the fields both engines can
+/// report identically — what the cross-check suite compares.
+///
+/// Unlike [`TransactionRecord`] (the analytic engine's native record)
+/// this carries no virtual-time fields: the engines agree on cycle
+/// counts but not on wall-clock placement (the wire engine pays
+/// request/propagation latency between transactions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EngineRecord {
+    /// Monotonic transaction number (0-based per engine).
+    pub seq: u64,
+    /// Total bus-clock cycles consumed, per the §6.1 budget.
+    pub cycles: u64,
+    /// The arbitration winner (`None` for a null transaction).
+    pub winner: Option<NodeIndex>,
+    /// Destination nodes whose layer received the payload, ascending.
+    pub delivered_to: Vec<NodeIndex>,
+    /// Outcome from the transmitter's perspective, in the analytic
+    /// engine's vocabulary (`Nacked` wire outcomes normalize to
+    /// [`TxOutcome::NoDestination`]; a runaway cut normalizes to
+    /// [`TxOutcome::LengthEnforced`]).
+    pub outcome: TxOutcome,
+    /// The control bits observed on the bus.
+    pub control: ControlBits,
+}
+
+impl EngineRecord {
+    /// True for a null (wake-only) transaction.
+    pub fn is_null(&self) -> bool {
+        self.winner.is_none()
+    }
+}
+
+impl From<&TransactionRecord> for EngineRecord {
+    fn from(r: &TransactionRecord) -> Self {
+        EngineRecord {
+            seq: r.seq,
+            cycles: r.cycles,
+            winner: r.winner,
+            delivered_to: r.delivered_to.clone(),
+            outcome: r.outcome,
+            control: r.control,
+        }
+    }
+}
+
+/// Which engine implementation to instantiate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// The transaction-level engine (§6.1 cycle budget) — fast enough
+    /// for the evaluation sweeps.
+    Analytic,
+    /// The edge-accurate engine over the `mbus-sim` kernel — every
+    /// CLK/DATA edge exists with ring propagation delays.
+    Wire,
+}
+
+impl EngineKind {
+    /// Both engines, for "run everything on both" loops.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Analytic, EngineKind::Wire];
+
+    /// A short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Analytic => "analytic",
+            EngineKind::Wire => "wire",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Instantiates an empty engine of the requested kind.
+pub fn build_engine(kind: EngineKind, config: BusConfig) -> Box<dyn BusEngine> {
+    match kind {
+        EngineKind::Analytic => Box::new(AnalyticBus::new(config)),
+        EngineKind::Wire => Box::new(WireEngine::new(config)),
+    }
+}
+
+/// The shared transaction-level surface of an MBus engine.
+///
+/// Everything a workload, bench binary, or cross-check needs: build the
+/// ring, queue traffic, run it, observe the results. Code written
+/// against this trait runs unchanged on both engines; see
+/// [`crate::scenario`] for the declarative layer on top.
+///
+/// # Contract
+///
+/// * Nodes are added before traffic; index 0 hosts the mediator and
+///   topological priority decreases with increasing index.
+/// * [`run_transaction`](BusEngine::run_transaction) returns completed
+///   transactions in order. Engines may execute ahead internally (the
+///   wire engine runs its event queue to quiescence and buffers the
+///   records), so interleaving `queue` calls between `run_transaction`
+///   calls must not assume the bus is paused between records.
+/// * [`take_rx`](BusEngine::take_rx) drains: a second call without new
+///   traffic returns an empty vec.
+pub trait BusEngine {
+    /// Which implementation this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Adds a node at the next (lowest-priority) ring position and
+    /// returns its index. Index 0 is the mediator node.
+    ///
+    /// # Panics
+    ///
+    /// The wire engine freezes its ring topology at the first queue,
+    /// wakeup, or run call and panics on later `add_node`.
+    fn add_node(&mut self, spec: NodeSpec) -> NodeIndex;
+
+    /// Number of nodes on the ring.
+    fn node_count(&self) -> usize;
+
+    /// The bus configuration.
+    fn config(&self) -> &BusConfig;
+
+    /// Current virtual time. Engines agree on cycle counts, not on
+    /// wall-clock placement; compare cycles, not times.
+    fn now(&self) -> SimTime;
+
+    /// Queues a message for transmission by `node`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MbusError::UnknownNode`] for an out-of-range index.
+    /// * [`MbusError::MessageTooLong`] if the payload exceeds the
+    ///   mediator's limit (use
+    ///   [`queue_unchecked`](BusEngine::queue_unchecked) to test
+    ///   runaway enforcement).
+    fn queue(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError>;
+
+    /// Queues a message without validating its length, so tests can
+    /// exercise the mediator's runaway-message counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbusError::UnknownNode`] for an out-of-range index.
+    fn queue_unchecked(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError>;
+
+    /// Asserts a node's interrupt port (§4.5): the always-on frontend
+    /// will issue a null transaction to wake the node's own domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbusError::UnknownNode`] for an out-of-range index.
+    fn request_wakeup(&mut self, node: NodeIndex) -> Result<(), MbusError>;
+
+    /// Executes up to one complete bus transaction (or a null
+    /// transaction), returning `None` if the bus is idle.
+    fn run_transaction(&mut self) -> Option<EngineRecord>;
+
+    /// Runs transactions until no node wants the bus; returns the
+    /// records in order.
+    fn run_until_quiescent(&mut self) -> Vec<EngineRecord>;
+
+    /// Drains a node's received messages.
+    fn take_rx(&mut self, node: NodeIndex) -> Vec<ReceivedMessage>;
+
+    /// A snapshot of the cumulative statistics.
+    fn stats(&self) -> BusStats;
+
+    /// Number of completed self-wake events on a node.
+    fn wake_events(&self, node: NodeIndex) -> u64;
+
+    /// Whether a node's layer domain is currently powered.
+    fn layer_on(&self, node: NodeIndex) -> bool;
+
+    /// A node's spec (prefixes may change under enumeration).
+    fn spec(&self, node: NodeIndex) -> NodeSpec;
+}
+
+impl BusEngine for AnalyticBus {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Analytic
+    }
+
+    fn add_node(&mut self, spec: NodeSpec) -> NodeIndex {
+        AnalyticBus::add_node(self, spec)
+    }
+
+    fn node_count(&self) -> usize {
+        AnalyticBus::node_count(self)
+    }
+
+    fn config(&self) -> &BusConfig {
+        AnalyticBus::config(self)
+    }
+
+    fn now(&self) -> SimTime {
+        AnalyticBus::now(self)
+    }
+
+    fn queue(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError> {
+        AnalyticBus::queue(self, node, msg)
+    }
+
+    fn queue_unchecked(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError> {
+        AnalyticBus::queue_unchecked(self, node, msg)
+    }
+
+    fn request_wakeup(&mut self, node: NodeIndex) -> Result<(), MbusError> {
+        AnalyticBus::request_wakeup(self, node)
+    }
+
+    fn run_transaction(&mut self) -> Option<EngineRecord> {
+        AnalyticBus::run_transaction(self).map(|r| EngineRecord::from(&r))
+    }
+
+    fn run_until_quiescent(&mut self) -> Vec<EngineRecord> {
+        AnalyticBus::run_until_quiescent(self)
+            .iter()
+            .map(EngineRecord::from)
+            .collect()
+    }
+
+    fn take_rx(&mut self, node: NodeIndex) -> Vec<ReceivedMessage> {
+        AnalyticBus::take_rx(self, node)
+    }
+
+    fn stats(&self) -> BusStats {
+        AnalyticBus::stats(self).clone()
+    }
+
+    fn wake_events(&self, node: NodeIndex) -> u64 {
+        AnalyticBus::wake_events(self, node)
+    }
+
+    fn layer_on(&self, node: NodeIndex) -> bool {
+        AnalyticBus::layer_on(self, node)
+    }
+
+    fn spec(&self, node: NodeIndex) -> NodeSpec {
+        AnalyticBus::spec(self, node).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{FuId, FullPrefix, ShortPrefix};
+
+    fn sp(x: u8) -> ShortPrefix {
+        ShortPrefix::new(x).unwrap()
+    }
+
+    fn two_nodes(engine: &mut dyn BusEngine) -> (NodeIndex, NodeIndex) {
+        let a = engine
+            .add_node(NodeSpec::new("a", FullPrefix::new(0x1).unwrap()).with_short_prefix(sp(0x1)));
+        let b = engine
+            .add_node(NodeSpec::new("b", FullPrefix::new(0x2).unwrap()).with_short_prefix(sp(0x2)));
+        (a, b)
+    }
+
+    #[test]
+    fn both_kinds_build_and_deliver() {
+        for kind in EngineKind::ALL {
+            let mut engine = build_engine(kind, BusConfig::default());
+            assert_eq!(engine.kind(), kind);
+            let (a, b) = two_nodes(engine.as_mut());
+            engine
+                .queue(
+                    a,
+                    Message::new(Address::short(sp(0x2), FuId::ZERO), vec![1, 2, 3]),
+                )
+                .unwrap();
+            let records = engine.run_until_quiescent();
+            assert_eq!(records.len(), 1, "{kind}");
+            assert_eq!(records[0].cycles, 19 + 24, "{kind}");
+            assert_eq!(records[0].winner, Some(a), "{kind}");
+            assert_eq!(records[0].delivered_to, vec![b], "{kind}");
+            assert_eq!(records[0].outcome, TxOutcome::Acked, "{kind}");
+            let rx = engine.take_rx(b);
+            assert_eq!(rx.len(), 1, "{kind}");
+            assert_eq!(rx[0].from, a, "{kind}");
+            assert_eq!(rx[0].payload, vec![1, 2, 3], "{kind}");
+        }
+    }
+
+    #[test]
+    fn activity_helper_matches_roles() {
+        let act = transaction_activity(4, Some(1), &[3], 83);
+        assert_eq!(act.len(), 4);
+        assert!(act.contains(&(1, Role::Transmit, 83)));
+        assert!(act.contains(&(3, Role::Receive, 83)));
+        assert!(act.contains(&(0, Role::Forward, 83)));
+        assert!(act.contains(&(2, Role::Forward, 83)));
+        // Null transaction: everyone forwards.
+        let null = transaction_activity(3, None, &[], 11);
+        assert!(null.iter().all(|&(_, r, b)| r == Role::Forward && b == 11));
+    }
+
+    #[test]
+    fn engine_record_from_analytic() {
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        two_nodes(&mut bus);
+        bus.queue(
+            0,
+            Message::new(Address::short(sp(0x2), FuId::ZERO), vec![9; 4]),
+        )
+        .unwrap();
+        let native = AnalyticBus::run_transaction(&mut bus).unwrap();
+        let rec = EngineRecord::from(&native);
+        assert_eq!(rec.seq, native.seq);
+        assert_eq!(rec.cycles, native.cycles);
+        assert_eq!(rec.winner, native.winner);
+        assert!(!rec.is_null());
+    }
+}

@@ -98,7 +98,10 @@ mod tests {
     fn errors_are_displayable_and_sendable() {
         fn assert_traits<T: Error + Send + Sync + 'static>() {}
         assert_traits::<MbusError>();
-        let e = MbusError::MessageTooLong { len: 2048, max: 1024 };
+        let e = MbusError::MessageTooLong {
+            len: 2048,
+            max: 1024,
+        };
         assert!(e.to_string().contains("2048"));
         assert!(e.to_string().contains("1024"));
     }

@@ -162,7 +162,10 @@ impl LayerController {
             FU_MEMORY_WRITE => self.apply_memory_write(payload),
             FU_MEMORY_READ => self.apply_memory_read(payload),
             other => {
-                self.mailboxes.entry(other).or_default().push(payload.to_vec());
+                self.mailboxes
+                    .entry(other)
+                    .or_default()
+                    .push(payload.to_vec());
                 LayerAction::Mailboxed { fu: other }
             }
         }
@@ -189,14 +192,11 @@ impl LayerController {
         if !addr.is_multiple_of(4) {
             return LayerAction::Malformed;
         }
-        let mut word = (addr / 4) as usize;
+        let first = (addr / 4) as usize;
         let mut words = 0;
-        for chunk in payload[4..].chunks_exact(4) {
-            if word >= self.memory.len() {
-                break; // writes past the end are dropped, like the chip
-            }
+        for (word, chunk) in (first..self.memory.len()).zip(payload[4..].chunks_exact(4)) {
+            // Writes past the end are dropped, like the chip.
             self.memory[word] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-            word += 1;
             words += 1;
         }
         LayerAction::MemoryWritten { addr, words }
@@ -276,8 +276,14 @@ mod tests {
     #[test]
     fn unaligned_or_short_memory_write_is_malformed() {
         let mut l = layer();
-        assert_eq!(l.apply_fu(FU_MEMORY_WRITE, &[0, 0, 0, 2, 1, 2, 3, 4]), LayerAction::Malformed);
-        assert_eq!(l.apply_fu(FU_MEMORY_WRITE, &[0, 0, 0, 0]), LayerAction::Malformed);
+        assert_eq!(
+            l.apply_fu(FU_MEMORY_WRITE, &[0, 0, 0, 2, 1, 2, 3, 4]),
+            LayerAction::Malformed
+        );
+        assert_eq!(
+            l.apply_fu(FU_MEMORY_WRITE, &[0, 0, 0, 0]),
+            LayerAction::Malformed
+        );
     }
 
     #[test]
@@ -334,7 +340,10 @@ mod tests {
         let mut l = layer();
         let msg = ReceivedMessage {
             from: 0,
-            dest: Address::short(ShortPrefix::new(0x2).unwrap(), FuId::new(FU_REGISTER).unwrap()),
+            dest: Address::short(
+                ShortPrefix::new(0x2).unwrap(),
+                FuId::new(FU_REGISTER).unwrap(),
+            ),
             payload: vec![0x20, 0xAA, 0xBB, 0xCC],
             at: SimTime::ZERO,
         };

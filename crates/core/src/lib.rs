@@ -67,6 +67,7 @@ pub mod addr;
 pub mod analytic;
 pub mod config;
 pub mod control;
+pub mod engine;
 pub mod enumeration;
 mod error;
 pub mod interject;
@@ -75,17 +76,22 @@ pub mod message;
 pub mod node;
 pub mod parallel;
 pub mod power_domain;
+pub mod scenario;
+pub mod sweep;
 pub mod timing;
 pub mod wire;
 
 pub use addr::{Address, BroadcastChannel, FuId, FullPrefix, ShortPrefix};
-pub use analytic::{
-    AnalyticBus, ArbitrationPolicy, BusStats, NodeIndex, ReceivedMessage, Role,
-    TransactionRecord,
-};
+pub use analytic::{AnalyticBus, ArbitrationPolicy, TransactionRecord};
 pub use config::BusConfig;
 pub use control::{ControlBits, Interjector, TxOutcome};
+pub use engine::{
+    build_engine, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage, Role,
+};
 pub use error::MbusError;
 pub use message::Message;
 pub use node::NodeSpec;
 pub use parallel::ParallelMbus;
+pub use scenario::{ScenarioReport, Step, Workload};
+pub use sweep::SweepRunner;
+pub use wire::WireEngine;

@@ -1,0 +1,563 @@
+//! Declarative, engine-generic workloads.
+//!
+//! A [`Workload`] is a ring description plus a step list (queue,
+//! wakeup, run), written once and executable on *any*
+//! [`BusEngine`] — which is how every paper scenario, cross-check, and
+//! bench binary avoids being hand-written twice. The built-in
+//! constructors cover the paper's evaluation:
+//!
+//! * [`Workload::sense_and_send`] — §6.3.1's temperature system
+//!   (request / direct-reply pattern with power-gated chips);
+//! * [`Workload::monitor_alert`] — §6.3.2's motion camera (interrupt
+//!   wakeup, then a row-by-row frame transfer);
+//! * [`Workload::many_node_storm`] — §6.4-style contention storms on
+//!   up to 14 nodes;
+//! * [`Workload::enumeration_churn`] — §4.7-style discovery broadcasts
+//!   and full-addressed identification replies;
+//! * [`Workload::fault_injection`] — §3's lockup-freedom workload
+//!   (overruns, runaways, unmatched addresses, wakeups).
+//!
+//! Running a workload yields a [`ScenarioReport`]; two reports from two
+//! engines compare via [`ScenarioReport::signature`], which is the
+//! cross-check suite's single point of truth.
+//!
+//! # Example
+//!
+//! ```
+//! use mbus_core::{EngineKind, Workload};
+//!
+//! let workload = Workload::many_node_storm(4, 2);
+//! let analytic = workload.run_on(EngineKind::Analytic);
+//! let wire = workload.run_on(EngineKind::Wire);
+//! assert_eq!(analytic.signature(), wire.signature());
+//! ```
+
+use crate::addr::{Address, BroadcastChannel, FuId, FullPrefix, ShortPrefix};
+use crate::config::BusConfig;
+use crate::engine::{
+    build_engine, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage,
+};
+use crate::enumeration::{CMD_ENUMERATE, CMD_IDENTIFY};
+use crate::message::Message;
+use crate::node::NodeSpec;
+
+/// One step of a workload.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Queue a message for transmission by `node`.
+    Queue {
+        /// Transmitting node.
+        node: NodeIndex,
+        /// The message.
+        msg: Message,
+    },
+    /// Queue without the mediator length check (runaway testing).
+    QueueUnchecked {
+        /// Transmitting node.
+        node: NodeIndex,
+        /// The (oversized) message.
+        msg: Message,
+    },
+    /// Assert a node's interrupt port (§4.5).
+    Wakeup {
+        /// Node to wake.
+        node: NodeIndex,
+    },
+    /// Run the bus until quiescent, collecting the records.
+    Run,
+}
+
+/// A declarative, engine-generic scenario: node specs plus steps.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    name: String,
+    config: BusConfig,
+    nodes: Vec<NodeSpec>,
+    steps: Vec<Step>,
+    strict_nulls: bool,
+}
+
+impl Workload {
+    /// Starts an empty workload.
+    pub fn new(name: impl Into<String>, config: BusConfig) -> Self {
+        Workload {
+            name: name.into(),
+            config,
+            nodes: Vec::new(),
+            steps: Vec::new(),
+            strict_nulls: true,
+        }
+    }
+
+    /// Appends a node at the next ring position.
+    pub fn node(mut self, spec: NodeSpec) -> Self {
+        self.nodes.push(spec);
+        self
+    }
+
+    /// Appends a queue step.
+    pub fn send(mut self, node: NodeIndex, msg: Message) -> Self {
+        self.steps.push(Step::Queue { node, msg });
+        self
+    }
+
+    /// Appends an unchecked queue step (runaway testing).
+    pub fn send_unchecked(mut self, node: NodeIndex, msg: Message) -> Self {
+        self.steps.push(Step::QueueUnchecked { node, msg });
+        self
+    }
+
+    /// Appends an interrupt-port wakeup step.
+    pub fn wakeup(mut self, node: NodeIndex) -> Self {
+        self.steps.push(Step::Wakeup { node });
+        self
+    }
+
+    /// Appends a run-until-quiescent step.
+    pub fn drain(mut self) -> Self {
+        self.steps.push(Step::Run);
+        self
+    }
+
+    /// Declares that this workload transmits from power-gated nodes, so
+    /// the wire engine inserts self-wake null transactions the analytic
+    /// engine folds away (see [`crate::engine`]'s module docs). The
+    /// [`signature`](ScenarioReport::signature) then compares the
+    /// non-null record stream instead of the full stream.
+    pub fn allow_wake_nulls(mut self) -> Self {
+        self.strict_nulls = false;
+        self
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bus configuration the workload runs with.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// The ring description.
+    pub fn node_specs(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The step list.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Whether null transactions are part of the comparable signature.
+    pub fn strict_nulls(&self) -> bool {
+        self.strict_nulls
+    }
+
+    /// Builds an engine of `kind` with this workload's ring on it.
+    pub fn instantiate(&self, kind: EngineKind) -> Box<dyn BusEngine> {
+        let mut engine = build_engine(kind, self.config);
+        for spec in &self.nodes {
+            engine.add_node(spec.clone());
+        }
+        engine
+    }
+
+    /// Runs the steps on an engine that already carries this workload's
+    /// ring (see [`Workload::instantiate`]), returning the report.
+    ///
+    /// A trailing [`Step::Run`] is implied if the step list does not
+    /// end with one, so queued traffic is never silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's ring does not match the workload's, or if
+    /// a queue step is rejected (workloads are static; a rejection is a
+    /// bug in the workload definition).
+    pub fn apply<E: BusEngine + ?Sized>(&self, engine: &mut E) -> ScenarioReport {
+        assert_eq!(
+            engine.node_count(),
+            self.nodes.len(),
+            "engine ring does not match workload '{}'",
+            self.name
+        );
+        let mut records = Vec::new();
+        for step in &self.steps {
+            match step {
+                Step::Queue { node, msg } => {
+                    engine
+                        .queue(*node, msg.clone())
+                        .expect("workload queue step");
+                }
+                Step::QueueUnchecked { node, msg } => {
+                    engine
+                        .queue_unchecked(*node, msg.clone())
+                        .expect("workload queue_unchecked step");
+                }
+                Step::Wakeup { node } => {
+                    engine.request_wakeup(*node).expect("workload wakeup step");
+                }
+                Step::Run => records.extend(engine.run_until_quiescent()),
+            }
+        }
+        if !matches!(self.steps.last(), Some(Step::Run)) {
+            records.extend(engine.run_until_quiescent());
+        }
+        let n = engine.node_count();
+        ScenarioReport {
+            workload: self.name.clone(),
+            kind: engine.kind(),
+            rx: (0..n).map(|i| engine.take_rx(i)).collect(),
+            wake_events: (0..n).map(|i| engine.wake_events(i)).collect(),
+            stats: engine.stats(),
+            records,
+            strict_nulls: self.strict_nulls,
+        }
+    }
+
+    /// Builds an engine of `kind` and runs the workload on it.
+    pub fn run_on(&self, kind: EngineKind) -> ScenarioReport {
+        let mut engine = self.instantiate(kind);
+        self.apply(engine.as_mut())
+    }
+
+    // ------------------------------------------------------------------
+    // The paper's scenarios.
+    // ------------------------------------------------------------------
+
+    /// §6.3.1 "sense and send": the processor asks the power-gated
+    /// temperature sensor for a reading every round; the sensor replies
+    /// *directly* to the power-gated radio (any-to-any routing — the
+    /// point of the comparison against master-routed buses).
+    pub fn sense_and_send(rounds: usize) -> Workload {
+        let mut w = Workload::new(format!("sense_and_send/{rounds}"), BusConfig::default())
+            .node(spec("cpu+mediator", 0x0_0001, 0x1, false))
+            .node(spec("temp-sensor", 0x0_0002, 0x2, true))
+            .node(spec("radio", 0x0_0003, 0x3, true))
+            // The gated sensor transmits, so the wire engine self-wakes it
+            // with a null transaction the analytic engine folds away.
+            .allow_wake_nulls();
+        for round in 0..rounds {
+            // 4-byte read request to the sensor's FU 3 (§6.3.1).
+            w = w
+                .send(
+                    0,
+                    Message::new(short(0x2, 0x3), vec![0x51, round as u8, 0, 0]),
+                )
+                .drain();
+            // 8-byte reading straight to the radio.
+            let seq = (round as u16).to_be_bytes();
+            let reading = ((round as u16) * 40 + 29_315 / 10).to_be_bytes();
+            w = w
+                .send(
+                    1,
+                    Message::new(
+                        short(0x3, 0x0),
+                        vec![seq[0], seq[1], reading[0], reading[1], 0, 0, 0, 0],
+                    ),
+                )
+                .drain();
+        }
+        w
+    }
+
+    /// §6.3.2 "monitor and alert": the always-on motion detector wakes
+    /// the imager through its interrupt port (one null transaction),
+    /// then the imager streams `rows` messages of `row_bytes` straight
+    /// to the radio.
+    pub fn monitor_alert(rows: usize, row_bytes: usize) -> Workload {
+        let mut w = Workload::new(
+            format!("monitor_alert/{rows}x{row_bytes}"),
+            BusConfig::default(),
+        )
+        .node(spec("cpu+mediator", 0x0_0011, 0x1, false))
+        .node(spec("imager", 0x0_0012, 0x2, false))
+        .node(spec("radio", 0x0_0013, 0x3, true))
+        .wakeup(1)
+        .drain();
+        for row in 0..rows {
+            // Deterministic pixel-row stand-in.
+            let payload: Vec<u8> = (0..row_bytes)
+                .map(|i| (row.wrapping_mul(31).wrapping_add(i.wrapping_mul(7))) as u8)
+                .collect();
+            w = w.send(1, Message::new(short(0x3, 0x0), payload));
+        }
+        w.drain()
+    }
+
+    /// §6.4-style contention storm: every member floods the mediator
+    /// node each round, with a priority claim from the far node every
+    /// third round, exercising arbitration, the priority round, and
+    /// queue fairness at population sizes up to the 14-node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= nodes <= 14`.
+    pub fn many_node_storm(nodes: usize, rounds: usize) -> Workload {
+        assert!((2..=14).contains(&nodes), "2..=14 short-addressed nodes");
+        let mut w = Workload::new(
+            format!("many_node_storm/{nodes}n{rounds}r"),
+            BusConfig::default(),
+        );
+        for i in 0..nodes {
+            w = w.node(spec(
+                format!("n{i}"),
+                0x0_0100 + i as u32,
+                (i + 1) as u8,
+                false,
+            ));
+        }
+        for round in 0..rounds {
+            for i in 1..nodes {
+                let mut msg = Message::new(
+                    short(0x1, 0x0),
+                    vec![round as u8, i as u8, (round * nodes + i) as u8],
+                );
+                if round % 3 == 2 && i == nodes - 1 {
+                    msg = msg.with_priority();
+                }
+                w = w.send(i, msg);
+            }
+            // The mediator answers one member per round.
+            let target = (round % (nodes - 1)) + 1;
+            w = w.send(
+                0,
+                Message::new(short((target + 1) as u8, 0x0), vec![0xA0 | round as u8]),
+            );
+            w = w.drain();
+        }
+        w
+    }
+
+    /// §4.7-style enumeration churn: discovery broadcasts from the
+    /// initiator interleaved with full-prefix-addressed identification
+    /// replies — the 43-cycle addressing path under broadcast fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= nodes <= 14`.
+    pub fn enumeration_churn(nodes: usize) -> Workload {
+        assert!((2..=14).contains(&nodes), "2..=14 nodes");
+        let mut w = Workload::new(format!("enumeration_churn/{nodes}n"), BusConfig::default());
+        for i in 0..nodes {
+            w = w.node(spec(
+                format!("chip{i}"),
+                0x0_0200 + i as u32,
+                (i + 1) as u8,
+                false,
+            ));
+        }
+        for i in 1..nodes {
+            // Enumerate broadcast on the discovery channel.
+            w = w
+                .send(
+                    0,
+                    Message::new(
+                        Address::broadcast(BroadcastChannel::DISCOVERY),
+                        vec![CMD_ENUMERATE, i as u8],
+                    ),
+                )
+                .drain();
+            // Identification reply, full-prefix addressed (43-cycle
+            // overhead) back to the initiator.
+            let full = FullPrefix::new(0x0_0200).expect("initiator prefix");
+            let p = 0x0_0200 + i as u32;
+            w = w
+                .send(
+                    i,
+                    Message::new(
+                        Address::full(full, FuId::ZERO),
+                        vec![CMD_IDENTIFY, (p >> 16) as u8, (p >> 8) as u8, p as u8],
+                    ),
+                )
+                .drain();
+        }
+        w
+    }
+
+    /// §3's lockup-freedom workload: a receive-buffer overrun, an
+    /// unmatched address, a mediator-enforced runaway, an interrupt
+    /// wakeup, and good traffic in between — the bus must come back
+    /// idle with every good message delivered.
+    pub fn fault_injection() -> Workload {
+        let oversized = vec![0x0F; 1500];
+        Workload::new("fault_injection", BusConfig::default())
+            .node(spec("a", 0x0_0301, 0x1, false))
+            .node(
+                NodeSpec::new("tiny", FullPrefix::new(0x0_0302).expect("prefix"))
+                    .with_short_prefix(ShortPrefix::new(0x2).expect("prefix"))
+                    .with_rx_buffer(8),
+            )
+            .node(spec("c", 0x0_0303, 0x3, true))
+            .send(0, Message::new(short(0x3, 0x0), vec![1]))
+            .drain()
+            .send(0, Message::new(short(0x2, 0x0), vec![0; 64])) // overrun
+            .drain()
+            .send(1, Message::new(short(0xE, 0x0), vec![2])) // nobody home
+            .drain()
+            .send_unchecked(0, Message::new(short(0x3, 0x0), oversized)) // runaway
+            .drain()
+            .wakeup(2)
+            .drain()
+            .send(0, Message::new(short(0x2, 0x0), vec![3, 4, 5, 6])) // fits
+            .drain()
+    }
+
+    /// Small instances of all five paper scenarios — the cross-check
+    /// suite's standard battery (sized so the wire engine stays fast).
+    pub fn paper_suite() -> Vec<Workload> {
+        vec![
+            Workload::sense_and_send(2),
+            Workload::monitor_alert(6, 32),
+            Workload::many_node_storm(6, 3),
+            Workload::enumeration_churn(4),
+            Workload::fault_injection(),
+        ]
+    }
+}
+
+fn spec(name: impl Into<String>, full: u32, short_prefix: u8, power_aware: bool) -> NodeSpec {
+    NodeSpec::new(name, FullPrefix::new(full).expect("prefix"))
+        .with_short_prefix(ShortPrefix::new(short_prefix).expect("prefix"))
+        .power_aware(power_aware)
+}
+
+fn short(prefix: u8, fu: u8) -> Address {
+    Address::short(
+        ShortPrefix::new(prefix).expect("prefix"),
+        FuId::new(fu).expect("fu"),
+    )
+}
+
+/// Everything observable from one workload execution on one engine.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// The workload's name.
+    pub workload: String,
+    /// Which engine produced this report.
+    pub kind: EngineKind,
+    /// Transaction records, in completion order.
+    pub records: Vec<EngineRecord>,
+    /// Per-node drained receive logs.
+    pub rx: Vec<Vec<ReceivedMessage>>,
+    /// Final cumulative statistics.
+    pub stats: BusStats,
+    /// Per-node self-wake event counts.
+    pub wake_events: Vec<u64>,
+    strict_nulls: bool,
+}
+
+/// The engine-independent essence of a report: what two engines must
+/// agree on. Compare with `assert_eq!`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScenarioSignature {
+    /// The record stream (non-null records only when the workload
+    /// transmits from power-gated nodes; see
+    /// [`Workload::allow_wake_nulls`]), renumbered consecutively.
+    pub records: Vec<EngineRecord>,
+    /// Per node: `(from, dest, payload)` of every delivery, in order.
+    pub deliveries: Vec<Vec<(NodeIndex, Address, Vec<u8>)>>,
+    /// Per-node wake events and layer wakes (strict workloads only —
+    /// wire-level self-wake nulls also count as wake events).
+    pub wakes: Option<(Vec<u64>, Vec<u64>)>,
+}
+
+impl ScenarioReport {
+    /// The comparable signature; see [`ScenarioSignature`].
+    pub fn signature(&self) -> ScenarioSignature {
+        let records = self
+            .records
+            .iter()
+            .filter(|r| self.strict_nulls || !r.is_null())
+            .enumerate()
+            .map(|(i, r)| EngineRecord {
+                seq: i as u64,
+                ..r.clone()
+            })
+            .collect();
+        let deliveries = self
+            .rx
+            .iter()
+            .map(|log| {
+                log.iter()
+                    .map(|m| (m.from, m.dest, m.payload.clone()))
+                    .collect()
+            })
+            .collect();
+        let wakes = self
+            .strict_nulls
+            .then(|| (self.wake_events.clone(), self.stats.layer_wakes.clone()));
+        ScenarioSignature {
+            records,
+            deliveries,
+            wakes,
+        }
+    }
+
+    /// Total bus-clock cycles across all records.
+    pub fn total_cycles(&self) -> u64 {
+        self.records.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Total messages delivered to any layer.
+    pub fn delivered_messages(&self) -> usize {
+        self.rx.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_runnable_workloads() {
+        for w in Workload::paper_suite() {
+            let report = w.run_on(EngineKind::Analytic);
+            assert!(!report.records.is_empty(), "{}", w.name());
+            assert_eq!(report.rx.len(), w.node_specs().len());
+        }
+    }
+
+    #[test]
+    fn implied_trailing_run_drains_queues() {
+        let w = Workload::new("implied", BusConfig::default())
+            .node(spec("a", 0x1, 0x1, false))
+            .node(spec("b", 0x2, 0x2, false))
+            .send(0, Message::new(short(0x2, 0x0), vec![7]));
+        let report = w.run_on(EngineKind::Analytic);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.delivered_messages(), 1);
+    }
+
+    #[test]
+    fn signature_is_stable_within_one_engine() {
+        let w = Workload::many_node_storm(5, 2);
+        let a = w.run_on(EngineKind::Analytic).signature();
+        let b = w.run_on(EngineKind::Analytic).signature();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_strict_signature_drops_nulls_and_renumbers() {
+        let w = Workload::new("nulls", BusConfig::default())
+            .node(spec("a", 0x1, 0x1, false))
+            .node(spec("b", 0x2, 0x2, true))
+            .wakeup(1)
+            .drain()
+            .send(0, Message::new(short(0x2, 0x0), vec![1]))
+            .drain()
+            .allow_wake_nulls();
+        let report = w.run_on(EngineKind::Analytic);
+        assert_eq!(report.records.len(), 2);
+        let sig = report.signature();
+        assert_eq!(sig.records.len(), 1, "null dropped");
+        assert_eq!(sig.records[0].seq, 0, "renumbered");
+        assert!(sig.wakes.is_none());
+    }
+
+    #[test]
+    fn storm_population_bounds() {
+        assert!(std::panic::catch_unwind(|| Workload::many_node_storm(1, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| Workload::many_node_storm(15, 1)).is_err());
+    }
+}

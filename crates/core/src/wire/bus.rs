@@ -249,8 +249,10 @@ pub struct WireBus {
     circuit: Circuit,
     config: BusConfig,
     mediator: Rc<RefCell<MediatorShared>>,
-    /// `None` entries are raw/custom ring occupants.
-    members: Vec<Option<Rc<RefCell<MemberShared>>>>,
+    /// `None` entries are raw/custom ring occupants. The
+    /// [`WireEngine`](crate::wire::WireEngine) wrapper reads the shared
+    /// member state directly to attribute transactions.
+    pub(crate) members: Vec<Option<Rc<RefCell<MemberShared>>>>,
     int_nets: Vec<NetId>,
     clk_nets: Vec<NetId>,
     data_nets: Vec<NetId>,
@@ -348,7 +350,6 @@ impl WireBus {
         Ok(())
     }
 
-
     /// The shared state of member `node`.
     ///
     /// # Panics
@@ -364,8 +365,11 @@ impl WireBus {
         // Toggle the INT net so the member component gets an event.
         let level = !self.int_level[node];
         self.int_level[node] = level;
-        self.circuit
-            .drive_external(self.int_nets[node], Logic::from_bool(level), self.circuit.now());
+        self.circuit.drive_external(
+            self.int_nets[node],
+            Logic::from_bool(level),
+            self.circuit.now(),
+        );
     }
 
     /// Runs the circuit until all queues drain and the bus is idle.

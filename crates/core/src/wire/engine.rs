@@ -1,0 +1,440 @@
+//! [`WireEngine`]: the edge-accurate engine behind the transaction-level
+//! [`BusEngine`](crate::engine::BusEngine) surface.
+//!
+//! [`WireBus`](super::WireBus) simulates every CLK/DATA edge but only
+//! reports what the mediator can see (cycle counts, control bits,
+//! null/runaway flags). This wrapper reconstructs full
+//! [`EngineRecord`]s — winner, deliveries, outcome — by correlating the
+//! mediator's per-transaction idle windows with the timestamped events
+//! each member logs (transmit completions, deliveries, engaged-receiver
+//! aborts). Virtual time is totally ordered and each member event falls
+//! strictly inside the transaction that produced it, so the attribution
+//! is exact, not heuristic.
+//!
+//! The wrapper also owns the ring construction: nodes are added
+//! incrementally like on [`AnalyticBus`](crate::AnalyticBus) and the
+//! circuit is frozen lazily at the first queue/wakeup/run call.
+
+use std::collections::VecDeque;
+
+use mbus_sim::SimTime;
+
+use crate::config::BusConfig;
+use crate::control::{ControlBits, TxOutcome};
+use crate::engine::{
+    transaction_activity, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage,
+};
+use crate::error::MbusError;
+use crate::message::Message;
+use crate::node::NodeSpec;
+use crate::wire::bus::{WireBus, WireBusBuilder};
+
+/// Default event budget per `run_until_quiescent` call — the same
+/// ceiling the integration tests use; hitting it means a protocol
+/// livelock and panics.
+pub const DEFAULT_MAX_EVENTS: u64 = 50_000_000;
+
+/// The wire-level engine, adapted to the [`BusEngine`] surface.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::engine::BusEngine;
+/// use mbus_core::wire::WireEngine;
+/// use mbus_core::{Address, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix};
+///
+/// let mut bus = WireEngine::new(BusConfig::default());
+/// let a = bus.add_node(
+///     NodeSpec::new("a", FullPrefix::new(0x1)?).with_short_prefix(ShortPrefix::new(0x1)?),
+/// );
+/// let b = bus.add_node(
+///     NodeSpec::new("b", FullPrefix::new(0x2)?).with_short_prefix(ShortPrefix::new(0x2)?),
+/// );
+/// bus.queue(
+///     a,
+///     Message::new(Address::short(ShortPrefix::new(0x2)?, FuId::ZERO), vec![7; 4]),
+/// )?;
+/// let records = bus.run_until_quiescent();
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(records[0].cycles, 19 + 32);
+/// assert_eq!(records[0].winner, Some(a));
+/// assert_eq!(records[0].delivered_to, vec![b]);
+/// assert_eq!(bus.take_rx(b)[0].from, a);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct WireEngine {
+    config: BusConfig,
+    specs: Vec<NodeSpec>,
+    bus: Option<WireBus>,
+    max_events: u64,
+    /// Normalized records not yet handed out by `run_transaction`.
+    buffered: VecDeque<EngineRecord>,
+    /// `(idle_at, winner)` of every normalized record, in order — used
+    /// to attribute `ReceivedMessage::from` when rx logs are drained.
+    history: Vec<(SimTime, Option<NodeIndex>)>,
+    stats: BusStats,
+    seq: u64,
+    /// Per-node read cursors into the members' append-only event logs.
+    tx_cursor: Vec<usize>,
+    rx_cursor: Vec<usize>,
+    engaged_cursor: Vec<usize>,
+}
+
+impl WireEngine {
+    /// Creates an empty wire-level engine. Nodes are added with
+    /// [`BusEngine::add_node`]; the ring is frozen at the first
+    /// queue/wakeup/run call.
+    pub fn new(config: BusConfig) -> Self {
+        WireEngine {
+            config,
+            specs: Vec::new(),
+            bus: None,
+            max_events: DEFAULT_MAX_EVENTS,
+            buffered: VecDeque::new(),
+            history: Vec::new(),
+            stats: BusStats::default(),
+            seq: 0,
+            tx_cursor: Vec::new(),
+            rx_cursor: Vec::new(),
+            engaged_cursor: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-run event budget (livelock ceiling).
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// The underlying wire-level bus, if the ring has been built —
+    /// for trace/waveform access beyond the `BusEngine` surface.
+    pub fn wire_bus(&self) -> Option<&WireBus> {
+        self.bus.as_ref()
+    }
+
+    fn built(&self) -> bool {
+        self.bus.is_some()
+    }
+
+    fn ensure_built(&mut self) -> &mut WireBus {
+        if self.bus.is_none() {
+            assert!(
+                !self.specs.is_empty(),
+                "a wire engine needs at least one node before running"
+            );
+            let mut builder = WireBusBuilder::new(self.config);
+            for spec in &self.specs {
+                builder = builder.node(spec.clone());
+            }
+            self.bus = Some(builder.build());
+        }
+        self.bus.as_mut().expect("just built")
+    }
+
+    fn check_node(&self, node: NodeIndex) -> Result<(), MbusError> {
+        if node >= self.specs.len() {
+            return Err(MbusError::UnknownNode { index: node });
+        }
+        Ok(())
+    }
+
+    /// Runs the circuit to quiescence and normalizes every newly
+    /// completed mediator record into an [`EngineRecord`].
+    fn run_and_absorb(&mut self) {
+        if self.specs.is_empty() {
+            return;
+        }
+        let max_events = self.max_events;
+        let raw = self.ensure_built().run_until_quiescent(max_events);
+        let n = self.specs.len();
+        self.stats.ensure_nodes(n);
+        for t in raw {
+            // Attribute the transaction to the member whose transmit
+            // completed inside this record's window. Events are
+            // timestamped in virtual time, which is totally ordered
+            // across the ring, so `<= idle_at` with a monotonic cursor
+            // is exact.
+            let mut winner = None;
+            let mut member_outcome = None;
+            let mut receivers: Vec<NodeIndex> = Vec::new();
+            let mut delivered: Vec<NodeIndex> = Vec::new();
+            let bus = self.bus.as_ref().expect("built");
+            for (i, member) in bus.members.iter().enumerate() {
+                let Some(shared) = member else { continue };
+                let s = shared.borrow();
+                while let Some(&(at, outcome)) = s.tx_finished.get(self.tx_cursor[i]) {
+                    if at > t.idle_at {
+                        break;
+                    }
+                    debug_assert!(
+                        winner.is_none(),
+                        "two transmitters finished in one transaction window"
+                    );
+                    winner = Some(i);
+                    member_outcome = Some(outcome);
+                    self.tx_cursor[i] += 1;
+                }
+                while let Some(&at) = s.delivered_at.get(self.rx_cursor[i]) {
+                    if at > t.idle_at {
+                        break;
+                    }
+                    delivered.push(i);
+                    receivers.push(i);
+                    self.rx_cursor[i] += 1;
+                }
+                while let Some(&at) = s.rx_engaged.get(self.engaged_cursor[i]) {
+                    if at > t.idle_at {
+                        break;
+                    }
+                    receivers.push(i);
+                    self.engaged_cursor[i] += 1;
+                }
+            }
+
+            // Normalize to the analytic engine's outcome vocabulary.
+            let outcome = if t.runaway {
+                TxOutcome::LengthEnforced
+            } else if t.null_transaction {
+                TxOutcome::NoDestination
+            } else {
+                match member_outcome {
+                    Some(TxOutcome::Nacked) | None => TxOutcome::NoDestination,
+                    Some(o) => o,
+                }
+            };
+            let winner = if t.null_transaction { None } else { winner };
+            let control = t.control.unwrap_or(ControlBits::GENERAL_ERROR);
+
+            let record = EngineRecord {
+                seq: self.seq,
+                cycles: t.cycles,
+                winner,
+                delivered_to: delivered,
+                outcome,
+                control,
+            };
+            self.seq += 1;
+            receivers.sort_unstable();
+            let activity = transaction_activity(n, winner, &receivers, record.cycles);
+            self.stats.record_transaction(record.cycles, &activity);
+            self.history.push((t.idle_at, winner));
+            self.buffered.push_back(record);
+        }
+    }
+
+    /// The winner of the transaction whose window contains `at`.
+    fn winner_at(&self, at: SimTime) -> NodeIndex {
+        let idx = self.history.partition_point(|&(idle, _)| idle < at);
+        self.history
+            .get(idx)
+            .and_then(|&(_, winner)| winner)
+            .expect("every delivery belongs to a completed transaction with a winner")
+    }
+}
+
+impl BusEngine for WireEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Wire
+    }
+
+    fn add_node(&mut self, spec: NodeSpec) -> NodeIndex {
+        assert!(
+            !self.built(),
+            "the wire engine's ring topology is frozen once traffic starts; \
+             add all nodes before the first queue/wakeup/run"
+        );
+        let index = self.specs.len();
+        self.specs.push(spec);
+        self.tx_cursor.push(0);
+        self.rx_cursor.push(0);
+        self.engaged_cursor.push(0);
+        self.stats.ensure_nodes(self.specs.len());
+        index
+    }
+
+    fn node_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    fn now(&self) -> SimTime {
+        self.bus.as_ref().map_or(SimTime::ZERO, WireBus::now)
+    }
+
+    fn queue(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError> {
+        self.check_node(node)?;
+        msg.validate(&self.config)?;
+        self.ensure_built().queue_unchecked(node, msg)
+    }
+
+    fn queue_unchecked(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError> {
+        self.check_node(node)?;
+        self.ensure_built().queue_unchecked(node, msg)
+    }
+
+    fn request_wakeup(&mut self, node: NodeIndex) -> Result<(), MbusError> {
+        self.check_node(node)?;
+        self.ensure_built().request_wakeup(node)
+    }
+
+    fn run_transaction(&mut self) -> Option<EngineRecord> {
+        if self.buffered.is_empty() {
+            self.run_and_absorb();
+        }
+        self.buffered.pop_front()
+    }
+
+    fn run_until_quiescent(&mut self) -> Vec<EngineRecord> {
+        self.run_and_absorb();
+        self.buffered.drain(..).collect()
+    }
+
+    fn take_rx(&mut self, node: NodeIndex) -> Vec<ReceivedMessage> {
+        let Some(bus) = self.bus.as_mut() else {
+            return Vec::new();
+        };
+        let raw = bus.take_rx(node);
+        raw.into_iter()
+            .map(|w| ReceivedMessage {
+                from: self.winner_at(w.at),
+                dest: w.dest,
+                payload: w.payload,
+                at: w.at,
+            })
+            .collect()
+    }
+
+    fn stats(&self) -> BusStats {
+        let mut stats = self.stats.clone();
+        stats.ensure_nodes(self.specs.len());
+        if let Some(bus) = &self.bus {
+            for (i, member) in bus.members.iter().enumerate() {
+                if let Some(shared) = member {
+                    let s = shared.borrow();
+                    stats.layer_wakes[i] = s.layer_wakes;
+                    stats.bus_ctl_wakes[i] = s.bus_ctl_wakes;
+                }
+            }
+        }
+        stats
+    }
+
+    fn wake_events(&self, node: NodeIndex) -> u64 {
+        match &self.bus {
+            Some(bus) => bus.wake_events(node),
+            None => 0,
+        }
+    }
+
+    fn layer_on(&self, node: NodeIndex) -> bool {
+        match &self.bus {
+            Some(bus) => bus.layer_on(node),
+            None => !self.specs[node].is_power_aware(),
+        }
+    }
+
+    fn spec(&self, node: NodeIndex) -> NodeSpec {
+        match &self.bus {
+            Some(bus) => bus.spec(node),
+            None => self.specs[node].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, FuId, FullPrefix, ShortPrefix};
+
+    fn sp(x: u8) -> ShortPrefix {
+        ShortPrefix::new(x).unwrap()
+    }
+
+    fn three_node_engine() -> WireEngine {
+        let mut e = WireEngine::new(BusConfig::default());
+        for i in 0..3u32 {
+            e.add_node(
+                NodeSpec::new(format!("n{i}"), FullPrefix::new(0x700 + i).unwrap())
+                    .with_short_prefix(sp((i + 1) as u8)),
+            );
+        }
+        e
+    }
+
+    #[test]
+    fn attribution_reconstructs_winner_and_delivery() {
+        let mut e = three_node_engine();
+        e.queue(
+            1,
+            Message::new(Address::short(sp(0x3), FuId::ZERO), vec![0xAB, 0xCD]),
+        )
+        .unwrap();
+        let records = e.run_until_quiescent();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].winner, Some(1));
+        assert_eq!(records[0].delivered_to, vec![2]);
+        assert_eq!(records[0].outcome, TxOutcome::Acked);
+        let rx = e.take_rx(2);
+        assert_eq!(rx[0].from, 1);
+    }
+
+    #[test]
+    fn run_transaction_steps_through_buffered_records() {
+        let mut e = three_node_engine();
+        for k in 0..3u8 {
+            e.queue(
+                0,
+                Message::new(Address::short(sp(0x2), FuId::ZERO), vec![k]),
+            )
+            .unwrap();
+        }
+        let mut seqs = Vec::new();
+        while let Some(r) = e.run_transaction() {
+            seqs.push(r.seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(e.take_rx(1).len(), 3);
+    }
+
+    #[test]
+    fn unknown_node_errors_before_building() {
+        let mut e = WireEngine::new(BusConfig::default());
+        e.add_node(NodeSpec::new("only", FullPrefix::new(0x1).unwrap()).with_short_prefix(sp(1)));
+        assert!(matches!(
+            e.queue(5, Message::new(Address::short(sp(0x1), FuId::ZERO), vec![])),
+            Err(MbusError::UnknownNode { index: 5 })
+        ));
+        assert!(e.request_wakeup(9).is_err());
+        assert!(!e.built(), "errors must not freeze the topology");
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn add_node_after_freeze_panics() {
+        let mut e = three_node_engine();
+        e.request_wakeup(1).unwrap();
+        e.add_node(NodeSpec::new("late", FullPrefix::new(0x9).unwrap()));
+    }
+
+    #[test]
+    fn stats_match_activity_accounting() {
+        let mut e = three_node_engine();
+        e.queue(
+            0,
+            Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0; 8]),
+        )
+        .unwrap();
+        e.run_until_quiescent();
+        let stats = e.stats();
+        let bits = 19 + 64;
+        assert_eq!(stats.tx_bits[0], bits);
+        assert_eq!(stats.rx_bits[1], bits);
+        assert_eq!(stats.fwd_bits[2], bits);
+        assert_eq!(stats.busy_cycles, bits);
+        assert_eq!(stats.transactions, 1);
+    }
+}

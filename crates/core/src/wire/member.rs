@@ -43,6 +43,18 @@ pub(crate) struct MemberShared {
     /// True while this node is the transmitter of the current
     /// transaction (used by the harness to attribute records).
     pub transmitting: bool,
+    /// Timestamped transmit completions, append-only — the
+    /// [`WireEngine`](crate::wire::WireEngine) wrapper attributes each
+    /// mediator record to its winner by matching these against the
+    /// record's idle window.
+    pub tx_finished: Vec<(SimTime, TxOutcome)>,
+    /// Timestamp of each delivery pushed to `rx_log`, append-only
+    /// (deliveries are attributed even after `rx_log` is drained).
+    pub delivered_at: Vec<SimTime>,
+    /// Timestamps where this node was an address-matched receiver that
+    /// did *not* deliver (its own abort, or a mediator cut) — it still
+    /// spent receive energy on the bits that crossed.
+    pub rx_engaged: Vec<SimTime>,
 }
 
 impl MemberShared {
@@ -60,6 +72,9 @@ impl MemberShared {
             bus_ctl_wakes: 0,
             layer_wakes: 0,
             transmitting: false,
+            tx_finished: Vec::new(),
+            delivered_at: Vec::new(),
+            rx_engaged: Vec::new(),
         }
     }
 }
@@ -407,13 +422,12 @@ impl MemberComp {
                             self.set_role(Role::Listening);
                         }
                     }
-                    Role::Winner
-                        if ctx.pin_value(self.data_in).is_high() => {
-                            // Priority requested: back off; the message
-                            // stays queued for the next transaction.
-                            self.set_data_forward(ctx, true);
-                            self.set_role(Role::Listening);
-                        }
+                    Role::Winner if ctx.pin_value(self.data_in).is_high() => {
+                        // Priority requested: back off; the message
+                        // stays queued for the next transaction.
+                        self.set_data_forward(ctx, true);
+                        self.set_role(Role::Listening);
+                    }
                     _ => {}
                 }
             }
@@ -455,14 +469,13 @@ impl MemberComp {
     fn handle_latch_edge(&mut self, half: u32, ctx: &mut Ctx<'_>) {
         let i = ((half - 7) / 2) as usize;
         match self.role() {
-            Role::Winner
-                if i + 1 == self.tx_bits.len() => {
-                    // Last bit latched ring-wide: request interjection by
-                    // releasing DATA and holding CLK high (§4.9).
-                    self.set_data_forward(ctx, true);
-                    self.set_clk_hold(ctx, true);
-                    self.ctl_role = CtlRole::TxEom;
-                }
+            Role::Winner if i + 1 == self.tx_bits.len() => {
+                // Last bit latched ring-wide: request interjection by
+                // releasing DATA and holding CLK high (§4.9).
+                self.set_data_forward(ctx, true);
+                self.set_clk_hold(ctx, true);
+                self.ctl_role = CtlRole::TxEom;
+            }
             Role::Listening => {
                 let bit = ctx.pin_value(self.data_in).is_high();
                 self.addr_bits.push(bit);
@@ -573,10 +586,9 @@ impl MemberComp {
                 self.ctl_bit0 = ctx.pin_value(self.data_in).is_high();
                 match self.ctl_role {
                     CtlRole::TxEom | CtlRole::RxAbort => self.set_data_forward(ctx, true),
-                    CtlRole::RxAck
-                        if self.ctl_bit0 => {
-                            self.drive_data(ctx, Logic::Low); // ACK
-                        }
+                    CtlRole::RxAck if self.ctl_bit0 => {
+                        self.drive_data(ctx, Logic::Low); // ACK
+                    }
                     _ => {}
                 }
             }
@@ -596,6 +608,7 @@ impl MemberComp {
     }
 
     fn conclude_roles(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
         match self.ctl_role {
             CtlRole::TxEom => {
                 let outcome = if self.ctl_bit0 && !self.ctl_bit1 {
@@ -605,10 +618,14 @@ impl MemberComp {
                 } else {
                     TxOutcome::ReceiverAbort
                 };
-                self.shared.borrow_mut().outcomes.push(outcome);
+                let mut s = self.shared.borrow_mut();
+                s.outcomes.push(outcome);
+                s.tx_finished.push((now, outcome));
             }
             CtlRole::TxAborted => {
-                self.shared.borrow_mut().outcomes.push(TxOutcome::ReceiverAbort);
+                let mut s = self.shared.borrow_mut();
+                s.outcomes.push(TxOutcome::ReceiverAbort);
+                s.tx_finished.push((now, TxOutcome::ReceiverAbort));
             }
             CtlRole::RxAck => {
                 if self.ctl_bit0 {
@@ -618,16 +635,24 @@ impl MemberComp {
                     let (bytes, _dropped) = bits_to_bytes(&self.payload_bits);
                     let (addr_bytes, _) = bits_to_bytes(&self.addr_bits);
                     if let Ok(dest) = Address::decode(&addr_bytes) {
-                        let at = ctx.now();
-                        self.shared.borrow_mut().rx_log.push(WireReceived {
+                        let mut s = self.shared.borrow_mut();
+                        s.rx_log.push(WireReceived {
                             dest,
                             payload: bytes,
-                            at,
+                            at: now,
                         });
+                        s.delivered_at.push(now);
                     }
+                } else {
+                    // We were receiving, but the control phase reports
+                    // an error (e.g. the mediator cut a runaway).
+                    self.shared.borrow_mut().rx_engaged.push(now);
                 }
             }
-            CtlRole::RxAbort | CtlRole::Passive => {}
+            CtlRole::RxAbort => {
+                self.shared.borrow_mut().rx_engaged.push(now);
+            }
+            CtlRole::Passive => {}
         }
     }
 

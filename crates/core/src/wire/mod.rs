@@ -42,10 +42,12 @@
 //! integration tests).
 
 pub mod bus;
+pub mod engine;
 pub mod mediator;
 pub mod member;
 
 pub use bus::{RawNodeIo, WireBus, WireBusBuilder, WireTransaction};
+pub use engine::WireEngine;
 pub use member::WireReceived;
 
 /// Internal timing/layout constants shared by mediator and members.

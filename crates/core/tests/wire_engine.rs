@@ -20,9 +20,7 @@ fn addr(x: u8) -> Address {
 /// cpu(0, 0x1) + sensor(1, 0x2, power-aware) + radio(2, 0x3, power-aware)
 fn three_node_bus() -> WireBus {
     WireBusBuilder::new(BusConfig::default())
-        .node(
-            NodeSpec::new("cpu", FullPrefix::new(0x00001).unwrap()).with_short_prefix(sp(0x1)),
-        )
+        .node(NodeSpec::new("cpu", FullPrefix::new(0x00001).unwrap()).with_short_prefix(sp(0x1)))
         .node(
             NodeSpec::new("sensor", FullPrefix::new(0x00002).unwrap())
                 .with_short_prefix(sp(0x2))
@@ -212,7 +210,10 @@ fn power_oblivious_delivery_wakes_only_destination() {
     assert_eq!(bus.take_rx(1).len(), 1);
     assert_eq!(bus.layer_wakes(1), 1, "destination layer woke");
     assert_eq!(bus.layer_wakes(2), 0, "bystander layer stayed gated");
-    assert!(bus.bus_ctl_wakes(2) >= 1, "bystander bus controller woke for addressing");
+    assert!(
+        bus.bus_ctl_wakes(2) >= 1,
+        "bystander bus controller woke for addressing"
+    );
     // Power-aware nodes re-gate after the transaction (standby).
     assert!(!bus.layer_on(1));
     assert!(!bus.bus_ctl_on(1));
@@ -234,7 +235,10 @@ fn receiver_buffer_overrun_aborts_mid_message() {
     assert!(ctl.is_error(), "receiver abort reads as general error");
     // 19 + 8×8 allowed bytes + 1 excess bit.
     assert_eq!(records[0].cycles, 19 + 64 + 1);
-    assert!(bus.take_rx(1).is_empty(), "aborted message is not delivered");
+    assert!(
+        bus.take_rx(1).is_empty(),
+        "aborted message is not delivered"
+    );
     assert_eq!(bus.take_outcomes(0), vec![TxOutcome::ReceiverAbort]);
 }
 

@@ -28,7 +28,10 @@ fn ring(n: usize, clock_hz: u64) -> WireBus {
 fn transfer_ok(bus: &mut WireBus) -> bool {
     let payload = vec![0xA5, 0x3C, 0x0F, 0xF0];
     if bus
-        .queue(0, Message::new(Address::short(sp(0x2), FuId::ZERO), payload.clone()))
+        .queue(
+            0,
+            Message::new(Address::short(sp(0x2), FuId::ZERO), payload.clone()),
+        )
         .is_err()
     {
         return false;
@@ -101,10 +104,16 @@ fn handoff_glitches_exist_and_resolve() {
     // message alone needs), yet every latched byte is correct.
     let mut bus = ring(4, 400_000);
     // Two contenders guarantee a drive→forward hand-off by the loser.
-    bus.queue(1, Message::new(Address::short(sp(0x1), FuId::ZERO), vec![0x55]))
-        .unwrap();
-    bus.queue(2, Message::new(Address::short(sp(0x1), FuId::ZERO), vec![0xAA]))
-        .unwrap();
+    bus.queue(
+        1,
+        Message::new(Address::short(sp(0x1), FuId::ZERO), vec![0x55]),
+    )
+    .unwrap();
+    bus.queue(
+        2,
+        Message::new(Address::short(sp(0x1), FuId::ZERO), vec![0xAA]),
+    )
+    .unwrap();
     let records = bus.run_until_quiescent(100_000_000);
     assert_eq!(records.len(), 2);
     let rx = bus.take_rx(0);
@@ -126,8 +135,11 @@ fn handoff_glitches_exist_and_resolve() {
 #[test]
 fn vcd_export_of_a_real_transaction() {
     let mut bus = ring(3, 400_000);
-    bus.queue(0, Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xDE, 0xAD]))
-        .unwrap();
+    bus.queue(
+        0,
+        Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xDE, 0xAD]),
+    )
+    .unwrap();
     bus.run_until_quiescent(50_000_000);
 
     let mut out = Vec::new();
@@ -146,13 +158,12 @@ fn vcd_export_of_a_real_transaction() {
         .skip_while(|l| !l.starts_with("$dumpvars"))
         .filter(|l| l.starts_with('0') || l.starts_with('1'))
         .count();
-    let traced: usize = bus
-        .trace()
-        .nets()
-        .map(|n| bus.trace().edge_count(n))
-        .sum();
+    let traced: usize = bus.trace().nets().map(|n| bus.trace().edge_count(n)).sum();
     // Dump section re-emits initial values; changes follow.
-    assert!(change_lines >= traced, "{change_lines} lines vs {traced} edges");
+    assert!(
+        change_lines >= traced,
+        "{change_lines} lines vs {traced} edges"
+    );
 }
 
 #[test]
@@ -161,8 +172,11 @@ fn interjection_pulses_are_visible_on_the_trace() {
     // the interjection window in the trace and count DATA edges with
     // no intervening CLK edge.
     let mut bus = ring(3, 400_000);
-    bus.queue(0, Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0x42]))
-        .unwrap();
+    bus.queue(
+        0,
+        Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0x42]),
+    )
+    .unwrap();
     let records = bus.run_until_quiescent(50_000_000);
     let r = &records[0];
 
@@ -191,8 +205,11 @@ fn per_role_segment_activity_is_ordered() {
     // TX > RX > FWD energies.
     let mut bus = ring(3, 400_000);
     // Node 1 sends a data-rich payload to node 2.
-    bus.queue(1, Message::new(Address::short(sp(0x3), FuId::ZERO), vec![0x55; 16]))
-        .unwrap();
+    bus.queue(
+        1,
+        Message::new(Address::short(sp(0x3), FuId::ZERO), vec![0x55; 16]),
+    )
+    .unwrap();
     bus.run_until_quiescent(50_000_000);
     // CLK segments toggle nearly identically everywhere.
     let clk_counts: Vec<usize> = bus
@@ -202,7 +219,10 @@ fn per_role_segment_activity_is_ordered() {
         .collect();
     let max = *clk_counts.iter().max().unwrap() as f64;
     let min = *clk_counts.iter().min().unwrap() as f64;
-    assert!(min / max > 0.9, "CLK activity uniform around the ring: {clk_counts:?}");
+    assert!(
+        min / max > 0.9,
+        "CLK activity uniform around the ring: {clk_counts:?}"
+    );
     // DATA segments all carry the 0x55 pattern (everyone forwards what
     // the TX drives), so they are also similar — the energy asymmetry
     // comes from which *driver* pays for each segment.

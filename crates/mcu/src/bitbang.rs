@@ -100,15 +100,27 @@ pub fn mbus_program() -> (Vec<Insn>, BitbangProgram) {
         addr: mmio::P_IN,
     });
     asm.jz("rx_zero");
-    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::RXBUF,
+    });
     asm.push(Insn::Shl(r12));
     asm.push(Insn::Inc(r12));
-    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.push(Insn::St {
+        src: r12,
+        addr: state::RXBUF,
+    });
     asm.jmp("exit");
     asm.label("rx_zero");
-    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::RXBUF,
+    });
     asm.push(Insn::Shl(r12));
-    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.push(Insn::St {
+        src: r12,
+        addr: state::RXBUF,
+    });
     asm.jmp("exit");
 
     // Falling edge: forward CLK low, then drive DATA (transmit or
@@ -119,12 +131,21 @@ pub fn mbus_program() -> (Vec<Insn>, BitbangProgram) {
         mask: CLK_OUT_MASK,
         addr: mmio::P_OUT,
     });
-    asm.push(Insn::Ld { dst: r12, addr: state::MODE });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::MODE,
+    });
     asm.jz("forward");
 
     // Transmit: emit the TXMASK-selected bit of TXWORD.
-    asm.push(Insn::Ld { dst: r12, addr: state::TXWORD });
-    asm.push(Insn::Ld { dst: r13, addr: state::TXMASK });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::TXWORD,
+    });
+    asm.push(Insn::Ld {
+        dst: r13,
+        addr: state::TXMASK,
+    });
     asm.push(alu(Alu::And, r12, Src::Reg(r13)));
     asm.jz("tx_zero");
     asm.push(Insn::BisAbs {
@@ -139,7 +160,10 @@ pub fn mbus_program() -> (Vec<Insn>, BitbangProgram) {
     });
     asm.label("tx_shift");
     asm.push(Insn::Shr(r13));
-    asm.push(Insn::St { src: r13, addr: state::TXMASK });
+    asm.push(Insn::St {
+        src: r13,
+        addr: state::TXMASK,
+    });
     asm.jmp("exit");
 
     // Forward: copy DATA_IN to DATA_OUT (the shoot-through path).
@@ -191,74 +215,155 @@ pub fn mbus_interop_program() -> (Vec<Insn>, BitbangProgram) {
     let r13 = Reg(13);
 
     // --- main: arm CLK and DATA edges, idle high, sleep ---
-    asm.push(Insn::BisAbs { mask: CLK_IN_MASK | DATA_IN_MASK, addr: mmio::IE_RISE });
-    asm.push(Insn::BisAbs { mask: CLK_IN_MASK | DATA_IN_MASK, addr: mmio::IE_FALL });
-    asm.push(Insn::BisAbs { mask: CLK_OUT_MASK | DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BisAbs {
+        mask: CLK_IN_MASK | DATA_IN_MASK,
+        addr: mmio::IE_RISE,
+    });
+    asm.push(Insn::BisAbs {
+        mask: CLK_IN_MASK | DATA_IN_MASK,
+        addr: mmio::IE_FALL,
+    });
+    asm.push(Insn::BisAbs {
+        mask: CLK_OUT_MASK | DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
     asm.push(Insn::Halt);
 
     // --- shared isr: dispatch on the interrupt flags ---
     asm.label("isr");
     asm.push(Insn::Push(r12));
     asm.push(Insn::Push(r13));
-    asm.push(Insn::BitAbs { mask: CLK_IN_MASK, addr: mmio::IFG });
+    asm.push(Insn::BitAbs {
+        mask: CLK_IN_MASK,
+        addr: mmio::IFG,
+    });
     asm.jnz("clk_path");
 
     // DATA edge: forward the level through (forward mode only).
-    asm.push(Insn::BicAbs { mask: DATA_IN_MASK, addr: mmio::IFG });
-    asm.push(Insn::Ld { dst: r12, addr: state::MODE });
+    asm.push(Insn::BicAbs {
+        mask: DATA_IN_MASK,
+        addr: mmio::IFG,
+    });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::MODE,
+    });
     asm.jnz("exit"); // transmitting: the TX owns DATA_OUT
-    asm.push(Insn::BitAbs { mask: DATA_IN_MASK, addr: mmio::P_IN });
+    asm.push(Insn::BitAbs {
+        mask: DATA_IN_MASK,
+        addr: mmio::P_IN,
+    });
     asm.jz("dfwd_zero");
-    asm.push(Insn::BisAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BisAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
     asm.jmp("exit");
     asm.label("dfwd_zero");
-    asm.push(Insn::BicAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BicAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
     asm.jmp("exit");
 
     // CLK edge: identical to the measured driver.
     asm.label("clk_path");
-    asm.push(Insn::BicAbs { mask: CLK_IN_MASK, addr: mmio::IFG });
-    asm.push(Insn::BitAbs { mask: CLK_IN_MASK, addr: mmio::P_IN });
+    asm.push(Insn::BicAbs {
+        mask: CLK_IN_MASK,
+        addr: mmio::IFG,
+    });
+    asm.push(Insn::BitAbs {
+        mask: CLK_IN_MASK,
+        addr: mmio::P_IN,
+    });
     asm.jz("falling");
 
-    asm.push(Insn::BisAbs { mask: CLK_OUT_MASK, addr: mmio::P_OUT });
-    asm.push(Insn::BitAbs { mask: DATA_IN_MASK, addr: mmio::P_IN });
+    asm.push(Insn::BisAbs {
+        mask: CLK_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.push(Insn::BitAbs {
+        mask: DATA_IN_MASK,
+        addr: mmio::P_IN,
+    });
     asm.jz("rx_zero");
-    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::RXBUF,
+    });
     asm.push(Insn::Shl(r12));
     asm.push(Insn::Inc(r12));
-    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.push(Insn::St {
+        src: r12,
+        addr: state::RXBUF,
+    });
     asm.jmp("exit");
     asm.label("rx_zero");
-    asm.push(Insn::Ld { dst: r12, addr: state::RXBUF });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::RXBUF,
+    });
     asm.push(Insn::Shl(r12));
-    asm.push(Insn::St { src: r12, addr: state::RXBUF });
+    asm.push(Insn::St {
+        src: r12,
+        addr: state::RXBUF,
+    });
     asm.jmp("exit");
 
     asm.label("falling");
-    asm.push(Insn::BicAbs { mask: CLK_OUT_MASK, addr: mmio::P_OUT });
-    asm.push(Insn::Ld { dst: r12, addr: state::MODE });
+    asm.push(Insn::BicAbs {
+        mask: CLK_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::MODE,
+    });
     asm.jz("forward");
-    asm.push(Insn::Ld { dst: r12, addr: state::TXWORD });
-    asm.push(Insn::Ld { dst: r13, addr: state::TXMASK });
+    asm.push(Insn::Ld {
+        dst: r12,
+        addr: state::TXWORD,
+    });
+    asm.push(Insn::Ld {
+        dst: r13,
+        addr: state::TXMASK,
+    });
     asm.push(alu(Alu::And, r12, Src::Reg(r13)));
     asm.jz("tx_zero");
-    asm.push(Insn::BisAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BisAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
     asm.jmp("tx_shift");
     asm.label("tx_zero");
-    asm.push(Insn::BicAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BicAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
     asm.label("tx_shift");
     asm.push(Insn::Shr(r13));
-    asm.push(Insn::St { src: r13, addr: state::TXMASK });
+    asm.push(Insn::St {
+        src: r13,
+        addr: state::TXMASK,
+    });
     asm.jmp("exit");
 
     asm.label("forward");
-    asm.push(Insn::BitAbs { mask: DATA_IN_MASK, addr: mmio::P_IN });
+    asm.push(Insn::BitAbs {
+        mask: DATA_IN_MASK,
+        addr: mmio::P_IN,
+    });
     asm.jz("fwd_zero");
-    asm.push(Insn::BisAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BisAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
     asm.jmp("exit");
     asm.label("fwd_zero");
-    asm.push(Insn::BicAbs { mask: DATA_OUT_MASK, addr: mmio::P_OUT });
+    asm.push(Insn::BicAbs {
+        mask: DATA_OUT_MASK,
+        addr: mmio::P_OUT,
+    });
 
     asm.label("exit");
     asm.push(Insn::Pop(r13));
@@ -420,10 +525,16 @@ pub fn i2c_bitbang_longest_path() -> IsrPath {
     asm.label("write_bit");
     asm.push(alu(Alu::Cmp, Reg(4), Src::Imm(0)));
     asm.jz("sda_low");
-    asm.push(Insn::BisAbs { mask: 1 << 3, addr: mmio::P_OUT });
+    asm.push(Insn::BisAbs {
+        mask: 1 << 3,
+        addr: mmio::P_OUT,
+    });
     asm.jmp("sda_done");
     asm.label("sda_low");
-    asm.push(Insn::BicAbs { mask: 1 << 3, addr: mmio::P_OUT });
+    asm.push(Insn::BicAbs {
+        mask: 1 << 3,
+        addr: mmio::P_OUT,
+    });
     asm.label("sda_done");
     // delay loop stand-in (I2C_delay()): two iterations.
     asm.push(alu(Alu::Mov, r12, Src::Imm(2)));
@@ -431,9 +542,15 @@ pub fn i2c_bitbang_longest_path() -> IsrPath {
     asm.push(Insn::Dec(r12));
     asm.jnz("dly1");
     // SCL high, then clock-stretch check: read SCL back.
-    asm.push(Insn::BisAbs { mask: 1 << 2, addr: mmio::P_OUT });
+    asm.push(Insn::BisAbs {
+        mask: 1 << 2,
+        addr: mmio::P_OUT,
+    });
     asm.label("stretch");
-    asm.push(Insn::BitAbs { mask: 1 << 0, addr: mmio::P_IN });
+    asm.push(Insn::BitAbs {
+        mask: 1 << 0,
+        addr: mmio::P_IN,
+    });
     asm.jz("stretch");
     // Second I2C_delay() while SCL is high (the Wikipedia master
     // delays on both phases).
@@ -443,10 +560,16 @@ pub fn i2c_bitbang_longest_path() -> IsrPath {
     asm.jnz("dly2");
     // Arbitration check: read SDA back; mismatch would be lost
     // arbitration (ignored here — single master).
-    asm.push(Insn::BitAbs { mask: 1 << 1, addr: mmio::P_IN });
+    asm.push(Insn::BitAbs {
+        mask: 1 << 1,
+        addr: mmio::P_IN,
+    });
     // SCL low, then end of the measured routine (a real master would
     // `ret` into the byte loop; `halt` marks the measurement boundary).
-    asm.push(Insn::BicAbs { mask: 1 << 2, addr: mmio::P_OUT });
+    asm.push(Insn::BicAbs {
+        mask: 1 << 2,
+        addr: mmio::P_OUT,
+    });
     asm.push(Insn::Halt);
 
     let program = asm.assemble();

@@ -378,8 +378,14 @@ mod tests {
     #[test]
     fn gpio_store_and_log() {
         let mut asm = Asm::new();
-        asm.push(Insn::BisAbs { mask: 0b10, addr: mmio::P_OUT });
-        asm.push(Insn::BicAbs { mask: 0b10, addr: mmio::P_OUT });
+        asm.push(Insn::BisAbs {
+            mask: 0b10,
+            addr: mmio::P_OUT,
+        });
+        asm.push(Insn::BicAbs {
+            mask: 0b10,
+            addr: mmio::P_OUT,
+        });
         asm.push(Insn::Halt);
         let mut cpu = Cpu::new(asm.assemble());
         cpu.run(10);
@@ -392,12 +398,18 @@ mod tests {
     fn edge_interrupt_enters_and_exits_isr() {
         let mut asm = Asm::new();
         // main: enable falling-edge irq on pin 0, then spin.
-        asm.push(Insn::BisAbs { mask: 1, addr: mmio::IE_FALL });
+        asm.push(Insn::BisAbs {
+            mask: 1,
+            addr: mmio::IE_FALL,
+        });
         asm.label("spin");
         asm.jmp("spin");
         // isr: clear flag, mark r5, return.
         asm.label("isr");
-        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(Insn::BicAbs {
+            mask: 1,
+            addr: mmio::IFG,
+        });
         asm.push(alu(Alu::Mov, Reg(5), Src::Imm(0xBEEF)));
         asm.push(Insn::Reti);
         let isr_at = 2;
@@ -415,12 +427,18 @@ mod tests {
     #[test]
     fn rising_and_falling_enables_are_independent() {
         let mut asm = Asm::new();
-        asm.push(Insn::BisAbs { mask: 1, addr: mmio::IE_RISE });
+        asm.push(Insn::BisAbs {
+            mask: 1,
+            addr: mmio::IE_RISE,
+        });
         asm.label("spin");
         asm.jmp("spin");
         asm.label("isr");
         asm.push(Insn::Inc(Reg(5)));
-        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(Insn::BicAbs {
+            mask: 1,
+            addr: mmio::IFG,
+        });
         asm.push(Insn::Reti);
         let mut cpu = Cpu::new(asm.assemble());
         cpu.set_irq_vector(2);
@@ -438,7 +456,10 @@ mod tests {
         asm.label("spin");
         asm.jmp("spin");
         asm.label("isr");
-        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(Insn::BicAbs {
+            mask: 1,
+            addr: mmio::IFG,
+        });
         asm.push(Insn::Reti);
         let mut cpu = Cpu::new(asm.assemble());
         cpu.set_irq_vector(1);
@@ -455,11 +476,17 @@ mod tests {
     #[test]
     fn halt_wakes_on_interrupt() {
         let mut asm = Asm::new();
-        asm.push(Insn::BisAbs { mask: 1, addr: mmio::IE_RISE });
+        asm.push(Insn::BisAbs {
+            mask: 1,
+            addr: mmio::IE_RISE,
+        });
         asm.push(Insn::Halt);
         asm.label("isr");
         asm.push(Insn::Inc(Reg(6)));
-        asm.push(Insn::BicAbs { mask: 1, addr: mmio::IFG });
+        asm.push(Insn::BicAbs {
+            mask: 1,
+            addr: mmio::IFG,
+        });
         asm.push(Insn::Reti);
         let mut cpu = Cpu::new(asm.assemble());
         cpu.set_irq_vector(2);
@@ -474,8 +501,14 @@ mod tests {
     fn ram_round_trip() {
         let mut asm = Asm::new();
         asm.push(alu(Alu::Mov, Reg(4), Src::Imm(0x1234)));
-        asm.push(Insn::St { src: Reg(4), addr: 0x20 });
-        asm.push(Insn::Ld { dst: Reg(5), addr: 0x20 });
+        asm.push(Insn::St {
+            src: Reg(4),
+            addr: 0x20,
+        });
+        asm.push(Insn::Ld {
+            dst: Reg(5),
+            addr: 0x20,
+        });
         asm.push(Insn::Halt);
         let mut cpu = Cpu::new(asm.assemble());
         cpu.run(10);

@@ -141,8 +141,12 @@ impl Insn {
     /// MSP430-equivalent cycle cost.
     pub fn cycles(&self) -> u64 {
         match self {
-            Insn::AluOp { src: Src::Reg(_), .. } => 1,
-            Insn::AluOp { src: Src::Imm(_), .. } => 2,
+            Insn::AluOp {
+                src: Src::Reg(_), ..
+            } => 1,
+            Insn::AluOp {
+                src: Src::Imm(_), ..
+            } => 2,
             Insn::Ld { .. } => 3,
             Insn::St { .. } => 4,
             Insn::BitAbs { .. } => 4,
@@ -233,7 +237,8 @@ impl Asm {
     }
 
     fn branch(&mut self, label: &str, kind: FixupKind) -> &mut Self {
-        self.fixups.push((self.insns.len(), label.to_string(), kind));
+        self.fixups
+            .push((self.insns.len(), label.to_string(), kind));
         self.insns.push(Insn::Nop); // placeholder
         self
     }

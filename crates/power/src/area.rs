@@ -163,7 +163,10 @@ impl AreaModel {
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
         let pivot = (col..3).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
@@ -172,8 +175,9 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         b.swap(col, pivot);
         for row in (col + 1)..3 {
             let factor = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            for (x, &p) in rest[0][col..3].iter_mut().zip(&pivot_rows[col][col..3]) {
+                *x -= factor * p;
             }
             b[row] -= factor * b[col];
         }
@@ -273,7 +277,11 @@ mod tests {
     fn render_matches_paper_shape() {
         let t = render_table2();
         assert!(t.contains("Bus Controller"));
-        assert!(t.contains("37068".to_string().as_str()) || t.contains("37,068") || t.contains(" 37068"));
+        assert!(
+            t.contains("37068".to_string().as_str())
+                || t.contains("37,068")
+                || t.contains(" 37068")
+        );
         assert!(t.lines().count() >= 9);
     }
 }

@@ -85,7 +85,12 @@ impl EnergyReport {
 
 /// Charges every traced transition on the given nets against the
 /// segment model.
-pub fn account_trace(trace: &Trace, clk: &[NetId], data: &[NetId], seg: &SegmentModel) -> EnergyReport {
+pub fn account_trace(
+    trace: &Trace,
+    clk: &[NetId],
+    data: &[NetId],
+    seg: &SegmentModel,
+) -> EnergyReport {
     let per_edge = seg.energy_per_edge();
     let charge = |nets: &[NetId]| -> Vec<Energy> {
         nets.iter()
@@ -146,13 +151,21 @@ mod tests {
         let seg = SegmentModel::default();
         let mut short = two_node_bus();
         short
-            .send_and_run(0, Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO), vec![0xAA; 1])
+            .send_and_run(
+                0,
+                Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO),
+                vec![0xAA; 1],
+            )
             .unwrap();
         let e_short = account_bus(&short, &seg).total();
 
         let mut long = two_node_bus();
-        long.send_and_run(0, Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO), vec![0xAA; 32])
-            .unwrap();
+        long.send_and_run(
+            0,
+            Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO),
+            vec![0xAA; 32],
+        )
+        .unwrap();
         let e_long = account_bus(&long, &seg).total();
 
         assert!(e_long > e_short * 2.0, "{e_long} vs {e_short}");
@@ -164,8 +177,12 @@ mod tests {
         // CLK toggles twice per cycle everywhere.
         let seg = SegmentModel::default();
         let mut bus = two_node_bus();
-        bus.send_and_run(0, Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO), vec![0x00; 16])
-            .unwrap();
+        bus.send_and_run(
+            0,
+            Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO),
+            vec![0x00; 16],
+        )
+        .unwrap();
         let report = account_bus(&bus, &seg);
         let clk: Energy = report.clk_segments.iter().copied().sum();
         let data: Energy = report.data_segments.iter().copied().sum();
@@ -182,7 +199,10 @@ mod tests {
         bus.send_and_run(
             0,
             Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO),
-            (0..payload as u8).map(|i| i.wrapping_mul(37)).take(payload).collect(),
+            (0..payload as u8)
+                .map(|i| i.wrapping_mul(37))
+                .take(payload)
+                .collect(),
         )
         .unwrap();
         let report = account_bus(&bus, &seg);
@@ -198,8 +218,12 @@ mod tests {
     fn driver_attribution_covers_total() {
         let seg = SegmentModel::default();
         let mut bus = two_node_bus();
-        bus.send_and_run(0, Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO), vec![0x5A; 8])
-            .unwrap();
+        bus.send_and_run(
+            0,
+            Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO),
+            vec![0x5A; 8],
+        )
+        .unwrap();
         let report = account_bus(&bus, &seg);
         let by_driver: Energy = (0..report.clk_segments.len())
             .map(|i| report.driver_energy(i))

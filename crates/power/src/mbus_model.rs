@@ -193,8 +193,10 @@ mod tests {
                 meas,
                 oracle
             );
-            assert!(oracle.as_uw() < std.as_uw() * (50.0 / (4.25 * n as f64)).max(1.0),
-                "oracle benefits from smaller, known capacitance");
+            assert!(
+                oracle.as_uw() < std.as_uw() * (50.0 / (4.25 * n as f64)).max(1.0),
+                "oracle benefits from smaller, known capacitance"
+            );
         }
     }
 

@@ -362,9 +362,7 @@ mod tests {
             .into_iter()
             .sum();
         assert!((total.as_pj() - 3.0).abs() < 1e-12);
-        let total: Power = [Power::from_nw(1.0), Power::from_nw(2.0)]
-            .into_iter()
-            .sum();
+        let total: Power = [Power::from_nw(1.0), Power::from_nw(2.0)].into_iter().sum();
         assert!((total.as_nw() - 3.0).abs() < 1e-12);
     }
 }

@@ -490,7 +490,6 @@ mod tests {
     }
 
     struct Repeater {
-        input: PinId,
         output: PinId,
         delay: SimTime,
     }
@@ -515,12 +514,11 @@ mod tests {
         let a = c.net("a");
         let b = c.net("b");
         let comp = c.add_component("rep");
-        let input = c.input_delayed(comp, a, SimTime::from_ns(10));
+        let _input = c.input_delayed(comp, a, SimTime::from_ns(10));
         let output = c.output(comp, b);
         c.bind(
             comp,
             Repeater {
-                input,
                 output,
                 delay: SimTime::from_ns(2),
             },
@@ -557,12 +555,11 @@ mod tests {
         let nets = [n0, n1, n2, n3];
         for i in 0..3 {
             let comp = c.add_component(format!("rep{i}"));
-            let input = c.input_delayed(comp, nets[i], hop);
+            let _input = c.input_delayed(comp, nets[i], hop);
             let output = c.output(comp, nets[i + 1]);
             c.bind(
                 comp,
                 Repeater {
-                    input,
                     output,
                     delay: SimTime::ZERO,
                 },
@@ -579,12 +576,11 @@ mod tests {
         let a = c.net("a");
         let b = c.net("b");
         let comp = c.add_component("rep");
-        let input = c.input_delayed(comp, a, SimTime::from_ns(5));
+        let _input = c.input_delayed(comp, a, SimTime::from_ns(5));
         let output = c.output(comp, b);
         c.bind(
             comp,
             Repeater {
-                input,
                 output,
                 delay: SimTime::ZERO,
             },
@@ -628,7 +624,13 @@ mod tests {
         let n = c.net("osc");
         let comp = c.add_component("osc");
         let output = c.output(comp, n);
-        c.bind(comp, Osc { output, state: false });
+        c.bind(
+            comp,
+            Osc {
+                output,
+                state: false,
+            },
+        );
         // Kick it off through a scheduled drive and timer.
         c.drive_at(output, Logic::Low, SimTime::ZERO);
         c.scheduler.schedule(

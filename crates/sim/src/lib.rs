@@ -53,6 +53,7 @@
 mod circuit;
 mod event;
 mod logic;
+mod rng;
 mod time;
 mod trace;
 mod vcd;
@@ -61,6 +62,7 @@ mod waveform;
 pub use circuit::{Circuit, Component, ComponentId, Ctx, NetId, PinId, TimerToken};
 pub use event::{Event, EventKind, Scheduler};
 pub use logic::{Edge, Logic};
+pub use rng::SmallRng;
 pub use time::SimTime;
 pub use trace::{Trace, Transition};
 pub use vcd::VcdWriter;

@@ -235,9 +235,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimTime = [SimTime::from_ns(1), SimTime::from_ns(2)]
-            .into_iter()
-            .sum();
+        let total: SimTime = [SimTime::from_ns(1), SimTime::from_ns(2)].into_iter().sum();
         assert_eq!(total, SimTime::from_ns(3));
     }
 }

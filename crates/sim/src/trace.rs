@@ -205,7 +205,10 @@ mod tests {
             trace.edge_times(net, Edge::Falling),
             vec![SimTime::from_ns(10), SimTime::from_ns(30)]
         );
-        assert_eq!(trace.edge_times(net, Edge::Rising), vec![SimTime::from_ns(20)]);
+        assert_eq!(
+            trace.edge_times(net, Edge::Rising),
+            vec![SimTime::from_ns(20)]
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Property-based tests over the discrete-event kernel: determinism,
+//! Property-style tests over the discrete-event kernel: determinism,
 //! trace consistency, and transport-delay conservation.
+//!
+//! Cases are generated with the kernel's own deterministic [`SmallRng`]
+//! (the container image carries no external property-testing crate), so
+//! every failure reproduces from the printed seed.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
-use mbus_sim::{Circuit, Component, Ctx, Logic, PinId, SimTime, Transition};
+use mbus_sim::{Circuit, Component, Ctx, Logic, PinId, SimTime, SmallRng, Transition};
 
 struct Repeater {
     output: PinId,
@@ -48,47 +49,60 @@ fn run_chain(
     (c, first, prev)
 }
 
-fn stimulus_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
-    vec((0u64..500, any::<bool>()), 1..40).prop_map(|mut s| {
-        s.sort_by_key(|&(t, _)| t);
-        s.dedup_by_key(|&mut (t, _)| t);
-        s
-    })
+/// 1–39 edges at distinct microsecond timestamps in [0, 500).
+fn random_stimulus(rng: &mut SmallRng) -> Vec<(u64, bool)> {
+    let n = rng.gen_index(1..40);
+    let mut s: Vec<(u64, bool)> = (0..n)
+        .map(|_| (rng.gen_range(0..500), rng.gen_bool()))
+        .collect();
+    s.sort_by_key(|&(t, _)| t);
+    s.dedup_by_key(|&mut (t, _)| t);
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Replays are bit-identical: the kernel is deterministic.
-    #[test]
-    fn replays_are_identical(stim in stimulus_strategy(), len in 1usize..8) {
+/// Replays are bit-identical: the kernel is deterministic.
+#[test]
+fn replays_are_identical() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stim = random_stimulus(&mut rng);
+        let len = rng.gen_index(1..8);
         let (a, _, last_a) = run_chain(len, 10, &stim);
         let (b, _, last_b) = run_chain(len, 10, &stim);
         let ta: &[Transition] = a.trace().transitions(last_a);
         let tb: &[Transition] = b.trace().transitions(last_b);
-        prop_assert_eq!(ta, tb);
-        prop_assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(ta, tb, "seed {seed}");
+        assert_eq!(a.events_processed(), b.events_processed(), "seed {seed}");
     }
+}
 
-    /// Transport delay conserves transitions: every edge on the first
-    /// net arrives at the last, shifted by the chain delay.
-    #[test]
-    fn transitions_are_conserved(stim in stimulus_strategy(), len in 1usize..8) {
+/// Transport delay conserves transitions: every edge on the first net
+/// arrives at the last, shifted by the chain delay.
+#[test]
+fn transitions_are_conserved() {
+    for seed in 100..164u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stim = random_stimulus(&mut rng);
+        let len = rng.gen_index(1..8);
         let (c, first, last) = run_chain(len, 10, &stim);
         let t_in = c.trace().transitions(first);
         let t_out = c.trace().transitions(last);
-        prop_assert_eq!(t_in.len(), t_out.len());
+        assert_eq!(t_in.len(), t_out.len(), "seed {seed}");
         let chain = SimTime::from_ns(10 * len as u64);
         for (i, o) in t_in.iter().zip(t_out) {
-            prop_assert_eq!(o.time, i.time + chain);
-            prop_assert_eq!(o.value, i.value);
+            assert_eq!(o.time, i.time + chain, "seed {seed}");
+            assert_eq!(o.value, i.value, "seed {seed}");
         }
     }
+}
 
-    /// `value_at` agrees with the running net value at every recorded
-    /// transition boundary, and the final value matches the live net.
-    #[test]
-    fn trace_value_at_is_consistent(stim in stimulus_strategy()) {
+/// `value_at` agrees with the running net value at every recorded
+/// transition boundary, and the final value matches the live net.
+#[test]
+fn trace_value_at_is_consistent() {
+    for seed in 200..264u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stim = random_stimulus(&mut rng);
         let (c, first, _) = run_chain(1, 10, &stim);
         let trace = c.trace();
         let mut prev = trace.initial_value(first);
@@ -96,25 +110,33 @@ proptest! {
             // Just before the transition: the previous value.
             if tr.time > SimTime::ZERO {
                 let before = tr.time - SimTime::from_ps(1);
-                prop_assert_eq!(trace.value_at(first, before), prev);
+                assert_eq!(trace.value_at(first, before), prev, "seed {seed}");
             }
-            prop_assert_eq!(trace.value_at(first, tr.time), tr.value);
+            assert_eq!(trace.value_at(first, tr.time), tr.value, "seed {seed}");
             prev = tr.value;
         }
-        prop_assert_eq!(trace.value_at(first, SimTime::from_s(1)), c.value(first));
+        assert_eq!(
+            trace.value_at(first, SimTime::from_s(1)),
+            c.value(first),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Edge counts partition: rising + falling == total transitions
-    /// (when the net starts from a driven level).
-    #[test]
-    fn directed_edges_partition(stim in stimulus_strategy()) {
-        use mbus_sim::Edge;
+/// Edge counts partition: rising + falling == total transitions (when
+/// the net starts from a driven level).
+#[test]
+fn directed_edges_partition() {
+    use mbus_sim::Edge;
+    for seed in 300..364u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stim = random_stimulus(&mut rng);
         let (c, first, _) = run_chain(1, 10, &stim);
         let trace = c.trace();
         let rising = trace.directed_edge_count(first, Edge::Rising);
         let falling = trace.directed_edge_count(first, Edge::Falling);
-        prop_assert_eq!(rising + falling, trace.edge_count(first));
+        assert_eq!(rising + falling, trace.edge_count(first), "seed {seed}");
         // Alternation: rising and falling counts differ by at most 1.
-        prop_assert!(rising.abs_diff(falling) <= 1);
+        assert!(rising.abs_diff(falling) <= 1, "seed {seed}");
     }
 }

@@ -146,8 +146,11 @@ mod tests {
             .build();
 
         let payload = vec![0xC0, 0xFF, 0xEE];
-        bus.queue(0, Message::new(Address::short(sp(0x3), FuId::ZERO), payload.clone()))
-            .unwrap();
+        bus.queue(
+            0,
+            Message::new(Address::short(sp(0x3), FuId::ZERO), payload.clone()),
+        )
+        .unwrap();
         let records = bus.run_until_quiescent(200_000_000);
 
         assert_eq!(records.len(), 1);
@@ -155,7 +158,10 @@ mod tests {
         assert!(records[0].control.unwrap().is_acked());
         let rx = bus.take_rx(2);
         assert_eq!(rx.len(), 1);
-        assert_eq!(rx[0].payload, payload, "payload crossed the software hop intact");
+        assert_eq!(
+            rx[0].payload, payload,
+            "payload crossed the software hop intact"
+        );
     }
 
     #[test]
@@ -169,8 +175,11 @@ mod tests {
             .raw_node("bitbang-msp430", BitbangRingNode::binder(DEFAULT_CPU_HZ))
             .node(NodeSpec::new("radio", FullPrefix::new(0x3).unwrap()).with_short_prefix(sp(0x3)))
             .build();
-        bus.queue(0, Message::new(Address::short(sp(0x3), FuId::ZERO), vec![0x5A]))
-            .unwrap();
+        bus.queue(
+            0,
+            Message::new(Address::short(sp(0x3), FuId::ZERO), vec![0x5A]),
+        )
+        .unwrap();
         let records = bus.run_until_quiescent(200_000_000);
         assert!(records[0].control.unwrap().is_acked());
         // The last byte the software node shifted in during the data
@@ -189,8 +198,11 @@ mod tests {
             .node(NodeSpec::new("radio", FullPrefix::new(0x3).unwrap()).with_short_prefix(sp(0x3)))
             .build();
         for i in 0..4u8 {
-            bus.queue(0, Message::new(Address::short(sp(0x3), FuId::ZERO), vec![i, !i]))
-                .unwrap();
+            bus.queue(
+                0,
+                Message::new(Address::short(sp(0x3), FuId::ZERO), vec![i, !i]),
+            )
+            .unwrap();
         }
         let records = bus.run_until_quiescent(400_000_000);
         assert_eq!(records.len(), 4);

@@ -10,9 +10,7 @@
 use mbus_core::{
     timing, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
 };
-use mbus_sim::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mbus_sim::{SimTime, SmallRng};
 
 /// Image geometry: 160×160 pixels, 9-bit single-channel grayscale.
 pub const WIDTH: usize = 160;
@@ -35,7 +33,7 @@ impl Image {
     /// Synthesizes a deterministic scene: a radial gradient with
     /// sensor noise — a stand-in for Fig. 13(b)'s sample capture.
     pub fn synthetic(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let mut pixels = Vec::with_capacity(WIDTH * HEIGHT);
         for y in 0..HEIGHT {
             for x in 0..WIDTH {
@@ -43,7 +41,7 @@ impl Image {
                 let dy = y as f64 - HEIGHT as f64 / 2.0;
                 let r = (dx * dx + dy * dy).sqrt() / 113.0; // ≤1.0
                 let base = (511.0 * (1.0 - r).max(0.0)) as u16;
-                let noise: u16 = rng.gen_range(0..16);
+                let noise = rng.gen_range(0..16) as u16;
                 pixels.push((base + noise).min(511));
             }
         }
@@ -164,8 +162,7 @@ impl TransferAnalysis {
 /// Full-image transfer time at `clock_hz`, bit-serial, sent as
 /// `chunks` messages.
 pub fn frame_time(clock_hz: u64, chunks: u32) -> SimTime {
-    let cycles =
-        IMAGE_BYTES as u64 * 8 + (timing::SHORT_OVERHEAD_CYCLES as u64) * chunks as u64;
+    let cycles = IMAGE_BYTES as u64 * 8 + (timing::SHORT_OVERHEAD_CYCLES as u64) * chunks as u64;
     SimTime::period_of_hz(clock_hz) * cycles
 }
 
@@ -297,7 +294,11 @@ impl ImagerSystem {
         let record = self.bus.run_transaction().expect("image transaction");
         assert!(record.outcome.is_success());
         let rx = self.bus.take_rx(RADIO);
-        let rows: Vec<Vec<u8>> = rx[0].payload.chunks(ROW_BYTES).map(<[u8]>::to_vec).collect();
+        let rows: Vec<Vec<u8>> = rx[0]
+            .payload
+            .chunks(ROW_BYTES)
+            .map(<[u8]>::to_vec)
+            .collect();
         Image::from_rows(&rows)
     }
 

@@ -35,11 +35,7 @@ pub fn build_bus(n: usize, clock_hz: u64) -> AnalyticBus {
 
 /// Measures the saturating transaction rate by running back-to-back
 /// `payload_bytes` messages for `duration` of bus time (Fig. 14).
-pub fn measured_saturating_rate(
-    payload_bytes: usize,
-    clock_hz: u64,
-    duration: SimTime,
-) -> f64 {
+pub fn measured_saturating_rate(payload_bytes: usize, clock_hz: u64, duration: SimTime) -> f64 {
     let mut bus = build_bus(2, clock_hz);
     let dest = Address::short(ShortPrefix::new(0x2).expect("prefix"), FuId::ZERO);
     let mut transactions = 0u64;
@@ -84,8 +80,7 @@ mod tests {
         // The engine, run flat out, must reproduce the Fig. 14 formula.
         for payload in [0usize, 8, 24] {
             let formula = timing::saturating_transaction_rate(payload, 400_000);
-            let measured =
-                measured_saturating_rate(payload, 400_000, SimTime::from_ms(500));
+            let measured = measured_saturating_rate(payload, 400_000, SimTime::from_ms(500));
             let err = (measured - formula).abs() / formula;
             assert!(err < 0.01, "payload {payload}: {measured} vs {formula}");
         }
@@ -127,14 +122,20 @@ mod tests {
         let dest = |p: u8| Address::short(ShortPrefix::new(p).expect("p"), FuId::ZERO);
         let mut two_senders = build_bus(3, 400_000);
         for _ in 0..10 {
-            two_senders.queue(1, Message::new(dest(0x1), vec![0; 4])).unwrap();
+            two_senders
+                .queue(1, Message::new(dest(0x1), vec![0; 4]))
+                .unwrap();
             two_senders.run_transaction();
-            two_senders.queue(2, Message::new(dest(0x1), vec![0; 4])).unwrap();
+            two_senders
+                .queue(2, Message::new(dest(0x1), vec![0; 4]))
+                .unwrap();
             two_senders.run_transaction();
         }
         let mut one_sender = build_bus(3, 400_000);
         for _ in 0..20 {
-            one_sender.queue(1, Message::new(dest(0x1), vec![0; 4])).unwrap();
+            one_sender
+                .queue(1, Message::new(dest(0x1), vec![0; 4]))
+                .unwrap();
             one_sender.run_transaction();
         }
         assert_eq!(

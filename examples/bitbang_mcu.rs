@@ -18,7 +18,10 @@ fn main() {
 
     for mhz in [1u64, 8, 16] {
         let f = bitbang::max_bus_clock_hz(mhz * 1_000_000);
-        println!("  at {mhz:>2} MHz core clock: max MBus clock ≈ {:>6.1} kHz", f as f64 / 1e3);
+        println!(
+            "  at {mhz:>2} MHz core clock: max MBus clock ≈ {:>6.1} kHz",
+            f as f64 / 1e3
+        );
     }
     println!("  paper: \"up to a 120 kHz MBus clock\" at 8 MHz\n");
 

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run -p mbus-systems --example motion_camera`
 
-use mbus_systems::imager::{frame_time, paper_frame_time, ImagerSystem, TransferAnalysis, HEIGHT, WIDTH};
+use mbus_systems::imager::{
+    frame_time, paper_frame_time, ImagerSystem, TransferAnalysis, HEIGHT, WIDTH,
+};
 
 fn main() {
     println!("Motion detect & imaging system (paper §6.3.2, Fig. 13)\n");
@@ -17,7 +19,10 @@ fn main() {
     println!("  -> null transaction woke the imager (power-oblivious)");
 
     let received = sys.transfer_row_by_row();
-    println!("  -> {} row messages of 180 B transferred losslessly\n", HEIGHT);
+    println!(
+        "  -> {} row messages of 180 B transferred losslessly\n",
+        HEIGHT
+    );
 
     // Print a coarse ASCII thumbnail of what the radio received.
     println!("received frame (thumbnail):");
@@ -33,15 +38,24 @@ fn main() {
 
     let a = TransferAnalysis::standard();
     println!("\ntransfer overhead analysis:");
-    println!("  MBus single message : {:>6} bits overhead", a.mbus_single_bits);
+    println!(
+        "  MBus single message : {:>6} bits overhead",
+        a.mbus_single_bits
+    );
     println!(
         "  MBus 160 row msgs   : {:>6} bits (+{} bits, {:.2} % of the image)",
         a.mbus_rows_bits,
         a.chunking_extra_bits,
         a.chunking_percent()
     );
-    println!("  I2C single message  : {:>6} bits (12.5 %)", a.i2c_single_bits);
-    println!("  I2C row-by-row      : {:>6} bits (13.2 %)", a.i2c_rows_bits);
+    println!(
+        "  I2C single message  : {:>6} bits (12.5 %)",
+        a.i2c_single_bits
+    );
+    println!(
+        "  I2C row-by-row      : {:>6} bits (13.2 %)",
+        a.i2c_rows_bits
+    );
     println!(
         "  ACK-overhead reduction vs byte-oriented: {:.1} % (rows) / {:.2} % (single)",
         a.ack_overhead_reduction_percent(true),

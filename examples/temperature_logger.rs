@@ -21,7 +21,12 @@ fn main() {
     }
 
     let e = system.average_event_energy();
-    println!("\nper-event energy: bus {} + devices {} = {}", e.bus, e.devices, e.total());
+    println!(
+        "\nper-event energy: bus {} + devices {} = {}",
+        e.bus,
+        e.devices,
+        e.total()
+    );
     println!(
         "bus utilization: {:.4} % (paper: 0.0022 %)",
         system.utilization() * 100.0

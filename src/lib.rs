@@ -1,0 +1,13 @@
+//! Umbrella crate for the MBus (Pannuto et al., ISCA 2015)
+//! reproduction workspace.
+//!
+//! The real code lives in the `crates/` members; this package exists to
+//! host the workspace-level integration tests (`tests/`) and the
+//! runnable examples (`examples/`), and re-exports the member crates so
+//! downstream experiments can depend on one name.
+
+pub use mbus_core as core;
+pub use mbus_mcu as mcu;
+pub use mbus_power as power;
+pub use mbus_sim as sim;
+pub use mbus_systems as systems;

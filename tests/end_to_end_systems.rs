@@ -4,8 +4,7 @@
 
 use mbus_core::wire::WireBusBuilder;
 use mbus_core::{
-    enumeration, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec,
-    ShortPrefix,
+    enumeration, Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
 };
 use mbus_systems::imager::{self, ImagerSystem};
 use mbus_systems::temperature::{Routing, SenseAndSendComparison, TemperatureSystem};

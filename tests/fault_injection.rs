@@ -62,7 +62,8 @@ fn overrun_receiver_does_not_wedge_the_transmitter() {
     bus.run_until_quiescent(MAX_EVENTS);
     assert_eq!(bus.take_outcomes(0), vec![TxOutcome::ReceiverAbort]);
     // A message that fits still goes through.
-    bus.queue(0, Message::new(addr(0x2), vec![1, 2, 3, 4])).unwrap();
+    bus.queue(0, Message::new(addr(0x2), vec![1, 2, 3, 4]))
+        .unwrap();
     bus.run_until_quiescent(MAX_EVENTS);
     assert_eq!(bus.take_rx(1).len(), 1);
 }

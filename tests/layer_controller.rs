@@ -24,8 +24,12 @@ struct Chip {
 impl Chip {
     fn new() -> Self {
         let mut bus = AnalyticBus::new(BusConfig::default());
-        bus.add_node(NodeSpec::new("cpu", FullPrefix::new(0x1).unwrap()).with_short_prefix(sp(0x1)));
-        bus.add_node(NodeSpec::new("chip", FullPrefix::new(0x2).unwrap()).with_short_prefix(sp(0x2)));
+        bus.add_node(
+            NodeSpec::new("cpu", FullPrefix::new(0x1).unwrap()).with_short_prefix(sp(0x1)),
+        );
+        bus.add_node(
+            NodeSpec::new("chip", FullPrefix::new(0x2).unwrap()).with_short_prefix(sp(0x2)),
+        );
         let mut layer = LayerController::new(256);
         layer.set_reply_dest(Address::short(sp(0x1), FuId::ZERO));
         Chip { bus, layer }
@@ -57,7 +61,10 @@ impl Chip {
 #[test]
 fn register_writes_over_the_bus() {
     let mut chip = Chip::new();
-    let action = chip.send(FuId::ZERO, vec![0x10, 0x00, 0x12, 0x34, 0x42, 0xAB, 0xCD, 0xEF]);
+    let action = chip.send(
+        FuId::ZERO,
+        vec![0x10, 0x00, 0x12, 0x34, 0x42, 0xAB, 0xCD, 0xEF],
+    );
     assert_eq!(action, LayerAction::RegistersWritten { count: 2 });
     assert_eq!(chip.layer.register(0x10), 0x001234);
     assert_eq!(chip.layer.register(0x42), 0xABCDEF);
@@ -73,7 +80,13 @@ fn memory_write_then_read_round_trip_over_the_bus() {
         payload.extend(w.to_be_bytes());
     }
     let action = chip.send(fu(FU_MEMORY_WRITE), payload);
-    assert_eq!(action, LayerAction::MemoryWritten { addr: 0x40, words: 3 });
+    assert_eq!(
+        action,
+        LayerAction::MemoryWritten {
+            addr: 0x40,
+            words: 3
+        }
+    );
 
     // Read them back: the layer queues a reply, which crosses the bus.
     let mut req = 0x40u32.to_be_bytes().to_vec();
