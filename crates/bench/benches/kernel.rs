@@ -1,7 +1,8 @@
 //! Micro-benches over the discrete-event kernel itself: event
 //! scheduling throughput and waveform/trace handling.
 //!
-//! Run with `cargo bench -p mbus-bench --bench kernel`.
+//! Run with `cargo bench -p mbus-bench --bench kernel`; CI runs it
+//! with `-- --smoke` to keep the harness from rotting.
 
 use mbus_bench::harness::bench;
 use mbus_sim::{Circuit, Component, Ctx, Logic, PinId, SimTime};

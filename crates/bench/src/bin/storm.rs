@@ -37,6 +37,30 @@ fn run_population(nodes: usize, rounds: usize) {
     println!("  cross-check: signatures identical\n");
 }
 
+/// Steady-state batched throughput: one long-lived 14-node analytic
+/// engine (shared with the `engines` bench via
+/// [`mbus_bench::storm_ring`]), one storm round queued and drained per
+/// iteration through the native batched kernel
+/// ([`mbus_core::AnalyticBus::run_until_quiescent_with`]) — the fast
+/// path the ISSUE-2 batching work targets.
+fn run_batched_throughput(rounds: usize) {
+    let mut bus = mbus_bench::storm_ring();
+    let mut transactions = 0u64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        mbus_bench::queue_storm_round(&mut bus, round);
+        bus.run_until_quiescent_with(|_r| transactions += 1);
+        bus.take_rx(0);
+    }
+    let wall = start.elapsed();
+    println!(
+        "batched steady-state drain (14 nodes, {rounds} rounds): {} transactions in {:.2?} ({:.0} txn/s)\n",
+        transactions,
+        wall,
+        transactions as f64 / wall.as_secs_f64(),
+    );
+}
+
 fn main() {
     let args: Vec<usize> = std::env::args()
         .skip(1)
@@ -51,6 +75,8 @@ fn main() {
             run_population(14, 3);
         }
     }
+
+    run_batched_throughput(512);
 
     // Analytic-engine population sweep, sharded across threads (at
     // least 4 workers even on small machines).

@@ -10,13 +10,37 @@
 
 use std::time::Instant;
 
+/// True when `--smoke` was passed to the bench binary (after `--` on
+/// the cargo command line). Smoke mode is the CI guard against harness
+/// rot: every bench still builds, runs, and prints, but with minimal
+/// iteration counts, so the step finishes in seconds and the numbers
+/// are meaningless.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Scales a bench's `(iters, batches)` for the current mode: unchanged
+/// normally, clamped to at most 2 iterations x 1 batch under
+/// [`smoke_mode`]. [`bench`] applies this itself, so every bench —
+/// including ones added later — is covered by the CI smoke step;
+/// custom measurement loops outside `bench` can call it directly.
+pub fn params(iters: u32, batches: u32) -> (u32, u32) {
+    if smoke_mode() {
+        (iters.min(2), batches.min(1))
+    } else {
+        (iters, batches)
+    }
+}
+
 /// Runs `f` repeatedly and reports the median per-iteration time.
 ///
 /// `f` is invoked `iters` times per batch for `batches` batches after
 /// one untimed warmup batch; the printed figure is the median batch
-/// divided by `iters`.
+/// divided by `iters`. Under [`smoke_mode`] the counts are clamped via
+/// [`params`] before use.
 pub fn bench(name: &str, iters: u32, batches: u32, mut f: impl FnMut()) {
     assert!(iters > 0 && batches > 0, "empty benchmark");
+    let (iters, batches) = params(iters, batches);
     for _ in 0..iters {
         f(); // warmup
     }
@@ -70,5 +94,12 @@ mod tests {
         let mut count = 0u32;
         bench("noop", 3, 2, || count += 1);
         assert_eq!(count, 3 * 3); // warmup + 2 batches
+    }
+
+    #[test]
+    fn params_pass_through_outside_smoke_mode() {
+        // Cargo's test runner does not pass `--smoke`.
+        assert!(!smoke_mode());
+        assert_eq!(params(2_000, 5), (2_000, 5));
     }
 }

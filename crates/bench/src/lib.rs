@@ -37,7 +37,35 @@
 
 use std::fmt::Write as _;
 
+use mbus_core::{
+    Address, AnalyticBus, BusConfig, FuId, FullPrefix, Message, NodeSpec, ShortPrefix,
+};
+
 pub mod harness;
+
+/// Builds the 14-node analytic ring both the `storm` bin and the
+/// `engines` bench drive for the batched-drain point, so the README
+/// number and the bin measure the same configuration.
+pub fn storm_ring() -> AnalyticBus {
+    let mut bus = AnalyticBus::new(BusConfig::default());
+    for i in 0..14u32 {
+        bus.add_node(
+            NodeSpec::new(format!("n{i}"), FullPrefix::new(0x500 + i).expect("prefix"))
+                .with_short_prefix(ShortPrefix::new((i + 1) as u8).expect("prefix")),
+        );
+    }
+    bus
+}
+
+/// Queues one storm round on a [`storm_ring`] bus: members 1..=13 each
+/// send a 3-byte message to the mediator node.
+pub fn queue_storm_round(bus: &mut AnalyticBus, round: usize) {
+    let dest = Address::short(ShortPrefix::new(0x1).expect("prefix"), FuId::ZERO);
+    for i in 1..14usize {
+        bus.queue(i, Message::new(dest, vec![round as u8, i as u8, 0]))
+            .expect("storm queue");
+    }
+}
 
 /// Formats a numeric series as an aligned two-column table.
 pub fn two_col_table(title: &str, x_label: &str, y_label: &str, rows: &[(f64, f64)]) -> String {

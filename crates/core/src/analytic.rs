@@ -7,8 +7,38 @@
 //! states — and runs orders of magnitude faster than the wire-level
 //! engine, which the cross-check tests in `tests/` hold it accountable
 //! to.
+//!
+//! # The transaction kernel
+//!
+//! The kernel never rescans the ring: who wants the bus, whose front
+//! message is priority, and whose bus controller is gated are
+//! maintained incrementally (as [`NodeSet`](crate::engine::NodeSet)
+//! bit indexes) at the points where they change — queue, withdraw,
+//! wakeup, power transitions. Arbitration is a wrapping next-set-bit
+//! scan from the ring break; destination match goes through a prefix
+//! index rebuilt only when specs change. Per transaction the kernel
+//! allocates nothing beyond the record it returns, and the batched
+//! [`AnalyticBus::run_until_quiescent_with`] drain reuses a single
+//! scratch record across a whole queue drain.
+//!
+//! # Arbitration semantics (§4.3–§4.4, §7)
+//!
+//! * Only nodes whose bus controller is awake when the request line
+//!   falls can contend: a gated node's controller is still being woken
+//!   by this very transaction's arbitration edges, so it can neither
+//!   win plain arbitration nor assert in the priority round. It
+//!   contends from the *next* transaction on. When **every** transmit
+//!   contender is gated, the engine folds the wire level's self-wake
+//!   null transaction into the message transaction itself (see
+//!   [`crate::engine`]'s module docs).
+//! * Under [`ArbitrationPolicy::Rotating`] (§7's future-work scheme),
+//!   the ring break advances past the winner only when the winner won
+//!   *plain* arbitration. A priority-round override (§4.3) does not
+//!   consume the preempted node's turn: the break — and with it the
+//!   denied arbitration winner's top priority — stays put, and null
+//!   transactions never move it.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use mbus_sim::SimTime;
 
@@ -16,7 +46,7 @@ use crate::addr::Address;
 use crate::config::BusConfig;
 use crate::config::MIN_BYTES_BEFORE_INTERJECT;
 use crate::control::{ControlBits, Interjector, TxOutcome};
-use crate::engine::transaction_activity;
+use crate::engine::{transaction_activity_into, NodeSet};
 use crate::error::MbusError;
 use crate::message::Message;
 use crate::node::NodeSpec;
@@ -43,7 +73,7 @@ pub enum ArbitrationPolicy {
 }
 
 /// Everything that happened in one bus transaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransactionRecord {
     /// Monotonic transaction number.
     pub seq: u64,
@@ -87,19 +117,6 @@ struct NodeState {
     wake_events: u64,
 }
 
-impl NodeState {
-    fn wants_bus(&self) -> bool {
-        !self.tx_queue.is_empty() || self.wake_requested
-    }
-
-    fn priority_pending(&self) -> bool {
-        self.tx_queue
-            .front()
-            .map(Message::is_priority)
-            .unwrap_or(false)
-    }
-}
-
 /// The transaction-level MBus engine.
 ///
 /// # Example
@@ -138,8 +155,85 @@ pub struct AnalyticBus {
     policy: ArbitrationPolicy,
     /// Ring position currently holding the arbitration break (the
     /// node *after* it has top priority). Only advances under
-    /// [`ArbitrationPolicy::Rotating`].
+    /// [`ArbitrationPolicy::Rotating`], and only past a node that won
+    /// *plain* arbitration — priority-round overrides and null
+    /// transactions leave the break in place (§7; see module docs).
     rotation: usize,
+    /// Nodes with a non-empty transmit queue. Maintained at every
+    /// queue mutation so arbitration never rescans the ring.
+    tx_pending: NodeSet,
+    /// Nodes whose *front* queued message is priority (⊆ `tx_pending`).
+    priority_pending: NodeSet,
+    /// Nodes with an asserted interrupt wakeup (§4.5).
+    wake_pending: NodeSet,
+    /// Nodes whose bus-controller domain is currently power-gated —
+    /// the only nodes the per-transaction §4.4 wake pass must visit.
+    gated_bus_ctl: NodeSet,
+    /// Power-aware nodes (derived from specs; rebuilt when dirty).
+    power_aware: NodeSet,
+    /// Destination match index (derived from specs; rebuilt when
+    /// dirty).
+    addr_index: AddrIndex,
+    /// Set by `add_node`/`spec_mut`: the spec-derived indexes above
+    /// must be rebuilt before the next transaction.
+    specs_dirty: bool,
+    /// Scratch sets/buffers reused across transactions (no per-call
+    /// allocation).
+    scratch_field: NodeSet,
+    scratch_prio: NodeSet,
+    scratch_dest: Vec<NodeIndex>,
+}
+
+/// Destination lookup by address: short prefixes and broadcast
+/// channels index small arrays, full prefixes a hash map. Each bucket
+/// holds the matching node indexes in ascending ring order.
+#[derive(Debug, Default)]
+struct AddrIndex {
+    short: [Vec<NodeIndex>; 16],
+    broadcast: [Vec<NodeIndex>; 16],
+    full: HashMap<u32, Vec<NodeIndex>>,
+}
+
+impl AddrIndex {
+    fn rebuild(&mut self, nodes: &[NodeState]) {
+        for bucket in &mut self.short {
+            bucket.clear();
+        }
+        for bucket in &mut self.broadcast {
+            bucket.clear();
+        }
+        self.full.clear();
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(prefix) = node.spec.short_prefix() {
+                self.short[prefix.raw() as usize].push(i);
+            }
+            self.full
+                .entry(node.spec.full_prefix().raw())
+                .or_default()
+                .push(i);
+            for channel in 0..16u8 {
+                if node.spec.listens_to(channel) {
+                    self.broadcast[channel as usize].push(i);
+                }
+            }
+        }
+    }
+}
+
+/// A zeroed record for the in-place kernel to fill.
+fn blank_record() -> TransactionRecord {
+    TransactionRecord {
+        seq: 0,
+        start: SimTime::ZERO,
+        cycles: 0,
+        winner: None,
+        delivered_to: Vec::new(),
+        outcome: TxOutcome::NoDestination,
+        interjector: Interjector::Mediator,
+        control: ControlBits::GENERAL_ERROR,
+        activity: Vec::new(),
+        bytes_on_wire: 0,
+    }
 }
 
 impl AnalyticBus {
@@ -154,6 +248,16 @@ impl AnalyticBus {
             stats: BusStats::default(),
             policy: ArbitrationPolicy::default(),
             rotation: 0,
+            tx_pending: NodeSet::new(),
+            priority_pending: NodeSet::new(),
+            wake_pending: NodeSet::new(),
+            gated_bus_ctl: NodeSet::new(),
+            power_aware: NodeSet::new(),
+            addr_index: AddrIndex::default(),
+            specs_dirty: false,
+            scratch_field: NodeSet::new(),
+            scratch_prio: NodeSet::new(),
+            scratch_dest: Vec::new(),
         }
     }
 
@@ -172,7 +276,9 @@ impl AnalyticBus {
         // domains on, exactly like the wire-level engine — so wake
         // counting agrees across engines.
         let mut power = NodePower::new();
-        if !spec.is_power_aware() {
+        if spec.is_power_aware() {
+            self.gated_bus_ctl.insert(index);
+        } else {
             while power.clock_edge_toward_bus_ctl().is_some() {}
             while power.clock_edge_toward_layer().is_some() {}
         }
@@ -185,6 +291,17 @@ impl AnalyticBus {
             wake_events: 0,
         });
         self.stats.ensure_nodes(self.nodes.len());
+        // Pre-grow every index so steady-state transactions never
+        // allocate.
+        let n = self.nodes.len();
+        self.tx_pending.grow(n);
+        self.priority_pending.grow(n);
+        self.wake_pending.grow(n);
+        self.gated_bus_ctl.grow(n);
+        self.power_aware.grow(n);
+        self.scratch_field.grow(n);
+        self.scratch_prio.grow(n);
+        self.specs_dirty = true;
         index
     }
 
@@ -206,7 +323,7 @@ impl AnalyticBus {
     /// Returns [`MbusError::BusBusy`] if any transaction is pending, as
     /// the broadcast itself would have to win the bus first.
     pub fn apply_config(&mut self, config: BusConfig) -> Result<(), MbusError> {
-        if self.nodes.iter().any(NodeState::wants_bus) {
+        if !self.tx_pending.is_empty() || !self.wake_pending.is_empty() {
             return Err(MbusError::BusBusy);
         }
         self.config = config;
@@ -239,6 +356,9 @@ impl AnalyticBus {
 
     /// Mutable access to a node's spec (enumeration assigns prefixes).
     pub fn spec_mut(&mut self, node: NodeIndex) -> &mut NodeSpec {
+        // The caller may change prefixes, channel subscriptions, or
+        // power-awareness; rebuild the spec-derived indexes lazily.
+        self.specs_dirty = true;
         &mut self.nodes[node].spec
     }
 
@@ -256,6 +376,7 @@ impl AnalyticBus {
         }
         msg.validate(&self.config)?;
         self.nodes[node].tx_queue.push_back(msg);
+        self.refresh_queue_bits(node);
         Ok(())
     }
 
@@ -270,6 +391,7 @@ impl AnalyticBus {
             return Err(MbusError::UnknownNode { index: node });
         }
         self.nodes[node].tx_queue.push_back(msg);
+        self.refresh_queue_bits(node);
         Ok(())
     }
 
@@ -284,6 +406,7 @@ impl AnalyticBus {
             return Err(MbusError::UnknownNode { index: node });
         }
         self.nodes[node].wake_requested = true;
+        self.wake_pending.insert(node);
         Ok(())
     }
 
@@ -292,10 +415,15 @@ impl AnalyticBus {
     /// cancelling a now-stale pending request, as enumeration losers do
     /// when another node claims the prefix (§4.7).
     pub fn withdraw_front(&mut self, node: NodeIndex) -> bool {
-        self.nodes
+        let withdrew = self
+            .nodes
             .get_mut(node)
             .map(|n| n.tx_queue.pop_front().is_some())
-            .unwrap_or(false)
+            .unwrap_or(false);
+        if withdrew {
+            self.refresh_queue_bits(node);
+        }
+        withdrew
     }
 
     /// Drains a node's received messages.
@@ -317,105 +445,176 @@ impl AnalyticBus {
     /// records in order.
     pub fn run_until_quiescent(&mut self) -> Vec<TransactionRecord> {
         let mut records = Vec::new();
-        while let Some(r) = self.run_transaction() {
-            records.push(r);
-        }
+        self.run_until_quiescent_with(|r| records.push(r.clone()));
         records
+    }
+
+    /// Batched queue drain: runs transactions until no node wants the
+    /// bus, handing each completed record to `visit`. One scratch
+    /// record (and its activity/delivery buffers) is reused across the
+    /// entire drain, so draining a full queue performs no
+    /// per-transaction allocation — the fast path for storms and long
+    /// frame transfers.
+    ///
+    /// The record stream is bit-identical to calling
+    /// [`run_transaction`](AnalyticBus::run_transaction) in a loop
+    /// (`tests/analytic_batching.rs` proves this differentially over
+    /// seeded workloads).
+    pub fn run_until_quiescent_with<F: FnMut(&TransactionRecord)>(&mut self, mut visit: F) {
+        let mut scratch = blank_record();
+        while self.run_transaction_into(&mut scratch) {
+            visit(&scratch);
+        }
     }
 
     /// Executes one complete bus transaction (or a null transaction),
     /// returning `None` if the bus is idle.
     pub fn run_transaction(&mut self) -> Option<TransactionRecord> {
-        let contenders: Vec<NodeIndex> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].wants_bus())
-            .collect();
-        if contenders.is_empty() {
-            return None;
-        }
+        let mut record = blank_record();
+        self.run_transaction_into(&mut record).then_some(record)
+    }
 
-        // Every transaction begins with arbitration; its CLK edges wake
-        // every ring node's bus controller (§4.4).
-        self.wake_all_bus_controllers();
+    /// The transaction kernel: fills `record` in place and returns
+    /// whether a transaction ran. All contender bookkeeping is
+    /// incremental (see module docs) — nothing here scans every node.
+    fn run_transaction_into(&mut self, record: &mut TransactionRecord) -> bool {
+        if self.tx_pending.is_empty() && self.wake_pending.is_empty() {
+            return false;
+        }
+        self.ensure_spec_indexes();
 
         // Wake-only requesters issue a null transaction: they pull DATA
         // low then resume forwarding before the arbitration edge, so
         // they never *win*. Real transmitters take precedence.
-        let tx_contenders: Vec<NodeIndex> = contenders
-            .iter()
-            .copied()
-            .filter(|&i| !self.nodes[i].tx_queue.is_empty())
-            .collect();
-
-        if tx_contenders.is_empty() {
-            return Some(self.run_null_transaction(&contenders));
+        if self.tx_pending.is_empty() {
+            // Every transaction's arbitration CLK edges wake every ring
+            // node's gated bus controller (§4.4) — null transactions
+            // included, exactly like the wire level.
+            self.wake_all_bus_controllers();
+            self.run_null_transaction_into(record);
+            return true;
         }
+
+        // The contender field (§4.3): a request can only be driven by
+        // an *awake* bus controller — a gated node's controller is
+        // still being woken by this transaction's own edges, so it
+        // contends (and may assert priority) only from the next
+        // transaction. When every transmit contender is gated, fold
+        // the wire level's self-wake null into this transaction and
+        // let them all arbitrate (see `crate::engine` docs).
+        self.scratch_field
+            .assign_difference(&self.tx_pending, &self.gated_bus_ctl);
+        if self.scratch_field.is_empty() {
+            self.scratch_field.clone_from(&self.tx_pending);
+        }
+        self.wake_all_bus_controllers();
 
         // Arbitration: first contender downstream of the ring break.
         // With the fixed policy the break sits at the mediator (index 0
         // wins ties, "the mediator always has top priority", §7); with
-        // the rotating policy the break advances past each winner.
+        // the rotating policy the break advances past each plain winner.
         let break_at = match self.policy {
             ArbitrationPolicy::FixedTopological => 0,
             ArbitrationPolicy::Rotating => self.rotation,
         };
         let n = self.nodes.len();
-        let arb_winner = (0..n)
-            .map(|k| (break_at + k) % n)
-            .find(|i| tx_contenders.contains(i))
-            .expect("nonempty contender set");
+        let arb_winner = self
+            .scratch_field
+            .next_from_wrapping(break_at)
+            .expect("nonempty contender field");
 
-        // Priority round: first priority requester downstream of the
-        // arbitration winner, wrapping around the ring (§4.3, Fig. 5).
-        let winner = self
-            .ring_order_after(arb_winner)
-            .into_iter()
-            .find(|&i| self.nodes[i].priority_pending() && !self.nodes[i].tx_queue.is_empty())
-            .filter(|_| {
-                tx_contenders
-                    .iter()
-                    .any(|&i| self.nodes[i].priority_pending())
-            })
-            .unwrap_or(arb_winner);
+        // Priority round: first priority claimant in the contender
+        // field downstream of the arbitration winner, wrapping around
+        // the ring (§4.3, Fig. 5).
+        let winner = {
+            self.scratch_prio
+                .assign_intersection(&self.scratch_field, &self.priority_pending);
+            self.scratch_prio
+                .next_from_wrapping((arb_winner + 1) % n)
+                .unwrap_or(arb_winner)
+        };
 
         let msg = self.nodes[winner]
             .tx_queue
             .pop_front()
             .expect("winner has a message");
+        self.refresh_queue_bits(winner);
 
         // Losers stay queued: LostArbitration is implicit (they contend
         // again next transaction).
-        let record = self.execute_message(winner, msg);
-        if self.policy == ArbitrationPolicy::Rotating {
-            self.rotation = (winner + 1) % self.nodes.len();
+        self.execute_message_into(record, winner, msg);
+        if self.policy == ArbitrationPolicy::Rotating && winner == arb_winner {
+            // §7's rotating scheme: the break moves past a served
+            // *plain* winner. A priority override does not consume the
+            // preempted arbitration winner's turn, so the break stays.
+            self.rotation = (winner + 1) % n;
         }
 
         // Any pure wake requests piggyback on this transaction's edges:
         // the arbitration + message clocks wake their domains too.
-        for &i in &contenders {
-            if self.nodes[i].wake_requested && self.nodes[i].tx_queue.is_empty() {
-                self.complete_self_wake(i);
+        let mut i = 0;
+        while let Some(j) = self.wake_pending.next_at_or_after(i) {
+            i = j + 1;
+            if !self.tx_pending.contains(j) {
+                self.complete_self_wake(j);
             }
         }
 
         self.return_power_aware_nodes_to_sleep();
-        Some(record)
+        true
     }
 
-    fn ring_order_after(&self, start: NodeIndex) -> Vec<NodeIndex> {
-        let n = self.nodes.len();
-        (1..=n).map(|k| (start + k) % n).collect()
+    /// Rebuilds the spec-derived indexes (address match, power
+    /// awareness) if `add_node`/`spec_mut` touched the specs.
+    fn ensure_spec_indexes(&mut self) {
+        if !self.specs_dirty {
+            return;
+        }
+        self.addr_index.rebuild(&self.nodes);
+        self.power_aware.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.spec.is_power_aware() {
+                self.power_aware.insert(i);
+            }
+        }
+        self.specs_dirty = false;
     }
 
-    fn wake_all_bus_controllers(&mut self) {
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if !node.power.bus_ctl().is_on() {
-                while node.power.clock_edge_toward_bus_ctl().is_some() {}
-                self.stats.bus_ctl_wakes[i] += 1;
+    /// Keeps `tx_pending`/`priority_pending` in sync with a node's
+    /// queue after any mutation of it.
+    fn refresh_queue_bits(&mut self, node: NodeIndex) {
+        match self.nodes[node].tx_queue.front() {
+            Some(front) => {
+                self.tx_pending.insert(node);
+                if front.is_priority() {
+                    self.priority_pending.insert(node);
+                } else {
+                    self.priority_pending.remove(node);
+                }
+            }
+            None => {
+                self.tx_pending.remove(node);
+                self.priority_pending.remove(node);
             }
         }
     }
 
+    fn wake_all_bus_controllers(&mut self) {
+        // Only currently-gated controllers need visiting; the set
+        // mirrors the power state exactly.
+        let mut i = 0;
+        while let Some(j) = self.gated_bus_ctl.next_at_or_after(i) {
+            i = j + 1;
+            let node = &mut self.nodes[j];
+            debug_assert!(!node.power.bus_ctl().is_on());
+            while node.power.clock_edge_toward_bus_ctl().is_some() {}
+            self.stats.bus_ctl_wakes[j] += 1;
+        }
+        self.gated_bus_ctl.clear();
+    }
+
     fn complete_self_wake(&mut self, node: NodeIndex) {
+        self.wake_pending.remove(node);
         let state = &mut self.nodes[node];
         state.wake_requested = false;
         if !state.power.layer().is_on() {
@@ -425,48 +624,53 @@ impl AnalyticBus {
         state.wake_events += 1;
     }
 
-    fn run_null_transaction(&mut self, requesters: &[NodeIndex]) -> TransactionRecord {
+    fn run_null_transaction_into(&mut self, record: &mut TransactionRecord) {
         // Fig. 6: mediator wakes, finds no arbitration winner, raises a
         // general error, and returns the bus to idle. The generated
         // edges wake every hierarchical power domain of the requesters.
         let cycles = (ARBITRATION_CYCLES + INTERJECTION_CYCLES + CONTROL_CYCLES) as u64;
-        for &i in requesters {
-            self.complete_self_wake(i);
+        let mut i = 0;
+        while let Some(j) = self.wake_pending.next_at_or_after(i) {
+            i = j + 1;
+            self.complete_self_wake(j);
         }
-        let activity = transaction_activity(self.nodes.len(), None, &[], cycles);
-        let record = TransactionRecord {
-            seq: self.seq,
-            start: self.now,
-            cycles,
-            winner: None,
-            delivered_to: Vec::new(),
-            outcome: TxOutcome::NoDestination,
-            interjector: Interjector::Mediator,
-            control: ControlBits::GENERAL_ERROR,
-            activity,
-            bytes_on_wire: 0,
-        };
-        self.finish_transaction(&record);
+        transaction_activity_into(&mut record.activity, self.nodes.len(), None, &[], cycles);
+        record.seq = self.seq;
+        record.start = self.now;
+        record.cycles = cycles;
+        record.winner = None;
+        record.delivered_to.clear();
+        record.outcome = TxOutcome::NoDestination;
+        record.interjector = Interjector::Mediator;
+        record.control = ControlBits::GENERAL_ERROR;
+        record.bytes_on_wire = 0;
+        self.finish_transaction(record);
         self.return_power_aware_nodes_to_sleep();
-        record
     }
 
-    fn execute_message(&mut self, winner: NodeIndex, msg: Message) -> TransactionRecord {
+    fn execute_message_into(
+        &mut self,
+        record: &mut TransactionRecord,
+        winner: NodeIndex,
+        msg: Message,
+    ) {
         let dest = msg.dest();
         let addr_cycles = dest.wire_bits() as u64;
 
-        // Resolve destinations by address match.
-        let dest_nodes: Vec<NodeIndex> = match dest {
-            Address::Broadcast { channel } => (0..self.nodes.len())
-                .filter(|&i| i != winner && self.nodes[i].spec.listens_to(channel.raw()))
-                .collect(),
-            Address::Short { prefix, .. } => (0..self.nodes.len())
-                .filter(|&i| i != winner && self.nodes[i].spec.short_prefix() == Some(prefix))
-                .collect(),
-            Address::Full { prefix, .. } => (0..self.nodes.len())
-                .filter(|&i| i != winner && self.nodes[i].spec.full_prefix() == prefix)
-                .collect(),
+        // Resolve destinations through the address index (rebuilt only
+        // when specs change) into a reused scratch buffer.
+        let mut dest_nodes = std::mem::take(&mut self.scratch_dest);
+        dest_nodes.clear();
+        let bucket: &[NodeIndex] = match dest {
+            Address::Broadcast { channel } => &self.addr_index.broadcast[channel.raw() as usize],
+            Address::Short { prefix, .. } => &self.addr_index.short[prefix.raw() as usize],
+            Address::Full { prefix, .. } => self
+                .addr_index
+                .full
+                .get(&prefix.raw())
+                .map_or(&[][..], Vec::as_slice),
         };
+        dest_nodes.extend(bucket.iter().copied().filter(|&i| i != winner));
 
         // How many payload bytes actually cross the wire before an
         // abort — receiver buffer overrun or mediator length limit. An
@@ -525,7 +729,7 @@ impl AnalyticBus {
 
         // Deliver to destination layers on success; wake them first
         // (§4.4: only the destination node powers past the bus ctl).
-        let mut delivered_to = Vec::new();
+        record.delivered_to.clear();
         if matches!(outcome, TxOutcome::Acked) {
             let at = self.now + self.config.clock_period() * cycles;
             for &i in &dest_nodes {
@@ -539,7 +743,7 @@ impl AnalyticBus {
                     payload: msg.payload().to_vec(),
                     at,
                 });
-                delivered_to.push(i);
+                record.delivered_to.push(i);
             }
         }
 
@@ -547,22 +751,24 @@ impl AnalyticBus {
         // (even on an abort — their controller latched bits), every
         // other node forwards. Bits = full cycle count, which is what
         // the paper's E_message formula charges (overhead + 8n).
-        let activity = transaction_activity(self.nodes.len(), Some(winner), &dest_nodes, cycles);
-
-        let record = TransactionRecord {
-            seq: self.seq,
-            start: self.now,
+        transaction_activity_into(
+            &mut record.activity,
+            self.nodes.len(),
+            Some(winner),
+            &dest_nodes,
             cycles,
-            winner: Some(winner),
-            delivered_to,
-            outcome,
-            interjector,
-            control,
-            activity,
-            bytes_on_wire,
-        };
-        self.finish_transaction(&record);
-        record
+        );
+
+        record.seq = self.seq;
+        record.start = self.now;
+        record.cycles = cycles;
+        record.winner = Some(winner);
+        record.outcome = outcome;
+        record.interjector = interjector;
+        record.control = control;
+        record.bytes_on_wire = bytes_on_wire;
+        self.finish_transaction(record);
+        self.scratch_dest = dest_nodes;
     }
 
     fn finish_transaction(&mut self, record: &TransactionRecord) {
@@ -574,9 +780,13 @@ impl AnalyticBus {
     }
 
     fn return_power_aware_nodes_to_sleep(&mut self) {
-        for node in &mut self.nodes {
-            if node.spec.is_power_aware() && !node.wants_bus() {
-                node.power.sleep();
+        // Only power-aware nodes can regate; visit just those.
+        let mut i = 0;
+        while let Some(j) = self.power_aware.next_at_or_after(i) {
+            i = j + 1;
+            if !self.tx_pending.contains(j) && !self.wake_pending.contains(j) {
+                self.nodes[j].power.sleep();
+                self.gated_bus_ctl.insert(j);
             }
         }
     }
@@ -919,6 +1129,205 @@ mod tests {
         let records = bus.run_until_quiescent();
         let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
         assert_eq!(winners, vec![1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn priority_round_restricted_to_contenders() {
+        // Regression (the "contender leak"): a power-gated node with a
+        // queued priority message must not win a transaction it could
+        // not contend for — its bus controller is still being woken by
+        // this transaction's own arbitration edges (§4.3–4.4), exactly
+        // as at the wire level. The old kernel searched every node
+        // with a queued priority message and handed it the bus.
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        bus.add_node(
+            NodeSpec::new("med", FullPrefix::new(0x00001).unwrap()).with_short_prefix(sp(0x1)),
+        );
+        bus.add_node(
+            NodeSpec::new("awake", FullPrefix::new(0x00002).unwrap()).with_short_prefix(sp(0x2)),
+        );
+        bus.add_node(
+            NodeSpec::new("gated", FullPrefix::new(0x00003).unwrap())
+                .with_short_prefix(sp(0x3))
+                .power_aware(true),
+        );
+        bus.queue(1, Message::new(addr(0x1), vec![0xAA])).unwrap();
+        bus.queue(2, Message::new(addr(0x1), vec![0xBB]).with_priority())
+            .unwrap();
+        let records = bus.run_until_quiescent();
+        let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
+        assert_eq!(
+            winners,
+            vec![1, 2],
+            "the awake contender wins; the gated node contends next transaction"
+        );
+    }
+
+    #[test]
+    fn sleeping_requester_excluded_from_plain_arbitration() {
+        // Same §4.4 rule for the plain round: a gated node cannot have
+        // asserted the request, so an awake contender downstream of it
+        // wins even though the gated node is topologically first.
+        let mut bus = AnalyticBus::new(BusConfig::default());
+        bus.add_node(
+            NodeSpec::new("med", FullPrefix::new(0x00001).unwrap()).with_short_prefix(sp(0x1)),
+        );
+        bus.add_node(
+            NodeSpec::new("gated", FullPrefix::new(0x00002).unwrap())
+                .with_short_prefix(sp(0x2))
+                .power_aware(true),
+        );
+        bus.add_node(
+            NodeSpec::new("awake", FullPrefix::new(0x00003).unwrap()).with_short_prefix(sp(0x3)),
+        );
+        bus.queue(1, Message::new(addr(0x1), vec![0x11])).unwrap();
+        bus.queue(2, Message::new(addr(0x1), vec![0x22])).unwrap();
+        let records = bus.run_until_quiescent();
+        let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
+        assert_eq!(winners, vec![2, 1]);
+    }
+
+    #[test]
+    fn all_gated_contenders_fold_the_self_wake() {
+        // When *every* transmit contender is gated the engine folds the
+        // wire level's self-wake null transaction: they all arbitrate
+        // (and run the priority round) as if already awake — which is
+        // what the wire level reaches one null transaction later.
+        let mut bus = three_node_bus();
+        bus.queue(1, Message::new(addr(0x1), vec![0x01])).unwrap();
+        bus.queue(2, Message::new(addr(0x1), vec![0x02]).with_priority())
+            .unwrap();
+        let r = bus.run_transaction().unwrap();
+        assert_eq!(r.winner, Some(2), "priority round runs in the fold");
+    }
+
+    #[test]
+    fn rotating_break_stays_on_priority_override() {
+        // §7 semantics choice (documented in the module docs): a
+        // priority-round override does not consume the preempted
+        // arbitration winner's rotation turn.
+        let mut bus = AnalyticBus::new(BusConfig::default())
+            .with_arbitration_policy(ArbitrationPolicy::Rotating);
+        for i in 0..4u32 {
+            bus.add_node(
+                NodeSpec::new(format!("n{i}"), FullPrefix::new(0x10 + i).unwrap())
+                    .with_short_prefix(sp((i + 1) as u8)),
+            );
+        }
+        bus.queue(1, Message::new(addr(0x1), vec![0x11])).unwrap();
+        bus.queue(2, Message::new(addr(0x1), vec![0x22]).with_priority())
+            .unwrap();
+        bus.queue(3, Message::new(addr(0x1), vec![0x33])).unwrap();
+        let records = bus.run_until_quiescent();
+        let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
+        // Node 2 preempts via priority; the break must still sit before
+        // node 1, so node 1 — not node 3 — is served next.
+        assert_eq!(winners, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn rotating_break_ignores_null_transactions() {
+        // A null transaction serves nobody; the break must not move.
+        let mut bus = AnalyticBus::new(BusConfig::default())
+            .with_arbitration_policy(ArbitrationPolicy::Rotating);
+        for i in 0..3u32 {
+            bus.add_node(
+                NodeSpec::new(format!("n{i}"), FullPrefix::new(0x20 + i).unwrap())
+                    .with_short_prefix(sp((i + 1) as u8)),
+            );
+        }
+        // First, a plain win by node 1 advances the break past it.
+        bus.queue(1, Message::new(addr(0x1), vec![1])).unwrap();
+        assert_eq!(bus.run_transaction().unwrap().winner, Some(1));
+        // A wake-only null transaction follows…
+        bus.request_wakeup(2).unwrap();
+        assert_eq!(bus.run_transaction().unwrap().winner, None);
+        // …and the break still sits after node 1: node 2 outranks the
+        // mediator even though the mediator queued first.
+        bus.queue(0, Message::new(addr(0x2), vec![2])).unwrap();
+        bus.queue(2, Message::new(addr(0x1), vec![3])).unwrap();
+        let r = bus.run_transaction().unwrap();
+        assert_eq!(r.winner, Some(2), "break unchanged by the null");
+    }
+
+    #[test]
+    fn rotating_advances_when_arb_winner_claims_priority() {
+        // If the plain arbitration winner is itself the only priority
+        // claimant it is served on its own turn — the break advances.
+        let mut bus = AnalyticBus::new(BusConfig::default())
+            .with_arbitration_policy(ArbitrationPolicy::Rotating);
+        for i in 0..3u32 {
+            bus.add_node(
+                NodeSpec::new(format!("n{i}"), FullPrefix::new(0x30 + i).unwrap())
+                    .with_short_prefix(sp((i + 1) as u8)),
+            );
+        }
+        bus.queue(0, Message::new(addr(0x2), vec![1]).with_priority())
+            .unwrap();
+        bus.queue(1, Message::new(addr(0x1), vec![2])).unwrap();
+        let records = bus.run_until_quiescent();
+        let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
+        assert_eq!(winners, vec![0, 1], "mediator served, break advanced");
+    }
+
+    #[test]
+    fn batched_drain_matches_single_stepping() {
+        // The batched kernel path must produce the identical record
+        // stream (tests/analytic_batching.rs does this differentially
+        // at scale; this is the in-crate smoke test).
+        let build = || {
+            let mut bus = three_node_bus();
+            for k in 0..4u8 {
+                bus.queue(0, Message::new(addr(0x2), vec![k])).unwrap();
+                bus.queue(2, Message::new(addr(0x1), vec![k, k])).unwrap();
+            }
+            bus.request_wakeup(1).unwrap();
+            bus
+        };
+        let mut stepped = Vec::new();
+        let mut a = build();
+        while let Some(r) = a.run_transaction() {
+            stepped.push(r);
+        }
+        let mut batched = Vec::new();
+        let mut b = build();
+        b.run_until_quiescent_with(|r| batched.push(r.clone()));
+        assert_eq!(stepped, batched);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn withdraw_and_requeue_keep_the_contender_index_fresh() {
+        // The incremental index must track queue mutations exactly:
+        // withdrawing the only message leaves the bus idle; withdrawing
+        // a priority front demotes the node in the priority round.
+        let mut bus = three_node_bus();
+        bus.queue(1, Message::new(addr(0x1), vec![1]).with_priority())
+            .unwrap();
+        assert!(bus.withdraw_front(1));
+        assert!(bus.run_transaction().is_none(), "no contender left");
+        bus.queue(1, Message::new(addr(0x1), vec![2]).with_priority())
+            .unwrap();
+        bus.queue(1, Message::new(addr(0x1), vec![3])).unwrap();
+        bus.queue(2, Message::new(addr(0x1), vec![4]).with_priority())
+            .unwrap();
+        assert!(bus.withdraw_front(1), "drop node 1's priority head");
+        let r = bus.run_transaction().unwrap();
+        assert_eq!(r.winner, Some(2), "only node 2 still claims priority");
+    }
+
+    #[test]
+    fn spec_mut_rebuilds_the_address_index() {
+        let mut bus = three_node_bus();
+        bus.queue(0, Message::new(addr(0x7), vec![1])).unwrap();
+        let r = bus.run_transaction().unwrap();
+        assert_eq!(r.outcome, TxOutcome::NoDestination);
+        // Re-prefix node 2 to 0x7 and send again: the index must see it.
+        bus.spec_mut(2).assign_short_prefix(sp(0x7));
+        bus.queue(0, Message::new(addr(0x7), vec![2])).unwrap();
+        let r = bus.run_transaction().unwrap();
+        assert_eq!(r.outcome, TxOutcome::Acked);
+        assert_eq!(r.delivered_to, vec![2]);
     }
 
     #[test]

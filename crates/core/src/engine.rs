@@ -24,9 +24,23 @@
 //! null transaction at the wire level (its bus controller needs the
 //! 4-edge wakeup before it may drive, see
 //! `crates/core/tests/wire_engine.rs`), while the analytic engine folds
-//! that wakeup into the transaction itself. The scenario layer
-//! normalizes this when comparing engines; see
+//! that wakeup into the transaction itself. The fold is applied only
+//! when *every* transmit contender is gated: if any awake node is also
+//! contending, the wire level serves the awake nodes first (a gated
+//! node cannot assert a request, nor join the priority round, in the
+//! very transaction whose edges are still waking its bus controller),
+//! and the analytic engine arbitrates identically. The scenario layer
+//! normalizes the folded nulls when comparing engines; see
 //! [`crate::scenario::ScenarioReport::signature`].
+//!
+//! Wake accounting is aligned per transaction: both engines charge one
+//! [`BusStats::bus_ctl_wakes`] to every gated bus controller on every
+//! transaction — including null transactions, whose arbitration edges
+//! clock the ring all the same (§4.4). Folded self-wake nulls are the
+//! one residual delta: the analytic engine runs one transaction where
+//! the wire level runs two, so gated *bystanders* see one fewer wake
+//! there (`tests/engine_conformance.rs` pins the per-transaction
+//! parity).
 //!
 //! # Example
 //!
@@ -172,6 +186,21 @@ pub(crate) fn transaction_activity(
     bits: u64,
 ) -> Vec<(NodeIndex, Role, u64)> {
     let mut activity = Vec::with_capacity(node_count);
+    transaction_activity_into(&mut activity, node_count, winner, delivered_to, bits);
+    activity
+}
+
+/// [`transaction_activity`] into a caller-owned buffer, so batched
+/// drains can reuse one allocation across a whole queue drain.
+pub(crate) fn transaction_activity_into(
+    activity: &mut Vec<(NodeIndex, Role, u64)>,
+    node_count: usize,
+    winner: Option<NodeIndex>,
+    delivered_to: &[NodeIndex],
+    bits: u64,
+) {
+    activity.clear();
+    activity.reserve(node_count);
     if let Some(w) = winner {
         activity.push((w, Role::Transmit, bits));
     }
@@ -183,7 +212,132 @@ pub(crate) fn transaction_activity(
             activity.push((i, Role::Forward, bits));
         }
     }
-    activity
+}
+
+/// A dense index set over ring node positions, backed by bit words.
+///
+/// The engines' hot paths used to rediscover per-transaction facts —
+/// who is contending, who has a priority message queued, whose bus
+/// controller is gated — by rescanning every `NodeState` on every
+/// transaction. A `NodeSet` lets that bookkeeping be maintained
+/// *incrementally* at the points where it changes (queue, withdraw,
+/// wake, power transitions) and queried in O(words) with no
+/// allocation: membership, emptiness, and the ring-ordered
+/// next-member scan arbitration needs.
+///
+/// Capacity grows on [`insert`](NodeSet::insert); on a bus it is
+/// pre-grown at `add_node` time so steady-state operation never
+/// allocates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        NodeSet::default()
+    }
+
+    /// Ensures the set can hold indexes `0..n` without reallocating.
+    pub fn grow(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Adds `i` to the set.
+    pub fn insert(&mut self, i: usize) {
+        self.grow(i + 1);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i` from the set.
+    pub fn remove(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Whether `i` is a member.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes every member, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The smallest member at index `i` or later, if any.
+    pub fn next_at_or_after(&self, i: usize) -> Option<usize> {
+        let mut w = i / 64;
+        let first = *self.words.get(w)? & (!0u64 << (i % 64));
+        if first != 0 {
+            return Some(w * 64 + first.trailing_zeros() as usize);
+        }
+        loop {
+            w += 1;
+            let word = *self.words.get(w)?;
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+    }
+
+    /// The first member at ring position `start` or later, wrapping to
+    /// position 0 — the arbitration scan: "first contender downstream
+    /// of the ring break" (§4.3), without materializing a ring-order
+    /// list.
+    pub fn next_from_wrapping(&self, start: usize) -> Option<usize> {
+        self.next_at_or_after(start)
+            .or_else(|| self.next_at_or_after(0))
+    }
+
+    /// `self = a \ b`, reusing this set's storage.
+    pub fn assign_difference(&mut self, a: &NodeSet, b: &NodeSet) {
+        self.words.clear();
+        self.words.extend(
+            a.words
+                .iter()
+                .enumerate()
+                .map(|(k, &w)| w & !b.words.get(k).copied().unwrap_or(0)),
+        );
+    }
+
+    /// `self = a ∩ b`, reusing this set's storage.
+    pub fn assign_intersection(&mut self, a: &NodeSet, b: &NodeSet) {
+        self.words.clear();
+        self.words.extend(
+            a.words
+                .iter()
+                .enumerate()
+                .map(|(k, &w)| w & b.words.get(k).copied().unwrap_or(0)),
+        );
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut next = self.next_at_or_after(0);
+        std::iter::from_fn(move || {
+            let cur = next?;
+            next = self.next_at_or_after(cur + 1);
+            Some(cur)
+        })
+    }
 }
 
 /// One bus transaction, normalized to the fields both engines can
@@ -346,6 +500,18 @@ pub trait BusEngine {
     /// records in order.
     fn run_until_quiescent(&mut self) -> Vec<EngineRecord>;
 
+    /// Batched drain: runs transactions until no node wants the bus,
+    /// handing each record to `visit` as it completes. Engines with a
+    /// native batched kernel (the analytic engine) override this to
+    /// drain whole queues without per-transaction record allocation;
+    /// the default simply loops
+    /// [`run_transaction`](BusEngine::run_transaction).
+    fn run_until_quiescent_with(&mut self, visit: &mut dyn FnMut(&EngineRecord)) {
+        while let Some(record) = self.run_transaction() {
+            visit(&record);
+        }
+    }
+
     /// Drains a node's received messages.
     fn take_rx(&mut self, node: NodeIndex) -> Vec<ReceivedMessage>;
 
@@ -400,10 +566,13 @@ impl BusEngine for AnalyticBus {
     }
 
     fn run_until_quiescent(&mut self) -> Vec<EngineRecord> {
-        AnalyticBus::run_until_quiescent(self)
-            .iter()
-            .map(EngineRecord::from)
-            .collect()
+        let mut records = Vec::new();
+        AnalyticBus::run_until_quiescent_with(self, |r| records.push(EngineRecord::from(r)));
+        records
+    }
+
+    fn run_until_quiescent_with(&mut self, visit: &mut dyn FnMut(&EngineRecord)) {
+        AnalyticBus::run_until_quiescent_with(self, |r| visit(&EngineRecord::from(r)));
     }
 
     fn take_rx(&mut self, node: NodeIndex) -> Vec<ReceivedMessage> {

@@ -86,7 +86,8 @@ pub use analytic::{AnalyticBus, ArbitrationPolicy, TransactionRecord};
 pub use config::BusConfig;
 pub use control::{ControlBits, Interjector, TxOutcome};
 pub use engine::{
-    build_engine, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage, Role,
+    build_engine, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, NodeSet,
+    ReceivedMessage, Role,
 };
 pub use error::MbusError;
 pub use message::Message;

@@ -327,9 +327,15 @@ impl MemberComp {
                 if falling {
                     if wake_only {
                         // Null transaction: resume forwarding before the
-                        // arbitration sample (Fig. 6).
+                        // arbitration sample (Fig. 6). The node still
+                        // *listens* — §4.4's power-oblivious guarantee:
+                        // the arbitration edges wake its bus controller
+                        // before the addressing phase, so a transaction
+                        // addressed to it (e.g. a broadcast riding the
+                        // same edges that complete its self-wake) is
+                        // latched exactly like by any gated bystander.
                         self.set_data_forward(ctx, true);
-                        self.begin_active(Role::Ignoring);
+                        self.begin_active(Role::Listening);
                     } else {
                         self.begin_active(Role::Contending);
                     }

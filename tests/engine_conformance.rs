@@ -198,6 +198,146 @@ fn stats_accumulate_identically_shaped_activity() {
     }
 }
 
+/// A ring with an always-on contender and a power-gated one, in both
+/// topological orders.
+fn mixed_power_ring(kind: EngineKind, gated_first: bool) -> Box<dyn BusEngine> {
+    let mut engine = build_engine(kind, BusConfig::default());
+    engine.add_node(
+        NodeSpec::new("med", FullPrefix::new(0x00001).unwrap()).with_short_prefix(sp(0x1)),
+    );
+    let (a, b) = if gated_first {
+        (true, false)
+    } else {
+        (false, true)
+    };
+    engine.add_node(
+        NodeSpec::new("n1", FullPrefix::new(0x00002).unwrap())
+            .with_short_prefix(sp(0x2))
+            .power_aware(a),
+    );
+    engine.add_node(
+        NodeSpec::new("n2", FullPrefix::new(0x00003).unwrap())
+            .with_short_prefix(sp(0x3))
+            .power_aware(b),
+    );
+    engine
+}
+
+#[test]
+fn priority_round_is_restricted_to_contenders() {
+    // §4.3–4.4: a gated node's bus controller is still being woken by
+    // the transaction's own arbitration edges, so a queued priority
+    // message cannot claim a transaction the node never contended for.
+    // Both engines must serve the awake contender first.
+    for kind in EngineKind::ALL {
+        let mut engine = mixed_power_ring(kind, false); // node 2 gated
+        engine
+            .queue(1, Message::new(addr(0x1), vec![0xAA]))
+            .unwrap();
+        engine
+            .queue(2, Message::new(addr(0x1), vec![0xBB]).with_priority())
+            .unwrap();
+        let records = engine.run_until_quiescent();
+        let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
+        assert_eq!(winners, vec![1, 2], "{kind}");
+    }
+}
+
+#[test]
+fn sleeping_requester_cannot_win_plain_arbitration() {
+    // The same rule for the plain round: topological priority only
+    // applies among nodes that could actually assert a request.
+    for kind in EngineKind::ALL {
+        let mut engine = mixed_power_ring(kind, true); // node 1 gated
+        engine
+            .queue(1, Message::new(addr(0x1), vec![0x11]))
+            .unwrap();
+        engine
+            .queue(2, Message::new(addr(0x1), vec![0x22]))
+            .unwrap();
+        let records = engine.run_until_quiescent();
+        let winners: Vec<_> = records.iter().filter_map(|r| r.winner).collect();
+        assert_eq!(winners, vec![2, 1], "{kind}");
+    }
+}
+
+#[test]
+fn null_transactions_charge_gated_bus_controllers_on_both_engines() {
+    // §4.4: a null transaction's arbitration edges clock the ring like
+    // any other transaction, so every gated bus controller — requester
+    // and bystander alike — is woken (and charged) once. The engines
+    // must account identically.
+    for kind in EngineKind::ALL {
+        let mut engine = engine_with_ring(kind); // nodes 1 and 2 gated
+        engine.request_wakeup(2).unwrap();
+        let records = engine.run_until_quiescent();
+        assert_eq!(records.len(), 1, "{kind}");
+        assert!(records[0].is_null(), "{kind}");
+        let stats = engine.stats();
+        assert_eq!(
+            stats.bus_ctl_wakes,
+            vec![0, 1, 1],
+            "{kind}: requester AND gated bystander each woke once"
+        );
+        assert_eq!(stats.layer_wakes, vec![0, 0, 1], "{kind}: requester only");
+        assert_eq!(engine.wake_events(2), 1, "{kind}");
+    }
+}
+
+#[test]
+fn bus_ctl_wake_accounting_is_per_transaction_on_both_engines() {
+    // Two back-to-back message transactions re-gate and re-wake a
+    // power-aware bystander each time: one bus_ctl wake per
+    // transaction, no layer wakes, on both engines.
+    for kind in EngineKind::ALL {
+        let mut engine = engine_with_ring(kind);
+        engine
+            .queue(0, Message::new(addr(0x2), vec![1, 2]))
+            .unwrap();
+        engine
+            .queue(0, Message::new(addr(0x2), vec![3, 4]))
+            .unwrap();
+        let records = engine.run_until_quiescent();
+        assert_eq!(records.len(), 2, "{kind}");
+        let stats = engine.stats();
+        assert_eq!(
+            stats.bus_ctl_wakes,
+            vec![0, 2, 2],
+            "{kind}: every gated controller woken once per transaction"
+        );
+        assert_eq!(
+            stats.layer_wakes,
+            vec![0, 2, 0],
+            "{kind}: only the destination's layer powers past the bus ctl"
+        );
+    }
+}
+
+#[test]
+fn self_waking_node_still_receives_broadcasts() {
+    // §4.4 power-oblivious delivery: a gated node whose self-wake rides
+    // a broadcast transaction must still latch and deliver it — its bus
+    // controller is awake by the addressing phase on both engines.
+    for kind in EngineKind::ALL {
+        let mut engine = engine_with_ring(kind);
+        engine.request_wakeup(1).unwrap();
+        engine
+            .queue(
+                0,
+                Message::new(
+                    Address::broadcast(mbus_core::BroadcastChannel::CONFIGURATION),
+                    vec![0x77],
+                ),
+            )
+            .unwrap();
+        let records = engine.run_until_quiescent();
+        assert_eq!(records.len(), 1, "{kind}: wake piggybacks, no null");
+        assert_eq!(records[0].delivered_to, vec![1, 2], "{kind}");
+        assert_eq!(engine.take_rx(1).len(), 1, "{kind}");
+        assert_eq!(engine.wake_events(1), 1, "{kind}");
+    }
+}
+
 #[test]
 fn virtual_time_advances_monotonically() {
     for kind in EngineKind::ALL {
