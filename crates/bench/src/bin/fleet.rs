@@ -1,0 +1,127 @@
+//! Gateway-bridged fleet driver: populations no single 14-prefix MBus
+//! can hold, engine-generic.
+//!
+//! Three stages:
+//!
+//! 1. **Headline fleet** — 16 clusters × 13 sensors + 16 gateway
+//!    presences = 224 nodes running the sense-and-aggregate pattern on
+//!    the analytic engine, with throughput.
+//! 2. **Cross-engine check** — a 104-node cross-cluster storm run on
+//!    *both* engines; the [`mbus_core::FleetSignature`]s must be
+//!    identical (the fleet-level conformance contract).
+//! 3. **Fleet-size sweep** — [`SweepRunner::run_fleet_sizes`] shards
+//!    whole fleets across threads, scaling population from 28 to 448
+//!    nodes deterministically.
+//!
+//! Usage: `cargo run --release -p mbus-bench --bin fleet
+//! [-- <clusters> <sensors> <rounds>]`
+
+use std::time::Instant;
+
+use mbus_bench::two_col_table;
+use mbus_core::{EngineKind, FleetWorkload, SweepRunner};
+
+fn run_headline(clusters: usize, sensors: usize, rounds: usize) {
+    let workload = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds);
+    println!(
+        "workload '{}': {} nodes across {} bridged buses",
+        workload.name(),
+        workload.total_nodes(),
+        clusters,
+    );
+    let start = Instant::now();
+    let report = workload.run_on(EngineKind::Analytic);
+    let wall = start.elapsed();
+    println!(
+        "  [analytic] {} transactions, {} forwarded envelopes, {} deliveries, {} bus cycles in {:.2?} ({:.0} txn/s)\n",
+        report.transactions(),
+        report.forwarded,
+        report.delivered_messages(),
+        report.total_cycles(),
+        wall,
+        report.transactions() as f64 / wall.as_secs_f64(),
+    );
+}
+
+fn run_crosscheck() {
+    let workload = FleetWorkload::cross_storm(8, 12, 1);
+    println!(
+        "cross-engine check '{}': {} nodes",
+        workload.name(),
+        workload.total_nodes()
+    );
+    let mut signatures = Vec::new();
+    for kind in EngineKind::ALL {
+        let start = Instant::now();
+        let report = workload.run_on(kind);
+        let wall = start.elapsed();
+        println!(
+            "  [{:>8}] {} transactions, {} forwarded in {:.2?}",
+            kind.name(),
+            report.transactions(),
+            report.forwarded,
+            wall,
+        );
+        signatures.push(report.signature());
+    }
+    assert_eq!(
+        signatures[0],
+        signatures[1],
+        "engines disagree on '{}'",
+        workload.name()
+    );
+    println!("  cross-check: fleet signatures identical\n");
+}
+
+fn run_size_sweep() {
+    let sizes: Vec<(usize, usize)> = vec![(2, 13), (4, 13), (8, 13), (16, 13), (32, 13)];
+    let runner = SweepRunner::with_threads(SweepRunner::auto().threads().max(4));
+    let start = Instant::now();
+    let samples = runner.run_fleet_sizes(EngineKind::Analytic, &sizes, 3);
+    let wall = start.elapsed();
+    let serial = SweepRunner::serial().run_fleet_sizes(EngineKind::Analytic, &sizes, 3);
+    assert_eq!(samples, serial, "sharded fleet sweep diverged from serial");
+    println!(
+        "fleet-size sweep: {} whole-fleet points in {:.2?} on {} threads, serial-identical: true",
+        sizes.len(),
+        wall,
+        runner.threads(),
+    );
+    let rows: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|s| (s.total_nodes as f64, s.total_cycles as f64))
+        .collect();
+    print!(
+        "{}",
+        two_col_table(
+            "aggregate cost by fleet population (sense-and-aggregate, 3 rounds)",
+            "nodes",
+            "bus cycles",
+            &rows,
+        )
+    );
+    let biggest = samples.last().expect("non-empty sweep");
+    println!(
+        "largest point: {} clusters x {} sensors = {} nodes, {} transactions, {} forwarded",
+        biggest.clusters,
+        biggest.sensors_per_cluster,
+        biggest.total_nodes,
+        biggest.transactions,
+        biggest.forwarded,
+    );
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+
+    println!("=== Gateway-bridged fleets: past the 14-node single-bus limit ===\n");
+    match args.as_slice() {
+        [clusters, sensors, rounds, ..] => run_headline(*clusters, *sensors, *rounds),
+        _ => run_headline(16, 13, 8),
+    }
+    run_crosscheck();
+    run_size_sweep();
+}

@@ -21,7 +21,7 @@ pub fn smoke_mode() -> bool {
 
 /// Scales a bench's `(iters, batches)` for the current mode: unchanged
 /// normally, clamped to at most 2 iterations x 1 batch under
-/// [`smoke_mode`]. [`bench`] applies this itself, so every bench —
+/// [`smoke_mode`]. [`bench()`] applies this itself, so every bench —
 /// including ones added later — is covered by the CI smoke step;
 /// custom measurement loops outside `bench` can call it directly.
 pub fn params(iters: u32, batches: u32) -> (u32, u32) {

@@ -12,7 +12,7 @@
 //!
 //! The kernel never rescans the ring: who wants the bus, whose front
 //! message is priority, and whose bus controller is gated are
-//! maintained incrementally (as [`NodeSet`](crate::engine::NodeSet)
+//! maintained incrementally (as [`NodeSet`]
 //! bit indexes) at the points where they change — queue, withdraw,
 //! wakeup, power transitions. Arbitration is a wrapping next-set-bit
 //! scan from the ring break; destination match goes through a prefix

@@ -25,7 +25,7 @@ pub const MIN_BYTES_BEFORE_INTERJECT: usize = 4;
 /// runaway-message limit.
 ///
 /// In hardware these values are broadcast on the configuration channel
-/// so that "all interested nodes [can] track it"; here the same struct
+/// so that "all interested nodes \[can\] track it"; here the same struct
 /// is shared by construction and updated through
 /// [`crate::analytic::AnalyticBus::apply_config`] or the wire-level
 /// builder.

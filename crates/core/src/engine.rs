@@ -3,7 +3,7 @@
 //!
 //! The repository ships two protocol engines — the transaction-level
 //! [`AnalyticBus`] (§6.1 cycle budget) and the edge-accurate
-//! [`WireEngine`](crate::wire::WireEngine) — whose APIs historically
+//! [`WireEngine`] — whose APIs historically
 //! mirrored each other only by convention, so every workload and
 //! cross-check was written twice. The [`BusEngine`] trait captures the
 //! shared surface (add nodes, queue messages, request wakeups, run,
@@ -526,6 +526,15 @@ pub trait BusEngine {
 
     /// A node's spec (prefixes may change under enumeration).
     fn spec(&self, node: NodeIndex) -> NodeSpec;
+}
+
+impl fmt::Debug for dyn BusEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BusEngine")
+            .field("kind", &self.kind())
+            .field("nodes", &self.node_count())
+            .finish()
+    }
 }
 
 impl BusEngine for AnalyticBus {

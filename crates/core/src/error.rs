@@ -43,6 +43,12 @@ pub enum MbusError {
         /// The rejected index.
         index: usize,
     },
+    /// A cluster index outside a fleet's bus population (see
+    /// [`crate::fleet`]).
+    UnknownCluster {
+        /// The rejected index.
+        index: usize,
+    },
     /// Operation requires an idle bus but a transaction is in flight.
     BusBusy,
     /// Configuration rejected (e.g. max message length below the 1 kB
@@ -79,6 +85,9 @@ impl fmt::Display for MbusError {
             }
             MbusError::UnknownNode { index } => {
                 write!(f, "no node at index {index}")
+            }
+            MbusError::UnknownCluster { index } => {
+                write!(f, "no cluster at index {index}")
             }
             MbusError::BusBusy => write!(f, "bus transaction already in flight"),
             MbusError::InvalidConfig { reason } => {

@@ -1,0 +1,1376 @@
+//! Gateway-bridged multi-bus fleets: scaling population past the
+//! 14-node short-prefix limit.
+//!
+//! A single MBus has at most [`ShortPrefix::USABLE`] (14) short-addressed
+//! nodes (§4.7), which caps how large a system one bus can serve. The
+//! fleet layer composes *many* independent buses — one per sensor
+//! cluster — bridged by a [`GatewayNode`]: one logical routing device
+//! that occupies short prefix `0x1` (ring position 0, the mediator
+//! position) on **every** bridged bus. Cross-cluster traffic is
+//! store-and-forward:
+//!
+//! 1. The sender queues an *envelope* on its own bus, short-addressed to
+//!    the gateway's forwarding port (`0x1.fu0`). The envelope payload is
+//!    the destination's 4-byte encoded full address
+//!    ([`Address::Full`], the §4.6 `0xF`-escape form) followed by the
+//!    inner payload — see [`GatewayNode::encapsulate`].
+//! 2. The gateway receives the envelope like any bus member, looks the
+//!    destination full prefix up in its routing table, and queues the
+//!    inner payload on the destination cluster's bus, **full-prefix
+//!    addressed** to the final destination.
+//! 3. The destination bus delivers it under normal §4.3–4.4 semantics:
+//!    arbitration edges wake every power-gated bus controller on that
+//!    bus (charged once per transaction, as the single-bus engines
+//!    already guarantee), and a power-gated destination's layer is woken
+//!    exactly as if the message had originated locally. Forwarding is
+//!    power-oblivious end to end.
+//!
+//! A [`Fleet`] owns the per-cluster engines (any [`EngineKind`] — the
+//! fleet layer is written against the [`BusEngine`] trait) and drives
+//! them with a deterministic round-robin scheduler built on the batched
+//! [`BusEngine::run_until_quiescent_with`] drain, so cross-bus causality
+//! (which round a forwarded message lands in) is reproducible and
+//! engine-independent. [`FleetWorkload`] is the declarative layer on
+//! top, and [`FleetSignature`] is the cross-engine comparison — the same
+//! conformance story the single-bus [`crate::scenario`] layer tells,
+//! lifted to fleets.
+//!
+//! # Example
+//!
+//! ```
+//! use mbus_core::fleet::Fleet;
+//! use mbus_core::{BusConfig, EngineKind, FuId};
+//!
+//! let mut fleet = Fleet::new(EngineKind::Analytic, BusConfig::default());
+//! let a = fleet.add_cluster();
+//! let b = fleet.add_cluster();
+//! let src = fleet.add_sensor(a, false);
+//! let dst = fleet.add_sensor(b, true); // power-gated destination
+//!
+//! fleet.queue_remote(src, dst, FuId::ZERO, vec![0x42])?;
+//! let records = fleet.run_until_quiescent();
+//! assert_eq!(records.len(), 2); // envelope leg + forwarded leg
+//! assert_eq!(fleet.gateway().forwarded(), 1);
+//! assert_eq!(fleet.take_rx(dst)[0].payload, vec![0x42]);
+//! # Ok::<(), mbus_core::MbusError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{Address, FuId, FullPrefix, ShortPrefix};
+use crate::config::BusConfig;
+use crate::engine::{
+    build_engine, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage,
+};
+use crate::error::MbusError;
+use crate::message::Message;
+use crate::node::NodeSpec;
+use crate::scenario::ScenarioSignature;
+
+/// Ring position of the gateway's presence on every bridged bus. The
+/// gateway hosts the mediator (index 0, §4.3's highest topological
+/// priority) so each cluster bus is self-contained.
+pub const GATEWAY_NODE: NodeIndex = 0;
+
+/// The functional unit of a gateway presence that accepts forwarding
+/// envelopes. Messages to any *other* FU of the gateway are ordinary
+/// local deliveries, readable through [`Fleet::take_rx`].
+pub const GATEWAY_FORWARD_FU: FuId = FuId::ZERO;
+
+/// Sensors a single cluster can hold: the 14 usable short prefixes
+/// minus the one the gateway occupies.
+pub const MAX_SENSORS_PER_CLUSTER: usize = ShortPrefix::USABLE - 1;
+
+/// Highest cluster count a fleet supports: cluster-derived full
+/// prefixes must stay below the `0xF0000` block reserved for the
+/// gateway's own per-bus presences (see [`Fleet::add_cluster`]).
+pub const MAX_CLUSTERS: usize = 0xEFF;
+
+/// The short prefix the gateway holds on every bridged bus.
+fn gateway_short_prefix() -> ShortPrefix {
+    ShortPrefix::new(0x1).expect("0x1 is a usable short prefix")
+}
+
+/// The full prefix of the gateway's presence on cluster `c`.
+fn gateway_full_prefix(cluster: usize) -> FullPrefix {
+    FullPrefix::new(0xF0000 + cluster as u32).expect("cluster count is capped below the block size")
+}
+
+/// The globally unique full prefix of sensor ring-slot `node` on
+/// cluster `cluster` (gateway presences live in a disjoint block).
+fn sensor_full_prefix(cluster: usize, node: NodeIndex) -> FullPrefix {
+    FullPrefix::new(((cluster as u32 + 1) << 8) | node as u32)
+        .expect("cluster count is capped so sensor prefixes fit 20 bits")
+}
+
+/// A fleet-wide node identity: which cluster bus, and which ring
+/// position on it. Position [`GATEWAY_NODE`] is the gateway's presence;
+/// sensors occupy positions `1..`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FleetNodeId {
+    /// The cluster (bus) index, assigned by [`Fleet::add_cluster`].
+    pub cluster: usize,
+    /// The ring position on that cluster's bus.
+    pub node: NodeIndex,
+}
+
+impl FleetNodeId {
+    /// Creates a fleet node identity.
+    pub fn new(cluster: usize, node: NodeIndex) -> Self {
+        FleetNodeId { cluster, node }
+    }
+}
+
+impl fmt::Display for FleetNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.n{}", self.cluster, self.node)
+    }
+}
+
+/// One transaction observed somewhere in the fleet: a per-bus
+/// [`EngineRecord`] tagged with the cluster it ran on. The scheduler
+/// emits these in deterministic round-robin order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FleetRecord {
+    /// The cluster bus the transaction ran on.
+    pub cluster: usize,
+    /// The per-bus record, in that bus's own sequence numbering.
+    pub record: EngineRecord,
+}
+
+/// The store-and-forward router bridging a fleet's buses.
+///
+/// The gateway models one always-on device with a bus frontend on every
+/// cluster (its per-bus presences are added by [`Fleet::add_cluster`]).
+/// It keeps a routing table from destination full prefix to cluster,
+/// built automatically as nodes are added, and counts every forwarded
+/// and dropped envelope so fleet runs are auditable.
+///
+/// Because the gateway is *not* power-aware, its bus presences never
+/// charge bus-controller wakes ([`BusStats::bus_ctl_wakes`]); a
+/// forwarded transaction charges only the destination bus's gated
+/// members — once per transaction, per the single-bus engines' shared
+/// accounting.
+#[derive(Clone, Debug, Default)]
+pub struct GatewayNode {
+    routes: BTreeMap<u32, usize>,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl GatewayNode {
+    /// Registers `prefix` as reachable on `cluster`.
+    fn register(&mut self, prefix: FullPrefix, cluster: usize) {
+        let previous = self.routes.insert(prefix.raw(), cluster);
+        assert!(
+            previous.is_none(),
+            "full prefix {prefix} registered on two clusters"
+        );
+    }
+
+    /// The cluster that owns `prefix`, if any.
+    pub fn route(&self, prefix: FullPrefix) -> Option<usize> {
+        self.routes.get(&prefix.raw()).copied()
+    }
+
+    /// Number of full prefixes in the routing table.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Envelopes successfully forwarded onto a destination bus.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Envelopes dropped: malformed header, or an unroutable
+    /// destination prefix.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Builds a forwarding envelope payload: the destination's 4-byte
+    /// encoded full address followed by the inner payload. The result is
+    /// what the sender puts on its own bus, addressed to the gateway's
+    /// forwarding port (`0x1.fu0`).
+    pub fn encapsulate(dest: FullPrefix, fu: FuId, payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Address::full(dest, fu).encode();
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    /// Parses a forwarding envelope back into destination and inner
+    /// payload; `None` if the header is not a 4-byte full address.
+    pub fn decapsulate(payload: &[u8]) -> Option<(FullPrefix, FuId, Vec<u8>)> {
+        if payload.len() < 4 {
+            return None;
+        }
+        match Address::decode(&payload[..4]) {
+            Ok(Address::Full { prefix, fu_id }) => Some((prefix, fu_id, payload[4..].to_vec())),
+            _ => None,
+        }
+    }
+}
+
+/// N independent cluster buses bridged by one [`GatewayNode`], driven
+/// by a deterministic round-robin scheduler.
+///
+/// All clusters run the same [`EngineKind`]; the fleet layer only uses
+/// the [`BusEngine`] trait, so an analytic fleet and a wire fleet built
+/// from the same calls produce comparable [`FleetRecord`] streams (the
+/// conformance suite pins this via [`FleetSignature`]).
+///
+/// Construction order matters to the wire engine, which freezes each
+/// ring at its first traffic: add every cluster and sensor before
+/// queueing.
+#[derive(Debug)]
+pub struct Fleet {
+    kind: EngineKind,
+    config: BusConfig,
+    clusters: Vec<Box<dyn BusEngine>>,
+    gateway: GatewayNode,
+    /// Non-envelope traffic delivered to the gateway's bus frontends
+    /// (broadcasts, messages to `fu != 0`), kept per cluster so
+    /// [`Fleet::take_rx`] on a gateway presence still works.
+    gateway_rx: Vec<Vec<ReceivedMessage>>,
+}
+
+impl Fleet {
+    /// Creates an empty fleet; every cluster added later runs `kind`
+    /// with `config`.
+    pub fn new(kind: EngineKind, config: BusConfig) -> Self {
+        Fleet {
+            kind,
+            config,
+            clusters: Vec::new(),
+            gateway: GatewayNode::default(),
+            gateway_rx: Vec::new(),
+        }
+    }
+
+    /// The engine kind every cluster runs.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The per-bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Number of cluster buses.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total ring positions across all buses, gateway presences
+    /// included — the fleet's population.
+    pub fn total_nodes(&self) -> usize {
+        self.clusters.iter().map(|c| c.node_count()).sum()
+    }
+
+    /// The fleet's router.
+    pub fn gateway(&self) -> &GatewayNode {
+        &self.gateway
+    }
+
+    /// Adds a new cluster bus with the gateway's presence at ring
+    /// position 0 and returns the cluster index.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`MAX_CLUSTERS`].
+    pub fn add_cluster(&mut self) -> usize {
+        let cluster = self.clusters.len();
+        assert!(
+            cluster < MAX_CLUSTERS,
+            "fleet supports {MAX_CLUSTERS} clusters"
+        );
+        let mut engine = build_engine(self.kind, self.config);
+        let prefix = gateway_full_prefix(cluster);
+        let index = engine.add_node(
+            NodeSpec::new(format!("gateway/c{cluster}"), prefix)
+                .with_short_prefix(gateway_short_prefix()),
+        );
+        debug_assert_eq!(index, GATEWAY_NODE);
+        self.gateway.register(prefix, cluster);
+        self.clusters.push(engine);
+        self.gateway_rx.push(Vec::new());
+        cluster
+    }
+
+    /// Adds a sensor to `cluster` at the next ring position (short
+    /// prefix = position + 1) and returns its fleet-wide identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown cluster, or past
+    /// [`MAX_SENSORS_PER_CLUSTER`] sensors on one bus. The wire engine
+    /// additionally panics if the cluster's ring already carried
+    /// traffic (its topology is frozen at first use).
+    pub fn add_sensor(&mut self, cluster: usize, power_aware: bool) -> FleetNodeId {
+        let engine = self
+            .clusters
+            .get_mut(cluster)
+            .unwrap_or_else(|| panic!("no cluster {cluster}"));
+        let node = engine.node_count();
+        assert!(
+            node <= MAX_SENSORS_PER_CLUSTER,
+            "a cluster holds at most {MAX_SENSORS_PER_CLUSTER} sensors plus the gateway"
+        );
+        let full = sensor_full_prefix(cluster, node);
+        let short = ShortPrefix::new((node + 1) as u8).expect("ring position maps to 0x2..=0xE");
+        let index = engine.add_node(
+            NodeSpec::new(format!("sensor/c{cluster}.n{node}"), full)
+                .with_short_prefix(short)
+                .power_aware(power_aware),
+        );
+        debug_assert_eq!(index, node);
+        self.gateway.register(full, cluster);
+        FleetNodeId::new(cluster, node)
+    }
+
+    fn engine(&self, id: FleetNodeId) -> Result<&dyn BusEngine, MbusError> {
+        self.clusters
+            .get(id.cluster)
+            .map(|e| e.as_ref())
+            .ok_or(MbusError::UnknownCluster { index: id.cluster })
+    }
+
+    fn engine_mut(&mut self, id: FleetNodeId) -> Result<&mut dyn BusEngine, MbusError> {
+        match self.clusters.get_mut(id.cluster) {
+            Some(engine) => Ok(&mut **engine),
+            None => Err(MbusError::UnknownCluster { index: id.cluster }),
+        }
+    }
+
+    /// A node's spec (the gateway presence at position 0, sensors
+    /// above).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown cluster.
+    pub fn spec(&self, id: FleetNodeId) -> NodeSpec {
+        self.clusters[id.cluster].spec(id.node)
+    }
+
+    /// Whether a node's layer domain is currently powered.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown cluster.
+    pub fn layer_on(&self, id: FleetNodeId) -> bool {
+        self.clusters[id.cluster].layer_on(id.node)
+    }
+
+    /// Completed self-wake events on a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown cluster.
+    pub fn wake_events(&self, id: FleetNodeId) -> u64 {
+        self.clusters[id.cluster].wake_events(id.node)
+    }
+
+    /// A snapshot of one cluster bus's cumulative statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown cluster.
+    pub fn stats(&self, cluster: usize) -> BusStats {
+        self.clusters[cluster].stats()
+    }
+
+    /// Queues a message on the sender's own bus — cluster-local
+    /// traffic, or a pre-built envelope from
+    /// [`Fleet::remote_message`].
+    ///
+    /// # Errors
+    ///
+    /// [`MbusError::UnknownCluster`] / [`MbusError::UnknownNode`] for an
+    /// unknown cluster / node;
+    /// length errors as the underlying engine reports them.
+    pub fn queue(&mut self, src: FleetNodeId, msg: Message) -> Result<(), MbusError> {
+        self.engine_mut(src)?.queue(src.node, msg)
+    }
+
+    /// Builds the envelope [`Message`] that, queued on *any* cluster
+    /// bus, makes the gateway forward `payload` to `dest`'s functional
+    /// unit `fu`. The returned message is addressed to the gateway's
+    /// forwarding port; decorate it (e.g. with
+    /// [`Message::with_priority`], which affects the sender-side leg
+    /// only — the forwarded leg is queued at normal priority) and pass
+    /// it to [`Fleet::queue`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MbusError::UnknownCluster`] / [`MbusError::UnknownNode`] for
+    ///   an unknown destination cluster / node.
+    /// * [`MbusError::MalformedAddress`] when `dest` is a gateway
+    ///   presence and `fu` is the forwarding port (a forwarded envelope
+    ///   must not terminate at another forwarding port).
+    /// * [`MbusError::MessageTooLong`] if payload plus the 4-byte
+    ///   envelope header exceeds the bus maximum.
+    pub fn remote_message(
+        &self,
+        dest: FleetNodeId,
+        fu: FuId,
+        payload: Vec<u8>,
+    ) -> Result<Message, MbusError> {
+        let engine = self.engine(dest)?;
+        if dest.node >= engine.node_count() {
+            return Err(MbusError::UnknownNode { index: dest.node });
+        }
+        if dest.node == GATEWAY_NODE && fu == GATEWAY_FORWARD_FU {
+            return Err(MbusError::MalformedAddress {
+                reason: "a remote message may not target a gateway forwarding port",
+            });
+        }
+        let full = engine.spec(dest.node).full_prefix();
+        let envelope = GatewayNode::encapsulate(full, fu, &payload);
+        if envelope.len() > self.config.max_message_bytes() {
+            return Err(MbusError::MessageTooLong {
+                len: envelope.len(),
+                max: self.config.max_message_bytes(),
+            });
+        }
+        Ok(Message::new(
+            Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU),
+            envelope,
+        ))
+    }
+
+    /// Queues a cross-cluster message: `src` sends `payload` to `dest`'s
+    /// functional unit `fu` through the gateway. Convenience for
+    /// [`Fleet::remote_message`] + [`Fleet::queue`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Fleet::remote_message`] and [`Fleet::queue`].
+    pub fn queue_remote(
+        &mut self,
+        src: FleetNodeId,
+        dest: FleetNodeId,
+        fu: FuId,
+        payload: Vec<u8>,
+    ) -> Result<(), MbusError> {
+        let msg = self.remote_message(dest, fu, payload)?;
+        self.queue(src, msg)
+    }
+
+    /// Asserts a node's interrupt port (§4.5) on its own bus.
+    ///
+    /// # Errors
+    ///
+    /// [`MbusError::UnknownCluster`] / [`MbusError::UnknownNode`] for an
+    /// unknown cluster / node.
+    pub fn request_wakeup(&mut self, id: FleetNodeId) -> Result<(), MbusError> {
+        self.engine_mut(id)?.request_wakeup(id.node)
+    }
+
+    /// Drains one gateway presence's receive log: envelopes are routed
+    /// (queued full-prefix addressed on the destination bus), everything
+    /// else is stashed for [`Fleet::take_rx`]. Returns whether any
+    /// envelope was routed.
+    fn route_cluster(&mut self, cluster: usize) -> bool {
+        let mut progressed = false;
+        for m in self.clusters[cluster].take_rx(GATEWAY_NODE) {
+            let is_envelope =
+                !m.dest.is_broadcast() && m.dest.fu_id_raw() == GATEWAY_FORWARD_FU.raw();
+            if !is_envelope {
+                self.gateway_rx[cluster].push(m);
+                continue;
+            }
+            match GatewayNode::decapsulate(&m.payload) {
+                Some((prefix, fu, inner)) => match self.gateway.route(prefix) {
+                    Some(dest_cluster) => {
+                        self.clusters[dest_cluster]
+                            .queue(GATEWAY_NODE, Message::new(Address::full(prefix, fu), inner))
+                            .expect("forwarded leg is shorter than its envelope");
+                        self.gateway.forwarded += 1;
+                        progressed = true;
+                    }
+                    None => self.gateway.dropped += 1,
+                },
+                None => self.gateway.dropped += 1,
+            }
+        }
+        progressed
+    }
+
+    /// Runs the whole fleet until no bus has pending work and no
+    /// envelope is in flight, handing each transaction to `visit` as it
+    /// completes.
+    ///
+    /// The schedule is deterministic round-robin: each pass drains every
+    /// cluster in index order through the engine's batched
+    /// [`BusEngine::run_until_quiescent_with`] kernel, then routes that
+    /// cluster's gateway envelopes; passes repeat until one completes
+    /// with no transactions run and nothing forwarded. A forwarded leg
+    /// is queued when its *source* cluster is routed, so it transmits
+    /// later in the same pass if the destination cluster has a higher
+    /// index, and in the next pass otherwise (store-and-forward either
+    /// way — the gateway holds it until the destination bus's drain).
+    /// The rule depends only on cluster indexes, so the interleaving of
+    /// [`FleetRecord`]s is identical on every engine.
+    pub fn run_until_quiescent_with(&mut self, visit: &mut dyn FnMut(&FleetRecord)) {
+        self.drain_with(&mut |record| visit(&record));
+    }
+
+    /// The scheduler loop behind both public drains, handing each
+    /// record out *by value* so collecting callers pay one
+    /// [`EngineRecord`] clone per transaction, not two.
+    fn drain_with(&mut self, sink: &mut dyn FnMut(FleetRecord)) {
+        loop {
+            let mut progressed = false;
+            for cluster in 0..self.clusters.len() {
+                let mut ran = false;
+                self.clusters[cluster].run_until_quiescent_with(&mut |record| {
+                    sink(FleetRecord {
+                        cluster,
+                        record: record.clone(),
+                    });
+                    ran = true;
+                });
+                progressed |= ran;
+                progressed |= self.route_cluster(cluster);
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// [`Fleet::run_until_quiescent_with`], collecting the records.
+    pub fn run_until_quiescent(&mut self) -> Vec<FleetRecord> {
+        let mut records = Vec::new();
+        self.drain_with(&mut |r| records.push(r));
+        records
+    }
+
+    /// Drains a node's received messages. For a gateway presence this
+    /// returns the non-envelope traffic (broadcasts, `fu != 0`
+    /// deliveries); envelopes are consumed by routing. Forwarded
+    /// messages arrive at sensors with `from == `[`GATEWAY_NODE`] — the
+    /// bus-level transmitter is the gateway's presence on that bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown cluster.
+    pub fn take_rx(&mut self, id: FleetNodeId) -> Vec<ReceivedMessage> {
+        if id.node == GATEWAY_NODE {
+            // The engine-side rx log is always empty here: frontends
+            // only receive during runs, and every run ends with a
+            // no-progress pass that routed (and stashed) everything.
+            std::mem::take(&mut self.gateway_rx[id.cluster])
+        } else {
+            self.clusters[id.cluster].take_rx(id.node)
+        }
+    }
+}
+
+/// One step of a [`FleetWorkload`].
+#[derive(Clone, Debug)]
+pub enum FleetStep {
+    /// Queue a cluster-local message on the sender's own bus.
+    Local {
+        /// The transmitting node.
+        src: FleetNodeId,
+        /// The message (short-addressed within the cluster).
+        msg: Message,
+    },
+    /// Queue a cross-cluster message through the gateway.
+    Remote {
+        /// The transmitting node.
+        src: FleetNodeId,
+        /// The final destination, on any cluster.
+        dest: FleetNodeId,
+        /// The destination functional unit.
+        fu: FuId,
+        /// The inner payload (the envelope header is added by the
+        /// fleet).
+        payload: Vec<u8>,
+        /// Whether the sender-side envelope leg claims the priority
+        /// arbitration round.
+        priority: bool,
+    },
+    /// Assert a node's interrupt port (§4.5).
+    Wakeup {
+        /// The node to wake.
+        node: FleetNodeId,
+    },
+    /// Run the whole fleet until quiescent.
+    Drain,
+}
+
+/// A declarative, engine-generic fleet scenario: cluster topology plus
+/// steps — [`crate::scenario::Workload`] lifted to many bridged buses.
+#[derive(Clone, Debug)]
+pub struct FleetWorkload {
+    name: String,
+    config: BusConfig,
+    /// Per cluster: each sensor's power-awareness flag.
+    clusters: Vec<Vec<bool>>,
+    steps: Vec<FleetStep>,
+    strict_nulls: bool,
+}
+
+impl FleetWorkload {
+    /// Starts an empty fleet workload.
+    pub fn new(name: impl Into<String>, config: BusConfig) -> Self {
+        FleetWorkload {
+            name: name.into(),
+            config,
+            clusters: Vec::new(),
+            steps: Vec::new(),
+            strict_nulls: true,
+        }
+    }
+
+    /// Appends a cluster whose sensors have the given power-awareness
+    /// flags (one per sensor; the gateway presence is implicit and
+    /// always-on).
+    pub fn cluster(mut self, sensor_power: Vec<bool>) -> Self {
+        self.clusters.push(sensor_power);
+        self
+    }
+
+    /// Appends a cluster-local send step.
+    pub fn send_local(mut self, src: FleetNodeId, msg: Message) -> Self {
+        self.steps.push(FleetStep::Local { src, msg });
+        self
+    }
+
+    /// Appends a cross-cluster send step (normal priority).
+    pub fn send_remote(
+        mut self,
+        src: FleetNodeId,
+        dest: FleetNodeId,
+        fu: FuId,
+        payload: Vec<u8>,
+    ) -> Self {
+        self.steps.push(FleetStep::Remote {
+            src,
+            dest,
+            fu,
+            payload,
+            priority: false,
+        });
+        self
+    }
+
+    /// Appends a cross-cluster send step whose envelope leg claims the
+    /// priority round on the sender's bus.
+    pub fn send_remote_priority(
+        mut self,
+        src: FleetNodeId,
+        dest: FleetNodeId,
+        fu: FuId,
+        payload: Vec<u8>,
+    ) -> Self {
+        self.steps.push(FleetStep::Remote {
+            src,
+            dest,
+            fu,
+            payload,
+            priority: true,
+        });
+        self
+    }
+
+    /// Appends an interrupt-port wakeup step.
+    pub fn wakeup(mut self, node: FleetNodeId) -> Self {
+        self.steps.push(FleetStep::Wakeup { node });
+        self
+    }
+
+    /// Appends a fleet-wide drain step.
+    pub fn drain(mut self) -> Self {
+        self.steps.push(FleetStep::Drain);
+        self
+    }
+
+    /// Declares that this workload transmits from power-gated sensors,
+    /// so the wire engine inserts self-wake null transactions the
+    /// analytic engine folds away; the [`FleetSignature`] then compares
+    /// non-null records only (exactly like
+    /// [`crate::scenario::Workload::allow_wake_nulls`]).
+    pub fn allow_wake_nulls(mut self) -> Self {
+        self.strict_nulls = false;
+        self
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Per-cluster sensor power-awareness flags.
+    pub fn cluster_specs(&self) -> &[Vec<bool>] {
+        &self.clusters
+    }
+
+    /// The step list.
+    pub fn steps(&self) -> &[FleetStep] {
+        &self.steps
+    }
+
+    /// Total nodes the instantiated fleet will have (sensors plus one
+    /// gateway presence per cluster).
+    pub fn total_nodes(&self) -> usize {
+        self.clusters.iter().map(|c| c.len() + 1).sum()
+    }
+
+    /// Builds a [`Fleet`] of `kind` with this workload's topology.
+    pub fn instantiate(&self, kind: EngineKind) -> Fleet {
+        let mut fleet = Fleet::new(kind, self.config);
+        for sensors in &self.clusters {
+            let c = fleet.add_cluster();
+            for &power_aware in sensors {
+                fleet.add_sensor(c, power_aware);
+            }
+        }
+        fleet
+    }
+
+    /// Runs the steps on a fleet carrying this workload's topology
+    /// (see [`FleetWorkload::instantiate`]). A trailing
+    /// [`FleetStep::Drain`] is implied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet's topology does not match — cluster count,
+    /// per-cluster sensor counts, or any sensor's power-awareness — or
+    /// a step is rejected (fleet workloads are static; a rejection is a
+    /// bug in the workload definition).
+    pub fn apply(&self, fleet: &mut Fleet) -> FleetReport {
+        assert_eq!(
+            fleet.cluster_count(),
+            self.clusters.len(),
+            "fleet cluster count does not match workload '{}'",
+            self.name
+        );
+        for (c, sensors) in self.clusters.iter().enumerate() {
+            assert_eq!(
+                fleet.clusters[c].node_count(),
+                sensors.len() + 1,
+                "cluster {c} ring size does not match workload '{}'",
+                self.name
+            );
+            for (j, &power_aware) in sensors.iter().enumerate() {
+                assert_eq!(
+                    fleet.clusters[c].spec(j + 1).is_power_aware(),
+                    power_aware,
+                    "cluster {c} sensor {} power-awareness does not match workload '{}'",
+                    j + 1,
+                    self.name
+                );
+            }
+        }
+        let mut records = Vec::new();
+        for step in &self.steps {
+            match step {
+                FleetStep::Local { src, msg } => {
+                    fleet.queue(*src, msg.clone()).expect("fleet local step");
+                }
+                FleetStep::Remote {
+                    src,
+                    dest,
+                    fu,
+                    payload,
+                    priority,
+                } => {
+                    let mut msg = fleet
+                        .remote_message(*dest, *fu, payload.clone())
+                        .expect("fleet remote step");
+                    if *priority {
+                        msg = msg.with_priority();
+                    }
+                    fleet.queue(*src, msg).expect("fleet remote queue");
+                }
+                FleetStep::Wakeup { node } => {
+                    fleet.request_wakeup(*node).expect("fleet wakeup step");
+                }
+                FleetStep::Drain => {
+                    fleet.drain_with(&mut |r| records.push(r));
+                }
+            }
+        }
+        if !matches!(self.steps.last(), Some(FleetStep::Drain)) {
+            fleet.drain_with(&mut |r| records.push(r));
+        }
+        let clusters = fleet.cluster_count();
+        let rx = (0..clusters)
+            .map(|c| {
+                (0..fleet.clusters[c].node_count())
+                    .map(|n| fleet.take_rx(FleetNodeId::new(c, n)))
+                    .collect()
+            })
+            .collect();
+        let wake_events = (0..clusters)
+            .map(|c| {
+                (0..fleet.clusters[c].node_count())
+                    .map(|n| fleet.wake_events(FleetNodeId::new(c, n)))
+                    .collect()
+            })
+            .collect();
+        FleetReport {
+            workload: self.name.clone(),
+            kind: fleet.kind(),
+            records,
+            rx,
+            stats: (0..clusters).map(|c| fleet.stats(c)).collect(),
+            wake_events,
+            forwarded: fleet.gateway().forwarded(),
+            dropped: fleet.gateway().dropped(),
+            strict_nulls: self.strict_nulls,
+        }
+    }
+
+    /// Builds a fleet of `kind` and runs the workload on it.
+    pub fn run_on(&self, kind: EngineKind) -> FleetReport {
+        let mut fleet = self.instantiate(kind);
+        self.apply(&mut fleet)
+    }
+
+    // ------------------------------------------------------------------
+    // Built-in fleet scenarios.
+    // ------------------------------------------------------------------
+
+    /// Cluster-local sense-and-send (§6.3.1 lifted per cluster) plus
+    /// cross-cluster aggregation: every round, each cluster's
+    /// power-gated sensors report locally to the cluster aggregator
+    /// (sensor 1, always-on), which then sends one cross-cluster
+    /// aggregate through the gateway to the fleet collector (cluster
+    /// 0's sensor 1).
+    ///
+    /// Power-gated sensors transmit, so the workload carries
+    /// [`FleetWorkload::allow_wake_nulls`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clusters >= 1` and
+    /// `1 <= sensors_per_cluster <=` [`MAX_SENSORS_PER_CLUSTER`].
+    pub fn sense_and_aggregate(
+        clusters: usize,
+        sensors_per_cluster: usize,
+        rounds: usize,
+    ) -> FleetWorkload {
+        assert!(clusters >= 1, "a fleet has at least one cluster");
+        assert!(
+            (1..=MAX_SENSORS_PER_CLUSTER).contains(&sensors_per_cluster),
+            "1..={MAX_SENSORS_PER_CLUSTER} sensors per cluster"
+        );
+        let mut w = FleetWorkload::new(
+            format!("fleet_sense_aggregate/{clusters}x{sensors_per_cluster}r{rounds}"),
+            BusConfig::default(),
+        );
+        for _ in 0..clusters {
+            // Sensor 1 is the always-on cluster aggregator; the rest
+            // are power-gated like §6.3.1's temperature chip.
+            let mut sensors = vec![true; sensors_per_cluster];
+            sensors[0] = false;
+            w = w.cluster(sensors);
+        }
+        if sensors_per_cluster >= 2 {
+            // The gated reporters transmit, so the wire engine
+            // self-wakes them with nulls the analytic engine folds.
+            w = w.allow_wake_nulls();
+        }
+        let collector = FleetNodeId::new(0, 1);
+        for round in 0..rounds {
+            for c in 0..clusters {
+                for j in 2..=sensors_per_cluster {
+                    // Local reading to the aggregator's short prefix.
+                    let reading = ((round * 31 + c * 7 + j) % 251) as u8;
+                    w = w.send_local(
+                        FleetNodeId::new(c, j),
+                        Message::new(
+                            Address::short(
+                                ShortPrefix::new(0x2).expect("aggregator prefix"),
+                                FuId::ZERO,
+                            ),
+                            vec![round as u8, j as u8, reading],
+                        ),
+                    );
+                }
+            }
+            w = w.drain();
+            for c in 0..clusters {
+                // Cross-cluster aggregate to the fleet collector.
+                w = w.send_remote(
+                    FleetNodeId::new(c, 1),
+                    collector,
+                    FuId::ZERO,
+                    vec![c as u8, round as u8, (round * clusters + c) as u8],
+                );
+            }
+            w = w.drain();
+        }
+        w
+    }
+
+    /// Cross-cluster contention storm: every sensor is always-on and
+    /// sends one message per round to a sensor on another cluster
+    /// (cluster `(c + j) % clusters`), so every gateway presence both
+    /// collects envelopes and transmits forwarded legs. Strict-null
+    /// comparable — the full record streams (wakes included) must match
+    /// across engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clusters >= 2` and
+    /// `1 <= sensors_per_cluster <=` [`MAX_SENSORS_PER_CLUSTER`].
+    pub fn cross_storm(
+        clusters: usize,
+        sensors_per_cluster: usize,
+        rounds: usize,
+    ) -> FleetWorkload {
+        assert!(clusters >= 2, "a cross storm needs at least two clusters");
+        assert!(
+            (1..=MAX_SENSORS_PER_CLUSTER).contains(&sensors_per_cluster),
+            "1..={MAX_SENSORS_PER_CLUSTER} sensors per cluster"
+        );
+        let mut w = FleetWorkload::new(
+            format!("fleet_cross_storm/{clusters}x{sensors_per_cluster}r{rounds}"),
+            BusConfig::default(),
+        );
+        for _ in 0..clusters {
+            w = w.cluster(vec![false; sensors_per_cluster]);
+        }
+        for round in 0..rounds {
+            for c in 0..clusters {
+                for j in 1..=sensors_per_cluster {
+                    // A same-cluster pick would be local traffic; route
+                    // it to that cluster's gateway presence (fu 1)
+                    // instead, keeping every message on the gateway
+                    // path.
+                    let dest_cluster = (c + j) % clusters;
+                    let (dest, fu) = if dest_cluster == c {
+                        (
+                            FleetNodeId::new(dest_cluster, GATEWAY_NODE),
+                            FuId::new(0x1).expect("fu 1"),
+                        )
+                    } else {
+                        (FleetNodeId::new(dest_cluster, j), FuId::ZERO)
+                    };
+                    let step_priority = round % 3 == 2 && j == sensors_per_cluster;
+                    let payload = vec![round as u8, c as u8, j as u8];
+                    w = if step_priority {
+                        w.send_remote_priority(FleetNodeId::new(c, j), dest, fu, payload)
+                    } else {
+                        w.send_remote(FleetNodeId::new(c, j), dest, fu, payload)
+                    };
+                }
+            }
+            w = w.drain();
+        }
+        w
+    }
+
+    /// A seeded random fleet workload — [`crate::scenario::Workload::seeded`]
+    /// lifted to bridged buses: cluster count, sensor counts,
+    /// power-awareness, local and *cross-cluster* destinations,
+    /// priority envelopes, wakeups, and drain points all come from one
+    /// [`mbus_sim::SmallRng`] stream, so every seed is a reproducible
+    /// multi-bus scenario exercising the gateway path.
+    pub fn seeded(seed: u64) -> FleetWorkload {
+        let mut rng = mbus_sim::SmallRng::seed_from_u64(seed);
+        let clusters = rng.gen_index(2..5);
+        let mut w = FleetWorkload::new(format!("fleet_seeded/{seed}"), BusConfig::default());
+        let mut gated: Vec<Vec<bool>> = Vec::with_capacity(clusters);
+        for _ in 0..clusters {
+            let sensors = rng.gen_index(1..5);
+            let flags: Vec<bool> = (0..sensors).map(|_| rng.gen_index(0..3) == 0).collect();
+            gated.push(flags.clone());
+            w = w.cluster(flags);
+        }
+        let pick_sensor = |rng: &mut mbus_sim::SmallRng, gated: &[Vec<bool>]| {
+            let c = rng.gen_index(0..gated.len());
+            let j = 1 + rng.gen_index(0..gated[c].len());
+            FleetNodeId::new(c, j)
+        };
+        let steps = 4 + rng.gen_index(0..24);
+        let mut gated_tx = false;
+        for _ in 0..steps {
+            match rng.gen_index(0..8) {
+                0..=2 => {
+                    // Cluster-local traffic.
+                    let src = pick_sensor(&mut rng, &gated);
+                    gated_tx |= gated[src.cluster][src.node - 1];
+                    let dest = 1 + rng.gen_index(0..gated[src.cluster].len());
+                    let len = rng.gen_index(1..9);
+                    let mut msg = Message::new(
+                        Address::short(
+                            ShortPrefix::new((dest + 1) as u8).expect("sensor prefix"),
+                            FuId::ZERO,
+                        ),
+                        rng.gen_bytes(len),
+                    );
+                    if rng.gen_index(0..5) == 0 {
+                        msg = msg.with_priority();
+                    }
+                    w = w.send_local(src, msg);
+                }
+                3..=5 => {
+                    // Cross-cluster traffic through the gateway.
+                    let src = pick_sensor(&mut rng, &gated);
+                    gated_tx |= gated[src.cluster][src.node - 1];
+                    let dest = pick_sensor(&mut rng, &gated);
+                    let len = rng.gen_index(1..9);
+                    let payload = rng.gen_bytes(len);
+                    w = if rng.gen_index(0..5) == 0 {
+                        w.send_remote_priority(src, dest, FuId::ZERO, payload)
+                    } else {
+                        w.send_remote(src, dest, FuId::ZERO, payload)
+                    };
+                }
+                6 => {
+                    let node = pick_sensor(&mut rng, &gated);
+                    w = w.wakeup(node);
+                }
+                _ => w = w.drain(),
+            }
+        }
+        w = w.drain();
+        if gated_tx {
+            w = w.allow_wake_nulls();
+        }
+        w
+    }
+}
+
+/// Everything observable from one fleet workload execution on one
+/// engine kind.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// The workload's name.
+    pub workload: String,
+    /// Which engine kind every cluster ran.
+    pub kind: EngineKind,
+    /// The fleet-wide record stream, in scheduler order.
+    pub records: Vec<FleetRecord>,
+    /// Drained receive logs, indexed `[cluster][node]`.
+    pub rx: Vec<Vec<Vec<ReceivedMessage>>>,
+    /// Final per-cluster statistics.
+    pub stats: Vec<BusStats>,
+    /// Self-wake event counts, indexed `[cluster][node]`.
+    pub wake_events: Vec<Vec<u64>>,
+    /// Envelopes the gateway forwarded.
+    pub forwarded: u64,
+    /// Envelopes the gateway dropped.
+    pub dropped: u64,
+    strict_nulls: bool,
+}
+
+impl FleetReport {
+    /// The engine-independent essence of this run; compare with
+    /// `assert_eq!` across engine kinds.
+    pub fn signature(&self) -> FleetSignature {
+        let clusters = self.rx.len();
+        let per_cluster = (0..clusters)
+            .map(|c| {
+                let records = self
+                    .records
+                    .iter()
+                    .filter(|r| r.cluster == c)
+                    .map(|r| &r.record)
+                    .filter(|r| self.strict_nulls || !r.is_null())
+                    .enumerate()
+                    .map(|(i, r)| EngineRecord {
+                        seq: i as u64,
+                        ..r.clone()
+                    })
+                    .collect();
+                let deliveries = self.rx[c]
+                    .iter()
+                    .map(|log| {
+                        log.iter()
+                            .map(|m| (m.from, m.dest, m.payload.clone()))
+                            .collect()
+                    })
+                    .collect();
+                let wakes = self.strict_nulls.then(|| {
+                    (
+                        self.wake_events[c].clone(),
+                        self.stats[c].layer_wakes.clone(),
+                    )
+                });
+                ScenarioSignature {
+                    records,
+                    deliveries,
+                    wakes,
+                }
+            })
+            .collect();
+        FleetSignature {
+            clusters: per_cluster,
+            forwarded: self.forwarded,
+            dropped: self.dropped,
+        }
+    }
+
+    /// Total bus-clock cycles across every cluster's records.
+    pub fn total_cycles(&self) -> u64 {
+        self.records.iter().map(|r| r.record.cycles).sum()
+    }
+
+    /// Total transactions across the fleet.
+    pub fn transactions(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total messages delivered to any layer anywhere in the fleet
+    /// (envelope legs consumed by the gateway are not counted).
+    pub fn delivered_messages(&self) -> usize {
+        self.rx
+            .iter()
+            .map(|cluster| cluster.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Total ring positions across the fleet.
+    pub fn total_nodes(&self) -> usize {
+        self.rx.iter().map(Vec::len).sum()
+    }
+}
+
+/// What two engine kinds must agree on for one fleet workload: a
+/// per-cluster [`ScenarioSignature`] (records, deliveries, wakes) plus
+/// the gateway's forwarding counters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FleetSignature {
+    /// One single-bus signature per cluster, in cluster order.
+    pub clusters: Vec<ScenarioSignature>,
+    /// Envelopes forwarded by the gateway.
+    pub forwarded: u64,
+    /// Envelopes dropped by the gateway.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_fleet(kind: EngineKind) -> (Fleet, FleetNodeId, FleetNodeId) {
+        let mut fleet = Fleet::new(kind, BusConfig::default());
+        let a = fleet.add_cluster();
+        let b = fleet.add_cluster();
+        let src = fleet.add_sensor(a, false);
+        let dst = fleet.add_sensor(b, false);
+        (fleet, src, dst)
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let dest = FullPrefix::new(0x00205).unwrap();
+        let fu = FuId::new(0x3).unwrap();
+        let bytes = GatewayNode::encapsulate(dest, fu, &[1, 2, 3]);
+        assert_eq!(bytes.len(), 4 + 3);
+        let (p, f, inner) = GatewayNode::decapsulate(&bytes).unwrap();
+        assert_eq!((p, f), (dest, fu));
+        assert_eq!(inner, vec![1, 2, 3]);
+        assert!(GatewayNode::decapsulate(&[0xF0]).is_none());
+        assert!(GatewayNode::decapsulate(&[0x12, 0x34, 0x56, 0x78]).is_none());
+    }
+
+    #[test]
+    fn cross_cluster_delivery_on_both_kinds() {
+        for kind in EngineKind::ALL {
+            let (mut fleet, src, dst) = two_cluster_fleet(kind);
+            fleet
+                .queue_remote(src, dst, FuId::ZERO, vec![0xAB, 0xCD])
+                .unwrap();
+            let records = fleet.run_until_quiescent();
+            // Envelope leg on cluster 0, forwarded leg on cluster 1.
+            assert_eq!(records.len(), 2, "{kind}");
+            assert_eq!(records[0].cluster, 0, "{kind}");
+            assert_eq!(records[1].cluster, 1, "{kind}");
+            assert_eq!(fleet.gateway().forwarded(), 1, "{kind}");
+            assert_eq!(fleet.gateway().dropped(), 0, "{kind}");
+            let rx = fleet.take_rx(dst);
+            assert_eq!(rx.len(), 1, "{kind}");
+            assert_eq!(rx[0].payload, vec![0xAB, 0xCD], "{kind}");
+            assert_eq!(rx[0].from, GATEWAY_NODE, "{kind}: forwarded by the gateway");
+        }
+    }
+
+    #[test]
+    fn routing_table_covers_every_node() {
+        let (fleet, src, dst) = two_cluster_fleet(EngineKind::Analytic);
+        // 2 gateway presences + 2 sensors.
+        assert_eq!(fleet.gateway().route_count(), 4);
+        assert_eq!(
+            fleet.gateway().route(fleet.spec(src).full_prefix()),
+            Some(0)
+        );
+        assert_eq!(
+            fleet.gateway().route(fleet.spec(dst).full_prefix()),
+            Some(1)
+        );
+        assert_eq!(
+            fleet.gateway().route(FullPrefix::new(0xBEEF).unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn unroutable_and_malformed_envelopes_drop_identically_on_both_kinds() {
+        for kind in EngineKind::ALL {
+            let (mut fleet, src, _) = two_cluster_fleet(kind);
+            // An envelope to a prefix nobody owns, and one whose header
+            // is too short to be a full address.
+            let unroutable =
+                GatewayNode::encapsulate(FullPrefix::new(0xBEEF).unwrap(), FuId::ZERO, &[9]);
+            let forward_port = Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU);
+            fleet
+                .queue(src, Message::new(forward_port, unroutable))
+                .unwrap();
+            fleet
+                .queue(src, Message::new(forward_port, vec![0xF0]))
+                .unwrap();
+            let records = fleet.run_until_quiescent();
+            assert_eq!(records.len(), 2, "{kind}: both envelope legs ran");
+            assert_eq!(fleet.gateway().forwarded(), 0, "{kind}");
+            assert_eq!(fleet.gateway().dropped(), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn remote_message_validation() {
+        let (fleet, _, dst) = two_cluster_fleet(EngineKind::Analytic);
+        assert!(matches!(
+            fleet.remote_message(FleetNodeId::new(9, 1), FuId::ZERO, vec![]),
+            Err(MbusError::UnknownCluster { index: 9 })
+        ));
+        assert!(matches!(
+            fleet.remote_message(FleetNodeId::new(1, 7), FuId::ZERO, vec![]),
+            Err(MbusError::UnknownNode { index: 7 })
+        ));
+        assert!(matches!(
+            fleet.remote_message(
+                FleetNodeId::new(1, GATEWAY_NODE),
+                GATEWAY_FORWARD_FU,
+                vec![]
+            ),
+            Err(MbusError::MalformedAddress { .. })
+        ));
+        // Gateway fu != 0 is a legal remote destination.
+        assert!(fleet
+            .remote_message(
+                FleetNodeId::new(1, GATEWAY_NODE),
+                FuId::new(1).unwrap(),
+                vec![]
+            )
+            .is_ok());
+        // Envelope header pushes an exactly-max payload over the limit.
+        let max = fleet.config().max_message_bytes();
+        assert!(matches!(
+            fleet.remote_message(dst, FuId::ZERO, vec![0; max - 3]),
+            Err(MbusError::MessageTooLong { .. })
+        ));
+        assert!(fleet
+            .remote_message(dst, FuId::ZERO, vec![0; max - 4])
+            .is_ok());
+    }
+
+    #[test]
+    fn gateway_local_fu_traffic_reaches_take_rx() {
+        let (mut fleet, src, _) = two_cluster_fleet(EngineKind::Analytic);
+        fleet
+            .queue(
+                src,
+                Message::new(
+                    Address::short(gateway_short_prefix(), FuId::new(0x2).unwrap()),
+                    vec![0x11],
+                ),
+            )
+            .unwrap();
+        fleet.run_until_quiescent();
+        let rx = fleet.take_rx(FleetNodeId::new(0, GATEWAY_NODE));
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].payload, vec![0x11]);
+        assert_eq!(fleet.gateway().forwarded(), 0);
+        assert_eq!(fleet.gateway().dropped(), 0);
+    }
+
+    #[test]
+    fn population_scales_past_the_single_bus_limit() {
+        let w = FleetWorkload::sense_and_aggregate(16, 13, 1);
+        assert_eq!(w.total_nodes(), 16 * 14);
+        assert!(w.total_nodes() > ShortPrefix::USABLE);
+        let report = w.run_on(EngineKind::Analytic);
+        assert_eq!(report.total_nodes(), 224);
+        assert_eq!(report.forwarded, 16, "one aggregate per cluster");
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn fleet_workload_is_deterministic() {
+        for seed in [0u64, 3, 17] {
+            let w = FleetWorkload::seeded(seed);
+            let a = w.run_on(EngineKind::Analytic).signature();
+            let b = w.run_on(EngineKind::Analytic).signature();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cross_storm_signature_matches_across_engines() {
+        let w = FleetWorkload::cross_storm(3, 3, 2);
+        let analytic = w.run_on(EngineKind::Analytic);
+        let wire = w.run_on(EngineKind::Wire);
+        assert_eq!(analytic.signature(), wire.signature());
+        assert!(analytic.forwarded > 0);
+    }
+
+    #[test]
+    fn apply_rejects_mismatched_topology() {
+        // Transposed cluster shapes with the same total node count.
+        let w = FleetWorkload::new("shape", BusConfig::default())
+            .cluster(vec![false, false, false])
+            .cluster(vec![false]);
+        let mut transposed = Fleet::new(EngineKind::Analytic, BusConfig::default());
+        let a = transposed.add_cluster();
+        let b = transposed.add_cluster();
+        transposed.add_sensor(a, false);
+        for _ in 0..3 {
+            transposed.add_sensor(b, false);
+        }
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.apply(&mut transposed)
+        }))
+        .is_err());
+
+        // Right shape, wrong power-awareness.
+        let w2 = FleetWorkload::new("power", BusConfig::default()).cluster(vec![true]);
+        let mut wrong_power = Fleet::new(EngineKind::Analytic, BusConfig::default());
+        let c = wrong_power.add_cluster();
+        wrong_power.add_sensor(c, false);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w2.apply(&mut wrong_power)
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn topology_builders_are_bounded() {
+        assert!(std::panic::catch_unwind(|| FleetWorkload::cross_storm(1, 3, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| FleetWorkload::sense_and_aggregate(2, 14, 1)).is_err());
+        let mut fleet = Fleet::new(EngineKind::Analytic, BusConfig::default());
+        let c = fleet.add_cluster();
+        for _ in 0..MAX_SENSORS_PER_CLUSTER {
+            fleet.add_sensor(c, false);
+        }
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fleet.add_sensor(c, false)
+        }))
+        .is_err());
+    }
+}

@@ -28,7 +28,12 @@
 //!   with per-hop propagation delays.
 //!
 //! The integration test-suite cross-checks the two engines cycle for
-//! cycle.
+//! cycle. Above the engines sit three engine-generic layers — the
+//! declarative [`scenario`] workloads, the deterministic [`sweep`]
+//! sharding, and the multi-bus [`fleet`] composition that scales
+//! population past the 14-node short-prefix limit through a
+//! store-and-forward gateway. `ARCHITECTURE.md` at the repository root
+//! maps the layers and the paper sections onto modules.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +75,7 @@ pub mod control;
 pub mod engine;
 pub mod enumeration;
 mod error;
+pub mod fleet;
 pub mod interject;
 pub mod layer;
 pub mod message;
@@ -90,6 +96,7 @@ pub use engine::{
     ReceivedMessage, Role,
 };
 pub use error::MbusError;
+pub use fleet::{Fleet, FleetNodeId, FleetRecord, FleetReport, FleetSignature, FleetWorkload};
 pub use message::Message;
 pub use node::NodeSpec;
 pub use parallel::ParallelMbus;

@@ -420,11 +420,14 @@ impl Workload {
 
     /// A seeded random workload (ROADMAP's "scenario fuzzing"): ring
     /// size, power-awareness, priority traffic, unmatched addresses,
-    /// broadcasts, interrupt wakeups, and drain points are all drawn
-    /// from a [`mbus_sim::SmallRng`] stream, so every seed is a
-    /// reproducible scenario. The differential suite
-    /// (`tests/analytic_batching.rs`) runs hundreds of these through
-    /// both kernel paths and both engines.
+    /// broadcasts, full-prefix routed destinations (the 43-cycle
+    /// addressing form a fleet gateway's forwarded legs use, §4.6),
+    /// interrupt wakeups, and drain points are all drawn from a
+    /// [`mbus_sim::SmallRng`] stream, so every seed is a reproducible
+    /// scenario. The differential suite (`tests/analytic_batching.rs`)
+    /// runs hundreds of these through both kernel paths and both
+    /// engines; [`crate::fleet::FleetWorkload::seeded`] lifts the same
+    /// generator to multi-bus fleets with cross-cluster destinations.
     ///
     /// Workloads that transmit from power-gated nodes get
     /// [`Workload::allow_wake_nulls`], like every hand-written
@@ -462,6 +465,17 @@ impl Workload {
                     } else if rng.gen_index(0..8) == 0 {
                         // An address nobody owns: NAK path.
                         Message::new(short(0xE, 0x0), payload)
+                    } else if rng.gen_index(0..6) == 0 {
+                        // Full-prefix routed, like a gateway's
+                        // forwarded leg (§4.6's 43-cycle form).
+                        let dest = rng.gen_index(0..nodes) as u32;
+                        Message::new(
+                            Address::full(
+                                FullPrefix::new(0x0_0400 + dest).expect("prefix"),
+                                FuId::ZERO,
+                            ),
+                            payload,
+                        )
                     } else {
                         let dest = rng.gen_index(1..nodes + 1) as u8;
                         Message::new(short(dest, 0x0), payload)

@@ -9,10 +9,39 @@
 //! split into contiguous chunks, each worker maps its chunk in order,
 //! and the chunks are re-concatenated.
 //!
+//! # Determinism contract
+//!
+//! For any runner `r` and pure point function `f`,
+//! `r.run(&points, f) == SweepRunner::serial().run(&points, f)` —
+//! output position `i` is always `f(&points[i])`, computed exactly
+//! once. Nothing about thread count, scheduling, or chunk boundaries
+//! can leak into the results, because workers never share state and
+//! never interleave their output ranges. The `sweep` bench binary and
+//! `tests/sweep_determinism.rs` verify this on real engine-backed
+//! grids every run.
+//!
+//! # Threading model
+//!
 //! The engines themselves are single-threaded (the wire engine's
 //! shared component state is `Rc`-based by design); the parallelism
 //! contract is therefore *engine per point, inside the worker*, which
-//! the `Fn(&P) -> R + Sync` bound enforces at compile time.
+//! the `Fn(&P) -> R + Sync` bound enforces at compile time: the closure
+//! may be called from many threads at once, so it cannot capture an
+//! engine — it must build one per call. This is also why sweeps scale:
+//! points are embarrassingly parallel by construction.
+//!
+//! Worker threads are scoped (`std::thread::scope`), so borrowed
+//! points work without `Arc`, and a panic in any worker propagates and
+//! aborts the whole sweep rather than silently dropping a chunk.
+//!
+//! # Sweeping fleets
+//!
+//! [`SweepRunner::run_fleet_sizes`] lifts the same machinery to the
+//! multi-bus [`fleet`](crate::fleet) layer: each point is a whole
+//! gateway-bridged fleet (clusters × sensors), built and drained inside
+//! the worker, summarized as a [`FleetSizeSample`]. This is how
+//! population scaling past the 14-node single-bus limit is measured —
+//! see the `fleet` bench binary.
 //!
 //! # Example
 //!
@@ -30,10 +59,36 @@
 
 use std::num::NonZeroUsize;
 
+use crate::engine::EngineKind;
+use crate::fleet::FleetWorkload;
+
 /// Shards independent sweep points across scoped worker threads.
+///
+/// A `SweepRunner` is just a worker count; it holds no other state and
+/// is freely copyable. See the [module docs](self) for the determinism
+/// and threading contracts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SweepRunner {
     threads: NonZeroUsize,
+}
+
+/// One point of a fleet-size sweep: the topology that was run and what
+/// it cost. Produced by [`SweepRunner::run_fleet_sizes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetSizeSample {
+    /// Number of cluster buses in the fleet.
+    pub clusters: usize,
+    /// Sensors on each cluster bus (the gateway presence is extra).
+    pub sensors_per_cluster: usize,
+    /// Total ring positions across the fleet, gateway presences
+    /// included.
+    pub total_nodes: usize,
+    /// Transactions the fleet ran, across every bus.
+    pub transactions: usize,
+    /// Envelopes the gateway forwarded between buses.
+    pub forwarded: u64,
+    /// Total bus-clock cycles across every bus.
+    pub total_cycles: u64,
 }
 
 impl SweepRunner {
@@ -94,6 +149,38 @@ impl SweepRunner {
         });
         out
     }
+
+    /// Sweeps over fleet topologies: for each `(clusters,
+    /// sensors_per_cluster)` point, builds a fresh gateway-bridged
+    /// fleet of `kind` inside the worker, runs `rounds` rounds of
+    /// [`FleetWorkload::sense_and_aggregate`] on it, and summarizes the
+    /// run. Points are independent whole fleets, so the usual
+    /// determinism contract holds: the result is bit-identical to the
+    /// serial run.
+    ///
+    /// # Panics
+    ///
+    /// Propagates topology panics from
+    /// [`FleetWorkload::sense_and_aggregate`] (zero clusters, or more
+    /// sensors than a bus has short prefixes for).
+    pub fn run_fleet_sizes(
+        &self,
+        kind: EngineKind,
+        sizes: &[(usize, usize)],
+        rounds: usize,
+    ) -> Vec<FleetSizeSample> {
+        self.run(sizes, |&(clusters, sensors)| {
+            let report = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds).run_on(kind);
+            FleetSizeSample {
+                clusters,
+                sensors_per_cluster: sensors,
+                total_nodes: report.total_nodes(),
+                transactions: report.transactions(),
+                forwarded: report.forwarded,
+                total_cycles: report.total_cycles(),
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +215,19 @@ mod tests {
         let serial = SweepRunner::serial().run(&points, f);
         let parallel = SweepRunner::with_threads(4).run(&points, f);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fleet_size_sweeps_are_deterministic_and_scale_population() {
+        let sizes = [(2usize, 3usize), (4, 6), (8, 13)];
+        let serial = SweepRunner::serial().run_fleet_sizes(EngineKind::Analytic, &sizes, 1);
+        let sharded = SweepRunner::with_threads(3).run_fleet_sizes(EngineKind::Analytic, &sizes, 1);
+        assert_eq!(serial, sharded);
+        assert_eq!(serial[2].total_nodes, 8 * 14, "well past one bus's 14");
+        assert!(serial.iter().all(|s| s.forwarded > 0));
+        // Bigger fleets do strictly more work.
+        assert!(serial[0].total_cycles < serial[1].total_cycles);
+        assert!(serial[1].total_cycles < serial[2].total_cycles);
     }
 
     #[test]

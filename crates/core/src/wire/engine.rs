@@ -1,7 +1,7 @@
 //! [`WireEngine`]: the edge-accurate engine behind the transaction-level
-//! [`BusEngine`](crate::engine::BusEngine) surface.
+//! [`BusEngine`] surface.
 //!
-//! [`WireBus`](super::WireBus) simulates every CLK/DATA edge but only
+//! [`WireBus`] simulates every CLK/DATA edge but only
 //! reports what the mediator can see (cycle counts, control bits,
 //! null/runaway flags). This wrapper reconstructs full
 //! [`EngineRecord`]s — winner, deliveries, outcome — by correlating the

@@ -1,4 +1,4 @@
-//! Lee et al.'s "I2C-like" bus (§2.2, [14]): the pull-up is replaced by
+//! Lee et al.'s "I2C-like" bus (§2.2, citation \[14\]): the pull-up is replaced by
 //! active drive plus a bus-keeper, at the cost of a local clock running
 //! 5× the bus clock and hand-tuned, process-specific ratioed logic.
 

@@ -10,7 +10,8 @@
 //! * [`SimTime`] — picosecond-resolution virtual time.
 //! * [`Scheduler`] — a stable-ordered event queue; ties are broken by
 //!   insertion sequence so replays are bit-identical.
-//! * [`Net`] — a single-driver net with per-listener propagation delay,
+//! * nets (addressed by [`NetId`]) — single-driver, with per-listener
+//!   propagation delay,
 //!   modelling the point-to-point "shoot-through" segments of the MBus
 //!   rings (§4.1 of the paper).
 //! * [`Component`] — behavioral models that react to pin changes and
