@@ -64,13 +64,19 @@ fn run_crosscheck() {
         );
         signatures.push(report.signature());
     }
-    assert_eq!(
-        signatures[0],
-        signatures[1],
-        "engines disagree on '{}'",
-        workload.name()
+    for (kind, signature) in EngineKind::ALL.iter().zip(&signatures).skip(1) {
+        assert_eq!(
+            &signatures[0],
+            signature,
+            "{kind} disagrees with {} on '{}'",
+            EngineKind::ALL[0],
+            workload.name()
+        );
+    }
+    println!(
+        "  cross-check: all {} fleet signatures identical\n",
+        signatures.len()
     );
-    println!("  cross-check: fleet signatures identical\n");
 }
 
 fn run_size_sweep() {

@@ -1,0 +1,145 @@
+//! Interleaved event-engine fleet driver: thousands of cooperative
+//! buses on ONE thread.
+//!
+//! Where the `fleet` bin scales population by draining each cluster
+//! bus to quiescence in turn, this bin exercises the serving shape:
+//! every cluster runs on a cooperative `EventEngine` (the analytic
+//! kernel behind a resumable `poll_transaction` step) and the
+//! `InterleavedScheduler` round-robins one transaction per bus per
+//! round — all buses make progress together, no bus ever blocks the
+//! thread.
+//!
+//! Three stages:
+//!
+//! 1. **Headline interleave** — 1024 event-engine buses (1024 × 3
+//!    sensors + 1024 gateway presences = 4096 nodes) running
+//!    sense-and-aggregate under the interleaved schedule, with
+//!    throughput in txn/s.
+//! 2. **Schedule equivalence check** — the same workload, batched vs
+//!    interleaved: the per-cluster `FleetSignature`s must be
+//!    identical (the schedule-independence contract
+//!    `tests/interleaved_fleet.rs` pins).
+//! 3. **Engine-kind × fleet-size grid** —
+//!    `SweepRunner::run_engine_fleet_grid` shards whole fleets over
+//!    analytic × event kinds and growing populations,
+//!    serial-identical.
+//!
+//! Usage: `cargo run --release -p mbus-bench --bin interleave
+//! [-- <clusters> <sensors> <rounds>] [-- --smoke]`
+
+use std::time::Instant;
+
+use mbus_bench::harness::smoke_mode;
+use mbus_bench::two_col_table;
+use mbus_core::{EngineKind, FleetSchedule, FleetWorkload, SweepRunner};
+
+fn run_headline(clusters: usize, sensors: usize, rounds: usize) {
+    let workload = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds);
+    println!(
+        "workload '{}': {} nodes across {} event-engine buses, one thread",
+        workload.name(),
+        workload.total_nodes(),
+        clusters,
+    );
+    let start = Instant::now();
+    let report = workload.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
+    let wall = start.elapsed();
+    println!(
+        "  [event/interleaved] {} transactions, {} forwarded envelopes, {} deliveries in {:.2?} ({:.0} txn/s)\n",
+        report.transactions(),
+        report.forwarded,
+        report.delivered_messages(),
+        wall,
+        report.transactions() as f64 / wall.as_secs_f64(),
+    );
+}
+
+fn run_schedule_check(clusters: usize, sensors: usize, rounds: usize) {
+    let workload = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds);
+    println!(
+        "schedule check '{}': {} nodes",
+        workload.name(),
+        workload.total_nodes()
+    );
+    let mut signatures = Vec::new();
+    for schedule in [FleetSchedule::Batched, FleetSchedule::Interleaved] {
+        let start = Instant::now();
+        let report = workload.run_scheduled_on(EngineKind::Event, schedule);
+        let wall = start.elapsed();
+        println!(
+            "  [{:>11}] {} transactions in {:.2?}",
+            schedule.to_string(),
+            report.transactions(),
+            wall,
+        );
+        signatures.push(report.signature());
+    }
+    assert_eq!(
+        signatures[0],
+        signatures[1],
+        "schedules disagree on '{}'",
+        workload.name()
+    );
+    println!("  schedule check: per-cluster fleet signatures identical\n");
+}
+
+fn run_engine_grid(smoke: bool) {
+    let sizes: Vec<(usize, usize)> = if smoke {
+        vec![(4, 3), (16, 3)]
+    } else {
+        vec![(16, 3), (64, 3), (256, 3), (1024, 3)]
+    };
+    let kinds = [EngineKind::Analytic, EngineKind::Event];
+    let runner = SweepRunner::with_threads(SweepRunner::auto().threads().max(4));
+    let start = Instant::now();
+    let grid = runner.run_engine_fleet_grid(&kinds, &sizes, 2);
+    let wall = start.elapsed();
+    let serial = SweepRunner::serial().run_engine_fleet_grid(&kinds, &sizes, 2);
+    assert_eq!(grid, serial, "sharded engine grid diverged from serial");
+    println!(
+        "engine-kind x fleet-size grid: {} whole-fleet points in {:.2?} on {} threads, serial-identical: true",
+        grid.len(),
+        wall,
+        runner.threads(),
+    );
+    for kind in kinds {
+        let rows: Vec<(f64, f64)> = grid
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| (s.total_nodes as f64, s.transactions as f64))
+            .collect();
+        print!(
+            "{}",
+            two_col_table(
+                &format!("transactions by population ({kind} engine, 2 rounds)"),
+                "nodes",
+                "transactions",
+                &rows,
+            )
+        );
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+
+    println!("=== Interleaved fleets: thousands of cooperative buses on one thread ===\n");
+    let (clusters, sensors, rounds) = match args.as_slice() {
+        [c, s, r, ..] => (*c, *s, *r),
+        // Smoke mode keeps the 1024-bus shape but runs one round so CI
+        // finishes in seconds.
+        _ if smoke => (1024, 3, 1),
+        _ => (1024, 3, 8),
+    };
+    run_headline(clusters, sensors, rounds);
+    if smoke {
+        run_schedule_check(32, 3, 1);
+    } else {
+        run_schedule_check(256, 3, 2);
+    }
+    run_engine_grid(smoke);
+}

@@ -28,13 +28,19 @@ fn run_population(nodes: usize, rounds: usize) {
         );
         signatures.push(report.signature());
     }
-    assert_eq!(
-        signatures[0],
-        signatures[1],
-        "engines disagree on '{}'",
-        workload.name()
+    for (kind, signature) in EngineKind::ALL.iter().zip(&signatures).skip(1) {
+        assert_eq!(
+            &signatures[0],
+            signature,
+            "{kind} disagrees with {} on '{}'",
+            EngineKind::ALL[0],
+            workload.name()
+        );
+    }
+    println!(
+        "  cross-check: all {} signatures identical\n",
+        signatures.len()
     );
-    println!("  cross-check: signatures identical\n");
 }
 
 /// Steady-state batched throughput: one long-lived 14-node analytic

@@ -221,7 +221,7 @@ impl AddrIndex {
 }
 
 /// A zeroed record for the in-place kernel to fill.
-fn blank_record() -> TransactionRecord {
+pub(crate) fn blank_record() -> TransactionRecord {
     TransactionRecord {
         seq: 0,
         start: SimTime::ZERO,
@@ -474,10 +474,21 @@ impl AnalyticBus {
         self.run_transaction_into(&mut record).then_some(record)
     }
 
+    /// Whether any node currently wants the bus (a queued message or an
+    /// asserted interrupt wakeup) — the kernel's cheap idleness probe,
+    /// O(words) over the incremental bit indexes. This is what the
+    /// cooperative [`crate::event::EventEngine`] answers
+    /// `Poll::Pending` from.
+    pub(crate) fn wants_bus(&self) -> bool {
+        !self.tx_pending.is_empty() || !self.wake_pending.is_empty()
+    }
+
     /// The transaction kernel: fills `record` in place and returns
     /// whether a transaction ran. All contender bookkeeping is
     /// incremental (see module docs) — nothing here scans every node.
-    fn run_transaction_into(&mut self, record: &mut TransactionRecord) -> bool {
+    /// `pub(crate)` so [`crate::event::EventEngine`] can drive it one
+    /// resumable step at a time against its own reused scratch record.
+    pub(crate) fn run_transaction_into(&mut self, record: &mut TransactionRecord) -> bool {
         if self.tx_pending.is_empty() && self.wake_pending.is_empty() {
             return false;
         }
@@ -686,40 +697,51 @@ impl AnalyticBus {
             .min()
             .map(|cap| cap.max(MIN_BYTES_BEFORE_INTERJECT));
 
-        let (bytes_on_wire, extra_bits, outcome, interjector, control) = if msg.len() > mediator_cap
-        {
-            (
-                mediator_cap,
-                1,
-                TxOutcome::LengthEnforced,
-                Interjector::Mediator,
-                ControlBits::GENERAL_ERROR,
-            )
-        } else if let Some(allowed) = rx_allowed.filter(|&allowed| msg.len() > allowed) {
-            (
-                allowed,
-                1,
-                TxOutcome::ReceiverAbort,
-                Interjector::Receiver,
-                ControlBits::GENERAL_ERROR,
-            )
-        } else if dest_nodes.is_empty() {
-            (
-                msg.len(),
-                0,
-                TxOutcome::NoDestination,
-                Interjector::Transmitter,
-                ControlBits::END_OF_MESSAGE_NAK,
-            )
-        } else {
-            (
-                msg.len(),
-                0,
-                TxOutcome::Acked,
-                Interjector::Transmitter,
-                ControlBits::END_OF_MESSAGE_ACK,
-            )
-        };
+        // Both counters can only observe an overrun one excess bit
+        // past their own cap, so whichever boundary is *smaller* is hit
+        // first on the wire: a small receive buffer aborts before the
+        // mediator's runaway counter ever trips. On the same-bit tie
+        // the mediator's runaway flag labels the cut (matching the
+        // wire-level record normalization).
+        let rx_cut = rx_allowed.filter(|&allowed| allowed < mediator_cap && msg.len() > allowed);
+        let (bytes_on_wire, extra_bits, outcome, interjector, control) =
+            if let Some(allowed) = rx_cut {
+                (
+                    allowed,
+                    1,
+                    TxOutcome::ReceiverAbort,
+                    Interjector::Receiver,
+                    ControlBits::GENERAL_ERROR,
+                )
+            } else if msg.len() > mediator_cap {
+                // Also covers an `rx_allowed >= mediator_cap` overrun:
+                // such a message necessarily exceeds the mediator's cap
+                // too, and the tie rule above says the runaway counter
+                // labels the cut.
+                (
+                    mediator_cap,
+                    1,
+                    TxOutcome::LengthEnforced,
+                    Interjector::Mediator,
+                    ControlBits::GENERAL_ERROR,
+                )
+            } else if dest_nodes.is_empty() {
+                (
+                    msg.len(),
+                    0,
+                    TxOutcome::NoDestination,
+                    Interjector::Transmitter,
+                    ControlBits::END_OF_MESSAGE_NAK,
+                )
+            } else {
+                (
+                    msg.len(),
+                    0,
+                    TxOutcome::Acked,
+                    Interjector::Transmitter,
+                    ControlBits::END_OF_MESSAGE_ACK,
+                )
+            };
 
         let data_cycles = 8 * bytes_on_wire as u64 + extra_bits;
         let cycles = ARBITRATION_CYCLES as u64
@@ -981,6 +1003,27 @@ mod tests {
         assert_eq!(r.interjector, Interjector::Mediator);
         assert_eq!(r.bytes_on_wire, 1024);
         assert_eq!(r.cycles, 19 + 8 * 1024 + 1);
+        assert!(bus.take_rx(1).is_empty());
+    }
+
+    #[test]
+    fn small_rx_buffer_aborts_before_the_runaway_counter() {
+        // An oversized message to a tiny-buffer destination: on the
+        // wire the receiver's abort (one bit past its 8-byte buffer)
+        // fires long before the mediator's 1024-byte runaway counter,
+        // so the analytic kernel must attribute the cut to the
+        // receiver, not the mediator.
+        let mut bus = three_node_bus();
+        *bus.spec_mut(1) = NodeSpec::new("sensor", FullPrefix::new(0x00002).unwrap())
+            .with_short_prefix(sp(0x2))
+            .with_rx_buffer(8);
+        bus.queue_unchecked(0, Message::new(addr(0x2), vec![0; 2048]))
+            .unwrap();
+        let r = bus.run_transaction().unwrap();
+        assert_eq!(r.outcome, TxOutcome::ReceiverAbort);
+        assert_eq!(r.interjector, Interjector::Receiver);
+        assert_eq!(r.bytes_on_wire, 8);
+        assert_eq!(r.cycles, 19 + 64 + 1);
         assert!(bus.take_rx(1).is_empty());
     }
 

@@ -1,15 +1,19 @@
 //! The engine abstraction: one transaction-level surface over both
 //! MBus executions.
 //!
-//! The repository ships two protocol engines — the transaction-level
-//! [`AnalyticBus`] (§6.1 cycle budget) and the edge-accurate
-//! [`WireEngine`] — whose APIs historically
-//! mirrored each other only by convention, so every workload and
-//! cross-check was written twice. The [`BusEngine`] trait captures the
-//! shared surface (add nodes, queue messages, request wakeups, run,
-//! drain receive logs, read statistics), and [`EngineRecord`] is the
-//! normalized per-transaction observation both engines can produce
-//! *identically*, which is what the cross-check suite compares.
+//! The repository ships three protocol engines — the transaction-level
+//! [`AnalyticBus`] (§6.1 cycle budget), the edge-accurate
+//! [`WireEngine`], and the cooperative
+//! [`EventEngine`](crate::event::EventEngine) (the analytic kernel
+//! behind a resumable `poll_transaction` step, for interleaving
+//! thousands of buses on one thread) — whose APIs would otherwise
+//! mirror each other only by convention, so every workload and
+//! cross-check would be written once per engine. The [`BusEngine`]
+//! trait captures the shared surface (add nodes, queue messages,
+//! request wakeups, run, drain receive logs, read statistics), and
+//! [`EngineRecord`] is the normalized per-transaction observation all
+//! engines can produce *identically*, which is what the cross-check
+//! suite compares.
 //!
 //! This module also holds the bookkeeping types the two engines share:
 //! [`BusStats`], [`Role`], [`ReceivedMessage`], and the activity
@@ -29,7 +33,9 @@
 //! contending, the wire level serves the awake nodes first (a gated
 //! node cannot assert a request, nor join the priority round, in the
 //! very transaction whose edges are still waking its bus controller),
-//! and the analytic engine arbitrates identically. The scenario layer
+//! and the analytic engine arbitrates identically. The event engine
+//! *is* the analytic kernel behind a resumable polling surface, so it
+//! folds exactly as the analytic engine does. The scenario layer
 //! normalizes the folded nulls when comparing engines; see
 //! [`crate::scenario::ScenarioReport::signature`].
 //!
@@ -395,17 +401,24 @@ pub enum EngineKind {
     /// The edge-accurate engine over the `mbus-sim` kernel — every
     /// CLK/DATA edge exists with ring propagation delays.
     Wire,
+    /// The cooperative event-loop engine ([`crate::event::EventEngine`]):
+    /// the analytic kernel behind a resumable `poll_transaction` step,
+    /// so thousands of buses interleave on one thread.
+    Event,
 }
 
 impl EngineKind {
-    /// Both engines, for "run everything on both" loops.
-    pub const ALL: [EngineKind; 2] = [EngineKind::Analytic, EngineKind::Wire];
+    /// Every engine, for "run everything on all of them" loops. The
+    /// conformance suites iterate this array, so a new engine joins the
+    /// whole scenario/sweep/fleet/test stack by being added here.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Analytic, EngineKind::Wire, EngineKind::Event];
 
     /// A short display name.
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Analytic => "analytic",
             EngineKind::Wire => "wire",
+            EngineKind::Event => "event",
         }
     }
 }
@@ -421,6 +434,7 @@ pub fn build_engine(kind: EngineKind, config: BusConfig) -> Box<dyn BusEngine> {
     match kind {
         EngineKind::Analytic => Box::new(AnalyticBus::new(config)),
         EngineKind::Wire => Box::new(WireEngine::new(config)),
+        EngineKind::Event => Box::new(crate::event::EventEngine::new(config)),
     }
 }
 
@@ -452,8 +466,20 @@ pub trait BusEngine {
     /// # Panics
     ///
     /// The wire engine freezes its ring topology at the first queue,
-    /// wakeup, or run call and panics on later `add_node`.
+    /// wakeup, or run call and panics on later `add_node`; check
+    /// [`is_frozen`](BusEngine::is_frozen) first instead of catching
+    /// the panic.
     fn add_node(&mut self, spec: NodeSpec) -> NodeIndex;
+
+    /// Whether the ring topology is frozen — `true` exactly when
+    /// [`add_node`](BusEngine::add_node) would panic. The analytic and
+    /// event engines never freeze (always `false`, the default); the
+    /// wire engine freezes at its first queue/wakeup/run call.
+    /// Schedulers and fleet builders consult this instead of catching
+    /// panics.
+    fn is_frozen(&self) -> bool {
+        false
+    }
 
     /// Number of nodes on the ring.
     fn node_count(&self) -> usize;

@@ -1,0 +1,331 @@
+//! [`EventEngine`]: the cooperative event-loop engine.
+//!
+//! The analytic and wire engines both answer "run this bus" with a
+//! drain: control does not return to the caller until the bus is
+//! quiescent (or, for [`BusEngine::run_transaction`] on the wire
+//! engine, until an internal run-ahead has buffered the whole queue).
+//! That is the right shape for measuring one stack, but it is the wrong
+//! shape for *serving* many: a fleet whose clusters each run to
+//! quiescence on a dedicated engine is only as concurrent as its
+//! thread count.
+//!
+//! `EventEngine` is the third [`BusEngine`] implementation: the
+//! analytic transaction kernel (§6.1 cycle budget, incremental
+//! [`crate::NodeSet`] bookkeeping) behind an **explicitly resumable**
+//! surface. [`EventEngine::poll_transaction`] executes exactly one
+//! transaction — message, folded wake, or null — and returns
+//! [`Poll::Ready`] with the record, or [`Poll::Pending`] when no node
+//! wants the bus. Nothing runs between polls, no work is buffered
+//! ahead, and the engine holds no drain state on the stack between
+//! calls, so a single thread can hold thousands of `EventEngine`s and
+//! round-robin `poll_transaction` across all of them — which is
+//! exactly what [`crate::fleet::InterleavedScheduler`] does.
+//!
+//! [`run_until_quiescent_with`](BusEngine::run_until_quiescent_with)
+//! is the trivial drive loop on top (`while let Poll::Ready(..) =
+//! poll …`), so the engine is also a drop-in for every existing
+//! workload, sweep, and fleet: it joins [`EngineKind::ALL`] and the
+//! three-way conformance suites pin its record streams identical to
+//! the analytic engine's and — modulo the documented folded self-wake
+//! nulls — the wire engine's.
+//!
+//! # Semantics
+//!
+//! `EventEngine` *is* the analytic kernel, stepped: it produces
+//! bit-identical [`TransactionRecord`] streams, statistics, and
+//! receive logs to [`AnalyticBus`] for any interleaving of queue /
+//! wakeup / poll calls (the batched-vs-stepped identity the kernel
+//! already guarantees, see `tests/analytic_batching.rs`). In
+//! particular it folds a gated transmitter's self-wake null into the
+//! message transaction exactly like the analytic engine; see
+//! [`crate::engine`]'s module docs for the cross-engine contract.
+//!
+//! # Example
+//!
+//! ```
+//! use std::task::Poll;
+//!
+//! use mbus_core::event::EventEngine;
+//! use mbus_core::{Address, BusConfig, BusEngine, FuId, Message, NodeSpec, ShortPrefix};
+//!
+//! let mut bus = EventEngine::new(BusConfig::default());
+//! let a = bus.add_node(
+//!     NodeSpec::new("a", mbus_core::FullPrefix::new(0x1)?)
+//!         .with_short_prefix(ShortPrefix::new(0x1)?),
+//! );
+//! let b = bus.add_node(
+//!     NodeSpec::new("b", mbus_core::FullPrefix::new(0x2)?)
+//!         .with_short_prefix(ShortPrefix::new(0x2)?),
+//! );
+//! bus.queue(
+//!     a,
+//!     Message::new(Address::short(ShortPrefix::new(0x2)?, FuId::ZERO), vec![0x42]),
+//! )?;
+//! // One cooperative step per call: Ready(record), then Pending.
+//! let Poll::Ready(record) = bus.poll_transaction() else {
+//!     panic!("a transaction was pending")
+//! };
+//! assert_eq!(record.cycles, 19 + 8);
+//! assert!(bus.poll_transaction().is_pending());
+//! assert_eq!(bus.take_rx(b)[0].payload, vec![0x42]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::task::Poll;
+
+use mbus_sim::SimTime;
+
+use crate::analytic::{blank_record, AnalyticBus, ArbitrationPolicy, TransactionRecord};
+use crate::config::BusConfig;
+use crate::engine::{BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage};
+use crate::error::MbusError;
+use crate::message::Message;
+use crate::node::NodeSpec;
+
+/// The cooperative event-loop engine: the analytic transaction kernel
+/// as an explicitly resumable state machine. See the [module
+/// docs](self) for the design and the equivalence contract.
+#[derive(Debug)]
+pub struct EventEngine {
+    kernel: AnalyticBus,
+    /// The one scratch record every poll fills in place — polling
+    /// through [`EventEngine::poll_transaction_ref`] (and therefore the
+    /// trait's batched drain) allocates nothing per transaction.
+    scratch: TransactionRecord,
+    polls: u64,
+    idle_polls: u64,
+}
+
+impl EventEngine {
+    /// Creates an empty engine. The first node added (index 0) hosts
+    /// the mediator, as on every engine.
+    pub fn new(config: BusConfig) -> Self {
+        EventEngine {
+            kernel: AnalyticBus::new(config),
+            scratch: blank_record(),
+            polls: 0,
+            idle_polls: 0,
+        }
+    }
+
+    /// Selects the arbitration policy (§7's rotating-priority
+    /// extension; the default is the paper's fixed topological order).
+    pub fn with_arbitration_policy(mut self, policy: ArbitrationPolicy) -> Self {
+        self.kernel = self.kernel.with_arbitration_policy(policy);
+        self
+    }
+
+    /// Executes at most one transaction: [`Poll::Ready`] with the
+    /// completed record (message, folded wake, or null), or
+    /// [`Poll::Pending`] when no node wants the bus. A `Pending` engine
+    /// becomes `Ready` again as soon as traffic is queued or a wakeup
+    /// is requested — polling is free to resume at any time.
+    pub fn poll_transaction(&mut self) -> Poll<TransactionRecord> {
+        match self.poll_transaction_ref() {
+            Poll::Ready(record) => Poll::Ready(record.clone()),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+
+    /// Allocation-free [`EventEngine::poll_transaction`]: the returned
+    /// record borrows the engine's reused scratch buffer and is valid
+    /// until the next poll. This is the polling form schedulers drive.
+    pub fn poll_transaction_ref(&mut self) -> Poll<&TransactionRecord> {
+        self.polls += 1;
+        if self.kernel.run_transaction_into(&mut self.scratch) {
+            Poll::Ready(&self.scratch)
+        } else {
+            self.idle_polls += 1;
+            Poll::Pending
+        }
+    }
+
+    /// Whether a poll right now would return [`Poll::Ready`] — the
+    /// O(words) idleness probe over the kernel's incremental bit
+    /// indexes, so schedulers can skip quiescent buses without paying
+    /// for an idle poll.
+    pub fn has_pending_work(&self) -> bool {
+        self.kernel.wants_bus()
+    }
+
+    /// Total [`EventEngine::poll_transaction`] /
+    /// [`EventEngine::poll_transaction_ref`] calls so far.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Polls that found the bus idle and returned [`Poll::Pending`] —
+    /// `polls() - idle_polls()` transactions have completed.
+    pub fn idle_polls(&self) -> u64 {
+        self.idle_polls
+    }
+}
+
+impl BusEngine for EventEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Event
+    }
+
+    fn add_node(&mut self, spec: NodeSpec) -> NodeIndex {
+        self.kernel.add_node(spec)
+    }
+
+    fn node_count(&self) -> usize {
+        self.kernel.node_count()
+    }
+
+    fn config(&self) -> &BusConfig {
+        self.kernel.config()
+    }
+
+    fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    fn queue(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError> {
+        self.kernel.queue(node, msg)
+    }
+
+    fn queue_unchecked(&mut self, node: NodeIndex, msg: Message) -> Result<(), MbusError> {
+        self.kernel.queue_unchecked(node, msg)
+    }
+
+    fn request_wakeup(&mut self, node: NodeIndex) -> Result<(), MbusError> {
+        self.kernel.request_wakeup(node)
+    }
+
+    fn run_transaction(&mut self) -> Option<EngineRecord> {
+        match self.poll_transaction_ref() {
+            Poll::Ready(record) => Some(EngineRecord::from(record)),
+            Poll::Pending => None,
+        }
+    }
+
+    fn run_until_quiescent(&mut self) -> Vec<EngineRecord> {
+        let mut records = Vec::new();
+        self.run_until_quiescent_with(&mut |r| records.push(r.clone()));
+        records
+    }
+
+    fn run_until_quiescent_with(&mut self, visit: &mut dyn FnMut(&EngineRecord)) {
+        // The trivial drive loop the module docs promise: polling until
+        // Pending *is* the batched drain.
+        while let Poll::Ready(record) = self.poll_transaction_ref() {
+            visit(&EngineRecord::from(record));
+        }
+    }
+
+    fn take_rx(&mut self, node: NodeIndex) -> Vec<ReceivedMessage> {
+        self.kernel.take_rx(node)
+    }
+
+    fn stats(&self) -> BusStats {
+        self.kernel.stats().clone()
+    }
+
+    fn wake_events(&self, node: NodeIndex) -> u64 {
+        self.kernel.wake_events(node)
+    }
+
+    fn layer_on(&self, node: NodeIndex) -> bool {
+        self.kernel.layer_on(node)
+    }
+
+    fn spec(&self, node: NodeIndex) -> NodeSpec {
+        self.kernel.spec(node).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, FuId, FullPrefix, ShortPrefix};
+
+    fn sp(x: u8) -> ShortPrefix {
+        ShortPrefix::new(x).unwrap()
+    }
+
+    fn addr(x: u8) -> Address {
+        Address::short(sp(x), FuId::ZERO)
+    }
+
+    fn three_node_engine() -> EventEngine {
+        let mut e = EventEngine::new(BusConfig::default());
+        for i in 0..3u32 {
+            e.add_node(
+                NodeSpec::new(format!("n{i}"), FullPrefix::new(0x500 + i).unwrap())
+                    .with_short_prefix(sp((i + 1) as u8)),
+            );
+        }
+        e
+    }
+
+    #[test]
+    fn poll_is_one_transaction_then_pending() {
+        let mut e = three_node_engine();
+        assert!(e.poll_transaction().is_pending(), "idle bus");
+        e.queue(0, Message::new(addr(0x2), vec![1])).unwrap();
+        e.queue(1, Message::new(addr(0x3), vec![2])).unwrap();
+        let Poll::Ready(first) = e.poll_transaction() else {
+            panic!("first transaction")
+        };
+        assert_eq!(first.winner, Some(0));
+        assert!(e.has_pending_work(), "second message still queued");
+        let Poll::Ready(second) = e.poll_transaction() else {
+            panic!("second transaction")
+        };
+        assert_eq!(second.winner, Some(1));
+        assert!(e.poll_transaction().is_pending());
+        assert!(!e.has_pending_work());
+        assert_eq!(e.polls(), 4);
+        assert_eq!(e.idle_polls(), 2);
+    }
+
+    #[test]
+    fn polling_resumes_after_pending() {
+        let mut e = three_node_engine();
+        assert!(e.poll_transaction().is_pending());
+        e.request_wakeup(2).unwrap();
+        let Poll::Ready(null) = e.poll_transaction() else {
+            panic!("wake null")
+        };
+        assert_eq!(null.winner, None);
+        assert_eq!(e.wake_events(2), 1);
+    }
+
+    #[test]
+    fn stepped_polls_match_the_analytic_kernel_exactly() {
+        // The module-docs claim: EventEngine is the analytic kernel,
+        // stepped — identical records, stats, and rx logs.
+        let drive = |event: bool| {
+            let mut analytic = AnalyticBus::new(BusConfig::default());
+            let mut eventful = EventEngine::new(BusConfig::default());
+            let engine: &mut dyn BusEngine = if event { &mut eventful } else { &mut analytic };
+            for i in 0..4u32 {
+                engine.add_node(
+                    NodeSpec::new(format!("n{i}"), FullPrefix::new(0x600 + i).unwrap())
+                        .with_short_prefix(sp((i + 1) as u8)),
+                );
+            }
+            engine
+                .queue(1, Message::new(addr(0x1), vec![7; 5]))
+                .unwrap();
+            engine
+                .queue(3, Message::new(addr(0x1), vec![8]).with_priority())
+                .unwrap();
+            engine.request_wakeup(2).unwrap();
+            let records = engine.run_until_quiescent();
+            let rx: Vec<_> = (0..4).map(|i| engine.take_rx(i)).collect();
+            (records, engine.stats(), rx)
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn trait_surface_reports_event_kind() {
+        let e = three_node_engine();
+        assert_eq!(e.kind(), EngineKind::Event);
+        assert_eq!(e.kind().name(), "event");
+        assert!(!BusEngine::is_frozen(&e), "the event engine never freezes");
+    }
+}

@@ -27,13 +27,22 @@
 //!
 //! A [`Fleet`] owns the per-cluster engines (any [`EngineKind`] — the
 //! fleet layer is written against the [`BusEngine`] trait) and drives
-//! them with a deterministic round-robin scheduler built on the batched
-//! [`BusEngine::run_until_quiescent_with`] drain, so cross-bus causality
-//! (which round a forwarded message lands in) is reproducible and
-//! engine-independent. [`FleetWorkload`] is the declarative layer on
-//! top, and [`FleetSignature`] is the cross-engine comparison — the same
-//! conformance story the single-bus [`crate::scenario`] layer tells,
-//! lifted to fleets.
+//! them in deterministic epochs with routing only at the quiescence
+//! barriers, under either of two schedules ([`FleetSchedule`]): the
+//! *batched* cluster-major drain (each epoch drains cluster 0 to
+//! quiescence through the engine's batched
+//! [`BusEngine::run_until_quiescent_with`] kernel, then cluster 1, …)
+//! or the *interleaved* [`InterleavedScheduler`] (one transaction per
+//! cluster per round, so thousands of buses — ideally
+//! [`EventEngine`](crate::event::EventEngine)-backed — make progress
+//! together on one thread). Barrier routing makes cross-bus causality
+//! (which epoch a forwarded message lands in) reproducible,
+//! engine-independent, *and* schedule-independent: both schedules
+//! yield identical per-cluster record streams and differ only in
+//! fleet-wide emission order. [`FleetWorkload`] is the declarative
+//! layer on top, and [`FleetSignature`] is the cross-engine comparison
+//! — the same conformance story the single-bus [`crate::scenario`]
+//! layer tells, lifted to fleets.
 //!
 //! # Example
 //!
@@ -503,23 +512,34 @@ impl Fleet {
     /// envelope is in flight, handing each transaction to `visit` as it
     /// completes.
     ///
-    /// The schedule is deterministic round-robin: each pass drains every
-    /// cluster in index order through the engine's batched
-    /// [`BusEngine::run_until_quiescent_with`] kernel, then routes that
-    /// cluster's gateway envelopes; passes repeat until one completes
-    /// with no transactions run and nothing forwarded. A forwarded leg
-    /// is queued when its *source* cluster is routed, so it transmits
-    /// later in the same pass if the destination cluster has a higher
-    /// index, and in the next pass otherwise (store-and-forward either
-    /// way — the gateway holds it until the destination bus's drain).
-    /// The rule depends only on cluster indexes, so the interleaving of
-    /// [`FleetRecord`]s is identical on every engine.
+    /// The schedule is deterministic *batched* round-robin, in epochs:
+    /// each epoch drains every cluster in index order to quiescence
+    /// through the engine's batched
+    /// [`BusEngine::run_until_quiescent_with`] kernel, then — at the
+    /// epoch barrier — routes every cluster's gateway envelopes, again
+    /// in index order; epochs repeat until one completes with no
+    /// transactions run and nothing forwarded. A forwarded leg is
+    /// therefore always queued *between* epochs (store-and-forward: the
+    /// gateway holds it until the destination bus's next-epoch drain),
+    /// regardless of the source and destination cluster indexes.
+    ///
+    /// Because routing happens only at epoch barriers, each cluster's
+    /// own record stream is an autonomous drain of whatever was pending
+    /// at its epoch start — independent of *how* the scheduler walks
+    /// the clusters. This is the schedule-independence contract the
+    /// fine-grained [`InterleavedScheduler`] relies on: batched and
+    /// interleaved drains produce identical per-cluster streams and
+    /// differ only in the fleet-wide emission order (cluster-major
+    /// here, round-robin there); `tests/interleaved_fleet.rs` pins
+    /// this. The schedule depends only on cluster indexes, so the
+    /// interleaving of [`FleetRecord`]s is also identical on every
+    /// engine kind.
     pub fn run_until_quiescent_with(&mut self, visit: &mut dyn FnMut(&FleetRecord)) {
         self.drain_with(&mut |record| visit(&record));
     }
 
-    /// The scheduler loop behind both public drains, handing each
-    /// record out *by value* so collecting callers pay one
+    /// The batched scheduler loop behind the public drains, handing
+    /// each record out *by value* so collecting callers pay one
     /// [`EngineRecord`] clone per transaction, not two.
     fn drain_with(&mut self, sink: &mut dyn FnMut(FleetRecord)) {
         loop {
@@ -534,6 +554,10 @@ impl Fleet {
                     ran = true;
                 });
                 progressed |= ran;
+            }
+            // Epoch barrier: every cluster is quiescent; route all
+            // gateway presences in index order.
+            for cluster in 0..self.clusters.len() {
                 progressed |= self.route_cluster(cluster);
             }
             if !progressed {
@@ -546,6 +570,25 @@ impl Fleet {
     pub fn run_until_quiescent(&mut self) -> Vec<FleetRecord> {
         let mut records = Vec::new();
         self.drain_with(&mut |r| records.push(r));
+        records
+    }
+
+    /// Drains the fleet with the fine-grained [`InterleavedScheduler`]
+    /// instead of the batched cluster-major schedule: one transaction
+    /// per cluster per round, all clusters advancing together on this
+    /// one thread. Per-cluster behavior is identical to
+    /// [`Fleet::run_until_quiescent_with`] (see the scheduler docs for
+    /// the equivalence argument); only the fleet-wide record order
+    /// differs.
+    pub fn run_until_quiescent_interleaved_with(&mut self, visit: &mut dyn FnMut(&FleetRecord)) {
+        InterleavedScheduler::new().drive(self, &mut |record| visit(&record));
+    }
+
+    /// [`Fleet::run_until_quiescent_interleaved_with`], collecting the
+    /// records.
+    pub fn run_until_quiescent_interleaved(&mut self) -> Vec<FleetRecord> {
+        let mut records = Vec::new();
+        InterleavedScheduler::new().drive(self, &mut |r| records.push(r));
         records
     }
 
@@ -566,6 +609,156 @@ impl Fleet {
             std::mem::take(&mut self.gateway_rx[id.cluster])
         } else {
             self.clusters[id.cluster].take_rx(id.node)
+        }
+    }
+}
+
+/// Which drive loop a fleet drain uses. Both schedules produce
+/// identical per-cluster record streams (and therefore identical
+/// [`FleetSignature`]s); they differ only in the fleet-wide order the
+/// [`FleetRecord`]s come out in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FleetSchedule {
+    /// Cluster-major: each epoch drains cluster 0 to quiescence, then
+    /// cluster 1, … — the PR 3 batched drain
+    /// ([`Fleet::run_until_quiescent_with`]). Fastest per bus (each
+    /// cluster stays hot in its engine's batched kernel).
+    #[default]
+    Batched,
+    /// Round-robin: one transaction per cluster per round
+    /// ([`InterleavedScheduler`]), so every bus makes progress
+    /// together — the serving shape for thousands of buses on one
+    /// thread.
+    Interleaved,
+}
+
+impl fmt::Display for FleetSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetSchedule::Batched => write!(f, "batched"),
+            FleetSchedule::Interleaved => write!(f, "interleaved"),
+        }
+    }
+}
+
+/// The single-threaded cooperative fleet driver: round-robins one
+/// transaction per cluster per round instead of draining each cluster
+/// to quiescence before touching the next.
+///
+/// Each *round* polls every still-active cluster once through
+/// [`BusEngine::run_transaction`] — which on an
+/// [`EventEngine`](crate::event::EventEngine) is exactly one
+/// `poll_transaction` step, making this the engine/scheduler pairing
+/// that interleaves thousands of buses on one thread. A cluster that
+/// reports no work (`None` / `Poll::Pending`) drops out of the round
+/// rotation for the rest of the epoch; when every cluster is
+/// quiescent, the epoch barrier routes all gateway envelopes in
+/// cluster index order (identically to the batched drain) and a new
+/// epoch begins. The drain ends when an epoch runs no transaction and
+/// routes nothing.
+///
+/// # Equivalence with the batched drain
+///
+/// Clusters share no state except through gateway routing, and *both*
+/// schedules route only at epoch barriers, so within an epoch each
+/// cluster performs the same autonomous drain from the same start
+/// state either way — single-stepped here, batched there, which the
+/// kernel guarantees are bit-identical (`tests/analytic_batching.rs`).
+/// Hence per-cluster record streams, receive logs, statistics, and
+/// gateway counters are equal between the two schedules, and the
+/// [`FleetSignature`]s match exactly. What *does* differ is the
+/// fleet-wide [`FleetRecord`] order: the batched drain emits each
+/// epoch cluster-major (all of cluster 0's transactions, then all of
+/// cluster 1's, …) while this scheduler emits the first transaction of
+/// every active cluster, then the second of every cluster still
+/// active, and so on. `tests/interleaved_fleet.rs` pins both the
+/// per-cluster equality and the reordering.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::fleet::{Fleet, InterleavedScheduler};
+/// use mbus_core::{BusConfig, EngineKind, FuId};
+///
+/// let mut fleet = Fleet::new(EngineKind::Event, BusConfig::default());
+/// let (a, b) = (fleet.add_cluster(), fleet.add_cluster());
+/// let src = fleet.add_sensor(a, false);
+/// let dst = fleet.add_sensor(b, false);
+/// fleet.queue_remote(src, dst, FuId::ZERO, vec![0x42])?;
+///
+/// let mut scheduler = InterleavedScheduler::new();
+/// let mut records = Vec::new();
+/// scheduler.drive(&mut fleet, &mut |r| records.push(r));
+/// assert_eq!(records.len(), 2); // envelope leg + forwarded leg
+/// assert_eq!(scheduler.transactions(), 2);
+/// assert_eq!(fleet.take_rx(dst)[0].payload, vec![0x42]);
+/// # Ok::<(), mbus_core::MbusError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InterleavedScheduler {
+    /// Clusters still active in the current epoch, in index order
+    /// (scratch, reused across epochs and drives).
+    active: Vec<usize>,
+    transactions: u64,
+    epochs: u64,
+}
+
+impl InterleavedScheduler {
+    /// Creates a scheduler with zeroed counters.
+    pub fn new() -> Self {
+        InterleavedScheduler::default()
+    }
+
+    /// Transactions driven across all [`drive`](Self::drive) calls.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Completed epochs (quiescence barriers reached) across all
+    /// [`drive`](Self::drive) calls, the final empty epoch included.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Runs `fleet` until no bus has pending work and no envelope is in
+    /// flight, handing each completed transaction to `sink` in
+    /// round-robin order.
+    pub fn drive(&mut self, fleet: &mut Fleet, sink: &mut dyn FnMut(FleetRecord)) {
+        loop {
+            self.epochs += 1;
+            let mut epoch_ran = false;
+            self.active.clear();
+            self.active.extend(0..fleet.clusters.len());
+            while !self.active.is_empty() {
+                // One round: one transaction per still-active cluster,
+                // in index order; quiescent clusters leave the epoch.
+                let mut i = 0;
+                while i < self.active.len() {
+                    let cluster = self.active[i];
+                    match fleet.clusters[cluster].run_transaction() {
+                        Some(record) => {
+                            self.transactions += 1;
+                            epoch_ran = true;
+                            sink(FleetRecord { cluster, record });
+                            i += 1;
+                        }
+                        None => {
+                            // Keep index order so the round-robin stays
+                            // deterministic and cluster-index ordered.
+                            self.active.remove(i);
+                        }
+                    }
+                }
+            }
+            // Epoch barrier: identical routing discipline to the
+            // batched drain — every gateway presence, in index order.
+            let mut routed = false;
+            for cluster in 0..fleet.clusters.len() {
+                routed |= fleet.route_cluster(cluster);
+            }
+            if !epoch_ran && !routed {
+                return;
+            }
         }
     }
 }
@@ -740,8 +933,8 @@ impl FleetWorkload {
     }
 
     /// Runs the steps on a fleet carrying this workload's topology
-    /// (see [`FleetWorkload::instantiate`]). A trailing
-    /// [`FleetStep::Drain`] is implied.
+    /// (see [`FleetWorkload::instantiate`]) with the batched schedule.
+    /// A trailing [`FleetStep::Drain`] is implied.
     ///
     /// # Panics
     ///
@@ -750,6 +943,19 @@ impl FleetWorkload {
     /// a step is rejected (fleet workloads are static; a rejection is a
     /// bug in the workload definition).
     pub fn apply(&self, fleet: &mut Fleet) -> FleetReport {
+        self.apply_scheduled(fleet, FleetSchedule::Batched)
+    }
+
+    /// [`FleetWorkload::apply`] with an explicit [`FleetSchedule`]:
+    /// every [`FleetStep::Drain`] (and the implied trailing one) runs
+    /// through the chosen drive loop. The resulting
+    /// [`FleetReport::signature`] is schedule-independent; the raw
+    /// [`FleetReport::records`] order is not.
+    ///
+    /// # Panics
+    ///
+    /// As [`FleetWorkload::apply`].
+    pub fn apply_scheduled(&self, fleet: &mut Fleet, schedule: FleetSchedule) -> FleetReport {
         assert_eq!(
             fleet.cluster_count(),
             self.clusters.len(),
@@ -773,7 +979,12 @@ impl FleetWorkload {
                 );
             }
         }
+        let mut scheduler = InterleavedScheduler::new();
         let mut records = Vec::new();
+        let mut drain = |fleet: &mut Fleet, records: &mut Vec<FleetRecord>| match schedule {
+            FleetSchedule::Batched => fleet.drain_with(&mut |r| records.push(r)),
+            FleetSchedule::Interleaved => scheduler.drive(fleet, &mut |r| records.push(r)),
+        };
         for step in &self.steps {
             match step {
                 FleetStep::Local { src, msg } => {
@@ -797,13 +1008,11 @@ impl FleetWorkload {
                 FleetStep::Wakeup { node } => {
                     fleet.request_wakeup(*node).expect("fleet wakeup step");
                 }
-                FleetStep::Drain => {
-                    fleet.drain_with(&mut |r| records.push(r));
-                }
+                FleetStep::Drain => drain(fleet, &mut records),
             }
         }
         if !matches!(self.steps.last(), Some(FleetStep::Drain)) {
-            fleet.drain_with(&mut |r| records.push(r));
+            drain(fleet, &mut records);
         }
         let clusters = fleet.cluster_count();
         let rx = (0..clusters)
@@ -833,10 +1042,17 @@ impl FleetWorkload {
         }
     }
 
-    /// Builds a fleet of `kind` and runs the workload on it.
+    /// Builds a fleet of `kind` and runs the workload on it with the
+    /// batched schedule.
     pub fn run_on(&self, kind: EngineKind) -> FleetReport {
+        self.run_scheduled_on(kind, FleetSchedule::Batched)
+    }
+
+    /// Builds a fleet of `kind` and runs the workload on it with the
+    /// chosen [`FleetSchedule`].
+    pub fn run_scheduled_on(&self, kind: EngineKind, schedule: FleetSchedule) -> FleetReport {
         let mut fleet = self.instantiate(kind);
-        self.apply(&mut fleet)
+        self.apply_scheduled(&mut fleet, schedule)
     }
 
     // ------------------------------------------------------------------
@@ -1357,6 +1573,60 @@ mod tests {
             w2.apply(&mut wrong_power)
         }))
         .is_err());
+    }
+
+    #[test]
+    fn interleaved_drain_matches_batched_per_cluster() {
+        // The schedule-independence contract in miniature (the full
+        // seeded suite lives in tests/interleaved_fleet.rs): identical
+        // signatures, interleaved fleet-wide order.
+        let w = FleetWorkload::cross_storm(3, 2, 2);
+        for kind in EngineKind::ALL {
+            let batched = w.run_scheduled_on(kind, FleetSchedule::Batched);
+            let interleaved = w.run_scheduled_on(kind, FleetSchedule::Interleaved);
+            assert_eq!(batched.signature(), interleaved.signature(), "{kind}");
+            // Same transactions per cluster, in the same per-cluster
+            // order...
+            for c in 0..3 {
+                let per_cluster = |r: &FleetReport| -> Vec<_> {
+                    r.records
+                        .iter()
+                        .filter(|fr| fr.cluster == c)
+                        .map(|fr| fr.record.clone())
+                        .collect()
+                };
+                assert_eq!(
+                    per_cluster(&batched),
+                    per_cluster(&interleaved),
+                    "{kind} c{c}"
+                );
+            }
+            // ...but a genuinely different fleet-wide interleaving:
+            // with every cluster loaded, round-robin emits cluster 1's
+            // first transaction before cluster 0's second.
+            assert_ne!(
+                batched.records, interleaved.records,
+                "{kind}: schedules must interleave differently"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_scheduler_counters_accumulate() {
+        let mut fleet = Fleet::new(EngineKind::Event, BusConfig::default());
+        let (a, b) = (fleet.add_cluster(), fleet.add_cluster());
+        let src = fleet.add_sensor(a, false);
+        let dst = fleet.add_sensor(b, false);
+        fleet.queue_remote(src, dst, FuId::ZERO, vec![1]).unwrap();
+        let mut scheduler = InterleavedScheduler::new();
+        let mut n = 0u64;
+        scheduler.drive(&mut fleet, &mut |_| n += 1);
+        assert_eq!(n, 2, "envelope leg + forwarded leg");
+        assert_eq!(scheduler.transactions(), 2);
+        // Epoch 1 runs the envelope and routes; epoch 2 runs the
+        // forwarded leg; epoch 3 is the empty terminating epoch.
+        assert_eq!(scheduler.epochs(), 3);
+        assert_eq!(fleet.take_rx(dst).len(), 1);
     }
 
     #[test]

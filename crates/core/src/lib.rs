@@ -19,15 +19,18 @@
 //!   (§4.8–4.9), and
 //! * a fixed 19/43-cycle overhead independent of message length (§6.1).
 //!
-//! Two engines execute the protocol:
+//! Three engines execute the protocol:
 //!
 //! * [`AnalyticBus`] — transaction-level, using the paper's §6.1 cycle
 //!   budget; fast enough for the evaluation sweeps.
 //! * [`wire::WireBus`] — edge-level, running real bus-controller and
 //!   mediator state machines over the `mbus-sim` discrete-event kernel
 //!   with per-hop propagation delays.
+//! * [`EventEngine`] — cooperative: the analytic kernel behind a
+//!   resumable `poll_transaction` step, so thousands of buses
+//!   interleave on one thread (driven by [`InterleavedScheduler`]).
 //!
-//! The integration test-suite cross-checks the two engines cycle for
+//! The integration test-suite cross-checks the engines cycle for
 //! cycle. Above the engines sit three engine-generic layers — the
 //! declarative [`scenario`] workloads, the deterministic [`sweep`]
 //! sharding, and the multi-bus [`fleet`] composition that scales
@@ -75,6 +78,7 @@ pub mod control;
 pub mod engine;
 pub mod enumeration;
 mod error;
+pub mod event;
 pub mod fleet;
 pub mod interject;
 pub mod layer;
@@ -96,7 +100,11 @@ pub use engine::{
     ReceivedMessage, Role,
 };
 pub use error::MbusError;
-pub use fleet::{Fleet, FleetNodeId, FleetRecord, FleetReport, FleetSignature, FleetWorkload};
+pub use event::EventEngine;
+pub use fleet::{
+    Fleet, FleetNodeId, FleetRecord, FleetReport, FleetSchedule, FleetSignature, FleetWorkload,
+    InterleavedScheduler,
+};
 pub use message::Message;
 pub use node::NodeSpec;
 pub use parallel::ParallelMbus;

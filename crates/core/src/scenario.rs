@@ -65,6 +65,19 @@ pub enum Step {
     },
     /// Run the bus until quiescent, collecting the records.
     Run,
+    /// Run *at most* `count` transactions and stop — leaving the bus
+    /// mid-drain, so following queue/wakeup steps land while earlier
+    /// traffic is still pending (the ROADMAP's "mid-drain queueing"
+    /// hostile case). The analytic and event engines execute exactly
+    /// the requested transactions; the wire engine is *allowed* to run
+    /// ahead internally (see the [`crate::engine::BusEngine`] contract
+    /// on `run_transaction`), so workloads containing this step are not
+    /// wire-comparable — [`Workload::wire_comparable`] returns `false`
+    /// and the cross-engine suites pin analytic ≡ event instead.
+    RunTransactions {
+        /// Maximum transactions to execute before stopping.
+        count: usize,
+    },
 }
 
 /// A declarative, engine-generic scenario: node specs plus steps.
@@ -119,6 +132,14 @@ impl Workload {
         self
     }
 
+    /// Appends a partial-drain step: run at most `count` transactions,
+    /// then stop mid-drain (see [`Step::RunTransactions`] for the
+    /// engine-comparability caveat).
+    pub fn drain_partial(mut self, count: usize) -> Self {
+        self.steps.push(Step::RunTransactions { count });
+        self
+    }
+
     /// Declares that this workload transmits from power-gated nodes, so
     /// the wire engine inserts self-wake null transactions the analytic
     /// engine folds away (see [`crate::engine`]'s module docs). The
@@ -152,6 +173,22 @@ impl Workload {
     /// Whether null transactions are part of the comparable signature.
     pub fn strict_nulls(&self) -> bool {
         self.strict_nulls
+    }
+
+    /// Whether this workload's observable behavior is comparable
+    /// against the wire engine. Partial drains
+    /// ([`Step::RunTransactions`]) make it not so: the wire engine may
+    /// legally run ahead of a `run_transaction` call (the
+    /// [`crate::engine::BusEngine`] contract), so traffic queued after
+    /// a partial drain meets an already-empty bus there while the
+    /// analytic/event kernels arbitrate it against the still-pending
+    /// remainder. Cross-engine suites pin such workloads analytic ≡
+    /// event (identical kernels, stepped vs. batched) and skip wire.
+    pub fn wire_comparable(&self) -> bool {
+        !self
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::RunTransactions { .. }))
     }
 
     /// Builds an engine of `kind` with this workload's ring on it.
@@ -201,6 +238,14 @@ impl Workload {
                 // drain (the analytic kernel builds the records
                 // in-place); extending moves them without a re-clone.
                 Step::Run => records.extend(engine.run_until_quiescent()),
+                Step::RunTransactions { count } => {
+                    for _ in 0..*count {
+                        match engine.run_transaction() {
+                            Some(record) => records.push(record),
+                            None => break,
+                        }
+                    }
+                }
             }
         }
         if !matches!(self.steps.last(), Some(Step::Run)) {
@@ -425,9 +470,27 @@ impl Workload {
     /// interrupt wakeups, and drain points are all drawn from a
     /// [`mbus_sim::SmallRng`] stream, so every seed is a reproducible
     /// scenario. The differential suite (`tests/analytic_batching.rs`)
-    /// runs hundreds of these through both kernel paths and both
+    /// runs hundreds of these through both kernel paths and all
     /// engines; [`crate::fleet::FleetWorkload::seeded`] lifts the same
     /// generator to multi-bus fleets with cross-cluster destinations.
+    ///
+    /// The generator also draws the ROADMAP's *hostile-traffic* cases:
+    ///
+    /// * **oversized / runaway messages** — unchecked sends whose
+    ///   payload exceeds [`BusConfig::max_message_bytes`], so the
+    ///   mediator's length counter cuts them
+    ///   ([`crate::TxOutcome::LengthEnforced`]);
+    /// * **rx-buffer overruns** — some members advertise a small
+    ///   receive buffer, and a burst arm queues back-to-back deliveries
+    ///   to one such destination before any drain, mixing fits with
+    ///   overruns ([`crate::TxOutcome::ReceiverAbort`], §7 progress
+    ///   floor included);
+    /// * **mid-drain queueing** — partial drains
+    ///   ([`Workload::drain_partial`]) stop the bus mid-queue so later
+    ///   sends arbitrate against still-pending traffic. Seeds that draw
+    ///   this arm are not wire-comparable (the wire engine may run
+    ///   ahead — see [`Workload::wire_comparable`]) and are pinned
+    ///   analytic ≡ event instead.
     ///
     /// Workloads that transmit from power-gated nodes get
     /// [`Workload::allow_wake_nulls`], like every hand-written
@@ -435,7 +498,8 @@ impl Workload {
     pub fn seeded(seed: u64) -> Workload {
         let mut rng = mbus_sim::SmallRng::seed_from_u64(seed);
         let nodes = rng.gen_index(2..9);
-        let mut w = Workload::new(format!("seeded/{seed}"), BusConfig::default());
+        let config = BusConfig::default();
+        let mut w = Workload::new(format!("seeded/{seed}"), config);
         let mut gated = Vec::with_capacity(nodes);
         for i in 0..nodes {
             // Node 0 hosts the mediator and stays always-on, like the
@@ -443,18 +507,25 @@ impl Workload {
             // are power-aware.
             let power_aware = i != 0 && rng.gen_index(0..3) == 0;
             gated.push(power_aware);
-            w = w.node(spec(
+            let mut node_spec = spec(
                 format!("f{i}"),
                 0x0_0400 + i as u32,
                 (i + 1) as u8,
                 power_aware,
-            ));
+            );
+            // Roughly a quarter of the members advertise a small
+            // receive buffer, the overrun targets of the burst arm
+            // below (§7's 4-byte progress floor still applies).
+            if i != 0 && rng.gen_index(0..4) == 0 {
+                node_spec = node_spec.with_rx_buffer(4 + rng.gen_index(0..13));
+            }
+            w = w.node(node_spec);
         }
         let steps = 4 + rng.gen_index(0..32);
         let mut gated_tx = false;
         for _ in 0..steps {
-            match rng.gen_index(0..8) {
-                0..=5 => {
+            match rng.gen_index(0..24) {
+                0..=13 => {
                     let src = rng.gen_index(0..nodes);
                     gated_tx |= gated[src];
                     let len = rng.gen_index(1..13);
@@ -485,7 +556,40 @@ impl Workload {
                     }
                     w = w.send(src, msg);
                 }
-                6 => w = w.wakeup(rng.gen_index(0..nodes)),
+                14..=15 => w = w.wakeup(rng.gen_index(0..nodes)),
+                16..=17 => {
+                    // Hostile: an oversized/runaway message past the
+                    // mediator's validated limit, queued unchecked so
+                    // the length counter has to cut it on the wire.
+                    let src = rng.gen_index(0..nodes);
+                    gated_tx |= gated[src];
+                    let over = config.max_message_bytes() + 1 + rng.gen_index(0..32);
+                    let dest = rng.gen_index(1..nodes + 1) as u8;
+                    w = w.send_unchecked(src, Message::new(short(dest, 0x0), rng.gen_bytes(over)));
+                }
+                18..=20 => {
+                    // Hostile: back-to-back deliveries to one
+                    // destination before any drain — payloads up to
+                    // 24 bytes overrun the 4..=16-byte receive buffers
+                    // drawn above, while short ones still fit.
+                    let dest = rng.gen_index(1..nodes);
+                    let burst = 2 + rng.gen_index(0..3);
+                    for _ in 0..burst {
+                        let src = rng.gen_index(0..nodes);
+                        gated_tx |= gated[src];
+                        let len = 1 + rng.gen_index(0..24);
+                        w = w.send(
+                            src,
+                            Message::new(short((dest + 1) as u8, 0x0), rng.gen_bytes(len)),
+                        );
+                    }
+                }
+                21 => {
+                    // Hostile: stop mid-drain so later steps enqueue
+                    // against a still-pending bus (not wire-comparable;
+                    // see the builder docs).
+                    w = w.drain_partial(1 + rng.gen_index(0..4));
+                }
                 _ => w = w.drain(),
             }
         }

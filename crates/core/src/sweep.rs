@@ -73,9 +73,12 @@ pub struct SweepRunner {
 }
 
 /// One point of a fleet-size sweep: the topology that was run and what
-/// it cost. Produced by [`SweepRunner::run_fleet_sizes`].
+/// it cost. Produced by [`SweepRunner::run_fleet_sizes`] and
+/// [`SweepRunner::run_engine_fleet_grid`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FleetSizeSample {
+    /// The engine kind every cluster bus ran.
+    pub kind: EngineKind,
     /// Number of cluster buses in the fleet.
     pub clusters: usize,
     /// Sensors on each cluster bus (the gateway presence is extra).
@@ -170,16 +173,53 @@ impl SweepRunner {
         rounds: usize,
     ) -> Vec<FleetSizeSample> {
         self.run(sizes, |&(clusters, sensors)| {
-            let report = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds).run_on(kind);
-            FleetSizeSample {
-                clusters,
-                sensors_per_cluster: sensors,
-                total_nodes: report.total_nodes(),
-                transactions: report.transactions(),
-                forwarded: report.forwarded,
-                total_cycles: report.total_cycles(),
-            }
+            fleet_sample(kind, clusters, sensors, rounds)
         })
+    }
+
+    /// Sweeps the full engine-kind × fleet-size grid: every `kinds`
+    /// entry crossed with every `sizes` point, in row-major order
+    /// (all sizes for `kinds[0]`, then `kinds[1]`, …), each point a
+    /// whole fleet built inside the worker. This is how the
+    /// `interleave` bench compares the cooperative event engine
+    /// against the analytic baseline across populations; the usual
+    /// determinism contract holds (sharded ≡ serial, bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepRunner::run_fleet_sizes`].
+    pub fn run_engine_fleet_grid(
+        &self,
+        kinds: &[EngineKind],
+        sizes: &[(usize, usize)],
+        rounds: usize,
+    ) -> Vec<FleetSizeSample> {
+        let points: Vec<(EngineKind, (usize, usize))> = kinds
+            .iter()
+            .flat_map(|&kind| sizes.iter().map(move |&size| (kind, size)))
+            .collect();
+        self.run(&points, |&(kind, (clusters, sensors))| {
+            fleet_sample(kind, clusters, sensors, rounds)
+        })
+    }
+}
+
+/// Builds, runs, and summarizes one fleet point.
+fn fleet_sample(
+    kind: EngineKind,
+    clusters: usize,
+    sensors: usize,
+    rounds: usize,
+) -> FleetSizeSample {
+    let report = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds).run_on(kind);
+    FleetSizeSample {
+        kind,
+        clusters,
+        sensors_per_cluster: sensors,
+        total_nodes: report.total_nodes(),
+        transactions: report.transactions(),
+        forwarded: report.forwarded,
+        total_cycles: report.total_cycles(),
     }
 }
 
@@ -225,9 +265,33 @@ mod tests {
         assert_eq!(serial, sharded);
         assert_eq!(serial[2].total_nodes, 8 * 14, "well past one bus's 14");
         assert!(serial.iter().all(|s| s.forwarded > 0));
+        assert!(serial.iter().all(|s| s.kind == EngineKind::Analytic));
         // Bigger fleets do strictly more work.
         assert!(serial[0].total_cycles < serial[1].total_cycles);
         assert!(serial[1].total_cycles < serial[2].total_cycles);
+    }
+
+    #[test]
+    fn engine_fleet_grid_crosses_kinds_with_sizes() {
+        let kinds = [EngineKind::Analytic, EngineKind::Event];
+        let sizes = [(2usize, 2usize), (3, 4)];
+        let grid = SweepRunner::with_threads(2).run_engine_fleet_grid(&kinds, &sizes, 1);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(
+            grid,
+            SweepRunner::serial().run_engine_fleet_grid(&kinds, &sizes, 1),
+            "grid sweeps shard deterministically"
+        );
+        // Row-major: all sizes for a kind, then the next kind — and
+        // the two kinds agree on every per-point summary (the batched
+        // fleet drain is engine-independent).
+        assert_eq!(grid[0].kind, EngineKind::Analytic);
+        assert_eq!(grid[2].kind, EngineKind::Event);
+        for (a, e) in grid[..2].iter().zip(&grid[2..]) {
+            assert_eq!(a.transactions, e.transactions);
+            assert_eq!(a.total_cycles, e.total_cycles);
+            assert_eq!(a.forwarded, e.forwarded);
+        }
     }
 
     #[test]

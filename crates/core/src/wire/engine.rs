@@ -238,6 +238,10 @@ impl BusEngine for WireEngine {
         EngineKind::Wire
     }
 
+    fn is_frozen(&self) -> bool {
+        self.built()
+    }
+
     fn add_node(&mut self, spec: NodeSpec) -> NodeIndex {
         assert!(
             !self.built(),
@@ -418,6 +422,25 @@ mod tests {
         let mut e = three_node_engine();
         e.request_wakeup(1).unwrap();
         e.add_node(NodeSpec::new("late", FullPrefix::new(0x9).unwrap()));
+    }
+
+    #[test]
+    fn is_frozen_tracks_the_topology_freeze() {
+        // The trait contract: `is_frozen()` is true exactly when
+        // `add_node` would panic, so schedulers can check instead of
+        // catching panics. Errors must not freeze; traffic must.
+        let mut e = three_node_engine();
+        assert!(!BusEngine::is_frozen(&e), "fresh ring is open");
+        assert!(e
+            .queue(9, Message::new(Address::short(sp(0x1), FuId::ZERO), vec![]))
+            .is_err());
+        assert!(!BusEngine::is_frozen(&e), "a rejected call must not freeze");
+        e.add_node(NodeSpec::new(
+            "late-but-legal",
+            FullPrefix::new(0x8).unwrap(),
+        ));
+        e.request_wakeup(1).unwrap();
+        assert!(BusEngine::is_frozen(&e), "first traffic freezes the ring");
     }
 
     #[test]

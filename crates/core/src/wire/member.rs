@@ -166,6 +166,13 @@ pub(crate) struct MemberComp {
     /// Latched payload bits (Receiving).
     payload_bits: Vec<bool>,
     rx_allowed_bytes: Option<usize>,
+    /// Set when an rx-buffer abort fires; cleared by any later CLK
+    /// edge. Discriminates a real mid-message overrun (more CLK edges
+    /// follow before the interjection) from the phantom excess bit a
+    /// receiver latches off the mediator's park-high rise when the
+    /// message ended exactly at its buffer (no CLK edge can follow —
+    /// the mediator has already detected the winner's EoM hold).
+    abort_awaiting_clk: bool,
     ctl_role: CtlRole,
     ctl_bit0: bool,
     ctl_bit1: bool,
@@ -211,6 +218,7 @@ impl MemberComp {
             addr_len: None,
             payload_bits: Vec::new(),
             rx_allowed_bytes: None,
+            abort_awaiting_clk: false,
             ctl_role: CtlRole::Passive,
             ctl_bit0: false,
             ctl_bit1: false,
@@ -308,6 +316,9 @@ impl MemberComp {
         let maybe_edge = self.last_clk.edge_to(value);
         self.last_clk = value;
         let Some(edge) = maybe_edge else { return };
+        // A CLK edge after an rx abort proves the message really was
+        // still running — the abort was a genuine overrun.
+        self.abort_awaiting_clk = false;
         self.detector.on_clk_edge(edge);
         self.sleep_controller_edge();
         if !self.clk_hold {
@@ -496,6 +507,7 @@ impl MemberComp {
                     if self.payload_bits.len() > 8 * allowed {
                         self.set_clk_hold(ctx, true);
                         self.ctl_role = CtlRole::RxAbort;
+                        self.abort_awaiting_clk = true;
                         self.set_role(Role::Ignoring);
                     }
                 }
@@ -544,6 +556,16 @@ impl MemberComp {
         // regardless of what it was doing (§4.9).
         if matches!(self.state, State::Control { .. }) {
             return;
+        }
+        if self.ctl_role == CtlRole::RxAbort && self.abort_awaiting_clk {
+            // Phantom overrun: not one CLK edge followed the "excess"
+            // bit, so it was the mediator's park-high rise after the
+            // winner's EoM hold, not payload — the message ended
+            // exactly at our buffer. Ack and deliver (byte alignment
+            // drops the dangling bit); if some *other* receiver really
+            // aborted this message, control bit 0 reads low and the
+            // RxAck path withholds delivery as usual.
+            self.ctl_role = CtlRole::RxAck;
         }
         if let State::Active { role, .. } = &self.state {
             match (role, self.ctl_role) {

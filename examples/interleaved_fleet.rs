@@ -1,0 +1,109 @@
+//! Interleaved event-engine fleet demo: many cooperative buses
+//! advancing together on one thread.
+//!
+//! Two parts:
+//!
+//! 1. Drive a single [`EventEngine`] by hand with `poll_transaction` —
+//!    the resumable step the scheduler is built on.
+//! 2. Build an 8-cluster fleet of event engines and drain it with the
+//!    [`InterleavedScheduler`], printing the round-robin emission
+//!    order next to the batched cluster-major order for the same
+//!    traffic.
+//!
+//! Run with: `cargo run --release --example interleaved_fleet`
+
+use std::task::Poll;
+
+use mbus_core::fleet::{Fleet, FleetNodeId};
+use mbus_core::{
+    Address, BusConfig, BusEngine, EngineKind, EventEngine, FleetSchedule, FleetWorkload, FuId,
+    FullPrefix, InterleavedScheduler, Message, NodeSpec, ShortPrefix,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. One cooperative bus, stepped by hand. -------------------
+    let mut bus = EventEngine::new(BusConfig::default());
+    let cpu = bus.add_node(
+        NodeSpec::new("cpu", FullPrefix::new(0x1)?).with_short_prefix(ShortPrefix::new(0x1)?),
+    );
+    let sensor = bus.add_node(
+        NodeSpec::new("sensor", FullPrefix::new(0x2)?).with_short_prefix(ShortPrefix::new(0x2)?),
+    );
+    for k in 0..3u8 {
+        bus.queue(
+            cpu,
+            Message::new(Address::short(ShortPrefix::new(0x2)?, FuId::ZERO), vec![k]),
+        )?;
+    }
+    println!("single event engine, polled one transaction at a time:");
+    while let Poll::Ready(record) = bus.poll_transaction() {
+        println!(
+            "  poll -> seq {} winner {:?} ({} cycles)",
+            record.seq, record.winner, record.cycles
+        );
+    }
+    println!(
+        "  pending after drain; {} polls total, {} idle, {} rx messages\n",
+        bus.polls(),
+        bus.idle_polls(),
+        bus.take_rx(sensor).len()
+    );
+
+    // --- 2. A fleet of cooperative buses, interleaved. --------------
+    let clusters = 8;
+    let mut fleet = Fleet::new(EngineKind::Event, BusConfig::default());
+    let mut sensors = Vec::new();
+    for _ in 0..clusters {
+        let c = fleet.add_cluster();
+        sensors.push(fleet.add_sensor(c, false));
+    }
+    // Every cluster sends one local reading and one cross-cluster
+    // message to the next cluster's sensor.
+    for (c, &src) in sensors.iter().enumerate() {
+        fleet.queue(
+            src,
+            Message::new(
+                Address::short(ShortPrefix::new(0x1)?, FuId::new(0x1)?),
+                vec![c as u8],
+            ),
+        )?;
+        let dest = sensors[(c + 1) % clusters];
+        fleet.queue_remote(src, dest, FuId::ZERO, vec![0xC0 | c as u8])?;
+    }
+    let mut scheduler = InterleavedScheduler::new();
+    let mut order = Vec::new();
+    scheduler.drive(&mut fleet, &mut |record| order.push(record.cluster));
+    println!(
+        "{} buses drained interleaved on one thread: {} transactions in {} epochs",
+        clusters,
+        scheduler.transactions(),
+        scheduler.epochs()
+    );
+    println!("  round-robin emission order: {order:?}");
+
+    // The same traffic batched, for contrast — per-cluster behavior is
+    // identical (see tests/interleaved_fleet.rs), only the fleet-wide
+    // order changes.
+    let w = FleetWorkload::sense_and_aggregate(clusters, 3, 1);
+    let batched = w.run_scheduled_on(EngineKind::Event, FleetSchedule::Batched);
+    let interleaved = w.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
+    assert_eq!(batched.signature(), interleaved.signature());
+    let prefix = |r: &mbus_core::FleetReport| {
+        r.records
+            .iter()
+            .take(8)
+            .map(|fr| fr.cluster)
+            .collect::<Vec<_>>()
+    };
+    println!("\nsense-and-aggregate on {clusters} clusters, first 8 records:");
+    println!("  batched     (cluster-major): {:?}", prefix(&batched));
+    println!("  interleaved (round-robin):   {:?}", prefix(&interleaved));
+    println!("  signatures identical: true");
+
+    // Cross-cluster deliveries arrived despite the finer interleaving.
+    let got = fleet.take_rx(FleetNodeId::new(0, 1));
+    assert!(got
+        .iter()
+        .any(|m| m.payload == vec![0xC0 | (clusters as u8 - 1)]));
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Shared helpers for the integration suites: run a workload on
+//! *every* [`EngineKind`] from one place, so adding an engine extends
+//! the whole conformance surface without touching each test, and scale
+//! the seeded-fuzz batteries through one environment knob.
+//!
+//! Each `tests/*.rs` integration crate pulls this in with `mod common;`
+//! and uses the slice it needs (hence the crate-level `dead_code`
+//! allow — not every suite calls every helper).
+
+#![allow(dead_code)]
+
+use mbus_core::{EngineKind, FleetReport, FleetSchedule, FleetWorkload, ScenarioReport, Workload};
+
+/// Multiplier for seeded-fuzz batteries, read from `MBUS_SEED_SCALE`
+/// (defaults to 1). The weekly CI cron sets it to 10 so the same
+/// suites sweep ten times the seed space without a separate test
+/// binary.
+pub fn seed_scale() -> u64 {
+    std::env::var("MBUS_SEED_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&scale| scale >= 1)
+        .unwrap_or(1)
+}
+
+/// `base * seed_scale()`: the number of seeds a battery should walk.
+pub fn scaled_seeds(base: u64) -> u64 {
+    base * seed_scale()
+}
+
+/// The engine kinds `workload` can be compared on: all of them, unless
+/// the workload contains partial drains — the wire engine may legally
+/// run ahead of `run_transaction` (see the `BusEngine` contract), so
+/// mid-drain queueing is pinned analytic ≡ event only.
+pub fn comparable_kinds(workload: &Workload) -> Vec<EngineKind> {
+    EngineKind::ALL
+        .iter()
+        .copied()
+        .filter(|&kind| workload.wire_comparable() || kind != EngineKind::Wire)
+        .collect()
+}
+
+/// Runs `workload` on every comparable engine kind and asserts all
+/// [`ScenarioSignature`]s are identical, returning the reports in
+/// [`EngineKind::ALL`] order (wire omitted for non-wire-comparable
+/// workloads) for scenario-specific follow-up assertions.
+///
+/// [`ScenarioSignature`]: mbus_core::scenario::ScenarioSignature
+pub fn crosscheck_all_engines(workload: &Workload) -> Vec<ScenarioReport> {
+    let reports: Vec<ScenarioReport> = comparable_kinds(workload)
+        .into_iter()
+        .map(|kind| workload.run_on(kind))
+        .collect();
+    let reference = reports[0].signature();
+    for report in &reports[1..] {
+        assert_eq!(
+            reference,
+            report.signature(),
+            "engines {} and {} disagree on workload '{}'",
+            reports[0].kind,
+            report.kind,
+            workload.name()
+        );
+    }
+    reports
+}
+
+/// Runs `workload` on every engine kind (fleet workloads have no
+/// partial drains, so all kinds always compare) and asserts all
+/// [`mbus_core::FleetSignature`]s are identical, returning the reports
+/// in [`EngineKind::ALL`] order.
+pub fn fleet_crosscheck_all_engines(workload: &FleetWorkload) -> Vec<FleetReport> {
+    let reports: Vec<FleetReport> = EngineKind::ALL
+        .iter()
+        .map(|&kind| workload.run_on(kind))
+        .collect();
+    let reference = reports[0].signature();
+    for report in &reports[1..] {
+        assert_eq!(
+            reference,
+            report.signature(),
+            "engine kinds {} and {} disagree on fleet workload '{}'",
+            reports[0].kind,
+            report.kind,
+            workload.name()
+        );
+    }
+    reports
+}
+
+/// Runs `workload` under both [`FleetSchedule`]s on `kind` and asserts
+/// the schedule-independence contract: identical signatures (identical
+/// per-cluster record streams, receive logs, wake accounting, gateway
+/// counters), returning `(batched, interleaved)` for order-specific
+/// follow-up assertions.
+pub fn schedule_crosscheck(
+    workload: &FleetWorkload,
+    kind: EngineKind,
+) -> (FleetReport, FleetReport) {
+    let batched = workload.run_scheduled_on(kind, FleetSchedule::Batched);
+    let interleaved = workload.run_scheduled_on(kind, FleetSchedule::Interleaved);
+    assert_eq!(
+        batched.signature(),
+        interleaved.signature(),
+        "schedules disagree on fleet workload '{}' ({kind})",
+        workload.name()
+    );
+    (batched, interleaved)
+}

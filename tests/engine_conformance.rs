@@ -339,6 +339,38 @@ fn self_waking_node_still_receives_broadcasts() {
 }
 
 #[test]
+fn freeze_state_is_observable_before_add_node_panics() {
+    // The `BusEngine::is_frozen` contract: true exactly when
+    // `add_node` would panic, so schedulers check instead of catching
+    // panics. Only the wire engine ever freezes (at its first
+    // queue/wakeup/run); the analytic and event engines accept nodes
+    // forever.
+    for kind in EngineKind::ALL {
+        let mut engine = engine_with_ring(kind);
+        assert!(!engine.is_frozen(), "{kind}: fresh ring is open");
+        engine
+            .queue(0, Message::new(addr(0x2), vec![0x01]))
+            .unwrap();
+        engine.run_until_quiescent();
+        if kind == EngineKind::Wire {
+            assert!(engine.is_frozen(), "{kind}: traffic froze the ring");
+            let mut frozen = engine;
+            assert!(
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    frozen.add_node(NodeSpec::new("late", FullPrefix::new(0x9).unwrap()));
+                }))
+                .is_err(),
+                "{kind}: is_frozen == true must mean add_node panics"
+            );
+        } else {
+            assert!(!engine.is_frozen(), "{kind}: never freezes");
+            let late = engine.add_node(NodeSpec::new("late", FullPrefix::new(0x9).unwrap()));
+            assert_eq!(late, 3, "{kind}: late add still works");
+        }
+    }
+}
+
+#[test]
 fn virtual_time_advances_monotonically() {
     for kind in EngineKind::ALL {
         let mut engine = engine_with_ring(kind);

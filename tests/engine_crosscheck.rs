@@ -1,11 +1,14 @@
-//! Cross-checks the two MBus engines against each other through the
+//! Cross-checks the MBus engines against each other through the
 //! engine-generic scenario layer: every workload is defined *once* and
-//! executed on both the transaction-level `AnalyticBus` (the §6.1
-//! cycle budget) and the edge-accurate `WireEngine`; the normalized
+//! executed on every `EngineKind` — the transaction-level
+//! `AnalyticBus` (the §6.1 cycle budget), the edge-accurate
+//! `WireEngine`, and the cooperative `EventEngine`; the normalized
 //! [`ScenarioSignature`]s — records, winners, deliveries, outcomes,
-//! control bits, wake accounting — must be identical.
+//! control bits, wake accounting — must be identical three ways.
 //!
 //! [`ScenarioSignature`]: mbus_core::scenario::ScenarioSignature
+
+mod common;
 
 use mbus_core::{
     timing, Address, BroadcastChannel, BusConfig, EngineKind, FuId, FullPrefix, Message, NodeSpec,
@@ -32,17 +35,16 @@ fn ring(n: usize) -> Workload {
     w
 }
 
-/// Runs `workload` on both engines and asserts signature equality,
-/// returning both reports for extra, scenario-specific assertions.
+/// Runs `workload` on every engine kind, asserts three-way signature
+/// equality (the shared helper), and returns the `(analytic, wire)`
+/// reports for extra, scenario-specific assertions.
 fn crosscheck(workload: &Workload) -> (ScenarioReport, ScenarioReport) {
-    let analytic = workload.run_on(EngineKind::Analytic);
-    let wire = workload.run_on(EngineKind::Wire);
-    assert_eq!(
-        analytic.signature(),
-        wire.signature(),
-        "engines disagree on workload '{}'",
-        workload.name()
-    );
+    let mut reports = common::crosscheck_all_engines(workload);
+    assert_eq!(reports.len(), EngineKind::ALL.len());
+    let wire = reports.remove(1);
+    let analytic = reports.remove(0);
+    assert_eq!(analytic.kind, EngineKind::Analytic);
+    assert_eq!(wire.kind, EngineKind::Wire);
     (analytic, wire)
 }
 
@@ -204,6 +206,77 @@ fn storm_scales_to_the_fourteen_node_limit() {
 }
 
 #[test]
+fn oversized_message_to_small_buffer_cuts_at_the_receiver() {
+    // Hostile-traffic overlap case: when a runaway message targets a
+    // small-buffer receiver, the receiver's abort (one bit past its
+    // buffer) fires long before the mediator's 1024-byte runaway
+    // counter — all engines must attribute the cut to the receiver.
+    let workload = Workload::new("runaway_vs_rx_buffer", BusConfig::default())
+        .node(NodeSpec::new("n0", FullPrefix::new(0x300).unwrap()).with_short_prefix(sp(1)))
+        .node(
+            NodeSpec::new("n1", FullPrefix::new(0x301).unwrap())
+                .with_short_prefix(sp(2))
+                .with_rx_buffer(8),
+        )
+        .send_unchecked(0, Message::new(addr(0x2), vec![0x5A; 1500]));
+    let (analytic, _) = crosscheck(&workload);
+    assert_eq!(analytic.records[0].outcome, TxOutcome::ReceiverAbort);
+    assert_eq!(analytic.records[0].cycles, 19 + 8 * 8 + 1);
+    assert!(analytic.rx[1].is_empty());
+}
+
+#[test]
+fn back_to_back_overrun_bursts_agree() {
+    // Hostile traffic: several deliveries queued to one small-buffer
+    // destination before any drain — fits and overruns interleave, and
+    // the record stream (including each abort's cycle count) must be
+    // identical on every engine.
+    let mut workload = Workload::new("rx_burst", BusConfig::default())
+        .node(NodeSpec::new("n0", FullPrefix::new(0x310).unwrap()).with_short_prefix(sp(1)))
+        .node(
+            NodeSpec::new("tiny", FullPrefix::new(0x311).unwrap())
+                .with_short_prefix(sp(2))
+                .with_rx_buffer(8),
+        )
+        .node(NodeSpec::new("n2", FullPrefix::new(0x312).unwrap()).with_short_prefix(sp(3)));
+    for len in [2usize, 20, 8, 64, 1] {
+        workload = workload.send(0, Message::new(addr(0x2), vec![len as u8; len]));
+        workload = workload.send(2, Message::new(addr(0x2), vec![0xC0; len.min(9)]));
+    }
+    let (analytic, _) = crosscheck(&workload);
+    let aborts = analytic
+        .records
+        .iter()
+        .filter(|r| r.outcome == TxOutcome::ReceiverAbort)
+        .count();
+    assert_eq!(aborts, 4, "the 20-, 64-, and two 9-byte messages overran");
+    assert_eq!(analytic.rx[1].len(), 6, "the fitting messages delivered");
+}
+
+#[test]
+fn mid_drain_queueing_is_pinned_analytic_to_event() {
+    // Hostile traffic: a partial drain stops the bus with a message
+    // still pending, then more traffic (including a priority claim)
+    // arrives mid-drain. The wire engine legally runs ahead of
+    // `run_transaction` (trait contract), so the helper compares the
+    // two kernel-identical engines and skips wire.
+    let workload = ring(4)
+        .send(1, Message::new(addr(0x1), vec![0x11]))
+        .send(1, Message::new(addr(0x1), vec![0x12]))
+        .drain_partial(1)
+        .send(3, Message::new(addr(0x1), vec![0x33]).with_priority())
+        .send(2, Message::new(addr(0x1), vec![0x22]))
+        .drain();
+    assert!(!workload.wire_comparable());
+    let kinds = common::comparable_kinds(&workload);
+    assert_eq!(kinds, vec![EngineKind::Analytic, EngineKind::Event]);
+    let reports = common::crosscheck_all_engines(&workload);
+    // The priority message queued mid-drain preempts the remainder.
+    let order: Vec<u8> = reports[0].rx[0].iter().map(|m| m.payload[0]).collect();
+    assert_eq!(order, vec![0x11, 0x33, 0x12, 0x22]);
+}
+
+#[test]
 fn gated_transmitter_wake_nulls_are_the_only_divergence() {
     // The documented engine difference: a power-gated transmitter
     // self-wakes with a null transaction at the wire level. The
@@ -211,11 +284,10 @@ fn gated_transmitter_wake_nulls_are_the_only_divergence() {
     // signature checks); additionally the wire run must contain
     // exactly one more record than the analytic run here.
     let workload = Workload::sense_and_send(1);
-    let analytic = workload.run_on(EngineKind::Analytic);
-    let wire = workload.run_on(EngineKind::Wire);
-    assert_eq!(analytic.signature(), wire.signature());
-    let analytic_nulls = analytic.records.iter().filter(|r| r.is_null()).count();
-    let wire_nulls = wire.records.iter().filter(|r| r.is_null()).count();
-    assert_eq!(analytic_nulls, 0, "analytic folds the self-wake away");
-    assert_eq!(wire_nulls, 1, "wire self-wakes the gated sensor once");
+    let (analytic, wire) = crosscheck(&workload);
+    let event = workload.run_on(EngineKind::Event);
+    let nulls = |r: &ScenarioReport| r.records.iter().filter(|r| r.is_null()).count();
+    assert_eq!(nulls(&analytic), 0, "analytic folds the self-wake away");
+    assert_eq!(nulls(&event), 0, "the event engine folds identically");
+    assert_eq!(nulls(&wire), 1, "wire self-wakes the gated sensor once");
 }

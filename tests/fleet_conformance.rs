@@ -3,15 +3,18 @@
 //!
 //! Where `tests/engine_conformance.rs` pins each engine to the
 //! single-bus contract, this suite pins the *fleet* semantics: a
-//! cross-cluster message produces the same [`FleetSignature`] on the
-//! analytic and wire engines, forwarding into a power-gated destination
+//! cross-cluster message produces the same [`FleetSignature`] on every
+//! engine kind (analytic, wire, and event — all three via the shared
+//! `tests/common` helper), forwarding into a power-gated destination
 //! cluster wakes it exactly as a local transmission would (gated bus
 //! controllers charged once per transaction, per the shared accounting),
 //! and a 100+-node fleet — population no single 14-prefix bus can hold —
-//! runs deterministically on both engines.
+//! runs deterministically on every engine.
+
+mod common;
 
 use mbus_core::fleet::{Fleet, FleetNodeId, FleetWorkload, GATEWAY_NODE};
-use mbus_core::{BusConfig, EngineKind, FleetSignature, FuId};
+use mbus_core::{BusConfig, EngineKind, FuId};
 
 /// A two-cluster fleet: cluster 0 carries an always-on reporter,
 /// cluster 1 carries two power-gated sensors.
@@ -37,11 +40,10 @@ fn cross_cluster_message_produces_identical_signatures() {
             vec![0xCA, 0xFE],
         )
         .drain();
-    let signatures: Vec<FleetSignature> = EngineKind::ALL
+    let signatures: Vec<_> = common::fleet_crosscheck_all_engines(&w)
         .iter()
-        .map(|&kind| w.run_on(kind).signature())
+        .map(|report| report.signature())
         .collect();
-    assert_eq!(signatures[0], signatures[1]);
     assert_eq!(signatures[0].forwarded, 1);
     assert_eq!(signatures[0].dropped, 0);
     // The destination cluster saw exactly the forwarded delivery.
@@ -108,11 +110,12 @@ fn forwarding_wakes_a_power_gated_destination_cluster() {
 #[test]
 fn hundred_node_fleet_matches_across_engines() {
     // The acceptance bar: a fleet well past the single-bus 14-node
-    // limit, deterministic on both engines with matching signatures.
+    // limit, deterministic on every engine with matching signatures.
     let w = FleetWorkload::cross_storm(8, 12, 1);
     assert!(w.total_nodes() >= 100, "{} nodes", w.total_nodes());
 
-    let analytic = w.run_on(EngineKind::Analytic);
+    let reports = common::fleet_crosscheck_all_engines(&w);
+    let analytic = &reports[0];
     assert_eq!(analytic.total_nodes(), 8 * 13);
     assert_eq!(
         analytic.forwarded,
@@ -120,9 +123,6 @@ fn hundred_node_fleet_matches_across_engines() {
         "every message crossed the gateway"
     );
     assert_eq!(analytic.dropped, 0);
-
-    let wire = w.run_on(EngineKind::Wire);
-    assert_eq!(analytic.signature(), wire.signature());
 
     // Determinism: the same workload replays bit-identically.
     assert_eq!(
@@ -135,28 +135,27 @@ fn hundred_node_fleet_matches_across_engines() {
 fn fleet_record_interleaving_is_engine_independent() {
     // Stronger than per-cluster signatures: for a strict-null workload
     // the full scheduler-ordered (cluster, record) stream must match
-    // across engines, pinning round-robin causality itself.
+    // across every engine kind, pinning the epoch schedule itself.
     let w = FleetWorkload::cross_storm(3, 2, 2);
-    let analytic = w.run_on(EngineKind::Analytic);
-    let wire = w.run_on(EngineKind::Wire);
-    assert_eq!(analytic.records, wire.records);
+    let reports = common::fleet_crosscheck_all_engines(&w);
+    for report in &reports[1..] {
+        assert_eq!(reports[0].records, report.records, "{}", report.kind);
+    }
 }
 
 #[test]
 fn seeded_fleets_agree_across_engines() {
     // The fleet-level fuzzer (cross-cluster destinations, priority
-    // envelopes, wakeups, gated senders) cross-checked edge-accurately.
-    for seed in 0..24u64 {
-        let w = FleetWorkload::seeded(seed);
-        let analytic = w.run_on(EngineKind::Analytic).signature();
-        let wire = w.run_on(EngineKind::Wire).signature();
-        assert_eq!(analytic, wire, "engines disagree on {}", w.name());
+    // envelopes, wakeups, gated senders) cross-checked three ways,
+    // edge-accurate engine included.
+    for seed in 0..common::scaled_seeds(24) {
+        common::fleet_crosscheck_all_engines(&FleetWorkload::seeded(seed));
     }
 }
 
 #[test]
 fn seeded_fleets_are_reproducible_over_200_seeds() {
-    for seed in 0..200u64 {
+    for seed in 0..common::scaled_seeds(200) {
         let w = FleetWorkload::seeded(seed);
         let a = w.run_on(EngineKind::Analytic);
         let b = w.run_on(EngineKind::Analytic);
@@ -171,14 +170,13 @@ fn seeded_fleets_are_reproducible_over_200_seeds() {
 }
 
 #[test]
-fn aggregation_pattern_collects_every_cluster_on_both_engines() {
+fn aggregation_pattern_collects_every_cluster_on_all_engines() {
     // sense_and_aggregate: gated sensors report locally, aggregators
     // send one cross-cluster message each; the collector must hold one
-    // aggregate per cluster per round, identically on both engines.
+    // aggregate per cluster per round, identically on every engine.
     let (clusters, sensors, rounds) = (3, 3, 2);
     let w = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds);
-    let mut reports: Vec<_> = EngineKind::ALL.iter().map(|&kind| w.run_on(kind)).collect();
-    assert_eq!(reports[0].signature(), reports[1].signature());
+    let mut reports = common::fleet_crosscheck_all_engines(&w);
     for report in &mut reports {
         let kind = report.kind;
         assert_eq!(
