@@ -9,20 +9,27 @@
 //! round — all buses make progress together, no bus ever blocks the
 //! thread.
 //!
-//! Three stages:
+//! Four stages:
 //!
 //! 1. **Headline interleave** — 1024 event-engine buses (1024 × 3
 //!    sensors + 1024 gateway presences = 4096 nodes) running
 //!    sense-and-aggregate under the interleaved schedule, with
 //!    throughput in txn/s.
-//! 2. **Schedule equivalence check** — the same workload, batched vs
+//! 2. **Sharded interleave** — 8192 event-engine buses (32768 nodes)
+//!    partitioned across `ShardedFleet` worker threads, with per-shard
+//!    transaction counts, fairness/starvation gauges, and speedup over
+//!    the one-worker run; the one-worker record stream must equal the
+//!    single-threaded interleaved reference bit for bit.
+//! 3. **Schedule equivalence check** — the same workload, batched vs
 //!    interleaved: the per-cluster `FleetSignature`s must be
 //!    identical (the schedule-independence contract
 //!    `tests/interleaved_fleet.rs` pins).
-//! 3. **Engine-kind × fleet-size grid** —
+//! 4. **Engine-kind × fleet-size grid** —
 //!    `SweepRunner::run_engine_fleet_grid` shards whole fleets over
 //!    analytic × event kinds and growing populations,
-//!    serial-identical.
+//!    serial-identical — and re-run under the sharded schedule, which
+//!    must produce the identical samples (schedule-independence at
+//!    sweep scale).
 //!
 //! Usage: `cargo run --release -p mbus-bench --bin interleave
 //! [-- <clusters> <sensors> <rounds>] [-- --smoke]`
@@ -52,6 +59,83 @@ fn run_headline(clusters: usize, sensors: usize, rounds: usize) {
         wall,
         report.transactions() as f64 / wall.as_secs_f64(),
     );
+}
+
+fn run_sharded(clusters: usize, sensors: usize, rounds: usize, smoke: bool) {
+    let workload = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds);
+    println!(
+        "sharded interleave '{}': {} nodes across {} event-engine buses",
+        workload.name(),
+        workload.total_nodes(),
+        clusters,
+    );
+    // Always include multi-worker rows (they stay correct when
+    // oversubscribed); speedup materializes with the cores to back it.
+    let max_workers = SweepRunner::auto().threads().max(4);
+    let worker_counts: Vec<usize> = if smoke {
+        vec![1, 4]
+    } else {
+        let mut counts = vec![1usize, 2, 4, 8, 16];
+        counts.retain(|&w| w <= max_workers);
+        counts
+    };
+    // The PR 4 baseline shape on this very workload: the
+    // single-threaded interleaved drain. The one-worker sharded run
+    // must match its throughput (within noise) and its records (bit
+    // for bit).
+    let start = Instant::now();
+    let reference = workload.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
+    let ref_wall = start.elapsed();
+    let base_txn_s = reference.transactions() as f64 / ref_wall.as_secs_f64();
+    println!(
+        "  [interleaved] {} txns in {:>8.2?} ({:>9.0} txn/s) — single-threaded baseline",
+        reference.transactions(),
+        ref_wall,
+        base_txn_s,
+    );
+    for &workers in &worker_counts {
+        let start = Instant::now();
+        let report = workload.run_scheduled_on(
+            EngineKind::Event,
+            FleetSchedule::Sharded { shards: workers },
+        );
+        let wall = start.elapsed();
+        let txn_s = report.transactions() as f64 / wall.as_secs_f64();
+        if workers == 1 {
+            // The one-worker sharded drain must reproduce the
+            // single-threaded interleaved stream bit for bit.
+            assert_eq!(
+                reference.records, report.records,
+                "one-worker sharded stream diverged from interleaved"
+            );
+            assert_eq!(reference.signature(), report.signature());
+        }
+        let fairness = report.fairness.as_ref().expect("sharded drains report");
+        // Per-shard transaction totals, re-derived from the contiguous
+        // partition the drain used.
+        let chunk = clusters.div_ceil(workers.min(clusters));
+        let per_shard: Vec<u64> = fairness
+            .cluster_transactions
+            .chunks(chunk)
+            .map(|c| c.iter().sum())
+            .collect();
+        let (lo, hi) = (
+            per_shard.iter().min().copied().unwrap_or(0),
+            per_shard.iter().max().copied().unwrap_or(0),
+        );
+        println!(
+            "  [{workers:>2} worker{}] {} txns in {:>8.2?} ({:>9.0} txn/s, {:>4.2}x) | per-shard txns {lo}..{hi}, max turn gap {}, hog {}, epochs {}",
+            if workers == 1 { " " } else { "s" },
+            report.transactions(),
+            wall,
+            txn_s,
+            txn_s / base_txn_s,
+            fairness.max_turn_gap,
+            fairness.max_cluster_epoch_transactions,
+            fairness.epochs,
+        );
+    }
+    println!("  sharded check: one-worker stream identical to single-threaded interleave\n");
 }
 
 fn run_schedule_check(clusters: usize, sensors: usize, rounds: usize) {
@@ -96,8 +180,17 @@ fn run_engine_grid(smoke: bool) {
     let wall = start.elapsed();
     let serial = SweepRunner::serial().run_engine_fleet_grid(&kinds, &sizes, 2);
     assert_eq!(grid, serial, "sharded engine grid diverged from serial");
+    // Schedule-independence at sweep scale: the same grid drained
+    // through the sharded schedule must produce identical samples.
+    let sharded = runner.run_engine_fleet_grid_scheduled(
+        &kinds,
+        &sizes,
+        2,
+        FleetSchedule::Sharded { shards: 4 },
+    );
+    assert_eq!(grid, sharded, "sharded-schedule grid diverged from batched");
     println!(
-        "engine-kind x fleet-size grid: {} whole-fleet points in {:.2?} on {} threads, serial-identical: true",
+        "engine-kind x fleet-size grid: {} whole-fleet points in {:.2?} on {} threads, serial-identical: true, sharded-schedule-identical: true",
         grid.len(),
         wall,
         runner.threads(),
@@ -136,6 +229,13 @@ fn main() {
         _ => (1024, 3, 8),
     };
     run_headline(clusters, sensors, rounds);
+    // The sharded stage drives ≥8192 buses in both modes (one round in
+    // smoke so CI still exercises the full worker-scaling shape).
+    if smoke {
+        run_sharded(8192, 3, 1, true);
+    } else {
+        run_sharded(8192, 3, 4, false);
+    }
     if smoke {
         run_schedule_check(32, 3, 1);
     } else {

@@ -49,6 +49,12 @@ pub enum MbusError {
         /// The rejected index.
         index: usize,
     },
+    /// A message queued to a fleet gateway's forwarding port whose
+    /// payload is not a well-formed forwarding envelope. The port is
+    /// reserved for envelopes (see [`crate::fleet`]): accepting
+    /// arbitrary traffic there would alias ordinary fu-0 deliveries
+    /// with cross-cluster routing headers.
+    ReservedForwardingPort,
     /// Operation requires an idle bus but a transaction is in flight.
     BusBusy,
     /// Configuration rejected (e.g. max message length below the 1 kB
@@ -88,6 +94,12 @@ impl fmt::Display for MbusError {
             }
             MbusError::UnknownCluster { index } => {
                 write!(f, "no cluster at index {index}")
+            }
+            MbusError::ReservedForwardingPort => {
+                write!(
+                    f,
+                    "the gateway forwarding port is reserved for forwarding envelopes"
+                )
             }
             MbusError::BusBusy => write!(f, "bus transaction already in flight"),
             MbusError::InvalidConfig { reason } => {

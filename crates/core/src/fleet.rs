@@ -35,9 +35,13 @@
 //! or the *interleaved* [`InterleavedScheduler`] (one transaction per
 //! cluster per round, so thousands of buses — ideally
 //! [`EventEngine`](crate::event::EventEngine)-backed — make progress
-//! together on one thread). Barrier routing makes cross-bus causality
-//! (which epoch a forwarded message lands in) reproducible,
-//! engine-independent, *and* schedule-independent: both schedules
+//! together on one thread), or the *sharded* interleave
+//! ([`shard::ShardedFleet`]: contiguous cluster groups on scoped
+//! worker threads, one interleaved scheduler each, gateway envelopes
+//! exchanged at cross-worker epoch barriers — the serving shape for
+//! tens of thousands of buses). Barrier routing makes cross-bus
+//! causality (which epoch a forwarded message lands in) reproducible,
+//! engine-independent, *and* schedule-independent: all schedules
 //! yield identical per-cluster record streams and differ only in
 //! fleet-wide emission order. [`FleetWorkload`] is the declarative
 //! layer on top, and [`FleetSignature`] is the cross-engine comparison
@@ -64,8 +68,12 @@
 //! # Ok::<(), mbus_core::MbusError>(())
 //! ```
 
+pub mod shard;
+
 use std::collections::BTreeMap;
 use std::fmt;
+
+pub use shard::ShardedFleet;
 
 use crate::addr::{Address, FuId, FullPrefix, ShortPrefix};
 use crate::config::BusConfig;
@@ -85,6 +93,13 @@ pub const GATEWAY_NODE: NodeIndex = 0;
 /// The functional unit of a gateway presence that accepts forwarding
 /// envelopes. Messages to any *other* FU of the gateway are ordinary
 /// local deliveries, readable through [`Fleet::take_rx`].
+///
+/// The port is *reserved*: only well-formed forwarding envelopes may be
+/// addressed to it. [`Fleet::queue`] rejects anything else with
+/// [`MbusError::ReservedForwardingPort`] — an ordinary payload sent
+/// here would otherwise be indistinguishable from an envelope and be
+/// silently dropped (or, if its bytes happened to decode as a full
+/// address, mis-forwarded to a surprise destination).
 pub const GATEWAY_FORWARD_FU: FuId = FuId::ZERO;
 
 /// Sensors a single cluster can hold: the 14 usable short prefixes
@@ -94,7 +109,11 @@ pub const MAX_SENSORS_PER_CLUSTER: usize = ShortPrefix::USABLE - 1;
 /// Highest cluster count a fleet supports: cluster-derived full
 /// prefixes must stay below the `0xF0000` block reserved for the
 /// gateway's own per-bus presences (see [`Fleet::add_cluster`]).
-pub const MAX_CLUSTERS: usize = 0xEFF;
+/// Sensor prefixes pack the ≤14 ring positions into the low nibble, so
+/// the cluster field spans 16 bits minus the reserved top block —
+/// enough for the 8–16k-bus sharded fleets the `interleave` bench
+/// drives.
+pub const MAX_CLUSTERS: usize = 0xEFFF;
 
 /// The short prefix the gateway holds on every bridged bus.
 fn gateway_short_prefix() -> ShortPrefix {
@@ -107,9 +126,11 @@ fn gateway_full_prefix(cluster: usize) -> FullPrefix {
 }
 
 /// The globally unique full prefix of sensor ring-slot `node` on
-/// cluster `cluster` (gateway presences live in a disjoint block).
+/// cluster `cluster` (gateway presences live in a disjoint block). The
+/// ring position fits the low nibble (at most 14 sensors), leaving the
+/// upper 16 bits for the cluster field.
 fn sensor_full_prefix(cluster: usize, node: NodeIndex) -> FullPrefix {
-    FullPrefix::new(((cluster as u32 + 1) << 8) | node as u32)
+    FullPrefix::new(((cluster as u32 + 1) << 4) | node as u32)
         .expect("cluster count is capped so sensor prefixes fit 20 bits")
 }
 
@@ -163,12 +184,84 @@ pub struct FleetRecord {
 /// accounting.
 #[derive(Clone, Debug, Default)]
 pub struct GatewayNode {
-    routes: BTreeMap<u32, usize>,
-    forwarded: u64,
-    dropped: u64,
+    /// The routing table — read-only once the fleet is built, so
+    /// sharded drains can hand every worker a shared `&GatewayRoutes`.
+    routes: GatewayRoutes,
+    /// The mutable half: forwarding/drop counters, maintained on the
+    /// routing thread (merged from per-shard counters at the barriers
+    /// of a sharded drain).
+    counters: GatewayCounters,
 }
 
-impl GatewayNode {
+/// The read-only half of a [`GatewayNode`]: destination full prefix →
+/// owning cluster. Built as nodes are added and never mutated by a
+/// drain, which is what lets a sharded fleet share one table across
+/// worker threads (`&GatewayRoutes` is `Send + Sync`).
+#[derive(Clone, Debug, Default)]
+pub struct GatewayRoutes {
+    routes: BTreeMap<u32, usize>,
+}
+
+/// The mutable half of a [`GatewayNode`]: forwarding and drop
+/// accounting. A sharded drain keeps one of these per worker and
+/// merges them into the fleet's at each epoch barrier; merging is
+/// order-independent because every field is a sum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct GatewayCounters {
+    pub(crate) forwarded: u64,
+    pub(crate) dropped: u64,
+    /// Drops attributed to the cluster whose gateway presence received
+    /// the doomed envelope, indexed by cluster.
+    pub(crate) cluster_drops: Vec<u64>,
+}
+
+impl GatewayCounters {
+    /// Ensures the per-cluster drop vector covers `clusters` entries.
+    pub(crate) fn ensure_clusters(&mut self, clusters: usize) {
+        if self.cluster_drops.len() < clusters {
+            self.cluster_drops.resize(clusters, 0);
+        }
+    }
+
+    /// Counts one dropped envelope against `cluster`.
+    pub(crate) fn drop_on(&mut self, cluster: usize) {
+        self.ensure_clusters(cluster + 1);
+        self.dropped += 1;
+        self.cluster_drops[cluster] += 1;
+    }
+
+    /// Folds a shard's epoch counters into the fleet-global ones.
+    pub(crate) fn merge(&mut self, other: &GatewayCounters) {
+        self.forwarded += other.forwarded;
+        self.dropped += other.dropped;
+        self.ensure_clusters(other.cluster_drops.len());
+        for (mine, theirs) in self.cluster_drops.iter_mut().zip(&other.cluster_drops) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// What one message delivered to a gateway presence turns out to be —
+/// the single classification path shared by the single-threaded
+/// routing barrier and the sharded workers.
+pub(crate) enum GatewayVerdict {
+    /// Ordinary local traffic for the gateway device (broadcast or
+    /// `fu != 0`): stash for [`Fleet::take_rx`].
+    Local(ReceivedMessage),
+    /// A well-formed envelope with a routable destination: queue `msg`
+    /// on `dest_cluster`'s bus, full-prefix addressed.
+    Forward {
+        /// The cluster bus that owns the destination prefix.
+        dest_cluster: usize,
+        /// The forwarded leg, ready to queue from the gateway presence.
+        msg: Message,
+    },
+    /// A malformed or unroutable envelope: count it dropped against
+    /// the receiving cluster.
+    Drop,
+}
+
+impl GatewayRoutes {
     /// Registers `prefix` as reachable on `cluster`.
     fn register(&mut self, prefix: FullPrefix, cluster: usize) {
         let previous = self.routes.insert(prefix.raw(), cluster);
@@ -188,15 +281,76 @@ impl GatewayNode {
         self.routes.len()
     }
 
+    /// Classifies one message a gateway presence received: local
+    /// traffic, a routable envelope (with its forwarded leg built), or
+    /// a drop. Pure with respect to the routing table, so shard
+    /// workers can run it concurrently against per-shard counters.
+    pub(crate) fn classify(&self, m: ReceivedMessage) -> GatewayVerdict {
+        let is_envelope = !m.dest.is_broadcast() && m.dest.fu_id_raw() == GATEWAY_FORWARD_FU.raw();
+        if !is_envelope {
+            return GatewayVerdict::Local(m);
+        }
+        match GatewayNode::decapsulate(&m.payload) {
+            Some((prefix, fu, inner)) => match self.route(prefix) {
+                Some(dest_cluster) => GatewayVerdict::Forward {
+                    dest_cluster,
+                    msg: Message::new(Address::full(prefix, fu), inner),
+                },
+                None => GatewayVerdict::Drop,
+            },
+            None => GatewayVerdict::Drop,
+        }
+    }
+}
+
+impl GatewayNode {
+    /// The read-only routing table.
+    pub fn routes(&self) -> &GatewayRoutes {
+        &self.routes
+    }
+
+    /// Registers `prefix` as reachable on `cluster`.
+    fn register(&mut self, prefix: FullPrefix, cluster: usize) {
+        self.routes.register(prefix, cluster);
+    }
+
+    /// The cluster that owns `prefix`, if any.
+    pub fn route(&self, prefix: FullPrefix) -> Option<usize> {
+        self.routes.route(prefix)
+    }
+
+    /// Number of full prefixes in the routing table.
+    pub fn route_count(&self) -> usize {
+        self.routes.route_count()
+    }
+
     /// Envelopes successfully forwarded onto a destination bus.
     pub fn forwarded(&self) -> u64 {
-        self.forwarded
+        self.counters.forwarded
     }
 
     /// Envelopes dropped: malformed header, or an unroutable
     /// destination prefix.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.counters.dropped
+    }
+
+    /// Envelopes dropped by the gateway presence on `cluster` — the
+    /// per-cluster breakdown of [`GatewayNode::dropped`], so fleet
+    /// conformance can catch engines disagreeing on *where* traffic
+    /// vanished, not just how much.
+    pub fn dropped_on(&self, cluster: usize) -> u64 {
+        self.counters
+            .cluster_drops
+            .get(cluster)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-cluster drop counts, indexed by cluster; clusters past the
+    /// last drop may be absent.
+    pub fn cluster_drops(&self) -> &[u64] {
+        &self.counters.cluster_drops
     }
 
     /// Builds a forwarding envelope payload: the destination's 4-byte
@@ -391,16 +545,54 @@ impl Fleet {
         self.clusters[cluster].stats()
     }
 
+    /// Whether `msg`, queued on `cluster`'s bus, targets the gateway's
+    /// forwarding port there — short-addressed to the gateway's ring
+    /// prefix or full-addressed to its per-bus presence, FU
+    /// [`GATEWAY_FORWARD_FU`] either way (broadcasts use the channel
+    /// field and never alias the port).
+    fn targets_forwarding_port(cluster: usize, msg: &Message) -> bool {
+        match msg.dest() {
+            Address::Short { prefix, fu_id } => {
+                prefix == gateway_short_prefix() && fu_id == GATEWAY_FORWARD_FU
+            }
+            Address::Full { prefix, fu_id } => {
+                prefix == gateway_full_prefix(cluster) && fu_id == GATEWAY_FORWARD_FU
+            }
+            Address::Broadcast { .. } => false,
+        }
+    }
+
     /// Queues a message on the sender's own bus — cluster-local
     /// traffic, or a pre-built envelope from
     /// [`Fleet::remote_message`].
+    ///
+    /// The gateway's forwarding port (`0x1.fu0` on every bridged bus)
+    /// is *reserved*: a message addressed there is a forwarding
+    /// envelope by definition, so one whose payload is not a
+    /// well-formed envelope header is rejected here instead of being
+    /// silently counted dropped at the routing barrier (or worse,
+    /// mis-forwarded wherever its first four bytes happened to point).
+    /// Local traffic for the gateway device must use `fu != 0`.
     ///
     /// # Errors
     ///
     /// [`MbusError::UnknownCluster`] / [`MbusError::UnknownNode`] for an
     /// unknown cluster / node;
+    /// [`MbusError::ReservedForwardingPort`] for a non-envelope payload
+    /// addressed to the gateway's forwarding port;
     /// length errors as the underlying engine reports them.
     pub fn queue(&mut self, src: FleetNodeId, msg: Message) -> Result<(), MbusError> {
+        // Validate the cluster before the port check: building the
+        // gateway's full prefix for an out-of-range cluster would
+        // panic where the contract promises `UnknownCluster`.
+        if src.cluster >= self.clusters.len() {
+            return Err(MbusError::UnknownCluster { index: src.cluster });
+        }
+        if Fleet::targets_forwarding_port(src.cluster, &msg)
+            && GatewayNode::decapsulate(msg.payload()).is_none()
+        {
+            return Err(MbusError::ReservedForwardingPort);
+        }
         self.engine_mut(src)?.queue(src.node, msg)
     }
 
@@ -482,27 +674,26 @@ impl Fleet {
     /// (queued full-prefix addressed on the destination bus), everything
     /// else is stashed for [`Fleet::take_rx`]. Returns whether any
     /// envelope was routed.
+    ///
+    /// [`Fleet::queue`] rejects non-envelope traffic to the forwarding
+    /// port up front, but the drop accounting here stays: an envelope
+    /// whose destination prefix routes nowhere, or malformed traffic
+    /// that reaches the port through a path the queue-time check never
+    /// saw, is still counted against the receiving cluster rather than
+    /// vanishing.
     fn route_cluster(&mut self, cluster: usize) -> bool {
         let mut progressed = false;
         for m in self.clusters[cluster].take_rx(GATEWAY_NODE) {
-            let is_envelope =
-                !m.dest.is_broadcast() && m.dest.fu_id_raw() == GATEWAY_FORWARD_FU.raw();
-            if !is_envelope {
-                self.gateway_rx[cluster].push(m);
-                continue;
-            }
-            match GatewayNode::decapsulate(&m.payload) {
-                Some((prefix, fu, inner)) => match self.gateway.route(prefix) {
-                    Some(dest_cluster) => {
-                        self.clusters[dest_cluster]
-                            .queue(GATEWAY_NODE, Message::new(Address::full(prefix, fu), inner))
-                            .expect("forwarded leg is shorter than its envelope");
-                        self.gateway.forwarded += 1;
-                        progressed = true;
-                    }
-                    None => self.gateway.dropped += 1,
-                },
-                None => self.gateway.dropped += 1,
+            match self.gateway.routes.classify(m) {
+                GatewayVerdict::Local(m) => self.gateway_rx[cluster].push(m),
+                GatewayVerdict::Forward { dest_cluster, msg } => {
+                    self.clusters[dest_cluster]
+                        .queue(GATEWAY_NODE, msg)
+                        .expect("forwarded leg is shorter than its envelope");
+                    self.gateway.counters.forwarded += 1;
+                    progressed = true;
+                }
+                GatewayVerdict::Drop => self.gateway.counters.drop_on(cluster),
             }
         }
         progressed
@@ -592,6 +783,31 @@ impl Fleet {
         records
     }
 
+    /// Drains the fleet with the sharded interleave
+    /// ([`shard::ShardedFleet`]): clusters partitioned into `shards`
+    /// contiguous groups, one interleaved scheduler per scoped worker
+    /// thread, gateway envelopes exchanged at cross-worker epoch
+    /// barriers. Per-cluster behavior — record streams, receive logs,
+    /// statistics, gateway counters — and even the fleet-wide record
+    /// order are bit-identical to
+    /// [`Fleet::run_until_quiescent_interleaved_with`] for every shard
+    /// count (see the shard module's equivalence argument).
+    pub fn run_until_quiescent_sharded_with(
+        &mut self,
+        shards: usize,
+        visit: &mut dyn FnMut(&FleetRecord),
+    ) {
+        ShardedFleet::new(shards).drive(self, &mut |record| visit(&record));
+    }
+
+    /// [`Fleet::run_until_quiescent_sharded_with`], collecting the
+    /// records.
+    pub fn run_until_quiescent_sharded(&mut self, shards: usize) -> Vec<FleetRecord> {
+        let mut records = Vec::new();
+        ShardedFleet::new(shards).drive(self, &mut |r| records.push(r));
+        records
+    }
+
     /// Drains a node's received messages. For a gateway presence this
     /// returns the non-envelope traffic (broadcasts, `fu != 0`
     /// deliveries); envelopes are consumed by routing. Forwarded
@@ -613,10 +829,11 @@ impl Fleet {
     }
 }
 
-/// Which drive loop a fleet drain uses. Both schedules produce
+/// Which drive loop a fleet drain uses. Every schedule produces
 /// identical per-cluster record streams (and therefore identical
 /// [`FleetSignature`]s); they differ only in the fleet-wide order the
-/// [`FleetRecord`]s come out in.
+/// [`FleetRecord`]s come out in — and the sharded interleave matches
+/// even that against the single-threaded interleave.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum FleetSchedule {
     /// Cluster-major: each epoch drains cluster 0 to quiescence, then
@@ -630,6 +847,15 @@ pub enum FleetSchedule {
     /// together — the serving shape for thousands of buses on one
     /// thread.
     Interleaved,
+    /// Sharded interleave ([`shard::ShardedFleet`]): contiguous
+    /// cluster groups on scoped worker threads, one interleaved
+    /// scheduler each, gateway envelopes exchanged at cross-worker
+    /// epoch barriers — tens of thousands of buses across cores.
+    Sharded {
+        /// Worker-thread count (clamped to the cluster count; 0 is
+        /// treated as 1).
+        shards: usize,
+    },
 }
 
 impl fmt::Display for FleetSchedule {
@@ -637,6 +863,7 @@ impl fmt::Display for FleetSchedule {
         match self {
             FleetSchedule::Batched => write!(f, "batched"),
             FleetSchedule::Interleaved => write!(f, "interleaved"),
+            FleetSchedule::Sharded { shards } => write!(f, "sharded({shards})"),
         }
     }
 }
@@ -701,6 +928,18 @@ pub struct InterleavedScheduler {
     active: Vec<usize>,
     transactions: u64,
     epochs: u64,
+    /// Transactions per cluster across all drives, indexed by the
+    /// cluster's fleet-global index.
+    cluster_transactions: Vec<u64>,
+    /// Starvation gauge: the most transactions this scheduler ran
+    /// between two consecutive turns of any single cluster.
+    max_turn_gap: u64,
+    /// Hog gauge: the most transactions any single cluster ran within
+    /// one epoch.
+    max_cluster_epoch_transactions: u64,
+    /// Epoch-local scratch (per-cluster turn bookkeeping), reused.
+    epoch_counts: Vec<u64>,
+    last_turn: Vec<u64>,
 }
 
 impl InterleavedScheduler {
@@ -714,10 +953,150 @@ impl InterleavedScheduler {
         self.transactions
     }
 
-    /// Completed epochs (quiescence barriers reached) across all
-    /// [`drive`](Self::drive) calls, the final empty epoch included.
+    /// Completed epochs that made progress — ran a transaction or (for
+    /// [`drive`](Self::drive)) routed an envelope — across all drive
+    /// calls. The empty terminating epoch every drive ends with is
+    /// *not* counted, so driving an already-quiescent fleet leaves the
+    /// counter unchanged and back-to-back drives don't inflate it:
+    ///
+    /// ```
+    /// use mbus_core::fleet::{Fleet, InterleavedScheduler};
+    /// use mbus_core::{BusConfig, EngineKind, FuId};
+    ///
+    /// let mut fleet = Fleet::new(EngineKind::Event, BusConfig::default());
+    /// let (a, b) = (fleet.add_cluster(), fleet.add_cluster());
+    /// let src = fleet.add_sensor(a, false);
+    /// let dst = fleet.add_sensor(b, false);
+    /// fleet.queue_remote(src, dst, FuId::ZERO, vec![7])?;
+    ///
+    /// let mut scheduler = InterleavedScheduler::new();
+    /// scheduler.drive(&mut fleet, &mut |_| {});
+    /// assert_eq!(scheduler.epochs(), 2); // envelope epoch + forwarded epoch
+    /// scheduler.drive(&mut fleet, &mut |_| {}); // quiescent: no work,
+    /// scheduler.drive(&mut fleet, &mut |_| {}); // so no epochs counted
+    /// assert_eq!(scheduler.epochs(), 2);
+    /// # Ok::<(), mbus_core::MbusError>(())
+    /// ```
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Transactions each cluster ran across all drives, indexed by the
+    /// cluster's fleet-global index (clusters this scheduler never
+    /// polled may be absent). Schedule-independent: the per-cluster
+    /// totals equal the batched drain's, because the per-cluster
+    /// streams themselves do.
+    pub fn cluster_transactions(&self) -> &[u64] {
+        &self.cluster_transactions
+    }
+
+    /// The starvation gauge: the most transactions that ran between
+    /// two consecutive turns of any single cluster (measured within an
+    /// epoch — the barrier re-admits every cluster). Round-robin
+    /// fairness bounds this by the number of simultaneously active
+    /// clusters; a cluster-major drain of the same traffic would let
+    /// it grow to a whole cluster's backlog.
+    pub fn max_turn_gap(&self) -> u64 {
+        self.max_turn_gap
+    }
+
+    /// The hog gauge: the most transactions any single cluster ran
+    /// within one epoch — how long the busiest bus kept its round slot
+    /// occupied before quiescing.
+    pub fn max_cluster_epoch_transactions(&self) -> u64 {
+        self.max_cluster_epoch_transactions
+    }
+
+    /// Snapshots the fairness counters as a [`FleetFairness`] report
+    /// normalized to `clusters` entries.
+    pub fn fairness(&self, clusters: usize) -> FleetFairness {
+        let mut cluster_transactions = vec![0u64; clusters];
+        for (i, &n) in self.cluster_transactions.iter().enumerate().take(clusters) {
+            cluster_transactions[i] = n;
+        }
+        FleetFairness {
+            cluster_transactions,
+            max_turn_gap: self.max_turn_gap,
+            max_cluster_epoch_transactions: self.max_cluster_epoch_transactions,
+            epochs: self.epochs,
+        }
+    }
+
+    /// Grows the per-cluster fairness vectors to cover `end` clusters.
+    fn grow(&mut self, end: usize) {
+        if self.cluster_transactions.len() < end {
+            self.cluster_transactions.resize(end, 0);
+            self.epoch_counts.resize(end, 0);
+            self.last_turn.resize(end, 0);
+        }
+    }
+
+    /// Runs one epoch of round-robin rounds over `clusters` — fleet
+    /// clusters `base..base + clusters.len()` — with *no* gateway
+    /// routing, handing each completed transaction to `emit` as
+    /// `(round, global cluster index, record)`. One round polls every
+    /// still-active cluster once in index order; a cluster that
+    /// reports no work leaves the rotation for the rest of the epoch.
+    /// Returns whether any transaction ran. Does not touch
+    /// [`epochs`](Self::epochs) — the caller owns the barrier and
+    /// decides whether the epoch counts as progress.
+    ///
+    /// This is the worker-side kernel of the sharded drain
+    /// ([`shard::ShardedFleet`]): each worker runs it over its own
+    /// contiguous shard with the shard's `base`, and because a
+    /// cluster's `j`-th transaction always lands in round `j`
+    /// regardless of what other clusters do, merging all shards'
+    /// emissions by `(round, cluster)` reproduces the single-threaded
+    /// round-robin order exactly.
+    pub(crate) fn run_epoch(
+        &mut self,
+        clusters: &mut [Box<dyn BusEngine>],
+        base: usize,
+        emit: &mut dyn FnMut(u64, usize, EngineRecord),
+    ) -> bool {
+        let end = base + clusters.len();
+        self.grow(end);
+        for i in base..end {
+            self.epoch_counts[i] = 0;
+            self.last_turn[i] = 0;
+        }
+        self.active.clear();
+        self.active.extend(base..end);
+        let mut epoch_txns = 0u64;
+        let mut round = 0u64;
+        let mut ran = false;
+        while !self.active.is_empty() {
+            // One round: one transaction per still-active cluster, in
+            // index order; quiescent clusters leave the epoch. The
+            // survivors are compacted in place (order preserved), so a
+            // round costs O(active) even when thousands of clusters
+            // quiesce at once.
+            let mut kept = 0;
+            for i in 0..self.active.len() {
+                let cluster = self.active[i];
+                if let Some(record) = clusters[cluster - base].run_transaction() {
+                    self.transactions += 1;
+                    epoch_txns += 1;
+                    self.cluster_transactions[cluster] += 1;
+                    self.epoch_counts[cluster] += 1;
+                    if self.epoch_counts[cluster] > 1 {
+                        let gap = epoch_txns - self.last_turn[cluster] - 1;
+                        self.max_turn_gap = self.max_turn_gap.max(gap);
+                    }
+                    self.last_turn[cluster] = epoch_txns;
+                    self.max_cluster_epoch_transactions = self
+                        .max_cluster_epoch_transactions
+                        .max(self.epoch_counts[cluster]);
+                    ran = true;
+                    emit(round, cluster, record);
+                    self.active[kept] = cluster;
+                    kept += 1;
+                }
+            }
+            self.active.truncate(kept);
+            round += 1;
+        }
+        ran
     }
 
     /// Runs `fleet` until no bus has pending work and no envelope is in
@@ -725,40 +1104,19 @@ impl InterleavedScheduler {
     /// round-robin order.
     pub fn drive(&mut self, fleet: &mut Fleet, sink: &mut dyn FnMut(FleetRecord)) {
         loop {
-            self.epochs += 1;
-            let mut epoch_ran = false;
-            self.active.clear();
-            self.active.extend(0..fleet.clusters.len());
-            while !self.active.is_empty() {
-                // One round: one transaction per still-active cluster,
-                // in index order; quiescent clusters leave the epoch.
-                let mut i = 0;
-                while i < self.active.len() {
-                    let cluster = self.active[i];
-                    match fleet.clusters[cluster].run_transaction() {
-                        Some(record) => {
-                            self.transactions += 1;
-                            epoch_ran = true;
-                            sink(FleetRecord { cluster, record });
-                            i += 1;
-                        }
-                        None => {
-                            // Keep index order so the round-robin stays
-                            // deterministic and cluster-index ordered.
-                            self.active.remove(i);
-                        }
-                    }
-                }
-            }
+            let ran = self.run_epoch(&mut fleet.clusters, 0, &mut |_, cluster, record| {
+                sink(FleetRecord { cluster, record })
+            });
             // Epoch barrier: identical routing discipline to the
             // batched drain — every gateway presence, in index order.
             let mut routed = false;
             for cluster in 0..fleet.clusters.len() {
                 routed |= fleet.route_cluster(cluster);
             }
-            if !epoch_ran && !routed {
+            if !ran && !routed {
                 return;
             }
+            self.epochs += 1;
         }
     }
 }
@@ -795,6 +1153,26 @@ pub enum FleetStep {
     },
     /// Run the whole fleet until quiescent.
     Drain,
+    /// Run at most `rounds` transactions on *every* cluster —
+    /// round-robin, no gateway routing — then stop mid-epoch, so later
+    /// queue steps land while earlier traffic is still pending: the
+    /// fleet-level lift of the single-bus mid-drain-queueing hostile
+    /// case ([`crate::scenario::Step::RunTransactions`]).
+    ///
+    /// Because the step itself runs one fixed round-robin mini-drain
+    /// (it does not consult the [`FleetSchedule`]), each cluster
+    /// executes exactly `min(rounds, pending)` transactions under
+    /// every schedule and schedule-independence is preserved. Wire
+    /// engines may legally run ahead of `run_transaction`, so
+    /// workloads containing this step are not wire-comparable
+    /// *across* engine kinds — [`FleetWorkload::wire_comparable`]
+    /// returns `false` and the cross-engine suites pin
+    /// analytic ≡ event.
+    RunRounds {
+        /// Maximum transactions each cluster executes before the step
+        /// stops.
+        rounds: usize,
+    },
 }
 
 /// A declarative, engine-generic fleet scenario: cluster topology plus
@@ -882,6 +1260,30 @@ impl FleetWorkload {
     pub fn drain(mut self) -> Self {
         self.steps.push(FleetStep::Drain);
         self
+    }
+
+    /// Appends a partial-drain step: at most `rounds` transactions per
+    /// cluster, no routing, stopping mid-epoch (see
+    /// [`FleetStep::RunRounds`] for the wire-comparability caveat).
+    pub fn drain_rounds(mut self, rounds: usize) -> Self {
+        self.steps.push(FleetStep::RunRounds { rounds });
+        self
+    }
+
+    /// Whether this fleet workload's observable behavior is comparable
+    /// against the wire engine *across* engine kinds. Partial drains
+    /// ([`FleetStep::RunRounds`]) make it not so, exactly as at the
+    /// single-bus layer ([`crate::scenario::Workload::wire_comparable`]):
+    /// the wire engine may legally run ahead of a `run_transaction`
+    /// call, so traffic queued after a partial drain meets an
+    /// already-empty bus there. Schedule-independence *within* a kind
+    /// is unaffected — every schedule issues the identical per-cluster
+    /// call sequence.
+    pub fn wire_comparable(&self) -> bool {
+        !self
+            .steps
+            .iter()
+            .any(|s| matches!(s, FleetStep::RunRounds { .. }))
     }
 
     /// Declares that this workload transmits from power-gated sensors,
@@ -980,10 +1382,15 @@ impl FleetWorkload {
             }
         }
         let mut scheduler = InterleavedScheduler::new();
+        let mut sharded = ShardedFleet::new(match schedule {
+            FleetSchedule::Sharded { shards } => shards,
+            _ => 1,
+        });
         let mut records = Vec::new();
         let mut drain = |fleet: &mut Fleet, records: &mut Vec<FleetRecord>| match schedule {
             FleetSchedule::Batched => fleet.drain_with(&mut |r| records.push(r)),
             FleetSchedule::Interleaved => scheduler.drive(fleet, &mut |r| records.push(r)),
+            FleetSchedule::Sharded { .. } => sharded.drive(fleet, &mut |r| records.push(r)),
         };
         for step in &self.steps {
             match step {
@@ -1009,12 +1416,29 @@ impl FleetWorkload {
                     fleet.request_wakeup(*node).expect("fleet wakeup step");
                 }
                 FleetStep::Drain => drain(fleet, &mut records),
+                // One fixed round-robin mini-drain regardless of the
+                // schedule, so partial drains cannot break
+                // schedule-independence (see the step docs).
+                FleetStep::RunRounds { rounds } => {
+                    for _ in 0..*rounds {
+                        for cluster in 0..fleet.clusters.len() {
+                            if let Some(record) = fleet.clusters[cluster].run_transaction() {
+                                records.push(FleetRecord { cluster, record });
+                            }
+                        }
+                    }
+                }
             }
         }
         if !matches!(self.steps.last(), Some(FleetStep::Drain)) {
             drain(fleet, &mut records);
         }
         let clusters = fleet.cluster_count();
+        let fairness = match schedule {
+            FleetSchedule::Batched => None,
+            FleetSchedule::Interleaved => Some(scheduler.fairness(clusters)),
+            FleetSchedule::Sharded { .. } => Some(sharded.fairness(clusters)),
+        };
         let rx = (0..clusters)
             .map(|c| {
                 (0..fleet.clusters[c].node_count())
@@ -1038,6 +1462,10 @@ impl FleetWorkload {
             wake_events,
             forwarded: fleet.gateway().forwarded(),
             dropped: fleet.gateway().dropped(),
+            cluster_drops: (0..clusters)
+                .map(|c| fleet.gateway().dropped_on(c))
+                .collect(),
+            fairness,
             strict_nulls: self.strict_nulls,
         }
     }
@@ -1193,7 +1621,11 @@ impl FleetWorkload {
     /// A seeded random fleet workload — [`crate::scenario::Workload::seeded`]
     /// lifted to bridged buses: cluster count, sensor counts,
     /// power-awareness, local and *cross-cluster* destinations,
-    /// priority envelopes, wakeups, and drain points all come from one
+    /// priority envelopes, wakeups, drain points, *unroutable
+    /// envelopes* (well-formed headers whose prefix routes nowhere, so
+    /// the gateway's per-cluster drop accounting is exercised), and
+    /// mid-epoch partial drains ([`FleetStep::RunRounds`], which make
+    /// the seed non-wire-comparable) all come from one
     /// [`mbus_sim::SmallRng`] stream, so every seed is a reproducible
     /// multi-bus scenario exercising the gateway path.
     pub fn seeded(seed: u64) -> FleetWorkload {
@@ -1215,7 +1647,7 @@ impl FleetWorkload {
         let steps = 4 + rng.gen_index(0..24);
         let mut gated_tx = false;
         for _ in 0..steps {
-            match rng.gen_index(0..8) {
+            match rng.gen_index(0..10) {
                 0..=2 => {
                     // Cluster-local traffic.
                     let src = pick_sensor(&mut rng, &gated);
@@ -1251,6 +1683,35 @@ impl FleetWorkload {
                     let node = pick_sensor(&mut rng, &gated);
                     w = w.wakeup(node);
                 }
+                7 => {
+                    // A well-formed envelope whose destination prefix
+                    // routes nowhere: the 0xFF000 block sits above the
+                    // gateway block (which tops out at 0xF0000 +
+                    // MAX_CLUSTERS - 1 = 0xFEFFE) and no sensor prefix
+                    // reaches it either, so it is unroutable in every
+                    // legal fleet. The gateway must count a
+                    // per-cluster drop, and every engine must agree
+                    // where it vanished.
+                    let src = pick_sensor(&mut rng, &gated);
+                    gated_tx |= gated[src.cluster][src.node - 1];
+                    let prefix = FullPrefix::new(0xFF000 + rng.gen_index(0..0x100) as u32)
+                        .expect("unroutable block fits 20 bits");
+                    let len = rng.gen_index(0..5);
+                    let envelope =
+                        GatewayNode::encapsulate(prefix, FuId::ZERO, &rng.gen_bytes(len));
+                    w = w.send_local(
+                        src,
+                        Message::new(
+                            Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU),
+                            envelope,
+                        ),
+                    );
+                }
+                8 => {
+                    // Fleet-level mid-epoch queueing: stop after a few
+                    // rounds so later sends land on part-drained buses.
+                    w = w.drain_rounds(1 + rng.gen_index(0..3));
+                }
                 _ => w = w.drain(),
             }
         }
@@ -1282,7 +1743,37 @@ pub struct FleetReport {
     pub forwarded: u64,
     /// Envelopes the gateway dropped.
     pub dropped: u64,
+    /// Drops broken down by the cluster whose gateway presence
+    /// received the doomed envelope, one entry per cluster.
+    pub cluster_drops: Vec<u64>,
+    /// Scheduler fairness counters — `Some` for drains driven by the
+    /// interleaved or sharded scheduler, `None` for batched drains.
+    /// Reporting only: not part of [`FleetSignature`] (the turn-gap
+    /// gauge is schedule-dependent by design).
+    pub fairness: Option<FleetFairness>,
     strict_nulls: bool,
+}
+
+/// Per-cluster fairness and starvation counters from an interleaved or
+/// sharded fleet drain — the serving-quality view of a schedule: did
+/// every bus make progress, and how long did any bus wait for its
+/// turn?
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetFairness {
+    /// Transactions each cluster ran, indexed by cluster. Equal across
+    /// schedules (per-cluster streams are schedule-independent).
+    pub cluster_transactions: Vec<u64>,
+    /// The starvation gauge: the most transactions that ran between
+    /// two consecutive turns of one cluster, measured within a
+    /// scheduler's own rotation (per shard, for a sharded drain).
+    pub max_turn_gap: u64,
+    /// The hog gauge: the most transactions any single cluster ran
+    /// within one epoch.
+    pub max_cluster_epoch_transactions: u64,
+    /// Progress epochs the drain completed (see
+    /// [`InterleavedScheduler::epochs`]; global barrier count for a
+    /// sharded drain).
+    pub epochs: u64,
 }
 
 impl FleetReport {
@@ -1329,6 +1820,7 @@ impl FleetReport {
             clusters: per_cluster,
             forwarded: self.forwarded,
             dropped: self.dropped,
+            cluster_drops: self.cluster_drops.clone(),
         }
     }
 
@@ -1368,6 +1860,11 @@ pub struct FleetSignature {
     pub forwarded: u64,
     /// Envelopes dropped by the gateway.
     pub dropped: u64,
+    /// Drops attributed to the receiving gateway presence, one entry
+    /// per cluster — engines (and schedules) must agree not just on
+    /// how many envelopes vanished but on *which bus* they vanished
+    /// from.
+    pub cluster_drops: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -1440,21 +1937,116 @@ mod tests {
     fn unroutable_and_malformed_envelopes_drop_identically_on_both_kinds() {
         for kind in EngineKind::ALL {
             let (mut fleet, src, _) = two_cluster_fleet(kind);
-            // An envelope to a prefix nobody owns, and one whose header
-            // is too short to be a full address.
+            // An envelope to a prefix nobody owns passes the queue-time
+            // shape check (it decodes) and is dropped at the routing
+            // barrier with per-cluster attribution.
             let unroutable =
                 GatewayNode::encapsulate(FullPrefix::new(0xBEEF).unwrap(), FuId::ZERO, &[9]);
             let forward_port = Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU);
             fleet
                 .queue(src, Message::new(forward_port, unroutable))
                 .unwrap();
-            fleet
-                .queue(src, Message::new(forward_port, vec![0xF0]))
+            // A header too short to be a full address can no longer be
+            // queued through the fleet; push it straight onto the
+            // engine to model traffic that arrives anyway — the drop
+            // accounting safety net must still catch it.
+            fleet.clusters[src.cluster]
+                .queue(src.node, Message::new(forward_port, vec![0xF0]))
                 .unwrap();
             let records = fleet.run_until_quiescent();
             assert_eq!(records.len(), 2, "{kind}: both envelope legs ran");
             assert_eq!(fleet.gateway().forwarded(), 0, "{kind}");
             assert_eq!(fleet.gateway().dropped(), 2, "{kind}");
+            assert_eq!(fleet.gateway().dropped_on(0), 2, "{kind}");
+            assert_eq!(fleet.gateway().dropped_on(1), 0, "{kind}");
+            assert_eq!(fleet.gateway().cluster_drops(), &[2], "{kind}");
+        }
+    }
+
+    #[test]
+    fn queue_rejects_unknown_clusters_without_panicking() {
+        // The port check builds the gateway's full prefix for the
+        // source cluster; an out-of-range cluster index must surface
+        // as UnknownCluster (the documented contract), not as a panic
+        // in the prefix constructor — even past MAX_CLUSTERS, where
+        // 0xF0000 + cluster would overflow the 20-bit prefix field.
+        let (mut fleet, _, _) = two_cluster_fleet(EngineKind::Analytic);
+        for cluster in [2usize, MAX_CLUSTERS, 0x10000] {
+            for dest in [
+                Address::full(FullPrefix::new(0x123).unwrap(), FuId::ZERO),
+                Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU),
+            ] {
+                assert!(matches!(
+                    fleet.queue(FleetNodeId::new(cluster, 1), Message::new(dest, vec![1])),
+                    Err(MbusError::UnknownCluster { index }) if index == cluster
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn forwarding_port_rejects_non_envelope_traffic() {
+        // The headline aliasing regression: pre-fix, an ordinary local
+        // message to the gateway's fu 0 was accepted by `queue` and
+        // silently counted dropped at the barrier — or mis-forwarded
+        // if its payload happened to decode as a full address. The
+        // port is now reserved: non-envelope payloads are rejected
+        // with a typed error at queue time.
+        for kind in EngineKind::ALL {
+            let (mut fleet, src, dst) = two_cluster_fleet(kind);
+
+            // (1) A payload that does NOT decode as an envelope header:
+            // rejected up front, nothing queued, nothing dropped.
+            let forward_port = Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU);
+            assert!(
+                matches!(
+                    fleet.queue(src, Message::new(forward_port, vec![0x11, 0x22])),
+                    Err(MbusError::ReservedForwardingPort)
+                ),
+                "{kind}"
+            );
+            // The full-address form of the same port is equally
+            // reserved.
+            let full_port = Address::full(gateway_full_prefix(0), GATEWAY_FORWARD_FU);
+            assert!(
+                matches!(
+                    fleet.queue(src, Message::new(full_port, vec![0x11, 0x22])),
+                    Err(MbusError::ReservedForwardingPort)
+                ),
+                "{kind}"
+            );
+            assert_eq!(fleet.run_until_quiescent().len(), 0, "{kind}");
+            assert_eq!(
+                fleet.gateway().dropped(),
+                0,
+                "{kind}: rejected, not dropped"
+            );
+
+            // (2) A payload that *accidentally* decodes as a full
+            // address is indistinguishable from an envelope, so it IS
+            // one by definition: these bytes equal
+            // `encapsulate(dst, fu 0, [0x42])` and are forwarded to
+            // the decoded destination — defined envelope semantics,
+            // never a local fu-0 delivery.
+            let accidental = {
+                let mut bytes =
+                    Address::full(fleet.spec(dst).full_prefix(), GATEWAY_FORWARD_FU).encode();
+                bytes.push(0x42);
+                bytes
+            };
+            fleet
+                .queue(src, Message::new(forward_port, accidental))
+                .unwrap();
+            fleet.run_until_quiescent();
+            assert_eq!(fleet.gateway().forwarded(), 1, "{kind}");
+            assert_eq!(fleet.gateway().dropped(), 0, "{kind}");
+            let rx = fleet.take_rx(dst);
+            assert_eq!(rx.len(), 1, "{kind}: delivered as a forwarded leg");
+            assert_eq!(rx[0].payload, vec![0x42], "{kind}");
+            assert!(
+                fleet.take_rx(FleetNodeId::new(0, GATEWAY_NODE)).is_empty(),
+                "{kind}: nothing aliased into the gateway's local rx"
+            );
         }
     }
 
@@ -1624,8 +2216,9 @@ mod tests {
         assert_eq!(n, 2, "envelope leg + forwarded leg");
         assert_eq!(scheduler.transactions(), 2);
         // Epoch 1 runs the envelope and routes; epoch 2 runs the
-        // forwarded leg; epoch 3 is the empty terminating epoch.
-        assert_eq!(scheduler.epochs(), 3);
+        // forwarded leg; the empty terminating epoch is not counted.
+        assert_eq!(scheduler.epochs(), 2);
+        assert_eq!(scheduler.cluster_transactions(), &[1, 1]);
         assert_eq!(fleet.take_rx(dst).len(), 1);
     }
 

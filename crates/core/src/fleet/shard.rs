@@ -1,0 +1,464 @@
+//! Sharded fleet drains: groups of interleaved clusters on worker
+//! threads, synchronized at cross-worker gateway barriers.
+//!
+//! The single-threaded [`InterleavedScheduler`] serves thousands of
+//! buses on one core; this module scales that shape across cores. A
+//! [`ShardedFleet`] partitions a fleet's clusters into **contiguous
+//! shards** and, each epoch, runs one `InterleavedScheduler` per shard
+//! on a `std::thread::scope` worker — the same scoped-thread
+//! determinism discipline as [`crate::sweep::SweepRunner`]. When every
+//! shard's clusters are quiescent, the workers hand back **per-shard
+//! outboxes** (classified gateway envelopes plus local-traffic stashes
+//! and drop counters) and the barrier exchanges them: forwarded legs
+//! are queued onto their destination buses in **global cluster-index
+//! order**, exactly as the single-threaded routing pass would.
+//!
+//! # Equivalence argument
+//!
+//! The sharded drain is *bit-identical* to the single-threaded
+//! interleaved drain — not just per-cluster, but in the fleet-wide
+//! record order too:
+//!
+//! * **Per-cluster streams.** Clusters share no state except through
+//!   barrier routing, and a worker's epoch issues each of its clusters
+//!   the identical `run_transaction`-until-quiescent call sequence the
+//!   single-threaded scheduler would. So each cluster performs the
+//!   same autonomous drain from the same epoch-start state.
+//! * **Record order.** In round-robin, a cluster's `j`-th transaction
+//!   of an epoch always runs in round `j`, *independent of every other
+//!   cluster* (a cluster stays in the rotation exactly until its own
+//!   work runs out). The single-threaded scheduler therefore emits an
+//!   epoch's records sorted by `(round, cluster index)` — and merging
+//!   all shards' `(round, cluster, record)` emissions by that same key
+//!   reproduces the order exactly.
+//! * **Gateway counters.** Workers classify their own clusters'
+//!   envelopes against the shared read-only [`GatewayRoutes`] table
+//!   into per-shard counters; every counter is a sum, so the
+//!   barrier-time merge is order-independent and equals the
+//!   single-threaded totals, per-cluster drop attribution included.
+//! * **Routing order.** Shards are contiguous and merged in shard
+//!   order, so forwarded legs are queued by (source cluster, receive
+//!   position) — the single-threaded `route_cluster` loop's order.
+//!   Queueing never executes bus work (engines only run inside
+//!   epochs), so barrier-internal interleaving of `take_rx` and
+//!   `queue` calls is immaterial.
+//!
+//! `tests/sharded_fleet.rs` pins all of this over hundreds of seeds,
+//! every [`EngineKind`](crate::engine::EngineKind), and shard counts
+//! 1/2/4/7.
+//!
+//! # Threading model
+//!
+//! Engines are single-threaded objects (the wire engine's internals
+//! are `Rc`-based by design); the parallelism contract is *exclusive
+//! engine ownership per worker, per epoch*. Each worker receives a
+//! `&mut` slice of boxed engines for the epoch's duration and the
+//! scope join returns exclusive access to the barrier thread — engines
+//! migrate between threads but are never shared, which is what the
+//! `Send` wrapper below asserts.
+
+use std::fmt;
+
+use super::{
+    Fleet, FleetFairness, FleetRecord, GatewayCounters, GatewayRoutes, GatewayVerdict,
+    InterleavedScheduler, GATEWAY_NODE,
+};
+use crate::engine::{BusEngine, EngineRecord, ReceivedMessage};
+use crate::message::Message;
+
+/// Exclusive access to one shard's engines for the duration of one
+/// epoch, movable onto a worker thread.
+struct ShardEngines<'a>(&'a mut [Box<dyn BusEngine>]);
+
+// SAFETY: `dyn BusEngine` carries no `Send` bound only because the
+// wire engine's internal object graph uses `Rc<RefCell<…>>`. Every
+// such `Rc` is created inside the engine and reachable only through
+// it: the `BusEngine` surface returns owned plain data (records,
+// messages, stats, specs), never an alias into the graph, and the
+// fleet layer builds its engines internally and touches them through
+// that surface alone. Each boxed engine is therefore an isolated
+// single-owner object graph, and moving the exclusive `&mut` slice to
+// exactly one worker moves access to each graph wholesale — no
+// reference count or `RefCell` borrow can be reached from two threads.
+// The scoped join hands exclusive access back to the barrier thread
+// before anything else touches the engines.
+unsafe impl Send for ShardEngines<'_> {}
+
+/// What one shard hands back at an epoch barrier.
+#[derive(Default)]
+struct ShardEpoch {
+    /// Whether any transaction ran on this shard this epoch.
+    ran: bool,
+    /// `(round, global cluster, record)` emissions, already sorted by
+    /// `(round, cluster)` — the merge key that reproduces the
+    /// single-threaded round-robin order.
+    records: Vec<(u64, usize, EngineRecord)>,
+    /// Non-envelope gateway traffic, per global cluster, for the
+    /// fleet's `take_rx` stash.
+    stash: Vec<(usize, ReceivedMessage)>,
+    /// Forwarded legs as `(destination cluster, message)`, in (source
+    /// cluster, receive position) order.
+    forwards: Vec<(usize, Message)>,
+    /// This shard's forwarding/drop accounting for the epoch, merged
+    /// into the fleet's [`GatewayNode`](super::GatewayNode) at the
+    /// barrier.
+    counters: GatewayCounters,
+}
+
+/// One worker's epoch: interleave the shard's clusters to quiescence,
+/// then classify their gateway presences' receive logs against the
+/// shared routing table into the shard's outbox.
+fn run_shard_epoch(
+    engines: ShardEngines<'_>,
+    scheduler: &mut InterleavedScheduler,
+    base: usize,
+    routes: &GatewayRoutes,
+) -> ShardEpoch {
+    let clusters = engines.0;
+    let mut records = Vec::new();
+    let ran = scheduler.run_epoch(clusters, base, &mut |round, cluster, record| {
+        records.push((round, cluster, record))
+    });
+    let mut out = ShardEpoch {
+        ran,
+        records,
+        ..ShardEpoch::default()
+    };
+    for (local, engine) in clusters.iter_mut().enumerate() {
+        let cluster = base + local;
+        for m in engine.take_rx(GATEWAY_NODE) {
+            match routes.classify(m) {
+                GatewayVerdict::Local(m) => out.stash.push((cluster, m)),
+                GatewayVerdict::Forward { dest_cluster, msg } => {
+                    out.counters.forwarded += 1;
+                    out.forwards.push((dest_cluster, msg));
+                }
+                GatewayVerdict::Drop => out.counters.drop_on(cluster),
+            }
+        }
+    }
+    out
+}
+
+/// The multi-threaded fleet driver: contiguous cluster shards on
+/// scoped worker threads, one [`InterleavedScheduler`] per shard,
+/// gateway envelopes exchanged at cross-worker epoch barriers.
+///
+/// Drives any [`Fleet`] exactly like [`InterleavedScheduler::drive`]
+/// — same record stream, same receive logs, same statistics, same
+/// gateway counters (see the [module docs](self) for why) — while
+/// spreading the per-epoch bus work across up to `shards` cores. Like
+/// the scheduler, a `ShardedFleet` is reusable across drives and
+/// accumulates its counters.
+///
+/// # Example
+///
+/// ```
+/// use mbus_core::fleet::{Fleet, ShardedFleet};
+/// use mbus_core::{BusConfig, EngineKind, FuId};
+///
+/// let mut fleet = Fleet::new(EngineKind::Event, BusConfig::default());
+/// for _ in 0..8 {
+///     let c = fleet.add_cluster();
+///     fleet.add_sensor(c, false);
+/// }
+/// let src = mbus_core::FleetNodeId::new(0, 1);
+/// let dst = mbus_core::FleetNodeId::new(7, 1);
+/// fleet.queue_remote(src, dst, FuId::ZERO, vec![0x42])?;
+///
+/// let mut sharded = ShardedFleet::new(4);
+/// let mut records = Vec::new();
+/// sharded.drive(&mut fleet, &mut |r| records.push(r));
+/// assert_eq!(records.len(), 2); // envelope leg + forwarded leg
+/// assert_eq!(sharded.transactions(), 2);
+/// assert_eq!(fleet.take_rx(dst)[0].payload, vec![0x42]);
+/// # Ok::<(), mbus_core::MbusError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ShardedFleet {
+    shards: usize,
+    /// One persistent scheduler per worker slot, so fairness counters
+    /// accumulate across epochs and drives exactly as the
+    /// single-threaded scheduler's do.
+    schedulers: Vec<InterleavedScheduler>,
+    epochs: u64,
+}
+
+impl ShardedFleet {
+    /// Creates a driver that spreads each epoch across up to `shards`
+    /// worker threads (0 is treated as 1; the effective worker count
+    /// is further clamped to the driven fleet's cluster count).
+    pub fn new(shards: usize) -> Self {
+        ShardedFleet {
+            shards: shards.max(1),
+            schedulers: Vec::new(),
+            epochs: 0,
+        }
+    }
+
+    /// The configured shard (worker) count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Transactions driven across all [`drive`](Self::drive) calls,
+    /// summed over every shard.
+    pub fn transactions(&self) -> u64 {
+        self.schedulers.iter().map(|s| s.transactions()).sum()
+    }
+
+    /// Progress epochs (cross-worker barriers that ran a transaction
+    /// or routed an envelope) across all drives — the same contract as
+    /// [`InterleavedScheduler::epochs`]: the empty terminating epoch
+    /// is not counted, so back-to-back drives on a quiescent fleet
+    /// leave the counter unchanged.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The per-shard schedulers, in shard order — each exposes its own
+    /// transaction and fairness counters for per-worker reporting.
+    pub fn shard_schedulers(&self) -> &[InterleavedScheduler] {
+        &self.schedulers
+    }
+
+    /// The merged fairness view across all shards, normalized to
+    /// `clusters` entries: per-cluster transaction totals are summed
+    /// (shards own disjoint cluster ranges, so this is exact), the
+    /// starvation and hog gauges are maxima over shards, and
+    /// [`FleetFairness::epochs`] is the global barrier count.
+    pub fn fairness(&self, clusters: usize) -> FleetFairness {
+        let mut merged = FleetFairness {
+            cluster_transactions: vec![0; clusters],
+            epochs: self.epochs,
+            ..FleetFairness::default()
+        };
+        for s in &self.schedulers {
+            for (i, &n) in s.cluster_transactions().iter().enumerate().take(clusters) {
+                merged.cluster_transactions[i] += n;
+            }
+            merged.max_turn_gap = merged.max_turn_gap.max(s.max_turn_gap());
+            merged.max_cluster_epoch_transactions = merged
+                .max_cluster_epoch_transactions
+                .max(s.max_cluster_epoch_transactions());
+        }
+        merged
+    }
+
+    /// Runs `fleet` until no bus has pending work and no envelope is
+    /// in flight, handing each completed transaction to `sink` in the
+    /// single-threaded interleaved drain's round-robin order (the
+    /// barrier merges the shards' emissions by `(round, cluster)`;
+    /// records therefore reach `sink` in epoch-sized batches).
+    pub fn drive(&mut self, fleet: &mut Fleet, sink: &mut dyn FnMut(FleetRecord)) {
+        let n = fleet.clusters.len();
+        if n == 0 {
+            return;
+        }
+        let workers = self.shards.min(n);
+        let chunk = n.div_ceil(workers);
+        if self.schedulers.len() < workers {
+            self.schedulers
+                .resize_with(workers, InterleavedScheduler::new);
+        }
+        loop {
+            // Epoch: every shard interleaves its clusters to
+            // quiescence and classifies its gateway traffic, in
+            // parallel against the shared read-only routing table.
+            let routes = &fleet.gateway.routes;
+            let mut epochs: Vec<ShardEpoch> = Vec::with_capacity(workers);
+            if workers == 1 {
+                epochs.push(run_shard_epoch(
+                    ShardEngines(&mut fleet.clusters),
+                    &mut self.schedulers[0],
+                    0,
+                    routes,
+                ));
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = fleet
+                        .clusters
+                        .chunks_mut(chunk)
+                        .zip(self.schedulers.iter_mut())
+                        .enumerate()
+                        .map(|(i, (engines, scheduler))| {
+                            let engines = ShardEngines(engines);
+                            scope.spawn(move || {
+                                run_shard_epoch(engines, scheduler, i * chunk, routes)
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        epochs.push(handle.join().expect("shard worker panicked"));
+                    }
+                });
+            }
+
+            // Barrier, part 1: emit the epoch's records in the
+            // single-threaded round-robin order — merge by (round,
+            // cluster); see the module docs for why this is exact.
+            let mut ran = false;
+            let mut all: Vec<(u64, usize, EngineRecord)> = Vec::new();
+            for shard in &mut epochs {
+                ran |= shard.ran;
+                all.append(&mut shard.records);
+            }
+            all.sort_by_key(|&(round, cluster, _)| (round, cluster));
+            for (_, cluster, record) in all {
+                sink(FleetRecord { cluster, record });
+            }
+
+            // Barrier, part 2: exchange the outboxes in shard (=
+            // global source-cluster) order — counters merged, local
+            // traffic stashed, forwarded legs queued on their
+            // destination buses.
+            let mut routed = false;
+            for shard in &mut epochs {
+                fleet.gateway.counters.merge(&shard.counters);
+                for (cluster, m) in shard.stash.drain(..) {
+                    fleet.gateway_rx[cluster].push(m);
+                }
+                for (dest_cluster, msg) in shard.forwards.drain(..) {
+                    routed = true;
+                    fleet.clusters[dest_cluster]
+                        .queue(GATEWAY_NODE, msg)
+                        .expect("forwarded leg is shorter than its envelope");
+                }
+            }
+            if !ran && !routed {
+                return;
+            }
+            self.epochs += 1;
+        }
+    }
+}
+
+impl fmt::Display for ShardedFleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sharded({})", self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::FuId;
+    use crate::config::BusConfig;
+    use crate::engine::EngineKind;
+    use crate::fleet::{FleetNodeId, FleetSchedule, FleetWorkload};
+
+    fn eight_cluster_fleet(kind: EngineKind) -> Fleet {
+        let mut fleet = Fleet::new(kind, BusConfig::default());
+        for _ in 0..8 {
+            let c = fleet.add_cluster();
+            fleet.add_sensor(c, false);
+            fleet.add_sensor(c, false);
+        }
+        fleet
+    }
+
+    #[test]
+    fn sharded_matches_interleaved_stream_exactly() {
+        for kind in EngineKind::ALL {
+            for shards in [1usize, 2, 3, 5, 8, 13] {
+                let mut reference = eight_cluster_fleet(kind);
+                let mut sharded = eight_cluster_fleet(kind);
+                for f in [&mut reference, &mut sharded] {
+                    for c in 0..8 {
+                        f.queue_remote(
+                            FleetNodeId::new(c, 1),
+                            FleetNodeId::new((c + 3) % 8, 2),
+                            FuId::ZERO,
+                            vec![c as u8, 0xAA],
+                        )
+                        .unwrap();
+                    }
+                }
+                let want = reference.run_until_quiescent_interleaved();
+                let got = sharded.run_until_quiescent_sharded(shards);
+                assert_eq!(want, got, "{kind} shards={shards}");
+                assert_eq!(
+                    reference.gateway().forwarded(),
+                    sharded.gateway().forwarded(),
+                    "{kind} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_counters_accumulate_across_drives() {
+        let mut fleet = eight_cluster_fleet(EngineKind::Event);
+        let mut sharded = ShardedFleet::new(4);
+        for round in 0..2 {
+            fleet
+                .queue_remote(
+                    FleetNodeId::new(0, 1),
+                    FleetNodeId::new(5, 1),
+                    FuId::ZERO,
+                    vec![round],
+                )
+                .unwrap();
+            let mut n = 0;
+            sharded.drive(&mut fleet, &mut |_| n += 1);
+            assert_eq!(n, 2, "envelope + forwarded leg");
+        }
+        assert_eq!(sharded.transactions(), 4);
+        // Each drive: envelope epoch + forwarded epoch; the empty
+        // terminating epoch is not counted (see `epochs`).
+        assert_eq!(sharded.epochs(), 4);
+        sharded.drive(&mut fleet, &mut |_| {});
+        assert_eq!(sharded.epochs(), 4, "quiescent drive adds no epoch");
+        let fairness = sharded.fairness(8);
+        assert_eq!(fairness.cluster_transactions[0], 2);
+        assert_eq!(fairness.cluster_transactions[5], 2);
+        assert_eq!(fairness.epochs, 4);
+    }
+
+    #[test]
+    fn schedule_enum_drives_sharded() {
+        let w = FleetWorkload::cross_storm(5, 2, 2);
+        let interleaved = w.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
+        let sharded = w.run_scheduled_on(EngineKind::Event, FleetSchedule::Sharded { shards: 3 });
+        assert_eq!(interleaved.signature(), sharded.signature());
+        assert_eq!(interleaved.records, sharded.records, "order matches too");
+        let fairness = sharded.fairness.as_ref().expect("sharded drains report");
+        assert_eq!(
+            fairness.cluster_transactions,
+            interleaved
+                .fairness
+                .as_ref()
+                .expect("interleaved drains report")
+                .cluster_transactions,
+            "per-cluster totals are schedule-independent"
+        );
+        assert!(fairness.max_turn_gap <= 5, "round-robin bounds the gap");
+    }
+
+    #[test]
+    fn more_shards_than_clusters_is_fine() {
+        let mut fleet = Fleet::new(EngineKind::Analytic, BusConfig::default());
+        let c = fleet.add_cluster();
+        let src = fleet.add_sensor(c, false);
+        fleet.add_sensor(c, false);
+        fleet
+            .queue(
+                src,
+                crate::message::Message::new(
+                    crate::addr::Address::short(
+                        crate::addr::ShortPrefix::new(0x3).unwrap(),
+                        FuId::ZERO,
+                    ),
+                    vec![1],
+                ),
+            )
+            .unwrap();
+        let records = fleet.run_until_quiescent_sharded(64);
+        assert_eq!(records.len(), 1);
+
+        // Degenerate inputs: zero shards clamp to one, empty fleets
+        // terminate immediately.
+        let mut empty = Fleet::new(EngineKind::Analytic, BusConfig::default());
+        ShardedFleet::new(0).drive(&mut empty, &mut |_| panic!("no records"));
+    }
+}

@@ -28,7 +28,9 @@
 //!   with per-hop propagation delays.
 //! * [`EventEngine`] — cooperative: the analytic kernel behind a
 //!   resumable `poll_transaction` step, so thousands of buses
-//!   interleave on one thread (driven by [`InterleavedScheduler`]).
+//!   interleave on one thread (driven by [`InterleavedScheduler`]) or
+//!   shard across worker threads with gateway exchange at epoch
+//!   barriers ([`ShardedFleet`]).
 //!
 //! The integration test-suite cross-checks the engines cycle for
 //! cycle. Above the engines sit three engine-generic layers — the
@@ -102,8 +104,8 @@ pub use engine::{
 pub use error::MbusError;
 pub use event::EventEngine;
 pub use fleet::{
-    Fleet, FleetNodeId, FleetRecord, FleetReport, FleetSchedule, FleetSignature, FleetWorkload,
-    InterleavedScheduler,
+    Fleet, FleetFairness, FleetNodeId, FleetRecord, FleetReport, FleetSchedule, FleetSignature,
+    FleetWorkload, InterleavedScheduler, ShardedFleet,
 };
 pub use message::Message;
 pub use node::NodeSpec;

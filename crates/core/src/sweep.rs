@@ -60,7 +60,7 @@
 use std::num::NonZeroUsize;
 
 use crate::engine::EngineKind;
-use crate::fleet::FleetWorkload;
+use crate::fleet::{FleetSchedule, FleetWorkload};
 
 /// Shards independent sweep points across scoped worker threads.
 ///
@@ -173,7 +173,7 @@ impl SweepRunner {
         rounds: usize,
     ) -> Vec<FleetSizeSample> {
         self.run(sizes, |&(clusters, sensors)| {
-            fleet_sample(kind, clusters, sensors, rounds)
+            fleet_sample(kind, clusters, sensors, rounds, FleetSchedule::Batched)
         })
     }
 
@@ -194,12 +194,30 @@ impl SweepRunner {
         sizes: &[(usize, usize)],
         rounds: usize,
     ) -> Vec<FleetSizeSample> {
+        self.run_engine_fleet_grid_scheduled(kinds, sizes, rounds, FleetSchedule::Batched)
+    }
+
+    /// [`SweepRunner::run_engine_fleet_grid`] with an explicit
+    /// [`FleetSchedule`] for every point's drains. Because fleet
+    /// drains are schedule-independent, the samples are bit-identical
+    /// across schedules — which is exactly what makes this a useful
+    /// cross-check: a grid run under `Sharded { .. }` must equal the
+    /// batched grid. Note the parallelism composes: the sweep shards
+    /// *points* across its own workers, and a sharded schedule
+    /// additionally shards each fleet's clusters inside the point.
+    pub fn run_engine_fleet_grid_scheduled(
+        &self,
+        kinds: &[EngineKind],
+        sizes: &[(usize, usize)],
+        rounds: usize,
+        schedule: FleetSchedule,
+    ) -> Vec<FleetSizeSample> {
         let points: Vec<(EngineKind, (usize, usize))> = kinds
             .iter()
             .flat_map(|&kind| sizes.iter().map(move |&size| (kind, size)))
             .collect();
         self.run(&points, |&(kind, (clusters, sensors))| {
-            fleet_sample(kind, clusters, sensors, rounds)
+            fleet_sample(kind, clusters, sensors, rounds, schedule)
         })
     }
 }
@@ -210,8 +228,10 @@ fn fleet_sample(
     clusters: usize,
     sensors: usize,
     rounds: usize,
+    schedule: FleetSchedule,
 ) -> FleetSizeSample {
-    let report = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds).run_on(kind);
+    let report = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds)
+        .run_scheduled_on(kind, schedule);
     FleetSizeSample {
         kind,
         clusters,

@@ -65,14 +65,27 @@ pub fn crosscheck_all_engines(workload: &Workload) -> Vec<ScenarioReport> {
     reports
 }
 
-/// Runs `workload` on every engine kind (fleet workloads have no
-/// partial drains, so all kinds always compare) and asserts all
-/// [`mbus_core::FleetSignature`]s are identical, returning the reports
-/// in [`EngineKind::ALL`] order.
-pub fn fleet_crosscheck_all_engines(workload: &FleetWorkload) -> Vec<FleetReport> {
-    let reports: Vec<FleetReport> = EngineKind::ALL
+/// The engine kinds `workload` can be compared on: all of them, unless
+/// the workload contains partial drains ([`mbus_core::fleet::FleetStep::RunRounds`])
+/// — the wire engine may legally run ahead of `run_transaction`, so
+/// such fleets are pinned analytic ≡ event only, exactly like the
+/// single-bus layer.
+pub fn fleet_comparable_kinds(workload: &FleetWorkload) -> Vec<EngineKind> {
+    EngineKind::ALL
         .iter()
-        .map(|&kind| workload.run_on(kind))
+        .copied()
+        .filter(|&kind| workload.wire_comparable() || kind != EngineKind::Wire)
+        .collect()
+}
+
+/// Runs `workload` on every comparable engine kind and asserts all
+/// [`mbus_core::FleetSignature`]s are identical, returning the reports
+/// in [`EngineKind::ALL`] order (wire omitted for workloads with
+/// partial drains).
+pub fn fleet_crosscheck_all_engines(workload: &FleetWorkload) -> Vec<FleetReport> {
+    let reports: Vec<FleetReport> = fleet_comparable_kinds(workload)
+        .into_iter()
+        .map(|kind| workload.run_on(kind))
         .collect();
     let reference = reports[0].signature();
     for report in &reports[1..] {
@@ -106,4 +119,41 @@ pub fn schedule_crosscheck(
         workload.name()
     );
     (batched, interleaved)
+}
+
+/// Runs `workload` sharded across `shards` workers on `kind` and
+/// asserts the sharded drain is bit-identical to the single-threaded
+/// interleaved reference: the full fleet-wide record stream (not just
+/// per-cluster subsequences), the [`mbus_core::FleetSignature`], and
+/// the merged gateway counters. Returns the sharded report.
+pub fn sharded_crosscheck(
+    workload: &FleetWorkload,
+    kind: EngineKind,
+    reference: &FleetReport,
+    shards: usize,
+) -> FleetReport {
+    let sharded = workload.run_scheduled_on(kind, FleetSchedule::Sharded { shards });
+    assert_eq!(
+        reference.records,
+        sharded.records,
+        "sharded({shards}) record stream diverged on '{}' ({kind})",
+        workload.name()
+    );
+    assert_eq!(
+        reference.signature(),
+        sharded.signature(),
+        "sharded({shards}) signature diverged on '{}' ({kind})",
+        workload.name()
+    );
+    assert_eq!(
+        (
+            reference.forwarded,
+            reference.dropped,
+            &reference.cluster_drops
+        ),
+        (sharded.forwarded, sharded.dropped, &sharded.cluster_drops),
+        "sharded({shards}) gateway counters diverged on '{}' ({kind})",
+        workload.name()
+    );
+    sharded
 }

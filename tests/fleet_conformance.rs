@@ -146,11 +146,50 @@ fn fleet_record_interleaving_is_engine_independent() {
 #[test]
 fn seeded_fleets_agree_across_engines() {
     // The fleet-level fuzzer (cross-cluster destinations, priority
-    // envelopes, wakeups, gated senders) cross-checked three ways,
-    // edge-accurate engine included.
+    // envelopes, unroutable envelopes, wakeups, gated senders,
+    // mid-epoch partial drains) cross-checked three ways — the
+    // edge-accurate engine included whenever the seed is
+    // wire-comparable (partial drains pin analytic ≡ event only).
     for seed in 0..common::scaled_seeds(24) {
         common::fleet_crosscheck_all_engines(&FleetWorkload::seeded(seed));
     }
+}
+
+#[test]
+fn gateway_drop_attribution_is_engine_independent() {
+    // The per-cluster drop counter in FleetSignature: engines must
+    // agree not just on how many envelopes vanished but on which bus's
+    // gateway presence dropped them. Two unroutable envelopes received
+    // on cluster 1, none anywhere else.
+    let unroutable = mbus_core::fleet::GatewayNode::encapsulate(
+        mbus_core::FullPrefix::new(0x8F00D).unwrap(),
+        FuId::ZERO,
+        &[0x99],
+    );
+    let port = mbus_core::Address::short(mbus_core::ShortPrefix::new(0x1).unwrap(), FuId::ZERO);
+    let mut w = FleetWorkload::new("drop_attribution", BusConfig::default())
+        .cluster(vec![false])
+        .cluster(vec![false, false]);
+    for sensor in 1..=2 {
+        w = w.send_local(
+            FleetNodeId::new(1, sensor),
+            mbus_core::Message::new(port, unroutable.clone()),
+        );
+    }
+    let reports = common::fleet_crosscheck_all_engines(&w);
+    let signature = reports[0].signature();
+    assert_eq!(signature.dropped, 2);
+    assert_eq!(
+        signature.cluster_drops,
+        vec![0, 2],
+        "attributed to cluster 1"
+    );
+    assert_eq!(signature.forwarded, 0);
+    // And a signature that differs only in drop attribution must not
+    // compare equal: the counter is load-bearing in conformance.
+    let mut tampered = signature.clone();
+    tampered.cluster_drops = vec![2, 0];
+    assert_ne!(signature, tampered);
 }
 
 #[test]

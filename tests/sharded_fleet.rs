@@ -1,0 +1,239 @@
+//! Sharded-fleet conformance: the multi-threaded sharded drain
+//! ([`ShardedFleet`]) must be **bit-identical** to the single-threaded
+//! interleaved drain — full fleet-wide record stream, per-cluster
+//! [`FleetSignature`] content (records, deliveries, wake accounting),
+//! and merged gateway counters (forwarded, dropped, per-cluster drop
+//! attribution) — for every engine kind and every shard count.
+//!
+//! The equivalence argument lives in `mbus_core::fleet::shard`'s
+//! module docs: workers issue each cluster the same autonomous-drain
+//! call sequence the single-threaded scheduler would, a cluster's
+//! `j`-th transaction of an epoch always lands in round `j`, so the
+//! barrier's `(round, cluster)` merge reproduces the round-robin
+//! order, and the per-shard gateway counters are sums that merge
+//! order-independently. This suite pins all of it over hundreds of
+//! seeded fleets (which include unroutable envelopes and mid-epoch
+//! partial drains) at shard counts {1, 2, 4, 7} — spanning one-worker
+//! degeneration, even splits, ragged splits, and more workers than
+//! clusters.
+//!
+//! [`FleetSignature`]: mbus_core::FleetSignature
+//! [`ShardedFleet`]: mbus_core::ShardedFleet
+
+mod common;
+
+use mbus_core::fleet::{Fleet, FleetNodeId, GatewayNode, ShardedFleet, GATEWAY_NODE};
+use mbus_core::{
+    Address, BusConfig, EngineKind, FleetSchedule, FleetWorkload, FuId, FullPrefix, Message,
+    ShortPrefix,
+};
+
+/// The acceptance-bar shard counts: degenerate, even, ragged, and
+/// larger than most seeded fleets' cluster counts.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+#[test]
+fn seeded_fleets_shard_equivalently_over_200_seeds() {
+    // The kernel-sharing kinds over the full seed battery: for each
+    // seed, the single-threaded interleaved drain is the reference and
+    // every shard count must reproduce it bit for bit.
+    for seed in 0..common::scaled_seeds(200) {
+        let w = FleetWorkload::seeded(seed);
+        for kind in [EngineKind::Analytic, EngineKind::Event] {
+            let reference = w.run_scheduled_on(kind, FleetSchedule::Interleaved);
+            for shards in SHARD_COUNTS {
+                common::sharded_crosscheck(&w, kind, &reference, shards);
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_fleets_shard_equivalently_on_the_wire_engine() {
+    // The edge-accurate engine over the same 200-seed battery.
+    // Sharded-vs-interleaved is a *same-kind* comparison, so even
+    // seeds with partial drains (not wire-comparable across kinds)
+    // must agree here: every schedule issues the identical per-cluster
+    // call sequence.
+    for seed in 0..common::scaled_seeds(200) {
+        let w = FleetWorkload::seeded(seed);
+        let reference = w.run_scheduled_on(EngineKind::Wire, FleetSchedule::Interleaved);
+        for shards in SHARD_COUNTS {
+            common::sharded_crosscheck(&w, EngineKind::Wire, &reference, shards);
+        }
+    }
+}
+
+#[test]
+fn partial_drains_preserve_schedule_independence() {
+    // The satellite pin: batched ≡ interleaved ≡ sharded still holds
+    // when the workload stops mid-epoch and queues into part-drained
+    // buses (FleetStep::RunRounds) — each cluster runs exactly
+    // min(rounds, pending) transactions under every schedule.
+    let mut w = FleetWorkload::new("partial/handmade", BusConfig::default())
+        .cluster(vec![false, false])
+        .cluster(vec![false, false])
+        .cluster(vec![false]);
+    let dst = FleetNodeId::new(2, 1);
+    for c in 0..2 {
+        for j in 1..=2 {
+            w = w.send_remote(
+                FleetNodeId::new(c, j),
+                dst,
+                FuId::ZERO,
+                vec![c as u8, j as u8],
+            );
+        }
+    }
+    // Stop after one round, then pile more traffic onto half-drained
+    // buses before the full drain.
+    w = w.drain_rounds(1);
+    for c in 0..2 {
+        w = w.send_remote(FleetNodeId::new(c, 1), dst, FuId::ZERO, vec![0xEE, c as u8]);
+    }
+    assert!(!w.wire_comparable(), "partial drains gate wire cross-kind");
+
+    for kind in EngineKind::ALL {
+        let batched = w.run_scheduled_on(kind, FleetSchedule::Batched);
+        let interleaved = w.run_scheduled_on(kind, FleetSchedule::Interleaved);
+        assert_eq!(batched.signature(), interleaved.signature(), "{kind}");
+        for shards in SHARD_COUNTS {
+            common::sharded_crosscheck(&w, kind, &interleaved, shards);
+        }
+    }
+}
+
+#[test]
+fn sharded_gateway_drops_attribute_to_the_receiving_cluster() {
+    // Unroutable envelopes queued on different clusters: the merged
+    // per-cluster drop counters must attribute each drop to the bus
+    // whose gateway presence received it, identically at every shard
+    // count.
+    for kind in EngineKind::ALL {
+        let mut reports = Vec::new();
+        for &shards in &[0usize, 2, 7] {
+            let mut fleet = Fleet::new(kind, BusConfig::default());
+            for _ in 0..4 {
+                let c = fleet.add_cluster();
+                fleet.add_sensor(c, false);
+            }
+            let port = Address::short(ShortPrefix::new(0x1).unwrap(), FuId::ZERO);
+            for c in [0usize, 2, 2] {
+                let envelope = GatewayNode::encapsulate(
+                    FullPrefix::new(0x8BAD0 + c as u32).unwrap(),
+                    FuId::ZERO,
+                    &[c as u8],
+                );
+                fleet
+                    .queue(FleetNodeId::new(c, 1), Message::new(port, envelope))
+                    .unwrap();
+            }
+            if shards == 0 {
+                fleet.run_until_quiescent_interleaved();
+            } else {
+                fleet.run_until_quiescent_sharded(shards);
+            }
+            reports.push((
+                fleet.gateway().forwarded(),
+                fleet.gateway().dropped(),
+                (0..4)
+                    .map(|c| fleet.gateway().dropped_on(c))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        for r in &reports[1..] {
+            assert_eq!(&reports[0], r, "{kind}");
+        }
+        assert_eq!(reports[0].1, 3, "{kind}: all three envelopes dropped");
+        assert_eq!(
+            reports[0].2,
+            vec![1, 0, 2, 0],
+            "{kind}: attributed per cluster"
+        );
+    }
+}
+
+#[test]
+fn wide_fleet_shards_with_ragged_and_oversized_counts() {
+    // 32 clusters / 96 nodes: even splits, ragged splits (5 workers x
+    // 7-cluster chunks), and more workers than clusters all reproduce
+    // the single-threaded stream.
+    let w = FleetWorkload::sense_and_aggregate(32, 2, 2);
+    let reference = w.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
+    assert!(reference.total_nodes() > 90);
+    for shards in [2usize, 5, 8, 32, 64] {
+        common::sharded_crosscheck(&w, EngineKind::Event, &reference, shards);
+    }
+}
+
+#[test]
+fn sharded_fairness_counters_are_consistent() {
+    // The fairness report: per-cluster transaction totals must equal
+    // the record stream's per-cluster counts (schedule-independent),
+    // and the round-robin starvation gauge is bounded by the widest
+    // shard's simultaneously active cluster count.
+    let w = FleetWorkload::cross_storm(6, 2, 3);
+    for shards in [1usize, 3] {
+        let report = w.run_scheduled_on(EngineKind::Event, FleetSchedule::Sharded { shards });
+        let fairness = report.fairness.as_ref().expect("sharded drains report");
+        for c in 0..6 {
+            let counted = report.records.iter().filter(|r| r.cluster == c).count() as u64;
+            assert_eq!(
+                fairness.cluster_transactions[c], counted,
+                "shards={shards} cluster {c}"
+            );
+        }
+        let widest_shard = 6usize.div_ceil(shards) as u64;
+        assert!(
+            fairness.max_turn_gap < widest_shard,
+            "shards={shards}: gap {} vs shard width {widest_shard}",
+            fairness.max_turn_gap
+        );
+        assert!(fairness.epochs > 0, "shards={shards}");
+        assert!(
+            fairness.max_cluster_epoch_transactions >= 1,
+            "shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn sharded_scheduler_reuse_reports_per_shard() {
+    // One ShardedFleet instance across two drives: totals accumulate,
+    // and the per-shard schedulers expose their own slices of the
+    // work.
+    let mut fleet = Fleet::new(EngineKind::Event, BusConfig::default());
+    for _ in 0..6 {
+        let c = fleet.add_cluster();
+        fleet.add_sensor(c, false);
+    }
+    let mut sharded = ShardedFleet::new(3);
+    for round in 0..2u8 {
+        for c in 0..6 {
+            fleet
+                .queue_remote(
+                    FleetNodeId::new(c, 1),
+                    FleetNodeId::new((c + 1) % 6, 1),
+                    FuId::ZERO,
+                    vec![round, c as u8],
+                )
+                .unwrap();
+        }
+        sharded.drive(&mut fleet, &mut |_| {});
+    }
+    // 6 envelope legs + 6 forwarded legs per drive.
+    assert_eq!(sharded.transactions(), 24);
+    assert_eq!(sharded.shard_schedulers().len(), 3);
+    let per_shard: Vec<u64> = sharded
+        .shard_schedulers()
+        .iter()
+        .map(|s| s.transactions())
+        .collect();
+    assert_eq!(per_shard, vec![8, 8, 8], "two clusters per shard");
+    // Every sensor got its neighbor's messages; the gateway rx logs
+    // stayed clean.
+    for c in 0..6 {
+        assert_eq!(fleet.take_rx(FleetNodeId::new(c, 1)).len(), 2);
+        assert!(fleet.take_rx(FleetNodeId::new(c, GATEWAY_NODE)).is_empty());
+    }
+}
