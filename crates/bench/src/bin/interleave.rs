@@ -1,5 +1,6 @@
 //! Interleaved event-engine fleet driver: thousands of cooperative
-//! buses on ONE thread.
+//! buses on ONE thread — then tens of thousands across the persistent
+//! sharded runtime.
 //!
 //! Where the `fleet` bin scales population by draining each cluster
 //! bus to quiescence in turn, this bin exercises the serving shape:
@@ -9,27 +10,35 @@
 //! round — all buses make progress together, no bus ever blocks the
 //! thread.
 //!
-//! Four stages:
+//! Five stages:
 //!
 //! 1. **Headline interleave** — 1024 event-engine buses (1024 × 3
 //!    sensors + 1024 gateway presences = 4096 nodes) running
 //!    sense-and-aggregate under the interleaved schedule, with
 //!    throughput in txn/s.
-//! 2. **Sharded interleave** — 8192 event-engine buses (32768 nodes)
-//!    partitioned across `ShardedFleet` worker threads, with per-shard
-//!    transaction counts, fairness/starvation gauges, and speedup over
-//!    the one-worker run; the one-worker record stream must equal the
-//!    single-threaded interleaved reference bit for bit.
-//! 3. **Schedule equivalence check** — the same workload, batched vs
+//! 2. **Worker scaling** — 8192 event-engine buses (32768 nodes) at 1,
+//!    2, 4, and 8 workers, each count run twice: spawn-per-epoch
+//!    (`ShardedFleet::per_epoch_spawn`, the PR 5 shape) vs the
+//!    persistent pool with measured load balancing
+//!    (`ShardedFleet::new`). Both streams are asserted bit-identical
+//!    to the single-threaded interleaved reference; per-shard
+//!    transaction and wall-time gauges come from
+//!    `FleetFairness::shard_transactions`/`shard_wall_nanos`.
+//! 3. **64k-bus fleet** — a 65536-cluster, 262144-node cross-storm
+//!    drained by the persistent pool, the population headline.
+//! 4. **Schedule equivalence check** — the same workload, batched vs
 //!    interleaved: the per-cluster `FleetSignature`s must be
 //!    identical (the schedule-independence contract
 //!    `tests/interleaved_fleet.rs` pins).
-//! 4. **Engine-kind × fleet-size grid** —
+//! 5. **Engine-kind × fleet-size grid** —
 //!    `SweepRunner::run_engine_fleet_grid` shards whole fleets over
 //!    analytic × event kinds and growing populations,
 //!    serial-identical — and re-run under the sharded schedule, which
 //!    must produce the identical samples (schedule-independence at
 //!    sweep scale).
+//!
+//! Every stage's numbers are also written to `BENCH_interleave.json`
+//! in the working directory (CI uploads it as an artifact).
 //!
 //! Usage: `cargo run --release -p mbus-bench --bin interleave
 //! [-- <clusters> <sensors> <rounds>] [-- --smoke]`
@@ -37,10 +46,11 @@
 use std::time::Instant;
 
 use mbus_bench::harness::smoke_mode;
+use mbus_bench::json::Json;
 use mbus_bench::two_col_table;
-use mbus_core::{EngineKind, FleetSchedule, FleetWorkload, SweepRunner};
+use mbus_core::{EngineKind, FleetReport, FleetSchedule, FleetWorkload, ShardedFleet, SweepRunner};
 
-fn run_headline(clusters: usize, sensors: usize, rounds: usize) {
+fn run_headline(clusters: usize, sensors: usize, rounds: usize) -> Json {
     let workload = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds);
     println!(
         "workload '{}': {} nodes across {} event-engine buses, one thread",
@@ -51,38 +61,63 @@ fn run_headline(clusters: usize, sensors: usize, rounds: usize) {
     let start = Instant::now();
     let report = workload.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
     let wall = start.elapsed();
+    let txn_s = report.transactions() as f64 / wall.as_secs_f64();
     println!(
         "  [event/interleaved] {} transactions, {} forwarded envelopes, {} deliveries in {:.2?} ({:.0} txn/s)\n",
         report.transactions(),
         report.forwarded,
         report.delivered_messages(),
         wall,
-        report.transactions() as f64 / wall.as_secs_f64(),
+        txn_s,
     );
+    Json::obj([
+        ("clusters", clusters.into()),
+        ("nodes", workload.total_nodes().into()),
+        ("rounds", rounds.into()),
+        ("transactions", (report.transactions() as u64).into()),
+        ("forwarded", report.forwarded.into()),
+        ("wall_s", wall.as_secs_f64().into()),
+        ("txn_per_s", txn_s.into()),
+    ])
 }
 
-fn run_sharded(clusters: usize, sensors: usize, rounds: usize, smoke: bool) {
+/// One timed sharded drain; asserts the stream matches `reference` bit
+/// for bit and returns `(report, txn/s)`.
+fn timed_drain(
+    workload: &FleetWorkload,
+    sharded: &mut ShardedFleet,
+    reference: &FleetReport,
+    label: &str,
+) -> (FleetReport, f64) {
+    let start = Instant::now();
+    let report = workload.run_sharded_on(EngineKind::Event, sharded);
+    let wall = start.elapsed();
+    assert_eq!(
+        reference.records, report.records,
+        "{label} stream diverged from interleaved"
+    );
+    assert_eq!(
+        reference.signature(),
+        report.signature(),
+        "{label} signature diverged from interleaved"
+    );
+    let txn_s = report.transactions() as f64 / wall.as_secs_f64();
+    (report, txn_s)
+}
+
+fn run_worker_scaling(clusters: usize, sensors: usize, rounds: usize, smoke: bool) -> Json {
     let workload = FleetWorkload::sense_and_aggregate(clusters, sensors, rounds);
     println!(
-        "sharded interleave '{}': {} nodes across {} event-engine buses",
+        "worker scaling '{}': {} nodes across {} event-engine buses",
         workload.name(),
         workload.total_nodes(),
         clusters,
     );
     // Always include multi-worker rows (they stay correct when
     // oversubscribed); speedup materializes with the cores to back it.
-    let max_workers = SweepRunner::auto().threads().max(4);
-    let worker_counts: Vec<usize> = if smoke {
-        vec![1, 4]
-    } else {
-        let mut counts = vec![1usize, 2, 4, 8, 16];
-        counts.retain(|&w| w <= max_workers);
-        counts
-    };
-    // The PR 4 baseline shape on this very workload: the
-    // single-threaded interleaved drain. The one-worker sharded run
-    // must match its throughput (within noise) and its records (bit
-    // for bit).
+    let worker_counts: Vec<usize> = if smoke { vec![1, 4] } else { vec![1, 2, 4, 8] };
+    // The single-threaded interleaved drain is both the correctness
+    // reference (bit-identical streams) and the throughput baseline.
     let start = Instant::now();
     let reference = workload.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
     let ref_wall = start.elapsed();
@@ -93,49 +128,129 @@ fn run_sharded(clusters: usize, sensors: usize, rounds: usize, smoke: bool) {
         ref_wall,
         base_txn_s,
     );
+    let mut rows = Vec::new();
     for &workers in &worker_counts {
-        let start = Instant::now();
-        let report = workload.run_scheduled_on(
-            EngineKind::Event,
-            FleetSchedule::Sharded { shards: workers },
-        );
-        let wall = start.elapsed();
-        let txn_s = report.transactions() as f64 / wall.as_secs_f64();
-        if workers == 1 {
-            // The one-worker sharded drain must reproduce the
-            // single-threaded interleaved stream bit for bit.
-            assert_eq!(
-                reference.records, report.records,
-                "one-worker sharded stream diverged from interleaved"
-            );
-            assert_eq!(reference.signature(), report.signature());
-        }
+        // The PR 5 shape: fresh scoped threads every epoch, static
+        // contiguous shards.
+        let mut spawn = ShardedFleet::per_epoch_spawn(workers);
+        let (_, spawn_txn_s) = timed_drain(&workload, &mut spawn, &reference, "spawn-per-epoch");
+        // The persistent pool with measured load balancing.
+        let mut pool = ShardedFleet::new(workers);
+        let (report, pool_txn_s) = timed_drain(&workload, &mut pool, &reference, "persistent");
         let fairness = report.fairness.as_ref().expect("sharded drains report");
-        // Per-shard transaction totals, re-derived from the contiguous
-        // partition the drain used.
-        let chunk = clusters.div_ceil(workers.min(clusters));
-        let per_shard: Vec<u64> = fairness
-            .cluster_transactions
-            .chunks(chunk)
-            .map(|c| c.iter().sum())
+        let (txn_lo, txn_hi) = (
+            fairness
+                .shard_transactions
+                .iter()
+                .min()
+                .copied()
+                .unwrap_or(0),
+            fairness
+                .shard_transactions
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(0),
+        );
+        // Per-shard throughput: each shard's transactions over its own
+        // accumulated wall time.
+        let shard_txn_s: Vec<f64> = fairness
+            .shard_transactions
+            .iter()
+            .zip(&fairness.shard_wall_nanos)
+            .map(|(&txns, &nanos)| txns as f64 / (nanos.max(1) as f64 / 1e9))
             .collect();
-        let (lo, hi) = (
-            per_shard.iter().min().copied().unwrap_or(0),
-            per_shard.iter().max().copied().unwrap_or(0),
+        println!(
+            "  [{workers:>2} worker{}] spawn {:>9.0} txn/s | pool {:>9.0} txn/s ({:>4.2}x spawn, {:>4.2}x baseline)",
+            if workers == 1 { " " } else { "s" },
+            spawn_txn_s,
+            pool_txn_s,
+            pool_txn_s / spawn_txn_s,
+            pool_txn_s / base_txn_s,
         );
         println!(
-            "  [{workers:>2} worker{}] {} txns in {:>8.2?} ({:>9.0} txn/s, {:>4.2}x) | per-shard txns {lo}..{hi}, max turn gap {}, hog {}, epochs {}",
-            if workers == 1 { " " } else { "s" },
-            report.transactions(),
-            wall,
-            txn_s,
-            txn_s / base_txn_s,
+            "      per-shard txns {txn_lo}..{txn_hi}, wall imbalance {:.2}x, shard txn/s {:.0}..{:.0} | max turn gap {}, epochs {}",
+            fairness.shard_imbalance(),
+            shard_txn_s.iter().cloned().fold(f64::INFINITY, f64::min),
+            shard_txn_s.iter().cloned().fold(0.0, f64::max),
             fairness.max_turn_gap,
-            fairness.max_cluster_epoch_transactions,
             fairness.epochs,
         );
+        rows.push(Json::obj([
+            ("workers", workers.into()),
+            ("spawn_txn_per_s", spawn_txn_s.into()),
+            ("pool_txn_per_s", pool_txn_s.into()),
+            ("pool_speedup_vs_spawn", (pool_txn_s / spawn_txn_s).into()),
+            ("pool_speedup_vs_baseline", (pool_txn_s / base_txn_s).into()),
+            (
+                "shard_transactions",
+                Json::arr(fairness.shard_transactions.iter().copied()),
+            ),
+            (
+                "shard_wall_nanos",
+                Json::arr(fairness.shard_wall_nanos.iter().copied()),
+            ),
+            ("shard_wall_imbalance", fairness.shard_imbalance().into()),
+        ]));
     }
-    println!("  sharded check: one-worker stream identical to single-threaded interleave\n");
+    println!("  worker-scaling check: every stream identical to single-threaded interleave\n");
+    Json::obj([
+        ("clusters", clusters.into()),
+        ("nodes", workload.total_nodes().into()),
+        ("rounds", rounds.into()),
+        ("baseline_txn_per_s", base_txn_s.into()),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+fn run_fleet_64k() -> Json {
+    // The population headline: 65536 clusters — every FullPrefix
+    // cluster field value — of 3 always-on sensors plus a gateway
+    // presence, 262144 nodes, every message crossing clusters.
+    let clusters = 65536usize;
+    let sensors = 3usize;
+    let workload = FleetWorkload::cross_storm(clusters, sensors, 1);
+    let workers = SweepRunner::auto().threads().clamp(1, 8);
+    println!(
+        "64k-bus fleet '{}': {} nodes across {} buses on {} workers",
+        workload.name(),
+        workload.total_nodes(),
+        clusters,
+        workers,
+    );
+    let mut sharded = ShardedFleet::new(workers);
+    let start = Instant::now();
+    let report = workload.run_sharded_on(EngineKind::Event, &mut sharded);
+    let wall = start.elapsed();
+    // Every sensor's one message is remote, so the gateway forwarded
+    // exactly clusters × sensors envelopes — a cheap completion check
+    // that doesn't need a second (reference) drain at this scale.
+    assert_eq!(
+        report.forwarded,
+        (clusters * sensors) as u64,
+        "64k cross-storm forwarded count"
+    );
+    let txn_s = report.transactions() as f64 / wall.as_secs_f64();
+    let fairness = report.fairness.as_ref().expect("sharded drains report");
+    println!(
+        "  [{} workers] {} txns, {} forwarded in {:.2?} ({:.0} txn/s), wall imbalance {:.2}x\n",
+        workers,
+        report.transactions(),
+        report.forwarded,
+        wall,
+        txn_s,
+        fairness.shard_imbalance(),
+    );
+    Json::obj([
+        ("clusters", clusters.into()),
+        ("nodes", workload.total_nodes().into()),
+        ("workers", workers.into()),
+        ("transactions", (report.transactions() as u64).into()),
+        ("forwarded", report.forwarded.into()),
+        ("wall_s", wall.as_secs_f64().into()),
+        ("txn_per_s", txn_s.into()),
+        ("shard_wall_imbalance", fairness.shard_imbalance().into()),
+    ])
 }
 
 fn run_schedule_check(clusters: usize, sensors: usize, rounds: usize) {
@@ -228,18 +343,32 @@ fn main() {
         _ if smoke => (1024, 3, 1),
         _ => (1024, 3, 8),
     };
-    run_headline(clusters, sensors, rounds);
-    // The sharded stage drives ≥8192 buses in both modes (one round in
-    // smoke so CI still exercises the full worker-scaling shape).
-    if smoke {
-        run_sharded(8192, 3, 1, true);
+    let headline = run_headline(clusters, sensors, rounds);
+    // The worker-scaling stage drives 8192 buses in both modes (one
+    // round in smoke so CI still exercises the full comparison shape).
+    let scaling = if smoke {
+        run_worker_scaling(8192, 3, 1, true)
     } else {
-        run_sharded(8192, 3, 4, false);
-    }
+        run_worker_scaling(8192, 3, 4, false)
+    };
+    // The 64k stage runs in smoke too — CI's artifact carries the
+    // population headline.
+    let fleet_64k = run_fleet_64k();
     if smoke {
         run_schedule_check(32, 3, 1);
     } else {
         run_schedule_check(256, 3, 2);
     }
     run_engine_grid(smoke);
+
+    let artifact = Json::obj([
+        ("bench", "interleave".into()),
+        ("smoke", smoke.into()),
+        ("headline", headline),
+        ("worker_scaling", scaling),
+        ("fleet_64k", fleet_64k),
+    ]);
+    std::fs::write("BENCH_interleave.json", format!("{artifact}\n"))
+        .expect("write BENCH_interleave.json");
+    println!("\nwrote BENCH_interleave.json");
 }

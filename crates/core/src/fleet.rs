@@ -36,10 +36,11 @@
 //! cluster per round, so thousands of buses — ideally
 //! [`EventEngine`](crate::event::EventEngine)-backed — make progress
 //! together on one thread), or the *sharded* interleave
-//! ([`shard::ShardedFleet`]: contiguous cluster groups on scoped
-//! worker threads, one interleaved scheduler each, gateway envelopes
-//! exchanged at cross-worker epoch barriers — the serving shape for
-//! tens of thousands of buses). Barrier routing makes cross-bus
+//! ([`shard::ShardedFleet`]: cluster groups on a persistent worker
+//! pool, one interleaved scheduler each, shards rebalanced by
+//! measured load, gateway envelopes exchanged at cross-worker epoch
+//! barriers — the serving shape for tens of thousands of buses).
+//! Barrier routing makes cross-bus
 //! causality (which epoch a forwarded message lands in) reproducible,
 //! engine-independent, *and* schedule-independent: all schedules
 //! yield identical per-cluster record streams and differ only in
@@ -68,12 +69,13 @@
 //! # Ok::<(), mbus_core::MbusError>(())
 //! ```
 
+mod pool;
 pub mod shard;
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-pub use shard::ShardedFleet;
+pub use shard::{FleetRecordSink, ShardBalance, ShardedFleet};
 
 use crate::addr::{Address, FuId, FullPrefix, ShortPrefix};
 use crate::config::BusConfig;
@@ -106,31 +108,35 @@ pub const GATEWAY_FORWARD_FU: FuId = FuId::ZERO;
 /// minus the one the gateway occupies.
 pub const MAX_SENSORS_PER_CLUSTER: usize = ShortPrefix::USABLE - 1;
 
-/// Highest cluster count a fleet supports: cluster-derived full
-/// prefixes must stay below the `0xF0000` block reserved for the
-/// gateway's own per-bus presences (see [`Fleet::add_cluster`]).
-/// Sensor prefixes pack the ≤14 ring positions into the low nibble, so
-/// the cluster field spans 16 bits minus the reserved top block —
-/// enough for the 8–16k-bus sharded fleets the `interleave` bench
-/// drives.
-pub const MAX_CLUSTERS: usize = 0xEFFF;
+/// Highest cluster count a fleet supports. Every fleet-global full
+/// prefix packs as `(cluster << 4) | slot`: the 20-bit prefix space
+/// splits into a 16-bit cluster field and a 4-bit per-bus slot, so the
+/// fleet layer addresses exactly `2^16` buses — the 65536-bus /
+/// 262144-node headline fleet the `interleave` bench drives. Slots
+/// `0x1..=0xD` are the ≤14 sensor ring positions, slot `0xF` is the
+/// gateway's presence on that bus, and slots `0x0`/`0xE` are never
+/// allocated (which gives seeded workloads a prefix block that is
+/// unroutable in every legal fleet).
+pub const MAX_CLUSTERS: usize = 1 << 16;
 
 /// The short prefix the gateway holds on every bridged bus.
 fn gateway_short_prefix() -> ShortPrefix {
     ShortPrefix::new(0x1).expect("0x1 is a usable short prefix")
 }
 
-/// The full prefix of the gateway's presence on cluster `c`.
+/// The full prefix of the gateway's presence on cluster `c`: slot
+/// `0xF` of the cluster's 16-prefix block (see [`MAX_CLUSTERS`]).
 fn gateway_full_prefix(cluster: usize) -> FullPrefix {
-    FullPrefix::new(0xF0000 + cluster as u32).expect("cluster count is capped below the block size")
+    FullPrefix::new(((cluster as u32) << 4) | 0xF)
+        .expect("cluster count is capped so gateway prefixes fit 20 bits")
 }
 
 /// The globally unique full prefix of sensor ring-slot `node` on
-/// cluster `cluster` (gateway presences live in a disjoint block). The
-/// ring position fits the low nibble (at most 14 sensors), leaving the
-/// upper 16 bits for the cluster field.
+/// cluster `cluster`: the ring position (1..=13 after the gateway's
+/// mediator slot) in the low nibble, the cluster in the upper 16 bits.
+/// Disjoint from every gateway presence (slot `0xF`).
 fn sensor_full_prefix(cluster: usize, node: NodeIndex) -> FullPrefix {
-    FullPrefix::new(((cluster as u32 + 1) << 4) | node as u32)
+    FullPrefix::new(((cluster as u32) << 4) | node as u32)
         .expect("cluster count is capped so sensor prefixes fit 20 bits")
 }
 
@@ -847,10 +853,14 @@ pub enum FleetSchedule {
     /// together — the serving shape for thousands of buses on one
     /// thread.
     Interleaved,
-    /// Sharded interleave ([`shard::ShardedFleet`]): contiguous
-    /// cluster groups on scoped worker threads, one interleaved
-    /// scheduler each, gateway envelopes exchanged at cross-worker
-    /// epoch barriers — tens of thousands of buses across cores.
+    /// Sharded interleave ([`shard::ShardedFleet`]): cluster groups on
+    /// a persistent worker pool, one interleaved scheduler each,
+    /// shards rebalanced every epoch by measured per-cluster load
+    /// ([`ShardBalance::Measured`]), gateway envelopes exchanged at
+    /// cross-worker epoch barriers — tens of thousands of buses across
+    /// cores. The record stream stays bit-identical to
+    /// [`FleetSchedule::Interleaved`] regardless of worker count or
+    /// rebalance schedule.
     Sharded {
         /// Worker-thread count (clamped to the cluster count; 0 is
         /// treated as 1).
@@ -1019,6 +1029,7 @@ impl InterleavedScheduler {
             max_turn_gap: self.max_turn_gap,
             max_cluster_epoch_transactions: self.max_cluster_epoch_transactions,
             epochs: self.epochs,
+            ..FleetFairness::default()
         }
     }
 
@@ -1031,50 +1042,54 @@ impl InterleavedScheduler {
         }
     }
 
-    /// Runs one epoch of round-robin rounds over `clusters` — fleet
-    /// clusters `base..base + clusters.len()` — with *no* gateway
-    /// routing, handing each completed transaction to `emit` as
-    /// `(round, global cluster index, record)`. One round polls every
-    /// still-active cluster once in index order; a cluster that
-    /// reports no work leaves the rotation for the rest of the epoch.
-    /// Returns whether any transaction ran. Does not touch
-    /// [`epochs`](Self::epochs) — the caller owns the barrier and
-    /// decides whether the epoch counts as progress.
+    /// Runs one epoch of round-robin rounds over `entries` — pairs of
+    /// `(fleet-global cluster index, engine)` in ascending cluster
+    /// order — with *no* gateway routing, handing each completed
+    /// transaction to `emit` as `(round, global cluster index,
+    /// record)`. One round polls every still-active cluster once in
+    /// entry order; a cluster that reports no work leaves the rotation
+    /// for the rest of the epoch. Returns whether any transaction ran.
+    /// Does not touch [`epochs`](Self::epochs) — the caller owns the
+    /// barrier and decides whether the epoch counts as progress.
     ///
     /// This is the worker-side kernel of the sharded drain
-    /// ([`shard::ShardedFleet`]): each worker runs it over its own
-    /// contiguous shard with the shard's `base`, and because a
-    /// cluster's `j`-th transaction always lands in round `j`
-    /// regardless of what other clusters do, merging all shards'
-    /// emissions by `(round, cluster)` reproduces the single-threaded
-    /// round-robin order exactly.
-    pub(crate) fn run_epoch(
+    /// ([`shard::ShardedFleet`]): each worker runs it over its shard's
+    /// entries — *any* subset of the fleet's clusters, contiguous or
+    /// not — and because a cluster's `j`-th transaction always lands
+    /// in round `j` regardless of what other clusters do, merging all
+    /// shards' emissions by `(round, cluster)` reproduces the
+    /// single-threaded round-robin order exactly, whatever the
+    /// assignment.
+    pub(crate) fn run_epoch_entries(
         &mut self,
-        clusters: &mut [Box<dyn BusEngine>],
-        base: usize,
+        entries: &mut [(usize, &mut Box<dyn BusEngine>)],
         emit: &mut dyn FnMut(u64, usize, EngineRecord),
     ) -> bool {
-        let end = base + clusters.len();
+        let end = entries.iter().map(|&(c, _)| c + 1).max().unwrap_or(0);
         self.grow(end);
-        for i in base..end {
-            self.epoch_counts[i] = 0;
-            self.last_turn[i] = 0;
+        for &(cluster, _) in entries.iter() {
+            self.epoch_counts[cluster] = 0;
+            self.last_turn[cluster] = 0;
         }
+        // `active` holds positions into `entries` (not cluster
+        // indices), so sparse shard assignments cost nothing extra.
         self.active.clear();
-        self.active.extend(base..end);
+        self.active.extend(0..entries.len());
         let mut epoch_txns = 0u64;
         let mut round = 0u64;
         let mut ran = false;
         while !self.active.is_empty() {
             // One round: one transaction per still-active cluster, in
-            // index order; quiescent clusters leave the epoch. The
+            // entry order; quiescent clusters leave the epoch. The
             // survivors are compacted in place (order preserved), so a
             // round costs O(active) even when thousands of clusters
             // quiesce at once.
             let mut kept = 0;
             for i in 0..self.active.len() {
-                let cluster = self.active[i];
-                if let Some(record) = clusters[cluster - base].run_transaction() {
+                let pos = self.active[i];
+                let (cluster, engine) = &mut entries[pos];
+                let cluster = *cluster;
+                if let Some(record) = engine.run_transaction() {
                     self.transactions += 1;
                     epoch_txns += 1;
                     self.cluster_transactions[cluster] += 1;
@@ -1089,7 +1104,7 @@ impl InterleavedScheduler {
                         .max(self.epoch_counts[cluster]);
                     ran = true;
                     emit(round, cluster, record);
-                    self.active[kept] = cluster;
+                    self.active[kept] = pos;
                     kept += 1;
                 }
             }
@@ -1104,9 +1119,12 @@ impl InterleavedScheduler {
     /// round-robin order.
     pub fn drive(&mut self, fleet: &mut Fleet, sink: &mut dyn FnMut(FleetRecord)) {
         loop {
-            let ran = self.run_epoch(&mut fleet.clusters, 0, &mut |_, cluster, record| {
+            let mut entries: Vec<(usize, &mut Box<dyn BusEngine>)> =
+                fleet.clusters.iter_mut().enumerate().collect();
+            let ran = self.run_epoch_entries(&mut entries, &mut |_, cluster, record| {
                 sink(FleetRecord { cluster, record })
             });
+            drop(entries);
             // Epoch barrier: identical routing discipline to the
             // batched drain — every gateway presence, in index order.
             let mut routed = false;
@@ -1358,6 +1376,62 @@ impl FleetWorkload {
     ///
     /// As [`FleetWorkload::apply`].
     pub fn apply_scheduled(&self, fleet: &mut Fleet, schedule: FleetSchedule) -> FleetReport {
+        match schedule {
+            FleetSchedule::Batched => self.apply_with_drain(fleet, &mut |fleet, records| {
+                fleet.drain_with(&mut |r| records.push(r))
+            }),
+            FleetSchedule::Interleaved => {
+                let mut scheduler = InterleavedScheduler::new();
+                let clusters = fleet.cluster_count();
+                let mut report = self.apply_with_drain(fleet, &mut |fleet, records| {
+                    scheduler.drive(fleet, &mut |r| records.push(r))
+                });
+                report.fairness = Some(scheduler.fairness(clusters));
+                report
+            }
+            FleetSchedule::Sharded { shards } => {
+                let mut sharded = ShardedFleet::new(shards);
+                self.apply_sharded(fleet, &mut sharded)
+            }
+        }
+    }
+
+    /// [`FleetWorkload::apply_scheduled`] with a caller-owned
+    /// [`ShardedFleet`], so the drain's worker-pool mode, shard count,
+    /// and [`ShardBalance`] schedule are all the caller's choice (the
+    /// `interleave` bench uses this to race the persistent pool against
+    /// the per-epoch-spawn baseline). Counters accumulate into
+    /// `sharded` and the report's fairness snapshot is taken from it.
+    ///
+    /// # Panics
+    ///
+    /// As [`FleetWorkload::apply`].
+    pub fn apply_sharded(&self, fleet: &mut Fleet, sharded: &mut ShardedFleet) -> FleetReport {
+        let clusters = fleet.cluster_count();
+        let mut report = self.apply_with_drain(fleet, &mut |fleet, records| {
+            sharded.drive(fleet, &mut |r| records.push(r))
+        });
+        report.fairness = Some(sharded.fairness(clusters));
+        report
+    }
+
+    /// Builds a fleet of `kind` and runs the workload on it through a
+    /// caller-owned [`ShardedFleet`] (see
+    /// [`FleetWorkload::apply_sharded`]).
+    pub fn run_sharded_on(&self, kind: EngineKind, sharded: &mut ShardedFleet) -> FleetReport {
+        let mut fleet = self.instantiate(kind);
+        self.apply_sharded(&mut fleet, sharded)
+    }
+
+    /// The shared body of every schedule's apply: asserts the fleet
+    /// matches the workload topology, replays the steps with `drain`
+    /// as the quiescence driver, and assembles the report (with
+    /// `fairness: None` — schedule-specific callers fill it in).
+    fn apply_with_drain(
+        &self,
+        fleet: &mut Fleet,
+        drain: &mut dyn FnMut(&mut Fleet, &mut Vec<FleetRecord>),
+    ) -> FleetReport {
         assert_eq!(
             fleet.cluster_count(),
             self.clusters.len(),
@@ -1381,17 +1455,7 @@ impl FleetWorkload {
                 );
             }
         }
-        let mut scheduler = InterleavedScheduler::new();
-        let mut sharded = ShardedFleet::new(match schedule {
-            FleetSchedule::Sharded { shards } => shards,
-            _ => 1,
-        });
         let mut records = Vec::new();
-        let mut drain = |fleet: &mut Fleet, records: &mut Vec<FleetRecord>| match schedule {
-            FleetSchedule::Batched => fleet.drain_with(&mut |r| records.push(r)),
-            FleetSchedule::Interleaved => scheduler.drive(fleet, &mut |r| records.push(r)),
-            FleetSchedule::Sharded { .. } => sharded.drive(fleet, &mut |r| records.push(r)),
-        };
         for step in &self.steps {
             match step {
                 FleetStep::Local { src, msg } => {
@@ -1434,11 +1498,6 @@ impl FleetWorkload {
             drain(fleet, &mut records);
         }
         let clusters = fleet.cluster_count();
-        let fairness = match schedule {
-            FleetSchedule::Batched => None,
-            FleetSchedule::Interleaved => Some(scheduler.fairness(clusters)),
-            FleetSchedule::Sharded { .. } => Some(sharded.fairness(clusters)),
-        };
         let rx = (0..clusters)
             .map(|c| {
                 (0..fleet.clusters[c].node_count())
@@ -1465,7 +1524,7 @@ impl FleetWorkload {
             cluster_drops: (0..clusters)
                 .map(|c| fleet.gateway().dropped_on(c))
                 .collect(),
-            fairness,
+            fairness: None,
             strict_nulls: self.strict_nulls,
         }
     }
@@ -1685,17 +1744,18 @@ impl FleetWorkload {
                 }
                 7 => {
                     // A well-formed envelope whose destination prefix
-                    // routes nowhere: the 0xFF000 block sits above the
-                    // gateway block (which tops out at 0xF0000 +
-                    // MAX_CLUSTERS - 1 = 0xFEFFE) and no sensor prefix
-                    // reaches it either, so it is unroutable in every
+                    // routes nowhere: slot 0xE of any cluster's
+                    // 16-prefix block is never allocated (sensors take
+                    // slots 0x1..=0xD, the gateway takes 0xF — see
+                    // MAX_CLUSTERS), so it is unroutable in every
                     // legal fleet. The gateway must count a
                     // per-cluster drop, and every engine must agree
                     // where it vanished.
                     let src = pick_sensor(&mut rng, &gated);
                     gated_tx |= gated[src.cluster][src.node - 1];
-                    let prefix = FullPrefix::new(0xFF000 + rng.gen_index(0..0x100) as u32)
-                        .expect("unroutable block fits 20 bits");
+                    let prefix =
+                        FullPrefix::new(((rng.gen_index(0..MAX_CLUSTERS) as u32) << 4) | 0xE)
+                            .expect("unroutable slot fits 20 bits");
                     let len = rng.gen_index(0..5);
                     let envelope =
                         GatewayNode::encapsulate(prefix, FuId::ZERO, &rng.gen_bytes(len));
@@ -1774,6 +1834,35 @@ pub struct FleetFairness {
     /// [`InterleavedScheduler::epochs`]; global barrier count for a
     /// sharded drain).
     pub epochs: u64,
+    /// Transactions each worker's scheduler ran, indexed by shard —
+    /// the load-balance view of a sharded drain. Empty for
+    /// single-threaded drains. Deterministic (it follows the shard
+    /// assignment, which is a pure function of the record stream).
+    pub shard_transactions: Vec<u64>,
+    /// Wall-clock nanoseconds each shard spent inside its epoch
+    /// bodies, summed across epochs, indexed by shard — the barrier
+    /// idle time is the spread between entries. Empty for
+    /// single-threaded drains. **Not** deterministic: a timing gauge,
+    /// excluded (like all of [`FleetFairness`]) from
+    /// [`FleetSignature`].
+    pub shard_wall_nanos: Vec<u64>,
+}
+
+impl FleetFairness {
+    /// Busiest-to-idlest shard wall-time ratio — how much of the
+    /// barrier interval the idlest worker spent waiting. `1.0` for
+    /// single-threaded drains, perfectly balanced shards, or when any
+    /// shard recorded zero wall time (degenerate epochs too short to
+    /// measure).
+    pub fn shard_imbalance(&self) -> f64 {
+        let max = self.shard_wall_nanos.iter().copied().max().unwrap_or(0);
+        let min = self.shard_wall_nanos.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            1.0
+        } else {
+            max as f64 / min as f64
+        }
+    }
 }
 
 impl FleetReport {
@@ -1968,8 +2057,9 @@ mod tests {
         // The port check builds the gateway's full prefix for the
         // source cluster; an out-of-range cluster index must surface
         // as UnknownCluster (the documented contract), not as a panic
-        // in the prefix constructor — even past MAX_CLUSTERS, where
-        // 0xF0000 + cluster would overflow the 20-bit prefix field.
+        // in the prefix constructor — even at or past MAX_CLUSTERS,
+        // where (cluster << 4) | 0xF would overflow the 20-bit prefix
+        // field.
         let (mut fleet, _, _) = two_cluster_fleet(EngineKind::Analytic);
         for cluster in [2usize, MAX_CLUSTERS, 0x10000] {
             for dest in [

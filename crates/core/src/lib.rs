@@ -104,8 +104,8 @@ pub use engine::{
 pub use error::MbusError;
 pub use event::EventEngine;
 pub use fleet::{
-    Fleet, FleetFairness, FleetNodeId, FleetRecord, FleetReport, FleetSchedule, FleetSignature,
-    FleetWorkload, InterleavedScheduler, ShardedFleet,
+    Fleet, FleetFairness, FleetNodeId, FleetRecord, FleetRecordSink, FleetReport, FleetSchedule,
+    FleetSignature, FleetWorkload, InterleavedScheduler, ShardBalance, ShardedFleet,
 };
 pub use message::Message;
 pub use node::NodeSpec;

@@ -6,8 +6,10 @@
 //! share nothing and shard perfectly across threads. `SweepRunner`
 //! does exactly that with `std::thread::scope`, preserving input order
 //! and bit-identical results regardless of thread count: points are
-//! split into contiguous chunks, each worker maps its chunk in order,
-//! and the chunks are re-concatenated.
+//! split into contiguous near-equal parts (`balanced_parts`: sizes
+//! differ by at most one, remainders dealt to the leading workers so
+//! nobody gets the short straw), each worker maps its part in order,
+//! and the parts are re-concatenated.
 //!
 //! # Determinism contract
 //!
@@ -58,9 +60,35 @@
 //! ```
 
 use std::num::NonZeroUsize;
+use std::ops::Range;
 
 use crate::engine::EngineKind;
 use crate::fleet::{FleetSchedule, FleetWorkload};
+
+/// Splits `0..len` into up to `parts` contiguous ranges whose sizes
+/// differ by at most one: every part gets `len / parts` items and the
+/// first `len % parts` parts get one extra. This fixes the classic
+/// `div_ceil` chunking short-straw — with 10 points on 4 workers,
+/// `chunks(3)` deals 3/3/3/1 (the last worker nearly idle) while this
+/// deals 3/3/2/2. Returns fewer than `parts` ranges only when `len`
+/// is smaller (never an empty range); `parts` of zero is treated as
+/// one.
+pub(crate) fn balanced_parts(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
 
 /// Shards independent sweep points across scoped worker threads.
 ///
@@ -123,7 +151,8 @@ impl SweepRunner {
 
     /// Maps `f` over `points`, sharded across the workers. The output
     /// is in input order and identical to the serial run — workers
-    /// process contiguous chunks and never interleave results.
+    /// process contiguous near-equal parts (`balanced_parts`, sizes
+    /// within one of each other) and never interleave results.
     ///
     /// # Panics
     ///
@@ -138,13 +167,15 @@ impl SweepRunner {
         if threads <= 1 {
             return points.iter().map(f).collect();
         }
-        let chunk = points.len().div_ceil(threads);
         let f = &f;
         let mut out: Vec<R> = Vec::with_capacity(points.len());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = points
-                .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            let handles: Vec<_> = balanced_parts(points.len(), threads)
+                .into_iter()
+                .map(|range| {
+                    let part = &points[range];
+                    scope.spawn(move || part.iter().map(f).collect::<Vec<R>>())
+                })
                 .collect();
             for handle in handles {
                 out.extend(handle.join().expect("sweep worker panicked"));
@@ -323,6 +354,38 @@ mod tests {
             SweepRunner::with_threads(9).run(&[5u32], |&x| x + 1),
             vec![6]
         );
+    }
+
+    #[test]
+    fn ragged_parts_are_dealt_evenly() {
+        // The short-straw fix: 10 points on 4 workers used to chunk
+        // 3/3/3/1; now the remainder is dealt to the leading parts.
+        assert_eq!(balanced_parts(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(balanced_parts(26, 8).len(), 8);
+        for parts in 1..=9 {
+            for len in 0..40 {
+                let ranges = balanced_parts(len, parts);
+                // Contiguous, in order, covering 0..len exactly.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "len={len} parts={parts}");
+                    assert!(!r.is_empty(), "len={len} parts={parts}");
+                    next = r.end;
+                }
+                assert_eq!(next, len, "len={len} parts={parts}");
+                // Sizes within one of each other — no short straw.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(Range::len).max(),
+                    ranges.iter().map(Range::len).min(),
+                ) {
+                    assert!(max - min <= 1, "len={len} parts={parts}: {max} vs {min}");
+                }
+            }
+        }
+        // Degenerate inputs.
+        assert!(balanced_parts(0, 3).is_empty());
+        assert_eq!(balanced_parts(3, 0), vec![0..3]);
+        assert_eq!(balanced_parts(2, 5), vec![0..1, 1..2]);
     }
 
     #[test]

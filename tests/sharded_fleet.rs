@@ -24,8 +24,8 @@ mod common;
 
 use mbus_core::fleet::{Fleet, FleetNodeId, GatewayNode, ShardedFleet, GATEWAY_NODE};
 use mbus_core::{
-    Address, BusConfig, EngineKind, FleetSchedule, FleetWorkload, FuId, FullPrefix, Message,
-    ShortPrefix,
+    Address, BusConfig, EngineKind, EngineRecord, FleetRecord, FleetRecordSink, FleetSchedule,
+    FleetWorkload, FuId, FullPrefix, Message, ShardBalance, ShortPrefix,
 };
 
 /// The acceptance-bar shard counts: degenerate, even, ragged, and
@@ -194,6 +194,202 @@ fn sharded_fairness_counters_are_consistent() {
             fairness.max_cluster_epoch_transactions >= 1,
             "shards={shards}"
         );
+    }
+}
+
+#[test]
+fn rebalance_schedules_produce_identical_merged_streams() {
+    // The tentpole pin, rebalancing axis: every balance policy —
+    // rebalance every epoch, every third epoch, never (static), and
+    // the per-epoch-spawn baseline — yields the identical merged
+    // stream and signature on every engine kind and shard count,
+    // including more shards than clusters.
+    let w = FleetWorkload::cross_storm(7, 2, 2);
+    for kind in EngineKind::ALL {
+        let reference = w.run_scheduled_on(kind, FleetSchedule::Interleaved);
+        for shards in [2usize, 4, 7, 13] {
+            for balance in [
+                ShardBalance::Measured { every_epochs: 1 },
+                ShardBalance::Measured { every_epochs: 3 },
+                ShardBalance::Static,
+            ] {
+                let mut sharded = ShardedFleet::with_balance(shards, balance);
+                let report = w.run_sharded_on(kind, &mut sharded);
+                assert_eq!(
+                    reference.records, report.records,
+                    "{kind} shards={shards} balance={balance}"
+                );
+                assert_eq!(
+                    reference.signature(),
+                    report.signature(),
+                    "{kind} shards={shards} balance={balance}"
+                );
+            }
+            let mut spawned = ShardedFleet::per_epoch_spawn(shards);
+            let report = w.run_sharded_on(kind, &mut spawned);
+            assert_eq!(
+                reference.records, report.records,
+                "{kind} shards={shards} per-epoch spawn"
+            );
+        }
+    }
+}
+
+#[test]
+fn hot_cluster_earns_a_dedicated_shard() {
+    // sense_and_aggregate funnels every reading to cluster 0, whose
+    // forwarded legs make it the dominant load. Measured balancing
+    // must (a) keep the stream bit-identical anyway and (b) end up
+    // isolating the hot cluster on its own shard once its weight
+    // dwarfs the rest.
+    let w = FleetWorkload::sense_and_aggregate(9, 3, 3);
+    let reference = w.run_scheduled_on(EngineKind::Event, FleetSchedule::Interleaved);
+    let weights = &reference.fairness.as_ref().unwrap().cluster_transactions;
+    assert!(
+        weights[1..].iter().all(|&w| weights[0] > 3 * w),
+        "cluster 0 is the clear hot spot: {weights:?}"
+    );
+    for shards in [2usize, 3, 4] {
+        let mut sharded = ShardedFleet::new(shards);
+        // Two drives: the first accumulates the true per-cluster
+        // weights, so the second's rebalances see the hot cluster at
+        // full strength.
+        let report1 = w.run_sharded_on(EngineKind::Event, &mut sharded);
+        assert_eq!(reference.records, report1.records, "shards={shards}");
+        let report2 = w.run_sharded_on(EngineKind::Event, &mut sharded);
+        assert_eq!(reference.records, report2.records, "shards={shards}");
+        let home = sharded
+            .shard_assignment()
+            .iter()
+            .find(|members| members.contains(&0))
+            .expect("cluster 0 is assigned");
+        if shards >= 3 {
+            // With the hot cluster ~4x any peer, the greedy packer
+            // places it first and never tops up its shard while two or
+            // more other shards stay lighter.
+            assert_eq!(
+                home,
+                &vec![0],
+                "shards={shards}: the hot aggregation cluster is isolated"
+            );
+        }
+        let fairness = report2.fairness.as_ref().expect("sharded drains report");
+        assert_eq!(fairness.shard_transactions.len(), shards);
+        assert_eq!(
+            fairness.shard_transactions.iter().sum::<u64>(),
+            sharded.transactions(),
+            "per-shard gauges cover every transaction"
+        );
+    }
+}
+
+/// One per-shard batch as streamed: `(epoch, shard, rows)`.
+type ShardBatch = (u64, usize, Vec<(u64, usize, EngineRecord)>);
+
+/// Collects everything the streaming interface emits.
+#[derive(Default)]
+struct CollectSink {
+    merged: Vec<FleetRecord>,
+    batches: Vec<ShardBatch>,
+    completed: Vec<u64>,
+}
+
+impl FleetRecordSink for CollectSink {
+    fn record(&mut self, record: FleetRecord) {
+        self.merged.push(record);
+    }
+    fn shard_records(&mut self, epoch: u64, shard: usize, records: &[(u64, usize, EngineRecord)]) {
+        self.batches.push((epoch, shard, records.to_vec()));
+    }
+    fn epoch_complete(&mut self, epochs: u64) {
+        self.completed.push(epochs);
+    }
+}
+
+#[test]
+fn streamed_shard_batches_reassemble_into_the_merged_stream() {
+    // The per-shard batches arrive in (nondeterministic) completion
+    // order, but each is internally sorted by the (round, cluster)
+    // merge key — so sorting each epoch's batches together must
+    // reproduce the conformance-pinned merged stream exactly.
+    let mut fleet = Fleet::new(EngineKind::Event, BusConfig::default());
+    for _ in 0..6 {
+        let c = fleet.add_cluster();
+        fleet.add_sensor(c, false);
+        fleet.add_sensor(c, false);
+    }
+    let mut reference = Fleet::new(EngineKind::Event, BusConfig::default());
+    for _ in 0..6 {
+        let c = reference.add_cluster();
+        reference.add_sensor(c, false);
+        reference.add_sensor(c, false);
+    }
+    for f in [&mut fleet, &mut reference] {
+        for c in 0..6 {
+            f.queue_remote(
+                FleetNodeId::new(c, 1),
+                FleetNodeId::new((c + 2) % 6, 2),
+                FuId::ZERO,
+                vec![0x51, c as u8],
+            )
+            .unwrap();
+        }
+    }
+    let want = reference.run_until_quiescent_interleaved();
+
+    let mut sharded = ShardedFleet::new(3);
+    let mut sink = CollectSink::default();
+    sharded.drive_sink(&mut fleet, &mut sink);
+
+    assert_eq!(want, sink.merged, "merged stream is the pinned one");
+    assert_eq!(
+        sink.completed,
+        (1..=sharded.epochs()).collect::<Vec<_>>(),
+        "one completion per progress epoch"
+    );
+
+    // Reassemble: group batches by epoch id, sort each epoch's
+    // concatenation by the merge key, and stitch epochs in order.
+    let mut epoch_ids: Vec<u64> = sink.batches.iter().map(|&(e, _, _)| e).collect();
+    epoch_ids.sort_unstable();
+    epoch_ids.dedup();
+    let mut reassembled = Vec::new();
+    for epoch in epoch_ids {
+        let mut rows: Vec<(u64, usize, EngineRecord)> = sink
+            .batches
+            .iter()
+            .filter(|&&(e, _, _)| e == epoch)
+            .flat_map(|(_, _, records)| records.iter().cloned())
+            .collect();
+        rows.sort_by_key(|&(round, cluster, _)| (round, cluster));
+        reassembled.extend(
+            rows.into_iter()
+                .map(|(_, cluster, record)| FleetRecord { cluster, record }),
+        );
+    }
+    assert_eq!(want, reassembled, "shard batches reassemble exactly");
+}
+
+#[test]
+fn per_epoch_spawn_baseline_stays_conformant_over_seeds() {
+    // A smaller battery for the spawn-per-epoch baseline mode, so the
+    // bench's comparison shape stays pinned to the same bit-identity
+    // contract as the persistent pool.
+    for seed in 0..common::scaled_seeds(40) {
+        let w = FleetWorkload::seeded(seed);
+        for kind in [EngineKind::Analytic, EngineKind::Event] {
+            let reference = w.run_scheduled_on(kind, FleetSchedule::Interleaved);
+            for shards in [2usize, 4] {
+                let mut spawned = ShardedFleet::per_epoch_spawn(shards);
+                let report = w.run_sharded_on(kind, &mut spawned);
+                assert_eq!(reference.records, report.records, "seed={seed} {kind}");
+                assert_eq!(
+                    reference.signature(),
+                    report.signature(),
+                    "seed={seed} {kind}"
+                );
+            }
+        }
     }
 }
 
