@@ -1,0 +1,529 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The workspace forbids new dependencies, so there is no `syn` here:
+//! this module tokenizes Rust source directly. What the rules in
+//! [`crate::rules`] need is exact *classification* — an `unsafe`
+//! inside a string or a comment must not look like the keyword, a
+//! `// SAFETY:` comment must be distinguishable from code, and `'a`
+//! (lifetime) must not swallow the rest of the file the way a naive
+//! quote-matcher would. So the lexer handles, precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as tokens (rules match on their text);
+//! * string literals with escapes, raw strings with any hash depth
+//!   (`r#"…"#`), byte/C strings (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`),
+//!   and byte chars (`b'x'`);
+//! * the lifetime-vs-char-literal ambiguity: `'a` and `'static` are
+//!   lifetimes, `'a'`, `'\n'`, `'\u{1F600}'` are chars;
+//! * raw identifiers (`r#match`), numbers (including `0x…`, floats,
+//!   exponents, and suffixes like `64usize` — without eating the
+//!   second dot of `0..n`), identifiers, and single-char punctuation.
+//!
+//! Every token records its starting line and byte span, and
+//! [`verify_round_trip`] proves the tokenization is lossless: the
+//! spans tile the file in order and every gap is pure whitespace. The
+//! fixture suite runs it over every tricky-token case; the lint binary
+//! debug-asserts it over every real file it scans.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `thread`, `spawn`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A numeric literal, suffix included (`0x1F`, `1.5e3`, `64usize`).
+    Number,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// `// …` to end of line, slashes included in the text.
+    LineComment,
+    /// `/* … */` with nesting, delimiters included in the text.
+    BlockComment,
+}
+
+/// One lexed token: classification, verbatim text, and location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The exact source slice, delimiters included.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// Byte span in the source: `source[start..end] == text`.
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// Whether the token is code (not a comment) — most rules scan
+    /// only code tokens.
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// The lexer: a cursor over the raw bytes (every decision point is an
+/// ASCII byte; multi-byte UTF-8 only ever occurs *inside* tokens and
+/// is carried through verbatim).
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, line: u32) -> Token {
+        Token {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+            start,
+            end: self.pos,
+        }
+    }
+
+    /// Consumes `// …` to (not including) the newline.
+    fn line_comment(&mut self, start: usize, line: u32) -> Token {
+        self.bump_while(|b| b != b'\n');
+        self.token(TokenKind::LineComment, start, line)
+    }
+
+    /// Consumes a `/* … */` block comment, honoring nesting. An
+    /// unterminated comment runs to end of file (the lint still works;
+    /// rustc will reject the file anyway).
+    fn block_comment(&mut self, start: usize, line: u32) -> Token {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.token(TokenKind::BlockComment, start, line)
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed),
+    /// honoring `\` escapes and spanning newlines.
+    fn string_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            match b {
+                b'\\' if self.pos < self.bytes.len() => {
+                    self.bump(); // the escaped byte ('"', '\\', 'n', …)
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at the hashes: `#*"…"#*`.
+    /// Returns false if this isn't actually a raw string opening (e.g.
+    /// `r#match`, a raw identifier).
+    fn raw_string_body(&mut self) -> bool {
+        let rewind = (self.pos, self.line);
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#ident` (raw identifier) or a stray `r#` — not a string.
+            (self.pos, self.line) = rewind;
+            return false;
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'"') {
+                self.bump();
+                for _ in 0..hashes {
+                    if self.peek(0) != Some(b'#') {
+                        continue 'scan;
+                    }
+                    self.bump();
+                }
+                return true; // closing quote + all hashes seen
+            } else {
+                self.bump();
+            }
+        }
+        true // unterminated: runs to EOF
+    }
+
+    /// Consumes one escape sequence after the backslash.
+    fn char_escape(&mut self) {
+        match self.peek(0) {
+            Some(b'x') => {
+                self.bump();
+                for _ in 0..2 {
+                    if self.peek(0).is_some_and(|b| b.is_ascii_hexdigit()) {
+                        self.bump();
+                    }
+                }
+            }
+            Some(b'u') => {
+                self.bump();
+                if self.peek(0) == Some(b'{') {
+                    self.bump_while(|b| b != b'}');
+                    if self.peek(0) == Some(b'}') {
+                        self.bump();
+                    }
+                }
+            }
+            Some(_) => self.bump(), // \n \t \' \\ \0 …
+            None => {}
+        }
+    }
+
+    /// Lexes from a `'`: a char literal or a lifetime. The quote is
+    /// already consumed. Rust's own rule: `'` + identifier char(s) not
+    /// followed by a closing `'` is a lifetime.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) -> Token {
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump();
+                self.char_escape();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.token(TokenKind::Char, start, line)
+            }
+            Some(b) if is_ident_start(b) => {
+                // Could be 'a' (char) or 'a / 'static (lifetime):
+                // decode one char, then look for the closing quote.
+                let char_len = self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                if self.bytes.get(self.pos + char_len) == Some(&b'\'') {
+                    for _ in 0..=char_len {
+                        self.bump();
+                    }
+                    self.token(TokenKind::Char, start, line)
+                } else {
+                    self.bump_while(is_ident_continue);
+                    self.token(TokenKind::Lifetime, start, line)
+                }
+            }
+            Some(_) => {
+                // '(' , ' ' , '5' , multi-byte chars …
+                let char_len = self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                for _ in 0..char_len {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.token(TokenKind::Char, start, line)
+            }
+            None => self.token(TokenKind::Punct, start, line),
+        }
+    }
+
+    /// Consumes a number starting at an ASCII digit: integer bases,
+    /// floats (without eating the second dot of `0..n`), exponents,
+    /// and type suffixes.
+    fn number(&mut self, start: usize, line: u32) -> Token {
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump();
+            self.bump();
+            self.bump_while(|b| b.is_ascii_hexdigit() || b == b'_');
+        } else {
+            self.bump_while(|b| b.is_ascii_digit() || b == b'_');
+            // A dot continues the number only when a digit follows
+            // (so `0..n` and `1.max(2)` stop at the integer).
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+                self.bump_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+            // Exponent: e/E, optional sign, digits.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+                if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                    for _ in 0..=sign {
+                        self.bump();
+                    }
+                    self.bump_while(|b| b.is_ascii_digit() || b == b'_');
+                }
+            }
+        }
+        // Type suffix (`u8`, `usize`, `f64`) rides along with the token.
+        self.bump_while(is_ident_continue);
+        self.token(TokenKind::Number, start, line)
+    }
+
+    /// If an ident-looking run at the cursor is really a string prefix
+    /// (`r"`, `b"`, `br#"`, `c"`, `b'`, …), lexes the whole literal and
+    /// returns it.
+    fn prefixed_literal(&mut self, start: usize, line: u32) -> Option<Token> {
+        let rest = &self.bytes[self.pos..];
+        let prefix_len = [b"br".as_slice(), b"cr", b"rb", b"b", b"c", b"r"]
+            .into_iter()
+            .find(|p| rest.starts_with(p))?
+            .len();
+        let raw = rest[..prefix_len].contains(&b'r');
+        match rest.get(prefix_len) {
+            Some(b'"') if !raw => {
+                for _ in 0..prefix_len {
+                    self.bump();
+                }
+                self.bump(); // opening quote
+                self.string_body();
+                Some(self.token(TokenKind::Str, start, line))
+            }
+            Some(b'"' | b'#') if raw => {
+                for _ in 0..prefix_len {
+                    self.bump();
+                }
+                if self.raw_string_body() {
+                    Some(self.token(TokenKind::Str, start, line))
+                } else {
+                    // Raw identifier (`r#match`): rewind happened in
+                    // raw_string_body; lex as a plain ident from the
+                    // prefix on.
+                    self.bump(); // the '#'
+                    self.bump_while(is_ident_continue);
+                    Some(self.token(TokenKind::Ident, start, line))
+                }
+            }
+            Some(b'\'') if rest.starts_with(b"b") && prefix_len == 1 => {
+                self.bump(); // 'b'
+                self.bump(); // opening quote
+                Some(self.char_or_lifetime(start, line))
+            }
+            _ => None,
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        // Skip whitespace.
+        while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.bump();
+        }
+        let start = self.pos;
+        let line = self.line;
+        let b = self.peek(0)?;
+        let token = match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+            b'"' => {
+                self.bump();
+                self.string_body();
+                self.token(TokenKind::Str, start, line)
+            }
+            b'\'' => {
+                self.bump();
+                self.char_or_lifetime(start, line)
+            }
+            _ if b.is_ascii_digit() => self.number(start, line),
+            _ if is_ident_start(b) => {
+                if let Some(t) = self.prefixed_literal(start, line) {
+                    t
+                } else {
+                    self.bump_while(is_ident_continue);
+                    self.token(TokenKind::Ident, start, line)
+                }
+            }
+            _ => {
+                self.bump();
+                self.token(TokenKind::Punct, start, line)
+            }
+        };
+        Some(token)
+    }
+}
+
+/// Tokenizes `source` completely. Never fails: malformed input
+/// degrades to permissive tokens (rustc is the real syntax gate; the
+/// lint only needs classification to be right on code that compiles).
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lexer = Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(t) = lexer.next_token() {
+        out.push(t);
+    }
+    out
+}
+
+/// Proves a tokenization is lossless: tokens appear in order, each
+/// token's span reproduces its text exactly, and every gap between
+/// tokens (and before/after the stream) is pure whitespace. Returns a
+/// description of the first violation, if any.
+pub fn verify_round_trip(source: &str) -> Result<(), String> {
+    let tokens = lex(source);
+    let mut cursor = 0usize;
+    for t in &tokens {
+        if t.start < cursor {
+            return Err(format!("token {:?} overlaps its predecessor", t.text));
+        }
+        let gap = &source[cursor..t.start];
+        if !gap.chars().all(char::is_whitespace) {
+            return Err(format!("non-whitespace gap {gap:?} before {:?}", t.text));
+        }
+        if source[t.start..t.end] != t.text {
+            return Err(format!("span/text mismatch at byte {}", t.start));
+        }
+        cursor = t.end;
+    }
+    let tail = &source[cursor..];
+    if !tail.chars().all(char::is_whitespace) {
+        return Err(format!("unlexed tail {tail:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static_name; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'a'".into())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static_name".into())));
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; let u = '\u{1F600}';");
+        assert!(toks.contains(&(TokenKind::Char, r"'\''".into())));
+        assert!(toks.contains(&(TokenKind::Char, r"'\n'".into())));
+        assert!(toks.contains(&(TokenKind::Char, r"'\u{1F600}'".into())));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let a = r#"quote " inside"#; let b = r##"deeper "# still"##;"####;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Str, r###"r#"quote " inside"#"###.into())));
+        assert!(toks.contains(&(TokenKind::Str, r####"r##"deeper "# still"##"####.into())));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks =
+            kinds(r##"let a = b"bytes"; let b = br#"raw"#; let c = c"cstr"; let d = b'x';"##);
+        assert!(toks.contains(&(TokenKind::Str, r#"b"bytes""#.into())));
+        assert!(toks.contains(&(TokenKind::Str, r##"br#"raw"#"##.into())));
+        assert!(toks.contains(&(TokenKind::Str, r#"c"cstr""#.into())));
+        assert!(toks.contains(&(TokenKind::Char, "b'x'".into())));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let toks = kinds("let r#match = 1; r#fn();");
+        assert!(toks.contains(&(TokenKind::Ident, "r#match".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "r#fn".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still outer */");
+    }
+
+    #[test]
+    fn keywords_in_strings_and_comments_are_not_idents() {
+        let toks = lex(r#"let s = "unsafe { }"; // unsafe here too"#);
+        let unsafe_idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
+            .collect();
+        assert!(unsafe_idents.is_empty());
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..n { (1.max(2), 1.5e-3, 0xFF_u32, 64usize); }");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "n".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0xFF_u32".into())));
+        assert!(toks.contains(&(TokenKind::Number, "64usize".into())));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nr#\"raw\nstring\"#\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 2); // block comment opens on line 2
+        assert_eq!(toks[2].line, 4); // raw string opens on line 4
+        assert_eq!(toks[3].line, 6); // b
+    }
+
+    #[test]
+    fn round_trip_on_tricky_source() {
+        let src = r####"
+//! doc
+fn f<'a>() -> &'a str {
+    let _ = ('x', '\'', b'\n', r#"raw " str"#, b"bytes", 1.5e3, 0..10);
+    /* nested /* comment */ here */
+    "done"
+}
+"####;
+        verify_round_trip(src).unwrap();
+    }
+}

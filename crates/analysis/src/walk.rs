@@ -1,0 +1,73 @@
+//! Workspace traversal shared by the `lint` binary and the
+//! self-lint integration test.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, Finding};
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn workspace_root_from(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Directory names the walk never descends into: build output, VCS
+/// metadata, and lint fixtures (which are rule violations on purpose).
+pub const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", ".github"];
+
+/// Collects every `.rs` file under `dir`, depth-first and sorted, with
+/// [`SKIP_DIRS`] applied.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for path in children {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `path` relative to `root` (when under it), with `/` separators —
+/// the form the per-file allowlists in [`crate::rules`] match on.
+pub fn workspace_relative(root: Option<&Path>, path: &Path) -> String {
+    let rel = root.and_then(|r| path.strip_prefix(r).ok()).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints every workspace source file under `root`. Returns the number
+/// of files scanned and all findings, sorted by (file, line).
+/// Unreadable files are reported as an `Err` with the offending path.
+pub fn lint_workspace(root: &Path) -> Result<(usize, Vec<Finding>), (PathBuf, std::io::Error)> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    let mut findings = Vec::new();
+    for path in &files {
+        let source = fs::read_to_string(path).map_err(|e| (path.clone(), e))?;
+        findings.extend(check_file(&workspace_relative(Some(root), path), &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((files.len(), findings))
+}

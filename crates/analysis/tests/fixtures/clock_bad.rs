@@ -1,0 +1,9 @@
+// Fixture: unmarked wall-clock reads in a non-bench crate.
+
+use std::time::{Instant, SystemTime};
+
+pub fn seed_from_clock() -> u64 {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    mix(t, s)
+}

@@ -1,0 +1,9 @@
+// Fixture: a wall-time gauge with the required justification marker.
+
+pub fn gauge_epoch(&mut self) -> Duration {
+    // WALL-CLOCK: load gauge for the fairness report only; the reading
+    // feeds a human-facing duration, never a signature-bearing stream.
+    let start = Instant::now();
+    self.run_epoch();
+    start.elapsed()
+}

@@ -1,0 +1,9 @@
+// Fixture: unwrap/expect on the hot path, outside any test module.
+
+pub fn arbitration_winner(&mut self) -> NodeId {
+    self.contenders.next().expect("nonempty contender field")
+}
+
+pub fn pop_message(&mut self) -> Message {
+    self.tx_queue.pop_front().unwrap()
+}

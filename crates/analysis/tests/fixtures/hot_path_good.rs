@@ -1,0 +1,18 @@
+// Fixture: hot-path code handles its None arms explicitly; tests may
+// still unwrap.
+
+pub fn arbitration_winner(&mut self) -> NodeId {
+    let Some(winner) = self.contenders.next() else {
+        unreachable!("arbitration entered with a nonempty contender set");
+    };
+    winner
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn winner_is_lowest_id() {
+        let w = field(&[3, 1, 2]).next().unwrap();
+        assert_eq!(w, 1);
+    }
+}

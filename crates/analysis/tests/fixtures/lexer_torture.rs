@@ -1,0 +1,24 @@
+// Fixture: token shapes that defeat naive regex scanning. The lexer
+// must round-trip this file exactly and classify every construct so
+// that none of the keywords below ever reach the rules as code.
+
+/* nested /* block /* comments */ to depth three */ are legal */
+
+pub fn not_actually_unsafe() {
+    let s = "unsafe { thread::spawn }"; // keyword inside a string
+    let r = r#"Instant::now() and "quoted" SystemTime"#;
+    let deep = r##"a raw string holding r#"another"# inside"##;
+    let b = b"bytes with unsafe";
+    let br = br#"raw bytes: .unwrap()"#;
+    let c = '\'';
+    let newline = '\n';
+    let not_a_char = 'static; // lifetime, not a char literal
+    let label = 'outer: loop {
+        break 'outer;
+    };
+    let r#match = 0u32; // raw identifier
+    let range = 0..r#match; // `0..` must not lex as a float
+    let float = 1.5e-3_f64;
+    let hex = 0xFFusize;
+    let _ = (s, r, deep, b, br, c, newline, not_a_char, label, range, float, hex);
+}

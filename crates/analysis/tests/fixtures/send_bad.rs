@@ -1,0 +1,11 @@
+// Fixture: single-threaded types next to an `impl Send`, unaudited.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct ShardState {
+    nodes: Vec<Rc<RefCell<Node>>>,
+}
+
+// SAFETY: moved wholesale, never shared.
+unsafe impl Send for ShardState {}

@@ -1,0 +1,13 @@
+// SEND-AUDIT: the Rc graph below is owned wholesale by one shard; it
+// crosses threads only by moving the entire `ShardState`, never by
+// sharing, so no Rc/RefCell is ever reachable from two threads.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct ShardState {
+    nodes: Vec<Rc<RefCell<Node>>>,
+}
+
+// SAFETY: see the SEND-AUDIT above — moved wholesale, never shared.
+unsafe impl Send for ShardState {}

@@ -1,0 +1,12 @@
+// Fixture: raw threading primitives outside the audited layers.
+
+use std::thread;
+
+pub fn fan_out(jobs: Vec<Job>) -> Vec<Outcome> {
+    std::thread::scope(|s| {
+        for job in jobs {
+            s.spawn(move || job.run());
+        }
+    });
+    thread::spawn(|| cleanup()).join().unwrap()
+}

@@ -1,0 +1,7 @@
+// Fixture: fans work out through the audited pool layer instead of
+// spawning raw threads.
+
+pub fn fan_out(jobs: Vec<Job>) -> Vec<Outcome> {
+    let mut pool = WorkerPool::new(jobs.len().min(8));
+    pool.run_scoped(jobs)
+}

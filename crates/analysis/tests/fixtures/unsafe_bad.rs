@@ -1,0 +1,13 @@
+// Fixture: three unsafe sites, none justified.
+
+pub fn first(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub unsafe fn second(xs: &[u32]) -> u32 {
+    *xs.as_ptr().add(1)
+}
+
+pub struct Handle(*mut u8);
+
+unsafe impl Send for Handle {}

@@ -1,0 +1,18 @@
+// Fixture: every unsafe site carries a SAFETY justification.
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+///
+/// `xs` must be non-empty.
+pub unsafe fn first_unchecked(xs: &[u32]) -> u32 {
+    // SAFETY: the caller guarantees `xs` is non-empty, so index 0 is
+    // in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub struct Handle(*mut u8);
+
+// SAFETY: the raw pointer is only dereferenced on the owning thread;
+// `Handle` is a token, not an access path.
+unsafe impl Send for Handle {}

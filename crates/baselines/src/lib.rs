@@ -28,6 +28,7 @@
 //! assert_eq!(mbus.overhead_bits(28_800), 19, "even for a 28.8 kB image");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -34,6 +34,7 @@
 //! dependency-free [`harness`]) measure the throughput of the two
 //! protocol engines and the event kernel.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;

@@ -529,10 +529,9 @@ impl AnalyticBus {
             ArbitrationPolicy::Rotating => self.rotation,
         };
         let n = self.nodes.len();
-        let arb_winner = self
-            .scratch_field
-            .next_from_wrapping(break_at)
-            .expect("nonempty contender field");
+        let Some(arb_winner) = self.scratch_field.next_from_wrapping(break_at) else {
+            unreachable!("arbitration entered with a nonempty contender field");
+        };
 
         // Priority round: first priority claimant in the contender
         // field downstream of the arbitration winner, wrapping around
@@ -545,10 +544,9 @@ impl AnalyticBus {
                 .unwrap_or(arb_winner)
         };
 
-        let msg = self.nodes[winner]
-            .tx_queue
-            .pop_front()
-            .expect("winner has a message");
+        let Some(msg) = self.nodes[winner].tx_queue.pop_front() else {
+            unreachable!("the contender field only holds nodes with queued messages");
+        };
         self.refresh_queue_bits(winner);
 
         // Losers stay queued: LostArbitration is implicit (they contend

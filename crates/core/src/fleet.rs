@@ -69,7 +69,15 @@
 //! # Ok::<(), mbus_core::MbusError>(())
 //! ```
 
+// The only two modules in the workspace allowed to write `unsafe` (the
+// crate root carries `#![deny(unsafe_code)]`, every other crate
+// `#![forbid(unsafe_code)]`): the lifetime-erased job hand-off in
+// `pool` and the engine `Send` wrapper in `shard`. Both are policed
+// per-site by the `mbus-analysis` lint and modeled by its barrier
+// explorer — see ARCHITECTURE.md § "Analysis & safety".
+#[allow(unsafe_code)]
 mod pool;
+#[allow(unsafe_code)]
 pub mod shard;
 
 use std::collections::BTreeMap;

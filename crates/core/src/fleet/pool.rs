@@ -26,6 +26,17 @@
 //! re-raises it via [`WorkerPool::take_panic`] after the barrier — so
 //! a panicking shard can never deadlock the rendezvous or strand a
 //! borrow.
+//!
+//! # Verification
+//!
+//! The barrier protocol (park, publish, wake, report, rendezvous,
+//! panic ferry, wait-on-drop guard, shutdown) is modeled in
+//! `mbus-analysis`'s `barrier` module and exhaustively explored over
+//! every interleaving at ≤3 workers × ≤3 epochs on each `cargo test`
+//! run; the `unsafe` sites here are additionally policed by the
+//! workspace lint (`cargo run -p mbus-analysis --bin lint`) and
+//! exercised under Miri in CI. See ARCHITECTURE.md § "Analysis &
+//! safety" for the state diagram and the model-to-code mapping.
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
@@ -141,9 +152,9 @@ impl WorkerPool {
         state.submitted = count;
         state.completed = 0;
         for (i, job) in jobs.into_iter().enumerate() {
-            // SAFETY (of the transmute): only the lifetime is erased;
-            // the caller's contract keeps every borrow alive until the
-            // job has provably finished (wait_all).
+            // SAFETY: the transmute erases only the lifetime; the
+            // caller's contract keeps every borrow alive until the job
+            // has provably finished (wait_all).
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
             state.jobs[i] = Some(job);
@@ -169,6 +180,30 @@ impl WorkerPool {
     pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
         self.shared.state.lock().expect("pool lock").panic.take()
     }
+}
+
+/// Runs one throwaway generation on fresh scoped threads — the
+/// spawn-per-epoch baseline the persistent pool is measured against.
+///
+/// This free function exists so that *all* fleet threading flows
+/// through this audited module (the `thread-outside-audited` lint rule
+/// forbids `std::thread` elsewhere): scoped threads let the borrow
+/// checker do the lifetime proof, so unlike [`WorkerPool::submit`]
+/// there is no safety contract to discharge. Panics propagate to the
+/// caller after every sibling job has joined.
+pub(crate) fn run_scoped<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
+        }
+    });
 }
 
 impl Drop for WorkerPool {
@@ -268,6 +303,8 @@ mod tests {
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
+        // SAFETY: `ran` outlives the wait_all below and is not read
+        // until it returns.
         unsafe { pool.submit(jobs) };
         pool.wait_all();
         assert_eq!(ran.load(Ordering::Relaxed), 2);
@@ -278,6 +315,7 @@ mod tests {
         let mut pool = WorkerPool::new();
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
             vec![Box::new(|| panic!("shard exploded")), Box::new(|| {})];
+        // SAFETY: the jobs borrow nothing; wait_all follows directly.
         unsafe { pool.submit(jobs) };
         pool.wait_all();
         let payload = pool.take_panic().expect("panic captured");
@@ -290,6 +328,8 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
             ok.fetch_add(1, Ordering::Relaxed);
         })];
+        // SAFETY: `ok` outlives the wait_all below and is not read
+        // until it returns.
         unsafe { pool.submit(jobs) };
         pool.wait_all();
         assert_eq!(ok.load(Ordering::Relaxed), 1);

@@ -25,6 +25,7 @@
 //! assert!(bitbang::max_bus_clock_hz(8_000_000) >= 120_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -33,6 +33,7 @@
 //! assert!(lee.bit_energy() < i2c.bit_energy());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -48,6 +48,7 @@
 //! assert_eq!(circuit.value(b), Logic::Low);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -27,6 +27,7 @@
 //! assert!((energy.as_nj() - 100.0).abs() < 1.5); // §6.3.1's ~100 nJ
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

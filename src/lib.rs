@@ -6,6 +6,8 @@
 //! runnable examples (`examples/`), and re-exports the member crates so
 //! downstream experiments can depend on one name.
 
+#![forbid(unsafe_code)]
+
 pub use mbus_core as core;
 pub use mbus_mcu as mcu;
 pub use mbus_power as power;
