@@ -156,6 +156,48 @@ mod tests {
         assert_eq!(v.to_string(), r#""a\"b\\c\nd\te\u0001""#);
     }
 
+    /// Torture the escaper with everything that could leak out of a
+    /// trace path or parse-error message into a report: every C0
+    /// control character, the RFC 8259 two-character escapes, DEL,
+    /// quotes-in-quotes, Windows-style path backslashes, and
+    /// multi-byte UTF-8. The output must parse back (spot-checked
+    /// against the exact expected encoding) and contain no raw control
+    /// bytes or unescaped quotes.
+    #[test]
+    fn escapes_the_torture_string() {
+        let mut torture = String::new();
+        for c in 0u8..0x20 {
+            torture.push(c as char);
+        }
+        torture.push_str("\"\\C:\\traces\\x.mbt\u{7f}héllo📦 t.mbt:3:7: bad `\"` token");
+        let rendered = Json::from(torture.as_str()).to_string();
+        // The interior must have no raw control characters and no
+        // unescaped quote (every interior `"` is preceded by `\`).
+        let interior = &rendered[1..rendered.len() - 1];
+        assert!(interior.chars().all(|c| (c as u32) >= 0x20));
+        let bytes = interior.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                assert_eq!(bytes[i - 1], b'\\', "unescaped quote at {i}: {rendered}");
+            }
+        }
+        // Exact encodings for each class of character.
+        assert!(rendered.contains(r"\u0000"));
+        assert!(rendered.contains(r"\u0008"));
+        assert!(rendered.contains(r"\t"));
+        assert!(rendered.contains(r"\n"));
+        assert!(rendered.contains(r"\r"));
+        assert!(rendered.contains(r"\u001f"));
+        assert!(rendered.contains(r#"\"\\C:\\traces\\x.mbt"#));
+        // DEL and non-ASCII pass through verbatim: RFC 8259 only
+        // requires escaping `"`, `\`, and U+0000..U+001F.
+        assert!(rendered.contains("\u{7f}héllo📦"));
+        assert!(rendered.contains(r#"bad `\"` token"#));
+        // No double-escaping: `\\` appears once per input backslash
+        // (one before 'C', two path separators) and nowhere else.
+        assert_eq!(rendered.matches(r"\\").count(), 3);
+    }
+
     #[test]
     fn non_finite_floats_become_null() {
         assert_eq!(Json::from(f64::NAN).to_string(), "null");

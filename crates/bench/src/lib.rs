@@ -45,6 +45,7 @@ use mbus_core::{
 
 pub mod harness;
 pub mod json;
+pub mod scenario;
 
 /// Builds the 14-node analytic ring both the `storm` bin and the
 /// `engines` bench drive for the batched-drain point, so the README

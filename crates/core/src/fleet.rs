@@ -1337,6 +1337,14 @@ impl FleetWorkload {
         &self.clusters
     }
 
+    /// Whether null transactions participate in signature comparison
+    /// (`true` unless [`FleetWorkload::allow_wake_nulls`] was called) —
+    /// the serialization hook [`crate::trace`] uses to round-trip the
+    /// `wake-nulls` header.
+    pub fn strict_nulls(&self) -> bool {
+        self.strict_nulls
+    }
+
     /// The step list.
     pub fn steps(&self) -> &[FleetStep] {
         &self.steps

@@ -92,6 +92,7 @@ pub mod power_domain;
 pub mod scenario;
 pub mod sweep;
 pub mod timing;
+pub mod trace;
 pub mod wire;
 
 pub use addr::{Address, BroadcastChannel, FuId, FullPrefix, ShortPrefix};
@@ -113,4 +114,8 @@ pub use node::NodeSpec;
 pub use parallel::ParallelMbus;
 pub use scenario::{ScenarioReport, Step, Workload};
 pub use sweep::SweepRunner;
+pub use trace::{
+    fleet_digest, scenario_digest, shrink::shrink_fleet, shrink::shrink_workload, Trace,
+    TraceError, TraceFile, TraceMeta,
+};
 pub use wire::WireEngine;

@@ -50,6 +50,17 @@ impl Message {
         self
     }
 
+    /// Replaces the payload, keeping the destination and priority flag
+    /// — the reduction hook the [`crate::trace::shrink`] payload pass
+    /// uses.
+    pub fn with_payload(&self, payload: Vec<u8>) -> Self {
+        Message {
+            dest: self.dest,
+            payload,
+            priority: self.priority,
+        }
+    }
+
     /// The destination address.
     pub fn dest(&self) -> Address {
         self.dest

@@ -1,0 +1,1747 @@
+//! `.mbt` — a compact textual trace format for workloads and fleets.
+//!
+//! Every workload in this repository used to exist only as Rust code:
+//! a failing fuzz seed could be reproduced solely by re-running the
+//! generator at the same version. A *trace file* makes the scenario
+//! itself the artifact — durable, diffable, and replayable across
+//! refactors of the generators (`tests/corpus/` pins a golden set as a
+//! tier-1 suite; the `scenario` bench bin replays any trace against
+//! any engine × schedule grid).
+//!
+//! The format is line-oriented and dependency-free. A trace is either
+//! a single-bus [`Workload`] or a multi-bus [`FleetWorkload`]:
+//!
+//! ```text
+//! mbt 1 workload                      # magic: format version + kind
+//! name many_node_storm/4n1r           # rest of line, verbatim
+//! seed 42                             # optional provenance (at most once)
+//! replay engine=analytic schedule=sharded:4 balance=measured:1
+//! expect sig=6d0ff72ab49e01c3         # optional pinned signature digest
+//! config clock=400000 maxmsg=1024     # bus configuration
+//! wake-nulls                          # = Workload::allow_wake_nulls
+//! node prefix=0x00100 short=0x1 name=n0
+//! node prefix=0x00101 short=0x2 gated rx=8 listen=3,7 name=n1
+//! send 1 0x1.0 00ff01                 # src, dest address, payload hex
+//! send 1 0x1.0 aa prio                # priority arbitration claim
+//! send! 0 0x2.0 0f0f0f                # unchecked queue (runaway test)
+//! send 0 bcast.1 -                    # broadcast, empty payload
+//! send 0 full:0x00101.0 17            # full-prefix (43-cycle) form
+//! wakeup 1
+//! drain
+//! drain-partial 3                     # Step::RunTransactions
+//! ```
+//!
+//! A fleet trace declares `mbt 1 fleet`, replaces `node` lines with
+//! `cluster` lines (one char per sensor: `a`lways-on or `g`ated, `-`
+//! for an empty cluster) and uses `c.n` node identities:
+//!
+//! ```text
+//! mbt 1 fleet
+//! name fleet_cross/2x2r1
+//! cluster aa
+//! cluster ag
+//! local 0.2 0x2.0 0511                # cluster-local send
+//! remote 0.1 1.2 0 beef prio          # src, dest, fu, payload
+//! wakeup 1.1
+//! drain
+//! drain-rounds 2                      # FleetStep::RunRounds
+//! ```
+//!
+//! Sections are ordered — headers, then topology (`node` / `cluster`),
+//! then steps — and comments are whole lines starting with `#` (so
+//! payload and name fields never need escaping). Parse errors carry an
+//! exact `file:line:col` span and never panic; see [`TraceError`].
+//!
+//! # Round-trip and determinism contract
+//!
+//! [`TraceFile::to_mbt`] and [`TraceFile::parse_str`] are mutual
+//! inverses over every step kind the scenario and fleet layers define:
+//! serialize → parse → re-run yields an identical
+//! [`ScenarioSignature`] / [`FleetSignature`] on every engine kind and
+//! schedule (`tests/trace_roundtrip.rs` pins this over hundreds of
+//! seeds). [`scenario_digest`] / [`fleet_digest`] reduce a signature
+//! to a stable 64-bit FNV-1a digest so golden traces can pin behavior
+//! with one `expect sig=…` header line.
+
+pub mod shrink;
+
+use std::fmt;
+
+use crate::addr::{Address, BroadcastChannel, FuId, FullPrefix, ShortPrefix};
+use crate::config::BusConfig;
+use crate::engine::{EngineKind, EngineRecord};
+use crate::fleet::{FleetNodeId, FleetSchedule, FleetSignature, FleetStep, FleetWorkload};
+use crate::message::Message;
+use crate::node::NodeSpec;
+use crate::scenario::{ScenarioSignature, Step, Workload};
+use crate::{ShardBalance, TxOutcome};
+
+/// The format version this module reads and writes.
+pub const MBT_VERSION: u32 = 1;
+
+/// A parse (or file-read) failure with an exact source span.
+///
+/// Renders as `file:line:col: message` — the same shape compilers and
+/// the `mbus-analysis` lint use, so editors can jump to the offending
+/// token. Lines and columns are 1-based; column 0 marks whole-file
+/// errors (unreadable file, missing header).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceError {
+    /// The source name given to the parser (a path, usually).
+    pub file: String,
+    /// 1-based line of the offending token (0 for whole-file errors).
+    pub line: u32,
+    /// 1-based byte column of the offending token (0 for whole-file
+    /// errors).
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file, self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Replay provenance and pinning carried in a trace's header lines —
+/// everything about a trace that is *not* the workload itself.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct TraceMeta {
+    /// The generator seed this trace was exported from (`seed` line).
+    pub seed: Option<u64>,
+    /// Suggested engine kind for replay (`replay engine=`).
+    pub engine: Option<EngineKind>,
+    /// Suggested fleet schedule for replay (`replay schedule=`).
+    pub schedule: Option<FleetSchedule>,
+    /// Suggested shard balance policy for replay (`replay balance=`).
+    pub balance: Option<ShardBalance>,
+    /// Pinned signature digest (`expect sig=`): every replay of this
+    /// trace must reproduce it (see [`Trace::run_digest`]).
+    pub expect_sig: Option<u64>,
+}
+
+/// The scenario a trace file describes: one bus, or a bridged fleet.
+#[derive(Clone, Debug)]
+pub enum Trace {
+    /// A single-bus scenario.
+    Workload(Workload),
+    /// A gateway-bridged multi-bus scenario.
+    Fleet(FleetWorkload),
+}
+
+impl Trace {
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Trace::Workload(w) => w.name(),
+            Trace::Fleet(w) => w.name(),
+        }
+    }
+
+    /// Whether this is a fleet trace.
+    pub fn is_fleet(&self) -> bool {
+        matches!(self, Trace::Fleet(_))
+    }
+
+    /// Whether the trace's behavior is comparable on the wire engine
+    /// (partial drains make it analytic ≡ event only — see
+    /// [`Workload::wire_comparable`]).
+    pub fn wire_comparable(&self) -> bool {
+        match self {
+            Trace::Workload(w) => w.wire_comparable(),
+            Trace::Fleet(w) => w.wire_comparable(),
+        }
+    }
+
+    /// The engine kinds this trace's replays can be compared across:
+    /// all of [`EngineKind::ALL`], minus wire for traces with partial
+    /// drains.
+    pub fn comparable_kinds(&self) -> Vec<EngineKind> {
+        EngineKind::ALL
+            .iter()
+            .copied()
+            .filter(|&kind| self.wire_comparable() || kind != EngineKind::Wire)
+            .collect()
+    }
+
+    /// Replays the trace on `kind` (fleet traces under `schedule`;
+    /// single-bus traces ignore it) and returns the signature digest —
+    /// the value an `expect sig=` header pins.
+    pub fn run_digest(&self, kind: EngineKind, schedule: FleetSchedule) -> u64 {
+        match self {
+            Trace::Workload(w) => scenario_digest(&w.run_on(kind).signature()),
+            Trace::Fleet(w) => fleet_digest(&w.run_scheduled_on(kind, schedule).signature()),
+        }
+    }
+}
+
+/// A parsed (or to-be-serialized) trace file: the scenario plus its
+/// header metadata.
+#[derive(Clone, Debug)]
+pub struct TraceFile {
+    /// The scenario.
+    pub trace: Trace,
+    /// Header metadata (seed, replay hints, pinned digest).
+    pub meta: TraceMeta,
+}
+
+impl TraceFile {
+    /// Wraps a single-bus workload with empty metadata.
+    pub fn workload(w: Workload) -> Self {
+        TraceFile {
+            trace: Trace::Workload(w),
+            meta: TraceMeta::default(),
+        }
+    }
+
+    /// Wraps a fleet workload with empty metadata.
+    pub fn fleet(w: FleetWorkload) -> Self {
+        TraceFile {
+            trace: Trace::Fleet(w),
+            meta: TraceMeta::default(),
+        }
+    }
+
+    /// Sets the `seed` header.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.meta.seed = Some(seed);
+        self
+    }
+
+    /// Sets the `expect sig=` pinned digest header.
+    pub fn with_expect_sig(mut self, sig: u64) -> Self {
+        self.meta.expect_sig = Some(sig);
+        self
+    }
+
+    /// Parses a trace from text. `source` names the origin (a path,
+    /// usually) and appears verbatim in error spans.
+    ///
+    /// # Errors
+    ///
+    /// A single [`TraceError`] with an exact `file:line:col` span for
+    /// the first offense: malformed headers, out-of-range node or
+    /// cluster indices, truncated steps, duplicate headers, bad
+    /// payload hex, misordered sections. The parser never panics on
+    /// any input.
+    pub fn parse_str(source: &str, text: &str) -> Result<TraceFile, TraceError> {
+        Parser::new(source, text).parse()
+    }
+
+    /// Reads and parses a trace file from disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceFile::parse_str`]; an unreadable file reports at span
+    /// `0:0`.
+    pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<TraceFile, TraceError> {
+        let path = path.as_ref();
+        let file = path.display().to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError {
+            file: file.clone(),
+            line: 0,
+            col: 0,
+            message: format!("cannot read trace: {e}"),
+        })?;
+        TraceFile::parse_str(&file, &text)
+    }
+
+    /// Serializes to `.mbt` text. [`TraceFile::parse_str`] of the
+    /// result reconstructs an equivalent trace (identical topology,
+    /// steps, and re-run signatures on every engine).
+    pub fn to_mbt(&self) -> String {
+        let mut out = String::new();
+        match &self.trace {
+            Trace::Workload(w) => {
+                header(&mut out, "workload", w.name(), &self.meta);
+                write_config(&mut out, w.config());
+                if !w.strict_nulls() {
+                    out.push_str("wake-nulls\n");
+                }
+                for spec in w.node_specs() {
+                    write_node(&mut out, spec);
+                }
+                for step in w.steps() {
+                    write_step(&mut out, step);
+                }
+            }
+            Trace::Fleet(w) => {
+                header(&mut out, "fleet", w.name(), &self.meta);
+                write_config(&mut out, w.config());
+                if !w.strict_nulls() {
+                    out.push_str("wake-nulls\n");
+                }
+                for sensors in w.cluster_specs() {
+                    if sensors.is_empty() {
+                        out.push_str("cluster -\n");
+                    } else {
+                        out.push_str("cluster ");
+                        for &gated in sensors {
+                            out.push(if gated { 'g' } else { 'a' });
+                        }
+                        out.push('\n');
+                    }
+                }
+                for step in w.steps() {
+                    write_fleet_step(&mut out, step);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Serialization
+// ----------------------------------------------------------------------
+
+fn header(out: &mut String, kind: &str, name: &str, meta: &TraceMeta) {
+    use fmt::Write as _;
+    let _ = writeln!(out, "mbt {MBT_VERSION} {kind}");
+    let _ = writeln!(out, "name {name}");
+    if let Some(seed) = meta.seed {
+        let _ = writeln!(out, "seed {seed}");
+    }
+    if meta.engine.is_some() || meta.schedule.is_some() || meta.balance.is_some() {
+        out.push_str("replay");
+        if let Some(engine) = meta.engine {
+            let _ = write!(out, " engine={engine}");
+        }
+        if let Some(schedule) = meta.schedule {
+            let _ = write!(out, " schedule={}", schedule_token(schedule));
+        }
+        if let Some(balance) = meta.balance {
+            let _ = write!(out, " balance={}", balance_token(balance));
+        }
+        out.push('\n');
+    }
+    if let Some(sig) = meta.expect_sig {
+        let _ = writeln!(out, "expect sig={sig:016x}");
+    }
+}
+
+fn schedule_token(schedule: FleetSchedule) -> String {
+    match schedule {
+        FleetSchedule::Batched => "batched".to_string(),
+        FleetSchedule::Interleaved => "interleaved".to_string(),
+        FleetSchedule::Sharded { shards } => format!("sharded:{shards}"),
+    }
+}
+
+fn balance_token(balance: ShardBalance) -> String {
+    match balance {
+        ShardBalance::Static => "static".to_string(),
+        ShardBalance::Measured { every_epochs } => format!("measured:{every_epochs}"),
+    }
+}
+
+fn write_config(out: &mut String, config: &BusConfig) {
+    use fmt::Write as _;
+    let default = BusConfig::default();
+    let _ = write!(
+        out,
+        "config clock={} maxmsg={}",
+        config.clock_hz(),
+        config.max_message_bytes()
+    );
+    if config.hop_delay() != default.hop_delay() {
+        let _ = write!(out, " hop_ps={}", config.hop_delay().as_ps());
+    }
+    if config.mediator_wakeup_cycles() != default.mediator_wakeup_cycles() {
+        let _ = write!(out, " medwake={}", config.mediator_wakeup_cycles());
+    }
+    out.push('\n');
+}
+
+fn write_node(out: &mut String, spec: &NodeSpec) {
+    use fmt::Write as _;
+    let _ = write!(out, "node prefix=0x{:05x}", spec.full_prefix().raw());
+    if let Some(short) = spec.short_prefix() {
+        let _ = write!(out, " short=0x{:x}", short.raw());
+    }
+    if spec.is_power_aware() {
+        out.push_str(" gated");
+    }
+    if let Some(bytes) = spec.rx_buffer_bytes() {
+        let _ = write!(out, " rx={bytes}");
+    }
+    // Channels 0 (discovery) and 1 (configuration) are implicit
+    // subscriptions of every node; only the extras are serialized.
+    let extra: Vec<u8> = (0u8..16).filter(|&c| c > 1 && spec.listens_to(c)).collect();
+    if !extra.is_empty() {
+        out.push_str(" listen=");
+        for (i, c) in extra.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+    }
+    // `name=` consumes the rest of the line, so it is always last.
+    let _ = writeln!(out, " name={}", spec.name());
+}
+
+fn addr_token(addr: Address) -> String {
+    match addr {
+        Address::Short { prefix, fu_id } => format!("0x{:x}.{:x}", prefix.raw(), fu_id.raw()),
+        Address::Full { prefix, fu_id } => {
+            format!("full:0x{:05x}.{:x}", prefix.raw(), fu_id.raw())
+        }
+        Address::Broadcast { channel } => format!("bcast.{}", channel.raw()),
+    }
+}
+
+fn payload_token(payload: &[u8]) -> String {
+    if payload.is_empty() {
+        "-".to_string()
+    } else {
+        let mut s = String::with_capacity(payload.len() * 2);
+        for b in payload {
+            use fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+}
+
+fn write_msg_tail(out: &mut String, msg: &Message) {
+    use fmt::Write as _;
+    let _ = write!(
+        out,
+        " {} {}",
+        addr_token(msg.dest()),
+        payload_token(msg.payload())
+    );
+    if msg.is_priority() {
+        out.push_str(" prio");
+    }
+    out.push('\n');
+}
+
+fn write_step(out: &mut String, step: &Step) {
+    use fmt::Write as _;
+    match step {
+        Step::Queue { node, msg } => {
+            let _ = write!(out, "send {node}");
+            write_msg_tail(out, msg);
+        }
+        Step::QueueUnchecked { node, msg } => {
+            let _ = write!(out, "send! {node}");
+            write_msg_tail(out, msg);
+        }
+        Step::Wakeup { node } => {
+            let _ = writeln!(out, "wakeup {node}");
+        }
+        Step::Run => out.push_str("drain\n"),
+        Step::RunTransactions { count } => {
+            let _ = writeln!(out, "drain-partial {count}");
+        }
+    }
+}
+
+fn fleet_id_token(id: FleetNodeId) -> String {
+    format!("{}.{}", id.cluster, id.node)
+}
+
+fn write_fleet_step(out: &mut String, step: &FleetStep) {
+    use fmt::Write as _;
+    match step {
+        FleetStep::Local { src, msg } => {
+            let _ = write!(out, "local {}", fleet_id_token(*src));
+            write_msg_tail(out, msg);
+        }
+        FleetStep::Remote {
+            src,
+            dest,
+            fu,
+            payload,
+            priority,
+        } => {
+            let _ = write!(
+                out,
+                "remote {} {} {} {}",
+                fleet_id_token(*src),
+                fleet_id_token(*dest),
+                fu.raw(),
+                payload_token(payload)
+            );
+            if *priority {
+                out.push_str(" prio");
+            }
+            out.push('\n');
+        }
+        FleetStep::Wakeup { node } => {
+            let _ = writeln!(out, "wakeup {}", fleet_id_token(*node));
+        }
+        FleetStep::Drain => out.push_str("drain\n"),
+        FleetStep::RunRounds { rounds } => {
+            let _ = writeln!(out, "drain-rounds {rounds}");
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rebuilding workloads from parsed (or shrunk) parts
+// ----------------------------------------------------------------------
+
+/// Reassembles a [`Workload`] through its public builders — shared by
+/// the parser and the [`shrink`] passes.
+pub(crate) fn rebuild_workload(
+    name: &str,
+    config: BusConfig,
+    nodes: &[NodeSpec],
+    steps: &[Step],
+    strict_nulls: bool,
+) -> Workload {
+    let mut w = Workload::new(name, config);
+    for spec in nodes {
+        w = w.node(spec.clone());
+    }
+    for step in steps {
+        w = match step {
+            Step::Queue { node, msg } => w.send(*node, msg.clone()),
+            Step::QueueUnchecked { node, msg } => w.send_unchecked(*node, msg.clone()),
+            Step::Wakeup { node } => w.wakeup(*node),
+            Step::Run => w.drain(),
+            Step::RunTransactions { count } => w.drain_partial(*count),
+        };
+    }
+    if !strict_nulls {
+        w = w.allow_wake_nulls();
+    }
+    w
+}
+
+/// Reassembles a [`FleetWorkload`] through its public builders —
+/// shared by the parser and the [`shrink`] passes.
+pub(crate) fn rebuild_fleet(
+    name: &str,
+    config: BusConfig,
+    clusters: &[Vec<bool>],
+    steps: &[FleetStep],
+    strict_nulls: bool,
+) -> FleetWorkload {
+    let mut w = FleetWorkload::new(name, config);
+    for sensors in clusters {
+        w = w.cluster(sensors.clone());
+    }
+    for step in steps {
+        w = match step {
+            FleetStep::Local { src, msg } => w.send_local(*src, msg.clone()),
+            FleetStep::Remote {
+                src,
+                dest,
+                fu,
+                payload,
+                priority,
+            } => {
+                if *priority {
+                    w.send_remote_priority(*src, *dest, *fu, payload.clone())
+                } else {
+                    w.send_remote(*src, *dest, *fu, payload.clone())
+                }
+            }
+            FleetStep::Wakeup { node } => w.wakeup(*node),
+            FleetStep::Drain => w.drain(),
+            FleetStep::RunRounds { rounds } => w.drain_rounds(*rounds),
+        };
+    }
+    if !strict_nulls {
+        w = w.allow_wake_nulls();
+    }
+    w
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TraceKind {
+    Workload,
+    Fleet,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Section {
+    Header,
+    Topology,
+    Steps,
+}
+
+struct Parser<'a> {
+    file: &'a str,
+    text: &'a str,
+    kind: Option<TraceKind>,
+    section: Section,
+    name: Option<String>,
+    config: BusConfig,
+    saw_config: bool,
+    meta: TraceMeta,
+    wake_nulls: bool,
+    nodes: Vec<NodeSpec>,
+    clusters: Vec<Vec<bool>>,
+    wsteps: Vec<Step>,
+    fsteps: Vec<FleetStep>,
+}
+
+/// One whitespace-separated token with its 1-based byte column.
+#[derive(Clone, Copy)]
+struct Tok<'a> {
+    col: u32,
+    text: &'a str,
+}
+
+fn tokens_of(line: &str) -> Vec<Tok<'_>> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push(Tok {
+                    col: (s + 1) as u32,
+                    text: &line[s..i],
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push(Tok {
+            col: (s + 1) as u32,
+            text: &line[s..],
+        });
+    }
+    out
+}
+
+impl<'a> Parser<'a> {
+    fn new(file: &'a str, text: &'a str) -> Self {
+        Parser {
+            file,
+            text,
+            kind: None,
+            section: Section::Header,
+            name: None,
+            config: BusConfig::default(),
+            saw_config: false,
+            meta: TraceMeta::default(),
+            wake_nulls: false,
+            nodes: Vec::new(),
+            clusters: Vec::new(),
+            wsteps: Vec::new(),
+            fsteps: Vec::new(),
+        }
+    }
+
+    fn err(&self, line: u32, col: u32, message: impl Into<String>) -> TraceError {
+        TraceError {
+            file: self.file.to_string(),
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// The span just past the last token — where a missing argument
+    /// would have started.
+    fn after(&self, line_no: u32, line: &str) -> (u32, u32) {
+        (line_no, (line.trim_end().len() + 2) as u32)
+    }
+
+    fn parse(mut self) -> Result<TraceFile, TraceError> {
+        let mut lines = 0u32;
+        for (idx, line) in self.text.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            lines = line_no;
+            let trimmed = line.trim_start();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let toks = tokens_of(line);
+            if self.kind.is_none() {
+                self.parse_magic(line_no, line, &toks)?;
+                continue;
+            }
+            self.parse_directive(line_no, line, &toks)?;
+        }
+        let Some(kind) = self.kind else {
+            return Err(self.err(
+                lines.max(1),
+                0,
+                "empty trace: expected `mbt 1 workload` or `mbt 1 fleet` header",
+            ));
+        };
+        let Some(name) = self.name.take() else {
+            return Err(self.err(lines.max(1), 0, "missing `name` header"));
+        };
+        let trace = match kind {
+            TraceKind::Workload => Trace::Workload(rebuild_workload(
+                &name,
+                self.config,
+                &self.nodes,
+                &self.wsteps,
+                !self.wake_nulls,
+            )),
+            TraceKind::Fleet => Trace::Fleet(rebuild_fleet(
+                &name,
+                self.config,
+                &self.clusters,
+                &self.fsteps,
+                !self.wake_nulls,
+            )),
+        };
+        Ok(TraceFile {
+            trace,
+            meta: self.meta,
+        })
+    }
+
+    fn parse_magic(
+        &mut self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+    ) -> Result<(), TraceError> {
+        if toks.is_empty() || toks[0].text != "mbt" {
+            let col = toks.first().map(|t| t.col).unwrap_or(1);
+            return Err(self.err(
+                line_no,
+                col,
+                "expected `mbt <version> <workload|fleet>` magic header",
+            ));
+        }
+        let version = self.need(line_no, line, toks, 1, "format version")?;
+        if version.text != "1" {
+            return Err(self.err(
+                line_no,
+                version.col,
+                format!(
+                    "unsupported trace version `{}` (this parser reads version {MBT_VERSION})",
+                    version.text
+                ),
+            ));
+        }
+        let kind = self.need(line_no, line, toks, 2, "trace kind (workload|fleet)")?;
+        self.kind = Some(match kind.text {
+            "workload" => TraceKind::Workload,
+            "fleet" => TraceKind::Fleet,
+            other => {
+                return Err(self.err(
+                    line_no,
+                    kind.col,
+                    format!("unknown trace kind `{other}` (expected workload or fleet)"),
+                ))
+            }
+        });
+        Ok(())
+    }
+
+    fn need(
+        &self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+        i: usize,
+        what: &str,
+    ) -> Result<Tok<'a>, TraceError> {
+        toks.get(i).copied().ok_or_else(|| {
+            let (l, c) = self.after(line_no, line);
+            self.err(l, c, format!("missing {what}"))
+        })
+    }
+
+    fn enter(&mut self, line_no: u32, tok: Tok<'a>, section: Section) -> Result<(), TraceError> {
+        if section < self.section {
+            let place = match section {
+                Section::Header => "headers",
+                Section::Topology => "topology lines",
+                Section::Steps => "steps",
+            };
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "`{}` appears after a later section ({place} must come before {})",
+                    tok.text,
+                    match self.section {
+                        Section::Topology => "topology lines",
+                        _ => "steps",
+                    }
+                ),
+            ));
+        }
+        self.section = section;
+        Ok(())
+    }
+
+    fn parse_directive(
+        &mut self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+    ) -> Result<(), TraceError> {
+        let kind = self.kind.expect("magic parsed before directives");
+        let head = toks[0];
+        match head.text {
+            "name" => {
+                self.enter(line_no, head, Section::Header)?;
+                if self.name.is_some() {
+                    return Err(self.err(line_no, head.col, "duplicate `name` header"));
+                }
+                let value = self.need(line_no, line, toks, 1, "workload name")?;
+                // The name is the rest of the line, spaces included.
+                self.name = Some(line[(value.col - 1) as usize..].to_string());
+            }
+            "seed" => {
+                self.enter(line_no, head, Section::Header)?;
+                if self.meta.seed.is_some() {
+                    return Err(self.err(line_no, head.col, "duplicate `seed` header"));
+                }
+                let value = self.need(line_no, line, toks, 1, "seed value")?;
+                self.meta.seed = Some(self.parse_u64(line_no, value, "seed")?);
+            }
+            "config" => {
+                self.enter(line_no, head, Section::Header)?;
+                if self.saw_config {
+                    return Err(self.err(line_no, head.col, "duplicate `config` header"));
+                }
+                self.saw_config = true;
+                self.parse_config(line_no, &toks[1..])?;
+            }
+            "replay" => {
+                self.enter(line_no, head, Section::Header)?;
+                self.parse_replay(line_no, &toks[1..])?;
+            }
+            "expect" => {
+                self.enter(line_no, head, Section::Header)?;
+                if self.meta.expect_sig.is_some() {
+                    return Err(self.err(line_no, head.col, "duplicate `expect` header"));
+                }
+                let value = self.need(line_no, line, toks, 1, "`sig=<16-hex-digit>` field")?;
+                let Some(hex) = value.text.strip_prefix("sig=") else {
+                    return Err(self.err(
+                        line_no,
+                        value.col,
+                        format!("unknown expect field `{}` (expected sig=…)", value.text),
+                    ));
+                };
+                let sig = u64::from_str_radix(hex, 16).map_err(|_| {
+                    self.err(
+                        line_no,
+                        value.col,
+                        format!("malformed signature digest `{hex}` (expected 64-bit hex)"),
+                    )
+                })?;
+                self.meta.expect_sig = Some(sig);
+            }
+            "wake-nulls" => {
+                self.enter(line_no, head, Section::Header)?;
+                self.wake_nulls = true;
+            }
+            "node" => {
+                if kind != TraceKind::Workload {
+                    return Err(self.err(
+                        line_no,
+                        head.col,
+                        "`node` is a single-bus directive (this is a fleet trace; use `cluster`)",
+                    ));
+                }
+                self.enter(line_no, head, Section::Topology)?;
+                self.parse_node(line_no, line, &toks[1..])?;
+            }
+            "cluster" => {
+                if kind != TraceKind::Fleet {
+                    return Err(self.err(
+                        line_no,
+                        head.col,
+                        "`cluster` is a fleet directive (this is a workload trace; use `node`)",
+                    ));
+                }
+                self.enter(line_no, head, Section::Topology)?;
+                let flags = self.need(line_no, line, toks, 1, "sensor flags ([ag]+ or -)")?;
+                let sensors = if flags.text == "-" {
+                    Vec::new()
+                } else {
+                    let mut sensors = Vec::with_capacity(flags.text.len());
+                    for ch in flags.text.chars() {
+                        match ch {
+                            'a' => sensors.push(false),
+                            'g' => sensors.push(true),
+                            other => {
+                                return Err(self.err(
+                                    line_no,
+                                    flags.col,
+                                    format!(
+                                        "bad sensor flag `{other}` (each sensor is `a`lways-on \
+                                         or `g`ated; `-` for an empty cluster)"
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                    sensors
+                };
+                self.clusters.push(sensors);
+            }
+            "send" | "send!" => {
+                self.expect_kind(line_no, head, kind, TraceKind::Workload)?;
+                self.enter(line_no, head, Section::Steps)?;
+                let node = self.parse_node_index(line_no, line, toks, 1)?;
+                let msg = self.parse_msg(line_no, line, toks, 2)?;
+                self.wsteps.push(if head.text == "send" {
+                    Step::Queue { node, msg }
+                } else {
+                    Step::QueueUnchecked { node, msg }
+                });
+            }
+            "drain" => {
+                self.enter(line_no, head, Section::Steps)?;
+                match kind {
+                    TraceKind::Workload => self.wsteps.push(Step::Run),
+                    TraceKind::Fleet => self.fsteps.push(FleetStep::Drain),
+                }
+            }
+            "drain-partial" => {
+                self.expect_kind(line_no, head, kind, TraceKind::Workload)?;
+                self.enter(line_no, head, Section::Steps)?;
+                let value = self.need(line_no, line, toks, 1, "transaction count")?;
+                let count = self.parse_u64(line_no, value, "transaction count")? as usize;
+                self.wsteps.push(Step::RunTransactions { count });
+            }
+            "drain-rounds" => {
+                self.expect_kind(line_no, head, kind, TraceKind::Fleet)?;
+                self.enter(line_no, head, Section::Steps)?;
+                let value = self.need(line_no, line, toks, 1, "round count")?;
+                let rounds = self.parse_u64(line_no, value, "round count")? as usize;
+                self.fsteps.push(FleetStep::RunRounds { rounds });
+            }
+            "wakeup" => {
+                self.enter(line_no, head, Section::Steps)?;
+                match kind {
+                    TraceKind::Workload => {
+                        let node = self.parse_node_index(line_no, line, toks, 1)?;
+                        self.wsteps.push(Step::Wakeup { node });
+                    }
+                    TraceKind::Fleet => {
+                        let node = self.parse_fleet_id(line_no, line, toks, 1)?;
+                        self.fsteps.push(FleetStep::Wakeup { node });
+                    }
+                }
+            }
+            "local" => {
+                self.expect_kind(line_no, head, kind, TraceKind::Fleet)?;
+                self.enter(line_no, head, Section::Steps)?;
+                let src = self.parse_fleet_id(line_no, line, toks, 1)?;
+                let msg = self.parse_msg(line_no, line, toks, 2)?;
+                self.fsteps.push(FleetStep::Local { src, msg });
+            }
+            "remote" => {
+                self.expect_kind(line_no, head, kind, TraceKind::Fleet)?;
+                self.enter(line_no, head, Section::Steps)?;
+                let src = self.parse_fleet_id(line_no, line, toks, 1)?;
+                let dest = self.parse_fleet_id(line_no, line, toks, 2)?;
+                let fu_tok = self.need(line_no, line, toks, 3, "destination functional unit")?;
+                let fu_raw = self.parse_u64(line_no, fu_tok, "functional unit")?;
+                let fu = FuId::new(fu_raw as u8).map_err(|_| {
+                    self.err(
+                        line_no,
+                        fu_tok.col,
+                        format!("functional unit {fu_raw} out of range (0..=15)"),
+                    )
+                })?;
+                let payload_tok = self.need(line_no, line, toks, 4, "payload hex (or -)")?;
+                let payload = self.parse_payload(line_no, payload_tok)?;
+                let priority = self.parse_prio(line_no, toks, 5)?;
+                self.fsteps.push(FleetStep::Remote {
+                    src,
+                    dest,
+                    fu,
+                    payload,
+                    priority,
+                });
+            }
+            other => {
+                return Err(self.err(line_no, head.col, format!("unknown directive `{other}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn expect_kind(
+        &self,
+        line_no: u32,
+        head: Tok<'a>,
+        kind: TraceKind,
+        want: TraceKind,
+    ) -> Result<(), TraceError> {
+        if kind == want {
+            return Ok(());
+        }
+        let (this, instead) = match want {
+            TraceKind::Workload => ("a single-bus step", "local/remote/drain-rounds"),
+            TraceKind::Fleet => ("a fleet step", "send/drain-partial"),
+        };
+        Err(self.err(
+            line_no,
+            head.col,
+            format!("`{}` is {this} (use {instead} here)", head.text),
+        ))
+    }
+
+    fn parse_u64(&self, line_no: u32, tok: Tok<'a>, what: &str) -> Result<u64, TraceError> {
+        tok.text.parse::<u64>().map_err(|_| {
+            self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "malformed {what} `{}` (expected an unsigned integer)",
+                    tok.text
+                ),
+            )
+        })
+    }
+
+    fn parse_hex_u32(&self, line_no: u32, tok: Tok<'a>, what: &str) -> Result<u32, TraceError> {
+        let Some(hex) = tok.text.strip_prefix("0x") else {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!("malformed {what} `{}` (expected 0x-prefixed hex)", tok.text),
+            ));
+        };
+        u32::from_str_radix(hex, 16).map_err(|_| {
+            self.err(
+                line_no,
+                tok.col,
+                format!("malformed {what} `{}` (expected 0x-prefixed hex)", tok.text),
+            )
+        })
+    }
+
+    fn parse_config(&mut self, line_no: u32, toks: &[Tok<'a>]) -> Result<(), TraceError> {
+        let mut clock: Option<(u64, Tok<'a>)> = None;
+        let mut maxmsg: Option<(u64, Tok<'a>)> = None;
+        let mut hop_ps: Option<(u64, Tok<'a>)> = None;
+        let mut medwake: Option<(u64, Tok<'a>)> = None;
+        for &tok in toks {
+            let Some((key, value)) = tok.text.split_once('=') else {
+                return Err(self.err(
+                    line_no,
+                    tok.col,
+                    format!("malformed config field `{}` (expected key=value)", tok.text),
+                ));
+            };
+            let value_tok = Tok {
+                col: tok.col + key.len() as u32 + 1,
+                text: value,
+            };
+            let parsed = self.parse_u64(line_no, value_tok, key)?;
+            match key {
+                "clock" => clock = Some((parsed, value_tok)),
+                "maxmsg" => maxmsg = Some((parsed, value_tok)),
+                "hop_ps" => hop_ps = Some((parsed, value_tok)),
+                "medwake" => medwake = Some((parsed, value_tok)),
+                other => {
+                    return Err(self.err(
+                        line_no,
+                        tok.col,
+                        format!("unknown config field `{other}`"),
+                    ))
+                }
+            }
+        }
+        let mut config = BusConfig::default();
+        if let Some((hz, tok)) = clock {
+            config = BusConfig::new(hz)
+                .map_err(|e| self.err(line_no, tok.col, format!("bad clock: {e}")))?;
+        }
+        if let Some((max, tok)) = maxmsg {
+            config = config
+                .with_max_message_bytes(max as usize)
+                .map_err(|e| self.err(line_no, tok.col, format!("bad maxmsg: {e}")))?;
+        }
+        if let Some((ps, tok)) = hop_ps {
+            config = config
+                .with_hop_delay(mbus_sim::SimTime::from_ps(ps))
+                .map_err(|e| self.err(line_no, tok.col, format!("bad hop_ps: {e}")))?;
+        }
+        if let Some((cycles, _)) = medwake {
+            config = config.with_mediator_wakeup_cycles(cycles as u32);
+        }
+        self.config = config;
+        Ok(())
+    }
+
+    fn parse_replay(&mut self, line_no: u32, toks: &[Tok<'a>]) -> Result<(), TraceError> {
+        for &tok in toks {
+            let Some((key, value)) = tok.text.split_once('=') else {
+                return Err(self.err(
+                    line_no,
+                    tok.col,
+                    format!("malformed replay field `{}` (expected key=value)", tok.text),
+                ));
+            };
+            match key {
+                "engine" => {
+                    self.meta.engine = Some(match value {
+                        "analytic" => EngineKind::Analytic,
+                        "event" => EngineKind::Event,
+                        "wire" => EngineKind::Wire,
+                        other => {
+                            return Err(self.err(
+                                line_no,
+                                tok.col,
+                                format!(
+                                    "unknown engine `{other}` (expected analytic, event, or wire)"
+                                ),
+                            ))
+                        }
+                    });
+                }
+                "schedule" => {
+                    self.meta.schedule = Some(match value.split_once(':') {
+                        None if value == "batched" => FleetSchedule::Batched,
+                        None if value == "interleaved" => FleetSchedule::Interleaved,
+                        Some(("sharded", n)) => FleetSchedule::Sharded {
+                            shards: n.parse().map_err(|_| {
+                                self.err(
+                                    line_no,
+                                    tok.col,
+                                    format!("malformed shard count in `{}`", tok.text),
+                                )
+                            })?,
+                        },
+                        _ => {
+                            return Err(self.err(
+                                line_no,
+                                tok.col,
+                                format!(
+                                    "unknown schedule `{value}` (expected batched, interleaved, \
+                                     or sharded:<n>)"
+                                ),
+                            ))
+                        }
+                    });
+                }
+                "balance" => {
+                    self.meta.balance = Some(match value.split_once(':') {
+                        None if value == "static" => ShardBalance::Static,
+                        Some(("measured", n)) => ShardBalance::Measured {
+                            every_epochs: n.parse().map_err(|_| {
+                                self.err(
+                                    line_no,
+                                    tok.col,
+                                    format!("malformed rebalance cadence in `{}`", tok.text),
+                                )
+                            })?,
+                        },
+                        _ => {
+                            return Err(self.err(
+                                line_no,
+                                tok.col,
+                                format!(
+                                    "unknown balance `{value}` (expected static or measured:<n>)"
+                                ),
+                            ))
+                        }
+                    });
+                }
+                other => {
+                    return Err(self.err(
+                        line_no,
+                        tok.col,
+                        format!("unknown replay field `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_node(&mut self, line_no: u32, line: &str, toks: &[Tok<'a>]) -> Result<(), TraceError> {
+        let mut prefix: Option<FullPrefix> = None;
+        let mut short: Option<ShortPrefix> = None;
+        let mut gated = false;
+        let mut rx: Option<usize> = None;
+        let mut listen: Vec<u8> = Vec::new();
+        let mut name: Option<String> = None;
+        for &tok in toks {
+            if let Some(rest) = tok.text.strip_prefix("name=") {
+                // `name=` consumes the rest of the line, spaces and all.
+                let start = (tok.col - 1) as usize + "name=".len();
+                let _ = rest;
+                name = Some(line[start..].to_string());
+                break;
+            }
+            match tok.text.split_once('=') {
+                None if tok.text == "gated" => gated = true,
+                None => {
+                    return Err(self.err(
+                        line_no,
+                        tok.col,
+                        format!("unknown node flag `{}`", tok.text),
+                    ))
+                }
+                Some(("prefix", _)) => {
+                    let value = Tok {
+                        col: tok.col + "prefix=".len() as u32,
+                        text: &tok.text["prefix=".len()..],
+                    };
+                    let raw = self.parse_hex_u32(line_no, value, "full prefix")?;
+                    prefix = Some(FullPrefix::new(raw).map_err(|_| {
+                        self.err(
+                            line_no,
+                            value.col,
+                            format!("full prefix 0x{raw:x} out of range (20 bits)"),
+                        )
+                    })?);
+                }
+                Some(("short", _)) => {
+                    let value = Tok {
+                        col: tok.col + "short=".len() as u32,
+                        text: &tok.text["short=".len()..],
+                    };
+                    let raw = self.parse_hex_u32(line_no, value, "short prefix")?;
+                    short = Some(ShortPrefix::new(raw as u8).map_err(|_| {
+                        self.err(
+                            line_no,
+                            value.col,
+                            format!("short prefix 0x{raw:x} out of range (0x1..=0xE)"),
+                        )
+                    })?);
+                }
+                Some(("rx", n)) => {
+                    let value = Tok {
+                        col: tok.col + "rx=".len() as u32,
+                        text: n,
+                    };
+                    rx = Some(self.parse_u64(line_no, value, "rx buffer size")? as usize);
+                }
+                Some(("listen", list)) => {
+                    for part in list.split(',') {
+                        let channel: u8 = part.parse().map_err(|_| {
+                            self.err(
+                                line_no,
+                                tok.col,
+                                format!("malformed listen channel `{part}`"),
+                            )
+                        })?;
+                        if channel > 0xF {
+                            return Err(self.err(
+                                line_no,
+                                tok.col,
+                                format!("listen channel {channel} out of range (0..=15)"),
+                            ));
+                        }
+                        listen.push(channel);
+                    }
+                }
+                Some((other, _)) => {
+                    return Err(self.err(line_no, tok.col, format!("unknown node field `{other}`")))
+                }
+            }
+        }
+        let Some(prefix) = prefix else {
+            let (l, c) = self.after(line_no, line);
+            return Err(self.err(l, c, "missing `prefix=` on node line"));
+        };
+        let mut spec = NodeSpec::new(
+            name.unwrap_or_else(|| format!("n{}", self.nodes.len())),
+            prefix,
+        );
+        if let Some(short) = short {
+            spec = spec.with_short_prefix(short);
+        }
+        spec = spec.power_aware(gated);
+        if let Some(bytes) = rx {
+            spec = spec.with_rx_buffer(bytes);
+        }
+        for channel in listen {
+            if let Ok(channel) = BroadcastChannel::new(channel) {
+                spec = spec.listen(channel);
+            }
+        }
+        self.nodes.push(spec);
+        Ok(())
+    }
+
+    fn parse_node_index(
+        &self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+        i: usize,
+    ) -> Result<usize, TraceError> {
+        let tok = self.need(line_no, line, toks, i, "node index")?;
+        let node = self.parse_u64(line_no, tok, "node index")? as usize;
+        if node >= self.nodes.len() {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "node index {node} out of range ({} node(s) declared)",
+                    self.nodes.len()
+                ),
+            ));
+        }
+        Ok(node)
+    }
+
+    fn parse_fleet_id(
+        &self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+        i: usize,
+    ) -> Result<FleetNodeId, TraceError> {
+        let tok = self.need(line_no, line, toks, i, "fleet node id (cluster.node)")?;
+        let Some((c, n)) = tok.text.split_once('.') else {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "malformed fleet node id `{}` (expected cluster.node)",
+                    tok.text
+                ),
+            ));
+        };
+        let (Ok(cluster), Ok(node)) = (c.parse::<usize>(), n.parse::<usize>()) else {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "malformed fleet node id `{}` (expected cluster.node)",
+                    tok.text
+                ),
+            ));
+        };
+        if cluster >= self.clusters.len() {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "cluster index {cluster} out of range ({} cluster(s) declared)",
+                    self.clusters.len()
+                ),
+            ));
+        }
+        let sensors = self.clusters[cluster].len();
+        if node > sensors {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "node index {node} out of range on cluster {cluster} \
+                     ({sensors} sensor(s) + gateway)"
+                ),
+            ));
+        }
+        Ok(FleetNodeId::new(cluster, node))
+    }
+
+    fn parse_addr(&self, line_no: u32, tok: Tok<'a>) -> Result<Address, TraceError> {
+        let bad = |detail: &str| {
+            self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "malformed address `{}` ({detail}; expected 0xP.F, full:0xPPPPP.F, \
+                     or bcast.C)",
+                    tok.text
+                ),
+            )
+        };
+        if let Some(rest) = tok.text.strip_prefix("bcast.") {
+            let channel: u8 = rest.parse().map_err(|_| bad("bad broadcast channel"))?;
+            let channel = BroadcastChannel::new(channel)
+                .map_err(|_| bad("broadcast channel out of range (0..=15)"))?;
+            return Ok(Address::broadcast(channel));
+        }
+        let (full, body) = match tok.text.strip_prefix("full:") {
+            Some(rest) => (true, rest),
+            None => (false, tok.text),
+        };
+        let Some((prefix, fu)) = body.rsplit_once('.') else {
+            return Err(bad("missing `.fu` suffix"));
+        };
+        let Some(prefix_hex) = prefix.strip_prefix("0x") else {
+            return Err(bad("prefix must be 0x-prefixed hex"));
+        };
+        let prefix_raw = u32::from_str_radix(prefix_hex, 16).map_err(|_| bad("bad prefix hex"))?;
+        let fu_raw = u8::from_str_radix(fu, 16).map_err(|_| bad("bad functional unit"))?;
+        let fu = FuId::new(fu_raw).map_err(|_| bad("functional unit out of range"))?;
+        if full {
+            let prefix = FullPrefix::new(prefix_raw)
+                .map_err(|_| bad("full prefix out of range (20 bits)"))?;
+            Ok(Address::full(prefix, fu))
+        } else {
+            let prefix = ShortPrefix::new(prefix_raw as u8)
+                .map_err(|_| bad("short prefix out of range (0x1..=0xE)"))?;
+            Ok(Address::short(prefix, fu))
+        }
+    }
+
+    fn parse_payload(&self, line_no: u32, tok: Tok<'a>) -> Result<Vec<u8>, TraceError> {
+        if tok.text == "-" {
+            return Ok(Vec::new());
+        }
+        let hex = tok.text;
+        if !hex.len().is_multiple_of(2) {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!("odd-length payload hex `{hex}` ({} digit(s))", hex.len()),
+            ));
+        }
+        let mut payload = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let byte = u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| {
+                self.err(
+                    line_no,
+                    tok.col + i as u32,
+                    format!("invalid payload hex digit in `{}`", &hex[i..i + 2]),
+                )
+            })?;
+            payload.push(byte);
+        }
+        Ok(payload)
+    }
+
+    fn parse_prio(&self, line_no: u32, toks: &[Tok<'a>], i: usize) -> Result<bool, TraceError> {
+        match toks.get(i) {
+            None => Ok(false),
+            Some(tok) if tok.text == "prio" => Ok(true),
+            Some(tok) => Err(self.err(
+                line_no,
+                tok.col,
+                format!(
+                    "unexpected trailing token `{}` (only `prio` may follow)",
+                    tok.text
+                ),
+            )),
+        }
+    }
+
+    fn parse_msg(
+        &self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+        i: usize,
+    ) -> Result<Message, TraceError> {
+        let addr_tok = self.need(line_no, line, toks, i, "destination address")?;
+        let addr = self.parse_addr(line_no, addr_tok)?;
+        let payload_tok = self.need(line_no, line, toks, i + 1, "payload hex (or -)")?;
+        let payload = self.parse_payload(line_no, payload_tok)?;
+        let mut msg = Message::new(addr, payload);
+        if self.parse_prio(line_no, toks, i + 2)? {
+            msg = msg.with_priority();
+        }
+        Ok(msg)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Signature digests
+// ----------------------------------------------------------------------
+
+/// A 64-bit FNV-1a accumulator over a canonical field encoding — the
+/// digest golden traces pin with `expect sig=`. Deliberately *not*
+/// `std::hash::Hasher`-based: the encoding must stay stable across
+/// Rust releases and refactors of the signature types' `Debug` shape.
+#[derive(Clone, Copy, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+}
+
+fn outcome_code(outcome: TxOutcome) -> u8 {
+    match outcome {
+        TxOutcome::Acked => 0,
+        TxOutcome::Nacked => 1,
+        TxOutcome::ReceiverAbort => 2,
+        TxOutcome::LengthEnforced => 3,
+        TxOutcome::NoDestination => 4,
+        TxOutcome::LostArbitration => 5,
+        TxOutcome::Interrupted => 6,
+    }
+}
+
+fn digest_records(h: &mut Fnv, records: &[EngineRecord]) {
+    h.usize(records.len());
+    for r in records {
+        h.u64(r.seq);
+        h.u64(r.cycles);
+        match r.winner {
+            Some(node) => {
+                h.u8(1);
+                h.usize(node);
+            }
+            None => h.u8(0),
+        }
+        h.usize(r.delivered_to.len());
+        for &node in &r.delivered_to {
+            h.usize(node);
+        }
+        h.u8(outcome_code(r.outcome));
+        h.bool(r.control.bit0);
+        h.bool(r.control.bit1);
+    }
+}
+
+fn digest_scenario_into(h: &mut Fnv, sig: &ScenarioSignature) {
+    digest_records(h, &sig.records);
+    h.usize(sig.deliveries.len());
+    for log in &sig.deliveries {
+        h.usize(log.len());
+        for (from, dest, payload) in log {
+            h.usize(*from);
+            h.bytes(&dest.encode());
+            h.usize(payload.len());
+            h.bytes(payload);
+        }
+    }
+    match &sig.wakes {
+        Some((wake_events, layer_wakes)) => {
+            h.u8(1);
+            h.usize(wake_events.len());
+            for &n in wake_events {
+                h.u64(n);
+            }
+            h.usize(layer_wakes.len());
+            for &n in layer_wakes {
+                h.u64(n);
+            }
+        }
+        None => h.u8(0),
+    }
+}
+
+/// Reduces a [`ScenarioSignature`] to a stable 64-bit digest over a
+/// canonical field encoding (independent of `Debug` formatting and the
+/// standard library's hashers). Equal signatures always digest
+/// equally; corpus traces pin this value with `expect sig=`.
+pub fn scenario_digest(sig: &ScenarioSignature) -> u64 {
+    let mut h = Fnv::new();
+    h.u8(b'w');
+    digest_scenario_into(&mut h, sig);
+    h.0
+}
+
+/// Reduces a [`FleetSignature`] to a stable 64-bit digest; the fleet
+/// counterpart of [`scenario_digest`].
+pub fn fleet_digest(sig: &FleetSignature) -> u64 {
+    let mut h = Fnv::new();
+    h.u8(b'f');
+    h.usize(sig.clusters.len());
+    for cluster in &sig.clusters {
+        digest_scenario_into(&mut h, cluster);
+    }
+    h.u64(sig.forwarded);
+    h.u64(sig.dropped);
+    h.usize(sig.cluster_drops.len());
+    for &n in &sig.cluster_drops {
+        h.u64(n);
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+
+    fn roundtrip(tf: &TraceFile) -> TraceFile {
+        let text = tf.to_mbt();
+        TraceFile::parse_str("test.mbt", &text).expect("round-trip parse")
+    }
+
+    #[test]
+    fn workload_round_trips_structurally() {
+        let w = Workload::fault_injection();
+        let tf = TraceFile::workload(w.clone()).with_seed(7);
+        let parsed = roundtrip(&tf);
+        let Trace::Workload(p) = &parsed.trace else {
+            panic!("kind flipped");
+        };
+        assert_eq!(p.name(), w.name());
+        assert_eq!(p.node_specs().len(), w.node_specs().len());
+        assert_eq!(p.steps().len(), w.steps().len());
+        assert_eq!(p.strict_nulls(), w.strict_nulls());
+        assert_eq!(parsed.meta.seed, Some(7));
+        assert_eq!(
+            scenario_digest(&p.run_on(EngineKind::Analytic).signature()),
+            scenario_digest(&w.run_on(EngineKind::Analytic).signature()),
+        );
+    }
+
+    #[test]
+    fn fleet_round_trips_structurally() {
+        let w = FleetWorkload::cross_storm(3, 2, 2);
+        let tf = TraceFile::fleet(w.clone());
+        let parsed = roundtrip(&tf);
+        let Trace::Fleet(p) = &parsed.trace else {
+            panic!("kind flipped");
+        };
+        assert_eq!(p.name(), w.name());
+        assert_eq!(p.cluster_specs(), w.cluster_specs());
+        assert_eq!(p.steps().len(), w.steps().len());
+        assert_eq!(
+            fleet_digest(&p.run_on(EngineKind::Analytic).signature()),
+            fleet_digest(&w.run_on(EngineKind::Analytic).signature()),
+        );
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let mut tf = TraceFile::workload(Workload::many_node_storm(3, 1)).with_seed(99);
+        tf.meta.engine = Some(EngineKind::Event);
+        tf.meta.schedule = Some(FleetSchedule::Sharded { shards: 4 });
+        tf.meta.balance = Some(ShardBalance::Measured { every_epochs: 2 });
+        tf.meta.expect_sig = Some(0x0123_4567_89ab_cdef);
+        let parsed = roundtrip(&tf);
+        assert_eq!(parsed.meta, tf.meta);
+    }
+
+    #[test]
+    fn every_step_kind_survives() {
+        let w = Workload::new("steps", BusConfig::default())
+            .node(
+                NodeSpec::new("a", FullPrefix::new(0x1).unwrap())
+                    .with_short_prefix(ShortPrefix::new(0x1).unwrap()),
+            )
+            .node(
+                NodeSpec::new("b", FullPrefix::new(0x2).unwrap())
+                    .with_short_prefix(ShortPrefix::new(0x2).unwrap())
+                    .power_aware(true)
+                    .with_rx_buffer(8)
+                    .listen(BroadcastChannel::new(7).unwrap()),
+            )
+            .send(
+                0,
+                Message::new(
+                    Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO),
+                    vec![1, 2],
+                )
+                .with_priority(),
+            )
+            .send_unchecked(
+                0,
+                Message::new(
+                    Address::full(FullPrefix::new(0x2).unwrap(), FuId::new(3).unwrap()),
+                    vec![],
+                ),
+            )
+            .send(
+                1,
+                Message::new(Address::broadcast(BroadcastChannel::MEMBER_EVENT), vec![9]),
+            )
+            .wakeup(1)
+            .drain_partial(2)
+            .drain()
+            .allow_wake_nulls();
+        let parsed = roundtrip(&TraceFile::workload(w.clone()));
+        let Trace::Workload(p) = &parsed.trace else {
+            panic!("kind flipped");
+        };
+        // Structural equality, step by step.
+        assert_eq!(format!("{:?}", p.steps()), format!("{:?}", w.steps()));
+        assert_eq!(
+            format!("{:?}", p.node_specs()),
+            format!("{:?}", w.node_specs())
+        );
+        assert!(!p.strict_nulls());
+    }
+
+    #[test]
+    fn errors_carry_exact_spans() {
+        let text =
+            "mbt 1 workload\nname t\nnode prefix=0x00001 short=0x1 name=a\nsend 3 0x1.0 aa\n";
+        let err = TraceFile::parse_str("t.mbt", text).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "t.mbt:4:6: node index 3 out of range (1 node(s) declared)"
+        );
+    }
+
+    #[test]
+    fn duplicate_seed_is_one_exact_error() {
+        let text = "mbt 1 workload\nname t\nseed 1\nseed 2\n";
+        let err = TraceFile::parse_str("t.mbt", text).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert_eq!(err.col, 1);
+        assert!(err.message.contains("duplicate `seed`"));
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let w = Workload::many_node_storm(4, 2);
+        let a = scenario_digest(&w.run_on(EngineKind::Analytic).signature());
+        let b = scenario_digest(&w.run_on(EngineKind::Event).signature());
+        assert_eq!(a, b, "identical signatures digest identically");
+        let other = scenario_digest(
+            &Workload::many_node_storm(4, 3)
+                .run_on(EngineKind::Analytic)
+                .signature(),
+        );
+        assert_ne!(a, other, "different behavior digests differently");
+    }
+
+    #[test]
+    fn non_default_config_round_trips() {
+        let config = BusConfig::new(1_000_000)
+            .unwrap()
+            .with_max_message_bytes(2048)
+            .unwrap()
+            .with_hop_delay(mbus_sim::SimTime::from_ps(5_000))
+            .unwrap()
+            .with_mediator_wakeup_cycles(3);
+        let w = Workload::new("cfg", config).node(
+            NodeSpec::new("a", FullPrefix::new(0x1).unwrap())
+                .with_short_prefix(ShortPrefix::new(0x1).unwrap()),
+        );
+        let parsed = roundtrip(&TraceFile::workload(w));
+        let Trace::Workload(p) = &parsed.trace else {
+            panic!("kind flipped");
+        };
+        assert_eq!(*p.config(), config);
+    }
+}

@@ -1,0 +1,715 @@
+//! Deterministic delta-debugging shrinker for failing traces.
+//!
+//! A fuzz battery that trips an engine divergence hands back a seeded
+//! generator output with dozens of nodes and hundreds of steps — far
+//! more than the divergence needs. [`shrink_workload`] and
+//! [`shrink_fleet`] minimize such a scenario while a caller-supplied
+//! predicate (*"does this still fail?"*) keeps returning `true`, so
+//! fuzz failures ship as minimal `.mbt` repros.
+//!
+//! The passes are classic ddmin plus domain-specific reductions, run
+//! to a fixpoint:
+//!
+//! 1. **Drop steps** — chunk sizes halving from `len/2` to 1, so the
+//!    result is 1-minimal: no single remaining step can be removed.
+//! 2. **Shrink payloads** — empty, then first half, then all-zero
+//!    bytes (the fixpoint loop re-halves until nothing shrinks).
+//! 3. **Shrink partial-drain counts** — toward 0, then halving.
+//! 4. **Drop topology** — any node (or cluster) no step references,
+//!    remapping the indices of later ones down; plus, for fleets,
+//!    trimming trailing unreferenced sensors off each cluster.
+//!
+//! Every pass proposes a candidate, rebuilds it through the public
+//! workload builders, and keeps it only if the predicate still fails —
+//! so the shrinker can never manufacture an out-of-range reference or
+//! a scenario the builders would reject. There is no randomness: the
+//! same input and predicate always minimize to the same trace (the
+//! shrinker self-test pins this).
+
+use crate::fleet::{FleetStep, FleetWorkload};
+use crate::scenario::{Step, Workload};
+
+use super::{rebuild_fleet, rebuild_workload};
+
+/// Minimizes a failing single-bus workload.
+///
+/// `predicate` must return `true` for a *still-failing* candidate; it
+/// is required to hold for `workload` itself (if it does not, the
+/// input is returned unchanged). The result is 1-minimal over step
+/// removal: dropping any single remaining step makes the predicate
+/// pass.
+pub fn shrink_workload(
+    workload: &Workload,
+    predicate: &mut dyn FnMut(&Workload) -> bool,
+) -> Workload {
+    if !predicate(workload) {
+        return workload.clone();
+    }
+    let mut state = WorkloadParts::of(workload);
+    loop {
+        let mut progress = false;
+        progress |= ddmin_steps(&mut state, predicate);
+        progress |= shrink_workload_payloads(&mut state, predicate);
+        progress |= shrink_workload_counts(&mut state, predicate);
+        progress |= drop_unreferenced_nodes(&mut state, predicate);
+        if !progress {
+            return state.build();
+        }
+    }
+}
+
+/// Minimizes a failing fleet workload; the fleet counterpart of
+/// [`shrink_workload`] (steps, payloads, round counts, unreferenced
+/// clusters, trailing unreferenced sensors).
+pub fn shrink_fleet(
+    workload: &FleetWorkload,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> FleetWorkload {
+    if !predicate(workload) {
+        return workload.clone();
+    }
+    let mut state = FleetParts::of(workload);
+    loop {
+        let mut progress = false;
+        progress |= ddmin_fleet_steps(&mut state, predicate);
+        progress |= shrink_fleet_payloads(&mut state, predicate);
+        progress |= shrink_fleet_counts(&mut state, predicate);
+        progress |= drop_unreferenced_clusters(&mut state, predicate);
+        progress |= trim_trailing_sensors(&mut state, predicate);
+        if !progress {
+            return state.build();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Decomposed workload state
+// ----------------------------------------------------------------------
+
+struct WorkloadParts {
+    name: String,
+    config: crate::config::BusConfig,
+    nodes: Vec<crate::node::NodeSpec>,
+    steps: Vec<Step>,
+    strict_nulls: bool,
+}
+
+impl WorkloadParts {
+    fn of(w: &Workload) -> Self {
+        WorkloadParts {
+            name: w.name().to_string(),
+            config: *w.config(),
+            nodes: w.node_specs().to_vec(),
+            steps: w.steps().to_vec(),
+            strict_nulls: w.strict_nulls(),
+        }
+    }
+
+    fn build(&self) -> Workload {
+        rebuild_workload(
+            &self.name,
+            self.config,
+            &self.nodes,
+            &self.steps,
+            self.strict_nulls,
+        )
+    }
+
+    fn build_with_steps(&self, steps: &[Step]) -> Workload {
+        rebuild_workload(
+            &self.name,
+            self.config,
+            &self.nodes,
+            steps,
+            self.strict_nulls,
+        )
+    }
+}
+
+struct FleetParts {
+    name: String,
+    config: crate::config::BusConfig,
+    clusters: Vec<Vec<bool>>,
+    steps: Vec<FleetStep>,
+    strict_nulls: bool,
+}
+
+impl FleetParts {
+    fn of(w: &FleetWorkload) -> Self {
+        FleetParts {
+            name: w.name().to_string(),
+            config: *w.config(),
+            clusters: w.cluster_specs().to_vec(),
+            steps: w.steps().to_vec(),
+            strict_nulls: w.strict_nulls(),
+        }
+    }
+
+    fn build(&self) -> FleetWorkload {
+        rebuild_fleet(
+            &self.name,
+            self.config,
+            &self.clusters,
+            &self.steps,
+            self.strict_nulls,
+        )
+    }
+
+    fn build_with_steps(&self, steps: &[FleetStep]) -> FleetWorkload {
+        rebuild_fleet(
+            &self.name,
+            self.config,
+            &self.clusters,
+            steps,
+            self.strict_nulls,
+        )
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pass 1: ddmin over steps
+// ----------------------------------------------------------------------
+
+fn ddmin_steps(state: &mut WorkloadParts, predicate: &mut dyn FnMut(&Workload) -> bool) -> bool {
+    let mut steps = state.steps.clone();
+    let mut progress = false;
+    let mut chunk = steps.len() / 2;
+    while chunk >= 1 {
+        let mut lo = 0;
+        while lo < steps.len() {
+            let hi = (lo + chunk).min(steps.len());
+            let mut candidate = steps.clone();
+            candidate.drain(lo..hi);
+            if predicate(&state.build_with_steps(&candidate)) {
+                steps = candidate;
+                progress = true;
+            } else {
+                lo = hi;
+            }
+        }
+        chunk /= 2;
+    }
+    state.steps = steps;
+    progress
+}
+
+fn ddmin_fleet_steps(
+    state: &mut FleetParts,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> bool {
+    let mut steps = state.steps.clone();
+    let mut progress = false;
+    let mut chunk = steps.len() / 2;
+    while chunk >= 1 {
+        let mut lo = 0;
+        while lo < steps.len() {
+            let hi = (lo + chunk).min(steps.len());
+            let mut candidate = steps.clone();
+            candidate.drain(lo..hi);
+            if predicate(&state.build_with_steps(&candidate)) {
+                steps = candidate;
+                progress = true;
+            } else {
+                lo = hi;
+            }
+        }
+        chunk /= 2;
+    }
+    state.steps = steps;
+    progress
+}
+
+// ----------------------------------------------------------------------
+// Pass 2: payload shrinking
+// ----------------------------------------------------------------------
+
+/// Whether `dest` could be a gateway forwarding port: fu 0 of the
+/// gateway's fixed short prefix (0x1), or fu 0 of any full prefix
+/// (gateway presences own per-cluster full prefixes the shrinker
+/// cannot enumerate, so it stays conservative).
+fn targets_forwarding_port(dest: crate::addr::Address) -> bool {
+    use crate::addr::Address;
+    match dest {
+        Address::Short { prefix, fu_id } => prefix.raw() == 0x1 && fu_id.raw() == 0,
+        Address::Full { fu_id, .. } => fu_id.raw() == 0,
+        Address::Broadcast { .. } => false,
+    }
+}
+
+/// Candidate reductions for one payload, in preference order. The
+/// fixpoint loop re-applies the half-length candidate until it stops
+/// helping, so long payloads shrink logarithmically.
+fn payload_candidates(payload: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    if !payload.is_empty() {
+        out.push(Vec::new());
+        if payload.len() > 1 {
+            out.push(payload[..payload.len() / 2].to_vec());
+        }
+        if payload.iter().any(|&b| b != 0) {
+            out.push(vec![0; payload.len()]);
+        }
+    }
+    out
+}
+
+fn shrink_workload_payloads(
+    state: &mut WorkloadParts,
+    predicate: &mut dyn FnMut(&Workload) -> bool,
+) -> bool {
+    let mut progress = false;
+    for i in 0..state.steps.len() {
+        let payload = match &state.steps[i] {
+            Step::Queue { msg, .. } | Step::QueueUnchecked { msg, .. } => msg.payload().to_vec(),
+            _ => continue,
+        };
+        for candidate in payload_candidates(&payload) {
+            let mut steps = state.steps.clone();
+            match &mut steps[i] {
+                Step::Queue { msg, .. } | Step::QueueUnchecked { msg, .. } => {
+                    *msg = msg.with_payload(candidate);
+                }
+                _ => unreachable!("filtered above"),
+            }
+            if predicate(&state.build_with_steps(&steps)) {
+                state.steps = steps;
+                progress = true;
+                break;
+            }
+        }
+    }
+    progress
+}
+
+fn shrink_fleet_payloads(
+    state: &mut FleetParts,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> bool {
+    let mut progress = false;
+    for i in 0..state.steps.len() {
+        let payload = match &state.steps[i] {
+            // A local send to a forwarding port (fu 0 of a gateway
+            // presence) is an envelope *because its payload decodes as
+            // one* — shrinking the payload would turn it into traffic
+            // `Fleet::queue` rejects, and `FleetWorkload::apply`
+            // treats a rejected step as a caller bug. Leave such
+            // payloads alone; the step-removal pass can still drop the
+            // whole send.
+            FleetStep::Local { msg, .. } if targets_forwarding_port(msg.dest()) => continue,
+            FleetStep::Local { msg, .. } => msg.payload().to_vec(),
+            FleetStep::Remote { payload, .. } => payload.clone(),
+            _ => continue,
+        };
+        for candidate in payload_candidates(&payload) {
+            let mut steps = state.steps.clone();
+            match &mut steps[i] {
+                FleetStep::Local { msg, .. } => *msg = msg.with_payload(candidate),
+                FleetStep::Remote { payload, .. } => *payload = candidate,
+                _ => unreachable!("filtered above"),
+            }
+            if predicate(&state.build_with_steps(&steps)) {
+                state.steps = steps;
+                progress = true;
+                break;
+            }
+        }
+    }
+    progress
+}
+
+// ----------------------------------------------------------------------
+// Pass 3: partial-drain count shrinking
+// ----------------------------------------------------------------------
+
+fn count_candidates(count: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if count > 0 {
+        out.push(0);
+        if count > 1 {
+            out.push(count / 2);
+        }
+    }
+    out
+}
+
+fn shrink_workload_counts(
+    state: &mut WorkloadParts,
+    predicate: &mut dyn FnMut(&Workload) -> bool,
+) -> bool {
+    let mut progress = false;
+    for i in 0..state.steps.len() {
+        let Step::RunTransactions { count } = state.steps[i] else {
+            continue;
+        };
+        for candidate in count_candidates(count) {
+            let mut steps = state.steps.clone();
+            steps[i] = Step::RunTransactions { count: candidate };
+            if predicate(&state.build_with_steps(&steps)) {
+                state.steps = steps;
+                progress = true;
+                break;
+            }
+        }
+    }
+    progress
+}
+
+fn shrink_fleet_counts(
+    state: &mut FleetParts,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> bool {
+    let mut progress = false;
+    for i in 0..state.steps.len() {
+        let FleetStep::RunRounds { rounds } = state.steps[i] else {
+            continue;
+        };
+        for candidate in count_candidates(rounds) {
+            let mut steps = state.steps.clone();
+            steps[i] = FleetStep::RunRounds { rounds: candidate };
+            if predicate(&state.build_with_steps(&steps)) {
+                state.steps = steps;
+                progress = true;
+                break;
+            }
+        }
+    }
+    progress
+}
+
+// ----------------------------------------------------------------------
+// Pass 4: topology dropping
+// ----------------------------------------------------------------------
+
+/// Drops any node no step references by index, remapping the indices
+/// of later nodes down by one. Destination *addresses* are left alone
+/// — a send whose receiver disappears legally resolves to
+/// [`crate::TxOutcome::NoDestination`], and the predicate decides
+/// whether the failure survives.
+fn drop_unreferenced_nodes(
+    state: &mut WorkloadParts,
+    predicate: &mut dyn FnMut(&Workload) -> bool,
+) -> bool {
+    let mut progress = false;
+    let mut i = 0;
+    while i < state.nodes.len() {
+        let referenced = state.steps.iter().any(|s| match s {
+            Step::Queue { node, .. }
+            | Step::QueueUnchecked { node, .. }
+            | Step::Wakeup { node } => *node == i,
+            _ => false,
+        });
+        if referenced {
+            i += 1;
+            continue;
+        }
+        let mut nodes = state.nodes.clone();
+        nodes.remove(i);
+        let steps: Vec<Step> = state
+            .steps
+            .iter()
+            .cloned()
+            .map(|s| match s {
+                Step::Queue { node, msg } => Step::Queue {
+                    node: node - usize::from(node > i),
+                    msg,
+                },
+                Step::QueueUnchecked { node, msg } => Step::QueueUnchecked {
+                    node: node - usize::from(node > i),
+                    msg,
+                },
+                Step::Wakeup { node } => Step::Wakeup {
+                    node: node - usize::from(node > i),
+                },
+                other => other,
+            })
+            .collect();
+        let candidate = rebuild_workload(
+            &state.name,
+            state.config,
+            &nodes,
+            &steps,
+            state.strict_nulls,
+        );
+        if predicate(&candidate) {
+            state.nodes = nodes;
+            state.steps = steps;
+            progress = true;
+            // Re-check the node that slid into slot `i`.
+        } else {
+            i += 1;
+        }
+    }
+    progress
+}
+
+/// Drops any cluster no step references, remapping later cluster
+/// indices down by one — the fleet analog of
+/// [`drop_unreferenced_nodes`]. Remote destinations naming a dropped
+/// cluster would dangle, so a cluster referenced *anywhere* (src,
+/// dest, or wakeup) is kept.
+fn drop_unreferenced_clusters(
+    state: &mut FleetParts,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> bool {
+    let mut progress = false;
+    let mut i = 0;
+    while i < state.clusters.len() {
+        let referenced = state.steps.iter().any(|s| match s {
+            FleetStep::Local { src, .. } => src.cluster == i,
+            FleetStep::Remote { src, dest, .. } => src.cluster == i || dest.cluster == i,
+            FleetStep::Wakeup { node } => node.cluster == i,
+            _ => false,
+        });
+        if referenced {
+            i += 1;
+            continue;
+        }
+        let mut clusters = state.clusters.clone();
+        clusters.remove(i);
+        let remap = |mut id: crate::fleet::FleetNodeId| {
+            id.cluster -= usize::from(id.cluster > i);
+            id
+        };
+        let steps: Vec<FleetStep> = state
+            .steps
+            .iter()
+            .cloned()
+            .map(|s| match s {
+                FleetStep::Local { src, msg } => FleetStep::Local {
+                    src: remap(src),
+                    msg,
+                },
+                FleetStep::Remote {
+                    src,
+                    dest,
+                    fu,
+                    payload,
+                    priority,
+                } => FleetStep::Remote {
+                    src: remap(src),
+                    dest: remap(dest),
+                    fu,
+                    payload,
+                    priority,
+                },
+                FleetStep::Wakeup { node } => FleetStep::Wakeup { node: remap(node) },
+                other => other,
+            })
+            .collect();
+        let candidate = rebuild_fleet(
+            &state.name,
+            state.config,
+            &clusters,
+            &steps,
+            state.strict_nulls,
+        );
+        if predicate(&candidate) {
+            state.clusters = clusters;
+            state.steps = steps;
+            progress = true;
+        } else {
+            i += 1;
+        }
+    }
+    progress
+}
+
+/// Trims each cluster's sensor list down to the highest ring position
+/// any step still references (position 0 is the gateway; sensors are
+/// 1-based), one cluster at a time.
+fn trim_trailing_sensors(
+    state: &mut FleetParts,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> bool {
+    let mut progress = false;
+    for c in 0..state.clusters.len() {
+        let max_node = state
+            .steps
+            .iter()
+            .flat_map(|s| match s {
+                FleetStep::Local { src, .. } => vec![*src],
+                FleetStep::Remote { src, dest, .. } => vec![*src, *dest],
+                FleetStep::Wakeup { node } => vec![*node],
+                _ => Vec::new(),
+            })
+            .filter(|id| id.cluster == c)
+            .map(|id| id.node)
+            .max()
+            .unwrap_or(0);
+        if max_node >= state.clusters[c].len() {
+            continue;
+        }
+        let mut clusters = state.clusters.clone();
+        clusters[c].truncate(max_node);
+        let candidate = rebuild_fleet(
+            &state.name,
+            state.config,
+            &clusters,
+            &state.steps,
+            state.strict_nulls,
+        );
+        if predicate(&candidate) {
+            state.clusters = clusters;
+            progress = true;
+        }
+    }
+    progress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, FuId, ShortPrefix};
+    use crate::config::BusConfig;
+    use crate::engine::EngineKind;
+    use crate::message::Message;
+
+    /// A storm shrinks to nothing when the predicate is `true` for
+    /// every candidate (the degenerate always-failing case).
+    #[test]
+    fn always_failing_shrinks_to_empty() {
+        let w = Workload::many_node_storm(6, 3);
+        let min = shrink_workload(&w, &mut |_| true);
+        assert!(min.steps().is_empty());
+        assert!(min.node_specs().is_empty());
+    }
+
+    /// A predicate keyed on one specific payload byte pins the shrink
+    /// to exactly the send carrying it (plus nothing else).
+    #[test]
+    fn shrinks_to_the_one_interesting_send() {
+        let w = Workload::many_node_storm(6, 3);
+        let needle = |w: &Workload| {
+            w.steps().iter().any(|s| match s {
+                Step::Queue { msg, .. } => !msg.payload().is_empty(),
+                _ => false,
+            })
+        };
+        let min = shrink_workload(&w, &mut { |w: &Workload| needle(w) });
+        let sends = min
+            .steps()
+            .iter()
+            .filter(|s| matches!(s, Step::Queue { .. }))
+            .count();
+        assert_eq!(sends, 1, "exactly one send survives: {:?}", min.steps());
+        assert_eq!(min.steps().len(), 1, "and nothing else: {:?}", min.steps());
+        // Determinism: shrinking again (or shrinking the minimum)
+        // reproduces the identical trace.
+        let again = shrink_workload(&w, &mut { |w: &Workload| needle(w) });
+        assert_eq!(format!("{:?}", min.steps()), format!("{:?}", again.steps()));
+        let fixpoint = shrink_workload(&min, &mut { |w: &Workload| needle(w) });
+        assert_eq!(
+            format!("{:?}", min.steps()),
+            format!("{:?}", fixpoint.steps())
+        );
+    }
+
+    /// Shrinking preserves predicate truth end-to-end on a real
+    /// behavioral predicate (an engine actually runs the candidates).
+    #[test]
+    fn behavioral_predicate_survives_shrinking() {
+        let w = Workload::many_node_storm(5, 2);
+        let mut pred = |w: &Workload| {
+            let report = w.run_on(EngineKind::Analytic);
+            report.records.iter().any(|r| !r.delivered_to.is_empty())
+        };
+        let min = shrink_workload(&w, &mut pred);
+        assert!(pred(&min), "minimized workload still delivers");
+        assert!(min.steps().len() <= 2, "a send plus at most one drain");
+    }
+
+    #[test]
+    fn passing_input_is_returned_unchanged() {
+        let w = Workload::many_node_storm(3, 1);
+        let min = shrink_workload(&w, &mut |_| false);
+        assert_eq!(min.steps().len(), w.steps().len());
+    }
+
+    #[test]
+    fn fleet_shrinks_to_the_remote_leg() {
+        let w = FleetWorkload::cross_storm(4, 3, 2);
+        let mut pred = |w: &FleetWorkload| {
+            w.steps()
+                .iter()
+                .any(|s| matches!(s, FleetStep::Remote { .. }))
+        };
+        let min = shrink_fleet(&w, &mut pred);
+        assert_eq!(
+            min.steps().len(),
+            1,
+            "one remote survives: {:?}",
+            min.steps()
+        );
+        assert!(
+            min.cluster_specs().len() <= 2,
+            "only the clusters the remote references survive: {:?}",
+            min.cluster_specs()
+        );
+        // Payloads shrink too.
+        let FleetStep::Remote { payload, .. } = &min.steps()[0] else {
+            panic!("not a remote: {:?}", min.steps());
+        };
+        assert!(payload.is_empty(), "payload minimized: {payload:?}");
+    }
+
+    /// Unreferenced-cluster dropping remaps indices so a later
+    /// cluster's traffic still applies cleanly.
+    #[test]
+    fn cluster_remap_keeps_references_valid() {
+        let w = FleetWorkload::new("remap", BusConfig::default())
+            .cluster(vec![false])
+            .cluster(vec![false])
+            .cluster(vec![false])
+            .send_remote(
+                crate::fleet::FleetNodeId::new(0, 1),
+                crate::fleet::FleetNodeId::new(2, 1),
+                FuId::ZERO,
+                vec![0xAA],
+            )
+            .drain();
+        let mut pred = |w: &FleetWorkload| {
+            let report = w.run_on(EngineKind::Analytic);
+            report.forwarded >= 1
+        };
+        assert!(pred(&w));
+        let min = shrink_fleet(&w, &mut pred);
+        assert!(pred(&min));
+        assert_eq!(min.cluster_specs().len(), 2, "middle cluster dropped");
+    }
+
+    /// `Message::with_payload` keeps destination and priority — the
+    /// payload pass must not silently drop the priority claim.
+    #[test]
+    fn payload_shrink_preserves_priority() {
+        let w = Workload::new("prio", BusConfig::default())
+            .node(
+                crate::node::NodeSpec::new("a", crate::addr::FullPrefix::new(1).unwrap())
+                    .with_short_prefix(ShortPrefix::new(1).unwrap()),
+            )
+            .node(
+                crate::node::NodeSpec::new("b", crate::addr::FullPrefix::new(2).unwrap())
+                    .with_short_prefix(ShortPrefix::new(2).unwrap()),
+            )
+            .send(
+                0,
+                Message::new(
+                    Address::short(ShortPrefix::new(2).unwrap(), FuId::ZERO),
+                    vec![1, 2, 3, 4],
+                )
+                .with_priority(),
+            )
+            .drain();
+        let mut pred = |w: &Workload| {
+            w.steps().iter().any(|s| match s {
+                Step::Queue { msg, .. } => msg.is_priority(),
+                _ => false,
+            })
+        };
+        let min = shrink_workload(&w, &mut pred);
+        let Step::Queue { msg, .. } = &min.steps()[0] else {
+            panic!("send dropped: {:?}", min.steps());
+        };
+        assert!(msg.is_priority());
+        assert!(msg.payload().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Parser-rejection suite for the `.mbt` trace format, mirroring the
+//! `mbus-analysis` lint-fixture idiom: every malformed trace under
+//! `tests/trace_fixtures/` must fail with exactly one diagnostic whose
+//! *entire* `file:line:col: message` rendering is pinned here — spans
+//! included, so a tokenizer off-by-one is a test failure, not a
+//! confusing error message three PRs later. None of them may panic.
+
+use std::path::Path;
+
+use mbus_core::trace::TraceFile;
+
+/// Parses a fixture and returns the full rendered diagnostic. The
+/// parser sees just the file name (not the absolute path) as the
+/// source, so the pinned strings stay machine-independent.
+fn diagnose(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/trace_fixtures")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    match TraceFile::parse_str(name, &text) {
+        Err(err) => err.to_string(),
+        Ok(_) => panic!("fixture {name} parsed cleanly — it must be rejected"),
+    }
+}
+
+/// Every fixture, with the exact diagnostic it must produce.
+const EXPECTED: &[(&str, &str)] = &[
+    (
+        "bad_magic.mbt",
+        "bad_magic.mbt:1:1: expected `mbt <version> <workload|fleet>` magic header",
+    ),
+    (
+        "bad_version.mbt",
+        "bad_version.mbt:1:5: unsupported trace version `9` (this parser reads version 1)",
+    ),
+    (
+        "bad_kind.mbt",
+        "bad_kind.mbt:1:7: unknown trace kind `ring` (expected workload or fleet)",
+    ),
+    (
+        "truncated_magic.mbt",
+        "truncated_magic.mbt:1:7: missing trace kind (workload|fleet)",
+    ),
+    (
+        "duplicate_seed.mbt",
+        "duplicate_seed.mbt:4:1: duplicate `seed` header",
+    ),
+    (
+        "node_index_range.mbt",
+        "node_index_range.mbt:4:6: node index 1 out of range (1 node(s) declared)",
+    ),
+    (
+        "cluster_range.mbt",
+        "cluster_range.mbt:4:7: cluster index 1 out of range (1 cluster(s) declared)",
+    ),
+    (
+        "truncated_step.mbt",
+        "truncated_step.mbt:4:14: missing payload hex (or -)",
+    ),
+    (
+        "odd_payload.mbt",
+        "odd_payload.mbt:4:14: odd-length payload hex `abc` (3 digit(s))",
+    ),
+    (
+        "bad_payload_digit.mbt",
+        "bad_payload_digit.mbt:4:16: invalid payload hex digit in `zz`",
+    ),
+    (
+        "topology_after_steps.mbt",
+        "topology_after_steps.mbt:5:1: `node` appears after a later section \
+         (topology lines must come before steps)",
+    ),
+    (
+        "kind_mismatch.mbt",
+        "kind_mismatch.mbt:4:1: `send` is a single-bus step (use local/remote/drain-rounds here)",
+    ),
+    (
+        "bad_address.mbt",
+        "bad_address.mbt:4:8: malformed address `0x1` (missing `.fu` suffix; \
+         expected 0xP.F, full:0xPPPPP.F, or bcast.C)",
+    ),
+    (
+        "missing_name.mbt",
+        "missing_name.mbt:3:0: missing `name` header",
+    ),
+    (
+        "bad_sensor_flag.mbt",
+        "bad_sensor_flag.mbt:3:9: bad sensor flag `x` (each sensor is `a`lways-on \
+         or `g`ated; `-` for an empty cluster)",
+    ),
+    (
+        "unknown_directive.mbt",
+        "unknown_directive.mbt:3:1: unknown directive `frobnicate`",
+    ),
+];
+
+#[test]
+fn every_malformed_fixture_reports_the_pinned_span() {
+    for &(fixture, expected) in EXPECTED {
+        assert_eq!(diagnose(fixture), expected, "{fixture}");
+    }
+}
+
+/// The fixture directory and the pin table stay in sync: a fixture
+/// added without a pinned diagnostic (or a stale pin for a deleted
+/// fixture) fails here instead of silently losing coverage.
+#[test]
+fn every_fixture_on_disk_is_pinned() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/trace_fixtures");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixture dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut pinned: Vec<String> = EXPECTED.iter().map(|&(f, _)| f.to_string()).collect();
+    pinned.sort();
+    assert_eq!(on_disk, pinned);
+}
+
+/// Unreadable paths surface through the same error type with the
+/// whole-file span (`:0:0:`), not an `io::Error` panic.
+#[test]
+fn missing_file_is_a_whole_file_error() {
+    let err = TraceFile::parse_file("does/not/exist.mbt").unwrap_err();
+    assert_eq!((err.line, err.col), (0, 0));
+    assert!(err.message.starts_with("cannot read trace:"), "{err}");
+}

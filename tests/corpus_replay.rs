@@ -1,0 +1,127 @@
+//! Golden-corpus regression suite: every `.mbt` trace committed under
+//! `tests/corpus/` must replay to the identical signature across every
+//! comparable engine kind and every fleet schedule, AND match the
+//! digest its `expect sig=` header pinned when the trace was exported.
+//!
+//! This is the durable, diffable form of the conformance batteries:
+//! the traces survive refactors of the generators that produced them
+//! (`cargo run -p mbus-bench --bin scenario -- export <builtin> --pin`
+//! regenerates one deliberately). A digest mismatch here means
+//! observable protocol behavior changed — bump the pin only with a
+//! changelog entry explaining why.
+
+mod common;
+
+use mbus_core::trace::{fleet_digest, scenario_digest, Trace, TraceFile};
+use mbus_core::EngineKind;
+
+/// Every committed corpus trace, parsed — fails loudly if the
+/// directory is missing or any trace no longer parses.
+fn corpus() -> Vec<(String, TraceFile)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "mbt"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 7,
+        "corpus unexpectedly small: {entries:?} — traces deleted without replacement?"
+    );
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let tf = TraceFile::parse_file(&path).unwrap_or_else(|e| panic!("{e}"));
+            (name, tf)
+        })
+        .collect()
+}
+
+/// The tier-1 acceptance gate: identical signatures across
+/// Analytic/Event/Wire × batched/interleaved/sharded, pinned digests
+/// intact.
+#[test]
+fn corpus_replays_identically_across_engines_and_schedules() {
+    for (file, tf) in corpus() {
+        let pinned = tf
+            .meta
+            .expect_sig
+            .unwrap_or_else(|| panic!("{file}: corpus traces must pin `expect sig=`"));
+        match &tf.trace {
+            Trace::Workload(w) => {
+                // Cross-engine signature identity (the helper asserts).
+                let reports = common::crosscheck_all_engines(w);
+                let digest = scenario_digest(&reports[0].signature());
+                assert_eq!(
+                    digest, pinned,
+                    "{file}: behavior drifted from pinned digest (got {digest:016x})"
+                );
+            }
+            Trace::Fleet(w) => {
+                // Cross-engine identity on the batched schedule...
+                let reports = common::fleet_crosscheck_all_engines(w);
+                let digest = fleet_digest(&reports[0].signature());
+                assert_eq!(
+                    digest, pinned,
+                    "{file}: behavior drifted from pinned digest (got {digest:016x})"
+                );
+                // ...then schedule-independence per comparable kind:
+                // batched ≡ interleaved ≡ sharded(2|3), measured and
+                // static balance both.
+                for kind in common::fleet_comparable_kinds(w) {
+                    let (_, interleaved) = common::schedule_crosscheck(w, kind);
+                    for shards in [2, 3] {
+                        common::sharded_crosscheck(w, kind, &interleaved, shards);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Round-tripping a corpus trace through serialize → parse preserves
+/// behavior — the committed bytes aren't load-bearing beyond what the
+/// grammar captures.
+#[test]
+fn corpus_survives_reserialization() {
+    for (file, tf) in corpus() {
+        let text = tf.to_mbt();
+        let reparsed =
+            TraceFile::parse_str(&file, &text).unwrap_or_else(|e| panic!("{file} re-parse: {e}"));
+        assert_eq!(reparsed.meta.expect_sig, tf.meta.expect_sig, "{file}");
+        let digest = |t: &Trace| match t {
+            Trace::Workload(w) => scenario_digest(&w.run_on(EngineKind::Analytic).signature()),
+            Trace::Fleet(w) => fleet_digest(&w.run_on(EngineKind::Analytic).signature()),
+        };
+        assert_eq!(digest(&reparsed.trace), digest(&tf.trace), "{file}");
+    }
+}
+
+/// The corpus spans the shapes the suite exists to guard: single-bus
+/// and fleet traces, partial drains (wire-incomparable), priority
+/// remotes, and gateway drops.
+#[test]
+fn corpus_covers_the_advertised_shapes() {
+    let corpus = corpus();
+    let fleets = corpus.iter().filter(|(_, t)| t.trace.is_fleet()).count();
+    let workloads = corpus.len() - fleets;
+    assert!(fleets >= 3, "fleet coverage shrank");
+    assert!(workloads >= 4, "single-bus coverage shrank");
+    assert!(
+        corpus.iter().any(|(_, t)| !t.trace.wire_comparable()),
+        "no partial-drain trace left in the corpus"
+    );
+    // The PR 5 aliasing-regression trace must keep exercising drops.
+    let (_, gateway) = corpus
+        .iter()
+        .find(|(f, _)| f == "gateway_forwarding.mbt")
+        .expect("gateway_forwarding.mbt present");
+    let Trace::Fleet(w) = &gateway.trace else {
+        panic!("gateway_forwarding.mbt must be a fleet trace");
+    };
+    let report = w.run_on(EngineKind::Analytic);
+    assert!(report.forwarded >= 3, "forwarding legs disappeared");
+    assert!(report.dropped >= 1, "unroutable-envelope drop disappeared");
+}

@@ -1,0 +1,103 @@
+//! Round-trip property suite for the `.mbt` trace format: for seeded
+//! generator output, serialize → parse → re-run must yield the
+//! identical [`ScenarioSignature`] / [`FleetSignature`] on every
+//! comparable engine kind — the format loses nothing an engine can
+//! observe. Walks ≥200 seeds per layer at the default
+//! `MBUS_SEED_SCALE` (the weekly cron multiplies by 10).
+//!
+//! [`ScenarioSignature`]: mbus_core::scenario::ScenarioSignature
+//! [`FleetSignature`]: mbus_core::FleetSignature
+
+mod common;
+
+use mbus_core::trace::{Trace, TraceFile};
+use mbus_core::{FleetSchedule, FleetWorkload, Workload};
+
+/// Serialize → parse, panicking with the full text on any failure so a
+/// format regression is immediately reproducible.
+fn reparse(tf: &TraceFile, what: &str) -> TraceFile {
+    let text = tf.to_mbt();
+    TraceFile::parse_str(what, &text)
+        .unwrap_or_else(|e| panic!("{what} failed to re-parse: {e}\n--- trace ---\n{text}"))
+}
+
+#[test]
+fn seeded_workloads_round_trip_on_every_engine() {
+    for seed in 0..common::scaled_seeds(200) {
+        let original = Workload::seeded(seed);
+        let tf = reparse(
+            &TraceFile::workload(original.clone()).with_seed(seed),
+            &format!("seeded/{seed}"),
+        );
+        assert_eq!(tf.meta.seed, Some(seed));
+        let Trace::Workload(parsed) = &tf.trace else {
+            panic!("seed {seed}: workload came back as a fleet");
+        };
+        assert_eq!(parsed.name(), original.name(), "seed {seed}");
+        assert_eq!(
+            parsed.wire_comparable(),
+            original.wire_comparable(),
+            "seed {seed}"
+        );
+        for kind in common::comparable_kinds(&original) {
+            assert_eq!(
+                original.run_on(kind).signature(),
+                parsed.run_on(kind).signature(),
+                "seed {seed}: round-trip changed behavior on {kind}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_fleets_round_trip_on_every_engine() {
+    for seed in 0..common::scaled_seeds(200) {
+        let original = FleetWorkload::seeded(seed);
+        let tf = reparse(
+            &TraceFile::fleet(original.clone()).with_seed(seed),
+            &format!("fleet_seeded/{seed}"),
+        );
+        let Trace::Fleet(parsed) = &tf.trace else {
+            panic!("seed {seed}: fleet came back as a workload");
+        };
+        assert_eq!(
+            parsed.cluster_specs(),
+            original.cluster_specs(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            parsed.strict_nulls(),
+            original.strict_nulls(),
+            "seed {seed}"
+        );
+        for kind in common::fleet_comparable_kinds(&original) {
+            assert_eq!(
+                original.run_on(kind).signature(),
+                parsed.run_on(kind).signature(),
+                "seed {seed}: round-trip changed behavior on {kind}"
+            );
+        }
+    }
+}
+
+/// The parsed fleet honors the schedule-independence contract exactly
+/// like the original (spot-checked on a slice of seeds: the full
+/// schedule grid per seed is what `tests/corpus_replay.rs` pins for
+/// the golden traces).
+#[test]
+fn reparsed_fleets_stay_schedule_independent() {
+    for seed in 0..common::scaled_seeds(20) {
+        let tf = reparse(
+            &TraceFile::fleet(FleetWorkload::seeded(seed)),
+            &format!("fleet_seeded/{seed}"),
+        );
+        let Trace::Fleet(parsed) = &tf.trace else {
+            panic!("seed {seed}: fleet came back as a workload");
+        };
+        for kind in common::fleet_comparable_kinds(parsed) {
+            let reference = parsed.run_scheduled_on(kind, FleetSchedule::Interleaved);
+            common::schedule_crosscheck(parsed, kind);
+            common::sharded_crosscheck(parsed, kind, &reference, 2);
+        }
+    }
+}
