@@ -38,9 +38,25 @@ pub fn params(iters: u32, batches: u32) -> (u32, u32) {
 /// one untimed warmup batch; the printed figure is the median batch
 /// divided by `iters`. Under [`smoke_mode`] the counts are clamped via
 /// [`params`] before use.
-pub fn bench(name: &str, iters: u32, batches: u32, mut f: impl FnMut()) {
-    assert!(iters > 0 && batches > 0, "empty benchmark");
+pub fn bench(name: &str, iters: u32, batches: u32, f: impl FnMut()) {
+    bench_timed(name, iters, batches, f);
+}
+
+/// [`bench()`], but returns the median per-iteration seconds so callers
+/// can derive figures across rows (speedup ratios, JSON artifacts,
+/// regression gates). Printing is identical to [`bench()`].
+pub fn bench_timed(name: &str, iters: u32, batches: u32, f: impl FnMut()) -> f64 {
     let (iters, batches) = params(iters, batches);
+    bench_timed_exact(name, iters, batches, f)
+}
+
+/// [`bench_timed`] without the [`params`] smoke clamp: the counts are
+/// used as given. For rows whose *ratio* feeds a regression gate — a
+/// 2×1 smoke sample is fine for "does it still run" but too noisy to
+/// compare against a recorded baseline; such rows pick their own
+/// reduced smoke counts instead.
+pub fn bench_timed_exact(name: &str, iters: u32, batches: u32, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0 && batches > 0, "empty benchmark");
     for _ in 0..iters {
         f(); // warmup
     }
@@ -62,6 +78,7 @@ pub fn bench(name: &str, iters: u32, batches: u32, mut f: impl FnMut()) {
         format_duration(lo),
         format_duration(hi)
     );
+    median
 }
 
 /// Formats seconds as an adaptive ns/µs/ms/s figure.

@@ -22,6 +22,7 @@ use crate::json::Json;
 /// parameterized `seeded:<n>` / `fleet-seeded:<n>` forms.
 pub const BUILTINS: &[&str] = &[
     "storm",
+    "storm-14",
     "sense-aggregate",
     "hostile",
     "partial-drain",
@@ -42,6 +43,10 @@ pub fn builtin(spec: &str) -> Option<TraceFile> {
     }
     match spec {
         "storm" => Some(TraceFile::workload(Workload::many_node_storm(6, 3))),
+        // A ring past the paper's ten-chip stack: a size the replay
+        // grid used to skip on the wire engine because every CLK hop
+        // paid a heap sift; the wavefront lane makes the cell cheap.
+        "storm-14" => Some(TraceFile::workload(Workload::many_node_storm(14, 2))),
         "sense-aggregate" => Some(TraceFile::fleet(FleetWorkload::sense_and_aggregate(
             3, 2, 2,
         ))),

@@ -143,6 +143,15 @@ pub struct BusStats {
     pub layer_wakes: Vec<u64>,
     /// Per-node bus-controller wake count.
     pub bus_ctl_wakes: Vec<u64>,
+    /// Per-node CLK+DATA transition counts on the ring segment each
+    /// node *drives* (wire engine only — the analytic engine has no
+    /// wires, so it reports zeros). Entry `i` counts edges a ½CV²
+    /// model charges against node `i`'s output drivers; the
+    /// mediator-driven segment into node 0 is frontend load and is not
+    /// attributed to any member. Excluded from scenario signatures:
+    /// it is an engine-specific physical observable, not protocol
+    /// behaviour.
+    pub segment_edges: Vec<u64>,
 }
 
 impl BusStats {
@@ -152,6 +161,7 @@ impl BusStats {
         self.fwd_bits.resize(n, 0);
         self.layer_wakes.resize(n, 0);
         self.bus_ctl_wakes.resize(n, 0);
+        self.segment_edges.resize(n, 0);
     }
 
     /// Folds one transaction's activity into the per-role bit counters

@@ -94,6 +94,7 @@ impl std::fmt::Debug for NodeKind {
 pub struct WireBusBuilder {
     config: BusConfig,
     specs: Vec<NodeKind>,
+    wavefront: bool,
 }
 
 impl WireBusBuilder {
@@ -102,7 +103,20 @@ impl WireBusBuilder {
         WireBusBuilder {
             config,
             specs: Vec::new(),
+            wavefront: true,
         }
+    }
+
+    /// Selects the propagation fast path (default `true`): CLK/DATA
+    /// edges ride the kernel's wavefront lane, one O(1) scheduling
+    /// operation per ring segment, instead of paying a binary-heap
+    /// sift per edge event. `false` keeps the original edge-at-a-time
+    /// heap path — the oracle the equivalence suite compares against.
+    /// Both paths pop events in the same `(time, seq)` order, so
+    /// traces, records, and stats are bit-identical.
+    pub fn wavefront(mut self, on: bool) -> Self {
+        self.wavefront = on;
+        self
     }
 
     /// Appends a node at the next ring position. The first node sits
@@ -141,6 +155,7 @@ impl WireBusBuilder {
     pub fn build(self) -> WireBus {
         assert!(!self.specs.is_empty(), "a bus needs at least one node");
         let mut circuit = Circuit::new();
+        circuit.set_wavefront(self.wavefront);
         let n = self.specs.len();
         let hop = self.config.hop_delay();
         let period = self.config.clock_period();
@@ -290,6 +305,17 @@ impl WireBus {
         self.circuit.trace()
     }
 
+    /// Kernel events processed so far (throughput accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.circuit.events_processed()
+    }
+
+    /// How many of those events were fused deliveries — ring hops the
+    /// wavefront walk ran in place instead of round-tripping the queue.
+    pub fn fused_events(&self) -> u64 {
+        self.circuit.fused_events()
+    }
+
     /// The CLK-ring segment nets, in ring order: `clk[i]` enters member
     /// `i`; the last entry wraps into the mediator.
     pub fn clk_nets(&self) -> &[NetId] {
@@ -300,6 +326,22 @@ impl WireBus {
     /// [`WireBus::clk_nets`]).
     pub fn data_nets(&self) -> &[NetId] {
         &self.data_nets
+    }
+
+    /// Per-node driven-segment transition counts from the trace:
+    /// entry `i` is the total CLK + DATA edge count on the ring
+    /// segments member `i` *drives* (`clk[i+1]` and `data[i+1]`) —
+    /// the switching activity that node's driver pays ½CV² for in the
+    /// §6.2 energy models. The mediator-driven segment 0 belongs to
+    /// the frontend, not to any member, and is not included.
+    pub fn segment_edges(&self) -> Vec<u64> {
+        let trace = self.circuit.trace();
+        (0..self.members.len())
+            .map(|i| {
+                (trace.edge_count(self.clk_nets[i + 1]) + trace.edge_count(self.data_nets[i + 1]))
+                    as u64
+            })
+            .collect()
     }
 
     /// Queues a message for transmission by `node` and notifies the
@@ -383,6 +425,22 @@ impl WireBus {
     pub fn run_until_quiescent(&mut self, max_events: u64) -> Vec<WireTransaction> {
         self.circuit.run_to_idle(max_events);
         self.take_records()
+    }
+
+    /// Like [`WireBus::run_until_quiescent`], but returns `None`
+    /// instead of panicking when the event budget runs out with the
+    /// bus still active. An exhausted run yields *no* records — the
+    /// transaction the cap interrupted never completed at the
+    /// mediator, and handing out the earlier records while the queue
+    /// still holds undrained traffic would make the truncation look
+    /// like quiescence. The caller must treat the bus as wedged (the
+    /// [`WireEngine`](crate::wire::WireEngine) freezes itself).
+    pub fn try_run_until_quiescent(&mut self, max_events: u64) -> Option<Vec<WireTransaction>> {
+        if self.circuit.run_to_idle_capped(max_events) {
+            Some(self.take_records())
+        } else {
+            None
+        }
     }
 
     /// Runs for a bounded virtual duration (for waveform capture at a

@@ -30,8 +30,10 @@ use crate::node::NodeSpec;
 use crate::wire::bus::{WireBus, WireBusBuilder};
 
 /// Default event budget per `run_until_quiescent` call — the same
-/// ceiling the integration tests use; hitting it means a protocol
-/// livelock and panics.
+/// ceiling the integration tests use. Hitting it means a protocol
+/// livelock: the engine freezes ([`WireEngine::is_exhausted`]) and
+/// withholds the interrupted run's records rather than passing a
+/// truncated prefix off as quiescence.
 pub const DEFAULT_MAX_EVENTS: u64 = 50_000_000;
 
 /// The wire-level engine, adapted to the [`BusEngine`] surface.
@@ -68,6 +70,11 @@ pub struct WireEngine {
     specs: Vec<NodeSpec>,
     bus: Option<WireBus>,
     max_events: u64,
+    wavefront: bool,
+    /// Set when a run blew its event budget mid-flight: the circuit is
+    /// wedged at an arbitrary point, so the engine freezes and refuses
+    /// to run (or hand out records) from then on.
+    exhausted: bool,
     /// Normalized records not yet handed out by `run_transaction`.
     buffered: VecDeque<EngineRecord>,
     /// `(idle_at, winner)` of every normalized record, in order — used
@@ -91,6 +98,8 @@ impl WireEngine {
             specs: Vec::new(),
             bus: None,
             max_events: DEFAULT_MAX_EVENTS,
+            wavefront: true,
+            exhausted: false,
             buffered: VecDeque::new(),
             history: Vec::new(),
             stats: BusStats::default(),
@@ -105,6 +114,24 @@ impl WireEngine {
     pub fn with_max_events(mut self, max_events: u64) -> Self {
         self.max_events = max_events;
         self
+    }
+
+    /// Selects the propagation fast path (default `true`); see
+    /// [`WireBusBuilder::wavefront`]. `false` is the edge-at-a-time
+    /// oracle the equivalence suite runs against.
+    pub fn with_wavefront(mut self, on: bool) -> Self {
+        assert!(!self.built(), "set the propagation path before running");
+        self.wavefront = on;
+        self
+    }
+
+    /// True when a run exhausted its event budget mid-flight. The
+    /// engine is then frozen ([`BusEngine::is_frozen`]) and every
+    /// subsequent run call returns nothing: the interrupted run's
+    /// records are withheld rather than handed out as if the queue had
+    /// drained.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
     }
 
     /// The underlying wire-level bus, if the ring has been built —
@@ -123,7 +150,7 @@ impl WireEngine {
                 !self.specs.is_empty(),
                 "a wire engine needs at least one node before running"
             );
-            let mut builder = WireBusBuilder::new(self.config);
+            let mut builder = WireBusBuilder::new(self.config).wavefront(self.wavefront);
             for spec in &self.specs {
                 builder = builder.node(spec.clone());
             }
@@ -142,11 +169,18 @@ impl WireEngine {
     /// Runs the circuit to quiescence and normalizes every newly
     /// completed mediator record into an [`EngineRecord`].
     fn run_and_absorb(&mut self) {
-        if self.specs.is_empty() {
+        if self.specs.is_empty() || self.exhausted {
             return;
         }
         let max_events = self.max_events;
-        let raw = self.ensure_built().run_until_quiescent(max_events);
+        let Some(raw) = self.ensure_built().try_run_until_quiescent(max_events) else {
+            // The budget ran out mid-transaction. Quiescence was never
+            // reached, so whatever the mediator recorded so far is a
+            // truncated prefix of the run — handing it out would make
+            // the cap look like a clean drain. Freeze instead.
+            self.exhausted = true;
+            return;
+        };
         let n = self.specs.len();
         self.stats.ensure_nodes(n);
         for t in raw {
@@ -239,7 +273,7 @@ impl BusEngine for WireEngine {
     }
 
     fn is_frozen(&self) -> bool {
-        self.built()
+        self.built() || self.exhausted
     }
 
     fn add_node(&mut self, spec: NodeSpec) -> NodeIndex {
@@ -323,6 +357,7 @@ impl BusEngine for WireEngine {
                     stats.bus_ctl_wakes[i] = s.bus_ctl_wakes;
                 }
             }
+            stats.segment_edges = bus.segment_edges();
         }
         stats
     }
@@ -441,6 +476,108 @@ mod tests {
         ));
         e.request_wakeup(1).unwrap();
         assert!(BusEngine::is_frozen(&e), "first traffic freezes the ring");
+    }
+
+    #[test]
+    fn cap_exhaustion_freezes_and_withholds_partial_records() {
+        // Regression: a run that blows its event budget used to panic
+        // deep in the kernel (or, with a naive capped loop, would stop
+        // mid-transaction and look exactly like quiescence, handing out
+        // a truncated record set). The contract now: no panic, no
+        // records, engine frozen, later runs are no-ops.
+        let mut e = three_node_engine().with_max_events(50);
+        e.queue(
+            0,
+            Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xEE; 4]),
+        )
+        .unwrap();
+        let records = e.run_until_quiescent();
+        assert!(
+            records.is_empty(),
+            "an exhausted run must withhold its partial records"
+        );
+        assert!(e.is_exhausted());
+        assert!(
+            BusEngine::is_frozen(&e),
+            "cap exhaustion wedges the circuit at an arbitrary point"
+        );
+        assert!(e.run_transaction().is_none(), "frozen engines stay frozen");
+        assert_eq!(e.stats().transactions, 0);
+    }
+
+    #[test]
+    fn completed_records_survive_a_later_exhaustion() {
+        // Only the interrupted run's records are withheld; transactions
+        // already absorbed from earlier clean runs remain valid.
+        let mut e = three_node_engine().with_max_events(DEFAULT_MAX_EVENTS);
+        e.queue(
+            0,
+            Message::new(Address::short(sp(0x2), FuId::ZERO), vec![1]),
+        )
+        .unwrap();
+        assert_eq!(e.run_until_quiescent().len(), 1);
+        e.max_events = 50;
+        e.queue(
+            0,
+            Message::new(Address::short(sp(0x2), FuId::ZERO), vec![2]),
+        )
+        .unwrap();
+        assert!(e.run_until_quiescent().is_empty());
+        assert!(e.is_exhausted());
+        let stats = e.stats();
+        assert_eq!(stats.transactions, 1, "the clean run's accounting stands");
+    }
+
+    #[test]
+    fn wavefront_matches_the_oracle_record_for_record() {
+        let build = |wavefront: bool| {
+            let mut e = WireEngine::new(BusConfig::default()).with_wavefront(wavefront);
+            for i in 0..4u32 {
+                e.add_node(
+                    NodeSpec::new(format!("n{i}"), FullPrefix::new(0x700 + i).unwrap())
+                        .with_short_prefix(sp((i + 1) as u8)),
+                );
+            }
+            for k in 0..3u8 {
+                e.queue(
+                    (k % 3) as usize,
+                    Message::new(Address::short(sp(0x4), FuId::ZERO), vec![k; 5]),
+                )
+                .unwrap();
+            }
+            e
+        };
+        let mut fast = build(true);
+        let mut oracle = build(false);
+        assert_eq!(fast.run_until_quiescent(), oracle.run_until_quiescent());
+        assert_eq!(fast.stats(), oracle.stats());
+        assert_eq!(fast.take_rx(3), oracle.take_rx(3));
+        assert_eq!(fast.now(), oracle.now());
+    }
+
+    #[test]
+    fn segment_edges_count_driven_segments() {
+        let mut e = three_node_engine();
+        e.queue(
+            0,
+            Message::new(Address::short(sp(0x2), FuId::ZERO), vec![0xA5]),
+        )
+        .unwrap();
+        e.run_until_quiescent();
+        let stats = e.stats();
+        assert_eq!(stats.segment_edges.len(), 3);
+        assert!(
+            stats.segment_edges.iter().all(|&edges| edges > 0),
+            "every member forwarded CLK (and at least the arbitration \
+             pulses on DATA): {:?}",
+            stats.segment_edges
+        );
+        // The driven-segment counts are exactly what the trace records
+        // on the member-driven nets, the quantity the ½CV² model in
+        // `mbus-power` charges.
+        let bus = e.wire_bus().unwrap();
+        let from_trace: Vec<u64> = bus.segment_edges();
+        assert_eq!(stats.segment_edges, from_trace);
     }
 
     #[test]

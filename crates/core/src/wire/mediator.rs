@@ -42,6 +42,12 @@ pub(crate) struct MediatorShared {
     pub busy: bool,
 }
 
+// Every mediator timer fires at least a quarter period (625 ns at the
+// default clock) after it is set — two orders of magnitude beyond the
+// ~10 ns hop delays of in-flight propagation. That gap is what lets the
+// scheduler keep timers on its binary heap while Drive/Deliver events
+// ride the wavefront lane: a timer never lands inside the propagation
+// chain it races, only at the next protocol step.
 const KIND_START: u64 = 1;
 const KIND_TICK: u64 = 2;
 const KIND_TOGGLE: u64 = 3;

@@ -321,6 +321,11 @@ impl MemberComp {
         self.abort_awaiting_clk = false;
         self.detector.on_clk_edge(edge);
         self.sleep_controller_edge();
+        // Forward CLK downstream *before* any DATA drive this edge may
+        // trigger. Scheduling order is pop order for same-time events
+        // (the scheduler breaks ties by insertion seq, on the heap and
+        // on the wavefront lane alike), so the CLK wavefront always
+        // stays ahead of the data it clocks as it walks the ring.
         if !self.clk_hold {
             ctx.drive(self.clk_out, value);
         }

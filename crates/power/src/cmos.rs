@@ -5,6 +5,7 @@
 //! transition at the driver. This is the same interface-level
 //! abstraction PrimeTime applies in the paper's §6.2 simulation.
 
+use mbus_core::engine::BusStats;
 use mbus_core::wire::WireBus;
 use mbus_sim::{NetId, Trace};
 
@@ -106,6 +107,26 @@ pub fn account_trace(
 /// Convenience: account a [`WireBus`]'s full trace.
 pub fn account_bus(bus: &WireBus, seg: &SegmentModel) -> EnergyReport {
     account_trace(bus.trace(), bus.clk_nets(), bus.data_nets(), seg)
+}
+
+/// Per-member driver energy from a [`BusStats`] snapshot — the
+/// engine-trait route into the §6.2 model.
+///
+/// `stats.segment_edges[i]` already folds CLK and DATA transitions on
+/// the segment member `i` drives, so any [`BusEngine`] run that fills
+/// it (the wire engine does) can be charged without keeping the full
+/// [`Trace`] alive. The mediator's own drive energy (segment 0) is not
+/// attributed to any member and is therefore absent here — use
+/// [`account_bus`] when the frontend matters.
+///
+/// [`BusEngine`]: mbus_core::engine::BusEngine
+pub fn driver_energy_from_stats(stats: &BusStats, seg: &SegmentModel) -> Vec<Energy> {
+    let per_edge = seg.energy_per_edge();
+    stats
+        .segment_edges
+        .iter()
+        .map(|&edges| per_edge * edges as f64)
+        .collect()
 }
 
 /// First-principles estimate of MBus energy per bit per chip: two CLK
@@ -212,6 +233,46 @@ mod tests {
         let estimate = mbus_bit_energy_estimate(&seg, 0.5);
         let ratio = traced_per_bit_chip / estimate;
         assert!(ratio > 0.4 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn stats_route_matches_trace_route_per_member() {
+        // The trait-level path (BusStats::segment_edges → energy) must
+        // charge each member exactly what the full-trace path charges
+        // its driven segment pair.
+        use mbus_core::engine::BusEngine;
+        use mbus_core::wire::WireEngine;
+
+        let seg = SegmentModel::default();
+        let mut e = WireEngine::new(BusConfig::default());
+        for i in 0..3u32 {
+            e.add_node(
+                NodeSpec::new(format!("n{i}"), FullPrefix::new(0x10 + i).unwrap())
+                    .with_short_prefix(ShortPrefix::new((i + 1) as u8).unwrap()),
+            );
+        }
+        e.queue(
+            0,
+            mbus_core::Message::new(
+                Address::short(ShortPrefix::new(0x2).unwrap(), FuId::ZERO),
+                vec![0xC3; 6],
+            ),
+        )
+        .unwrap();
+        e.run_until_quiescent();
+
+        let from_stats = driver_energy_from_stats(&e.stats(), &seg);
+        let report = account_bus(e.wire_bus().unwrap(), &seg);
+        assert_eq!(from_stats.len(), 3);
+        for (i, &energy) in from_stats.iter().enumerate() {
+            // Member i drives segment i + 1 (the mediator drives 0).
+            let traced = report.driver_energy(i + 1);
+            assert!(
+                (energy.as_pj() - traced.as_pj()).abs() < 1e-9,
+                "member {i}: stats {energy} vs trace {traced}"
+            );
+        }
+        assert!(from_stats.iter().any(|e| e.as_pj() > 0.0));
     }
 
     #[test]

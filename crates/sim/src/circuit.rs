@@ -82,8 +82,10 @@ pub trait Component {
 pub struct Ctx<'a> {
     now: SimTime,
     component: ComponentId,
+    nets: &'a mut Vec<NetState>,
+    pins: &'a mut Vec<Pin>,
     scheduler: &'a mut Scheduler,
-    pins: &'a [Pin],
+    trace: &'a mut Trace,
 }
 
 impl fmt::Debug for Ctx<'_> {
@@ -94,30 +96,56 @@ impl fmt::Debug for Ctx<'_> {
 
 impl Ctx<'_> {
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Drives `pin` to `value` immediately (processed after the current
     /// event, at the same timestamp).
+    #[inline]
     pub fn drive(&mut self, pin: PinId, value: Logic) {
         self.drive_after(pin, value, SimTime::ZERO);
     }
 
     /// Drives `pin` to `value` after `delay`.
     ///
+    /// With the wavefront fast path on, an immediate (zero-delay) drive
+    /// is applied *in place* — net updated, transition traced,
+    /// deliveries scheduled — instead of round-tripping a `Drive` event
+    /// through the queue. The observable outcome is the same: the
+    /// deferred `Drive` would pop before any event that could read the
+    /// driven state (deliveries carry wire delays, timers fire protocol
+    /// periods later, and a component's pins are only written by its
+    /// own events), so collapsing it changes no delivery order and no
+    /// trace — which the wavefront-vs-oracle equivalence suite pins.
+    ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `pin` is not an output pin of the
     /// calling component.
+    #[inline]
     pub fn drive_after(&mut self, pin: PinId, value: Logic, delay: SimTime) {
         debug_assert_eq!(self.pins[pin.0 as usize].dir, PinDir::Output);
         debug_assert_eq!(self.pins[pin.0 as usize].component, self.component);
-        self.scheduler
-            .schedule(self.now + delay, EventKind::Drive { pin, value });
+        if delay == SimTime::ZERO && self.scheduler.wavefront() {
+            apply_drive(
+                self.nets,
+                self.pins,
+                self.scheduler,
+                self.trace,
+                self.now,
+                pin,
+                value,
+            );
+        } else {
+            self.scheduler
+                .schedule(self.now + delay, EventKind::Drive { pin, value });
+        }
     }
 
     /// Arms a timer that calls `on_timer(token)` after `delay`.
+    #[inline]
     pub fn set_timer_after(&mut self, token: u64, delay: SimTime) -> TimerToken {
         self.scheduler.schedule(
             self.now + delay,
@@ -131,8 +159,51 @@ impl Ctx<'_> {
 
     /// Last level delivered to an input pin, or last level driven on an
     /// output pin, of the calling component.
+    #[inline]
     pub fn pin_value(&self, pin: PinId) -> Logic {
         self.pins[pin.0 as usize].value
+    }
+}
+
+/// Applies a drive: pin value, net value, trace record, and one
+/// scheduled delivery per listener. Shared by the event path
+/// (`Circuit::step` popping a `Drive`) and the wavefront fast path
+/// (`Ctx::drive_after` collapsing a zero-delay drive in place).
+fn apply_drive(
+    nets: &mut [NetState],
+    pins: &mut [Pin],
+    scheduler: &mut Scheduler,
+    trace: &mut Trace,
+    now: SimTime,
+    pin: PinId,
+    value: Logic,
+) {
+    pins[pin.0 as usize].value = value;
+    let net = pins[pin.0 as usize].net;
+    let net_state = &mut nets[net.0 as usize];
+    if net_state.value == value {
+        // Members whose outputs did not actually change schedule
+        // nothing: the wavefront dies here instead of re-queueing the
+        // rest of the ring.
+        return;
+    }
+    net_state.value = value;
+    trace.record(net, now, value);
+    if scheduler.wavefront() {
+        // Fast path: fan out through the fuse slot / lane — the
+        // borrows are disjoint, no listener snapshot needed.
+        for &lpin in &nets[net.0 as usize].listeners {
+            let delay = pins[lpin.0 as usize].delay;
+            scheduler.schedule_deliver(now + delay, lpin, value);
+        }
+    } else {
+        // The original edge-at-a-time path, kept verbatim as the
+        // oracle: snapshot the listener list, then schedule.
+        let listeners = nets[net.0 as usize].listeners.clone();
+        for lpin in listeners {
+            let delay = pins[lpin.0 as usize].delay;
+            scheduler.schedule(now + delay, EventKind::Deliver { pin: lpin, value });
+        }
     }
 }
 
@@ -339,6 +410,7 @@ impl Circuit {
     }
 
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
@@ -353,9 +425,34 @@ impl Circuit {
         self.events_processed
     }
 
+    /// How many of the processed events were fused deliveries — run in
+    /// place by the wavefront walk instead of round-tripping the queue.
+    pub fn fused_events(&self) -> u64 {
+        self.scheduler.fused_total()
+    }
+
+    /// Enables or disables the scheduler's wavefront lane (see
+    /// [`Scheduler::set_wavefront`]): propagation events ride a small
+    /// sorted deque instead of the binary heap, so an edge walking a
+    /// ring costs O(1) per segment. The event *order* is bit-identical
+    /// either way — the lane merges with the heap by the same
+    /// `(time, seq)` key — so this is purely a fast path; the heap-only
+    /// mode is kept as the cross-checking oracle.
+    pub fn set_wavefront(&mut self, on: bool) {
+        self.scheduler.set_wavefront(on);
+    }
+
+    /// Whether the wavefront lane is enabled.
+    pub fn wavefront(&self) -> bool {
+        self.scheduler.wavefront()
+    }
+
     /// Runs until the queue is empty or the next event is after
     /// `deadline`; leaves `now == deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        // Fused deliveries may run ahead of the popped event, but never
+        // past the deadline the caller asked for.
+        self.scheduler.set_fuse_horizon(deadline);
         while let Some(t) = self.scheduler.peek_time() {
             if t > deadline {
                 break;
@@ -380,18 +477,53 @@ impl Circuit {
     /// Panics after `max_events` to catch runaway oscillation (a real
     /// hazard when modelling combinational rings).
     pub fn run_to_idle(&mut self, max_events: u64) {
-        let start = self.events_processed;
-        while self.scheduler.peek_time().is_some() {
-            self.step();
-            assert!(
-                self.events_processed - start <= max_events,
-                "circuit did not settle within {max_events} events; \
-                 combinational loop or free-running clock?"
-            );
-        }
+        assert!(
+            self.run_to_idle_capped(max_events),
+            "circuit did not settle within {max_events} events; \
+             combinational loop or free-running clock?"
+        );
     }
 
-    /// Processes exactly one event, if any is pending.
+    /// Runs until the event queue drains, giving up after `max_events`.
+    ///
+    /// Returns `true` if the circuit settled and `false` if the budget
+    /// ran out with events still pending — the circuit is then stopped
+    /// mid-flight at an arbitrary point, and the caller must treat it
+    /// as wedged rather than quiescent (the wire engine freezes itself
+    /// and withholds the interrupted run's records).
+    #[must_use]
+    pub fn run_to_idle_capped(&mut self, max_events: u64) -> bool {
+        self.scheduler.set_fuse_horizon(SimTime::MAX);
+        let start = self.events_processed;
+        // `step` pops for itself, so the loop only has to know whether
+        // anything is pending — no separate peek of the merged front.
+        // Fused deliveries count toward the budget in lump per step, so
+        // the cap can overshoot by at most one walk (`MAX_FUSE_DEPTH`).
+        while self.step() {
+            if self.events_processed - start >= max_events && !self.scheduler.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Upper bound on fused deliveries executed inside one [`step`]
+    /// call, so `run_to_idle_capped` can overshoot its event budget by
+    /// at most one walk before re-checking.
+    const MAX_FUSE_WALK: u32 = 64;
+
+    /// Processes exactly one queue event, if any is pending.
+    ///
+    /// With the wavefront lane on, a step then *walks* the fuse slot:
+    /// each delivery whose event is provably the globally next one is
+    /// executed in place — and its callback typically stashes the next
+    /// hop's delivery right back into the slot, so a CLK edge crossing
+    /// an N-segment ring costs one queue pop plus N slot hops instead
+    /// of N queue round trips. Every fused delivery counts toward
+    /// `events_processed` and advances the clock exactly as its queued
+    /// twin would have; the walk runs strictly *after* the previous
+    /// callback returned, so anything that callback scheduled is
+    /// already visible to the next-event comparison.
     pub fn step(&mut self) -> bool {
         let Some(event) = self.scheduler.pop() else {
             return false;
@@ -402,67 +534,82 @@ impl Circuit {
         match event.kind {
             EventKind::Drive { pin, value } => self.apply_drive(pin, value),
             EventKind::Deliver { pin, value } => {
-                self.pins[pin.0 as usize].value = value;
-                let component = self.pins[pin.0 as usize].component;
+                let p = &mut self.pins[pin.0 as usize];
+                p.value = value;
+                let component = p.component;
                 self.dispatch_signal(component, pin, value);
             }
             EventKind::Timer { component, token } => {
                 self.dispatch_timer(component, token);
             }
         }
+        let mut walked = 0;
+        while walked < Self::MAX_FUSE_WALK {
+            let Some(fused) = self.scheduler.take_fused_next() else {
+                break;
+            };
+            debug_assert!(fused.time >= self.now, "fused walk went backwards");
+            self.now = fused.time;
+            self.events_processed += 1;
+            let EventKind::Deliver { pin, value } = fused.kind else {
+                unreachable!("only deliveries ride the fuse slot");
+            };
+            let p = &mut self.pins[pin.0 as usize];
+            p.value = value;
+            let component = p.component;
+            self.dispatch_signal(component, pin, value);
+            walked += 1;
+        }
         true
     }
 
     fn apply_drive(&mut self, pin: PinId, value: Logic) {
-        self.pins[pin.0 as usize].value = value;
-        let net = self.pins[pin.0 as usize].net;
-        let net_state = &mut self.nets[net.0 as usize];
-        if net_state.value == value {
-            return;
-        }
-        net_state.value = value;
-        self.trace.record(net, self.now, value);
-        let listeners: Vec<PinId> = net_state.listeners.clone();
-        for lpin in listeners {
-            let delay = self.pins[lpin.0 as usize].delay;
-            self.scheduler
-                .schedule(self.now + delay, EventKind::Deliver { pin: lpin, value });
-        }
+        apply_drive(
+            &mut self.nets,
+            &mut self.pins,
+            &mut self.scheduler,
+            &mut self.trace,
+            self.now,
+            pin,
+            value,
+        );
     }
 
     fn dispatch_signal(&mut self, component: ComponentId, pin: PinId, value: Logic) {
         if component.0 == u32::MAX {
             return; // external testbench pin
         }
-        let mut model = self.components[component.0 as usize]
-            .take()
-            .expect("component not bound or reentrant dispatch");
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                component,
-                scheduler: &mut self.scheduler,
-                pins: &self.pins,
-            };
-            model.on_signal(pin, value, &mut ctx);
-        }
-        self.components[component.0 as usize] = Some(model);
+        // Split borrow: the model lives in `components`, which `Ctx`
+        // never touches, so no take/put-back round trip is needed —
+        // delivery is always via the queue or the post-callback fused
+        // walk, never reentrant.
+        let model = self.components[component.0 as usize]
+            .as_mut()
+            .expect("component not bound");
+        let mut ctx = Ctx {
+            now: self.now,
+            component,
+            nets: &mut self.nets,
+            pins: &mut self.pins,
+            scheduler: &mut self.scheduler,
+            trace: &mut self.trace,
+        };
+        model.on_signal(pin, value, &mut ctx);
     }
 
     fn dispatch_timer(&mut self, component: ComponentId, token: u64) {
-        let mut model = self.components[component.0 as usize]
-            .take()
-            .expect("component not bound or reentrant dispatch");
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                component,
-                scheduler: &mut self.scheduler,
-                pins: &self.pins,
-            };
-            model.on_timer(token, &mut ctx);
-        }
-        self.components[component.0 as usize] = Some(model);
+        let model = self.components[component.0 as usize]
+            .as_mut()
+            .expect("component not bound");
+        let mut ctx = Ctx {
+            now: self.now,
+            component,
+            nets: &mut self.nets,
+            pins: &mut self.pins,
+            scheduler: &mut self.scheduler,
+            trace: &mut self.trace,
+        };
+        model.on_timer(token, &mut ctx);
     }
 
     /// Name given to a component at registration.
@@ -644,6 +791,101 @@ mod tests {
             c.run_to_idle(1_000);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_to_idle_capped_reports_exhaustion_without_panicking() {
+        struct Osc {
+            output: PinId,
+            state: bool,
+        }
+        impl Component for Osc {
+            fn on_signal(&mut self, _: PinId, _: Logic, _: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+                self.state = !self.state;
+                ctx.drive(self.output, Logic::from_bool(self.state));
+                ctx.set_timer_after(0, SimTime::from_ns(1));
+            }
+        }
+        let mut c = Circuit::new();
+        let n = c.net("osc");
+        let comp = c.add_component("osc");
+        let output = c.output(comp, n);
+        c.bind(
+            comp,
+            Osc {
+                output,
+                state: false,
+            },
+        );
+        c.scheduler.schedule(
+            SimTime::from_ns(1),
+            EventKind::Timer {
+                component: comp,
+                token: 0,
+            },
+        );
+        assert!(
+            !c.run_to_idle_capped(1_000),
+            "a free-running clock must exhaust the budget"
+        );
+        let after_cap = c.events_processed();
+        assert!(after_cap <= 1_000, "the cap bounds the work done");
+        // The circuit is stopped, not corrupted: a further capped run
+        // picks up where it left off.
+        assert!(!c.run_to_idle_capped(10));
+        assert_eq!(c.events_processed(), after_cap + 10);
+    }
+
+    /// Runs the same repeater-ring stimulus with and without the
+    /// wavefront lane and asserts the traces are bit-identical — the
+    /// kernel-level version of the wire engine's oracle equivalence
+    /// suite. Event counts differ by design: the fast path collapses
+    /// zero-delay drives in place instead of queueing them.
+    #[test]
+    fn wavefront_lane_is_trace_identical_to_the_heap() {
+        fn build_and_run(wavefront: bool) -> Circuit {
+            let mut c = Circuit::new();
+            c.set_wavefront(wavefront);
+            let hop = SimTime::from_ns(10);
+            let nets: Vec<NetId> = (0..5).map(|i| c.net(format!("n{i}"))).collect();
+            for i in 0..4 {
+                let comp = c.add_component(format!("rep{i}"));
+                let _input = c.input_delayed(comp, nets[i], hop);
+                let output = c.output(comp, nets[i + 1]);
+                c.bind(
+                    comp,
+                    Repeater {
+                        output,
+                        delay: SimTime::ZERO,
+                    },
+                );
+            }
+            for k in 0..20u64 {
+                c.drive_external(
+                    nets[0],
+                    Logic::from_bool(k % 2 == 0),
+                    SimTime::from_ns(5 * k),
+                );
+            }
+            c.run_to_idle(100_000);
+            c
+        }
+        let fast = build_and_run(true);
+        let oracle = build_and_run(false);
+        assert!(fast.wavefront() && !oracle.wavefront());
+        assert!(
+            fast.events_processed() < oracle.events_processed(),
+            "inlined drives must shrink the event stream"
+        );
+        for net in oracle.trace().nets() {
+            assert_eq!(
+                fast.trace().transitions(net),
+                oracle.trace().transitions(net),
+                "net {}",
+                oracle.trace().net_name(net)
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The event queue at the heart of the kernel.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::circuit::{ComponentId, PinId};
 use crate::logic::Logic;
@@ -69,6 +69,27 @@ impl PartialOrd for Event {
 /// trace — a property the cross-checking tests between the wire-level
 /// and analytical MBus engines rely on.
 ///
+/// # The wavefront lane
+///
+/// With [`set_wavefront`](Scheduler::set_wavefront) enabled, `Drive`
+/// and `Deliver` events bypass the binary heap and ride a small
+/// `(time, seq)`-sorted deque instead — the **wavefront lane**. A CLK
+/// edge propagating around an MBus ring is a short chain of
+/// drive→deliver events a few nanoseconds apart; keeping that in-flight
+/// wavefront in a deque makes scheduling an O(1) append at the tail
+/// (or an O(walk) insert near the head for same-instant drives) and
+/// popping an O(1) front read, where the heap pays a sift per event.
+/// Timers (clock ticks, retries — always at least a quarter-period
+/// away) stay on the heap.
+///
+/// The lane is *not* an approximation: every event still draws its
+/// `seq` from the single shared counter, the lane is kept sorted by
+/// `(time, seq)`, and [`pop`](Scheduler::pop) merges lane and heap by
+/// the same `(time, seq)` order the heap alone would use. The pop
+/// stream is therefore bit-identical to the heap-only path — which the
+/// wire-engine equivalence suite pins against the edge-at-a-time
+/// oracle.
+///
 /// # Example
 ///
 /// ```
@@ -84,8 +105,30 @@ impl PartialOrd for Event {
 #[derive(Debug, Default)]
 pub struct Scheduler {
     heap: BinaryHeap<Event>,
+    /// The wavefront lane: pending propagation events, sorted by
+    /// `(time, seq)`. Empty unless `wavefront` is on.
+    lane: VecDeque<Event>,
+    wavefront: bool,
     next_seq: u64,
     scheduled_total: u64,
+    /// A one-event buffer holding the most recently scheduled delivery
+    /// when the lane is live. The slot is a *queue position* like any
+    /// other — its event carries a real `seq`, and [`pop`],
+    /// [`peek_time`](Scheduler::peek_time), `len`, and `is_empty` all
+    /// merge it — but the circuit's step loop can consume it without a
+    /// queue round trip when it is provably the globally next event
+    /// (see [`take_fused_next`](Scheduler::take_fused_next)). A ring
+    /// wavefront is exactly this shape: each hop's delivery is the
+    /// next event, and each delivery stashes the next hop's.
+    fuse_slot: Option<Event>,
+    /// Latest time up to which the circuit's run loop allows fused
+    /// consumption. Zero until a run loop opens it, so a bare `step()`
+    /// stream never runs ahead of what the caller asked for. Purely a
+    /// fast-path gate: the slot still pops in order regardless.
+    fuse_horizon: SimTime,
+    /// Deliveries consumed through the fused fast path (observability:
+    /// how much of the event stream bypassed the queue).
+    fused_total: u64,
 }
 
 impl Scheduler {
@@ -94,37 +137,187 @@ impl Scheduler {
         Scheduler::default()
     }
 
+    /// Enables or disables the wavefront lane (see the type-level
+    /// docs). Turning it off drains the lane back into the heap with
+    /// sequence numbers intact, so the pop order never changes.
+    pub fn set_wavefront(&mut self, on: bool) {
+        self.wavefront = on;
+        if !on {
+            self.heap.extend(self.lane.drain(..));
+            self.heap.extend(self.fuse_slot.take());
+        }
+    }
+
+    /// Whether the wavefront lane is enabled.
+    #[inline]
+    pub fn wavefront(&self) -> bool {
+        self.wavefront
+    }
+
     /// Schedules `kind` to fire at absolute time `time`.
+    #[inline]
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Event { time, seq, kind });
+        let event = Event { time, seq, kind };
+        if self.wavefront && !matches!(kind, EventKind::Timer { .. }) {
+            self.lane_insert(event);
+        } else {
+            self.heap.push(event);
+        }
     }
 
-    /// Removes and returns the earliest event, if any.
+    /// Inserts into the lane keeping it sorted by `(time, seq)`. Seqs
+    /// are monotonic, so a new event sorts after every entry whose time
+    /// is `<=` its own; the scan runs from the back because deliveries
+    /// extend the wavefront (tail append) and same-instant drives land
+    /// just behind the entries already due now (short walk).
+    ///
+    /// The walk is *bounded*: an event that would have to displace more
+    /// than a handful of later entries — a testbench stimulus scheduled
+    /// far behind a queue of future ones, say — is parked on the heap
+    /// instead. [`pop`](Scheduler::pop) merges both sides by
+    /// `(time, seq)`, so where an event waits never changes the pop
+    /// order; the bound only keeps the lane O(1) per schedule instead
+    /// of degrading to an O(pending) shifting insert.
+    #[inline]
+    fn lane_insert(&mut self, event: Event) {
+        const MAX_WALK: usize = 16;
+        let mut idx = self.lane.len();
+        let floor = self.lane.len().saturating_sub(MAX_WALK);
+        while idx > floor && self.lane[idx - 1].time > event.time {
+            idx -= 1;
+        }
+        if idx > 0 && self.lane[idx - 1].time > event.time {
+            // Still out of order at the walk bound: the lane is the
+            // wrong home for this event.
+            self.heap.push(event);
+        } else if idx == self.lane.len() {
+            self.lane.push_back(event);
+        } else {
+            self.lane.insert(idx, event);
+        }
+    }
+
+    /// The `(time, seq)` key of the earliest lane-or-heap event (the
+    /// fuse slot excluded), if any.
+    #[inline]
+    fn queue_front_key(&self) -> Option<(SimTime, u64)> {
+        match (self.lane.front(), self.heap.peek()) {
+            (Some(l), Some(h)) => Some((l.time, l.seq).min((h.time, h.seq))),
+            (Some(l), None) => Some((l.time, l.seq)),
+            (None, h) => h.map(|e| (e.time, e.seq)),
+        }
+    }
+
+    /// Removes and returns the earliest event, if any. With the
+    /// wavefront lane on, this merges slot, lane, and heap by
+    /// `(time, seq)` — the exact order a single heap would produce.
+    #[inline]
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        if let Some(s) = &self.fuse_slot {
+            match self.queue_front_key() {
+                Some(q) if q < (s.time, s.seq) => {}
+                _ => return self.fuse_slot.take(),
+            }
+        }
+        match (self.lane.front(), self.heap.peek()) {
+            (Some(l), Some(h)) => {
+                if (h.time, h.seq) < (l.time, l.seq) {
+                    self.heap.pop()
+                } else {
+                    self.lane.pop_front()
+                }
+            }
+            (Some(_), None) => self.lane.pop_front(),
+            (None, _) => self.heap.pop(),
+        }
     }
 
     /// The time of the earliest pending event, if any.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let q = self.queue_front_key().map(|(t, _)| t);
+        match (&self.fuse_slot, q) {
+            (Some(s), Some(t)) => Some(s.time.min(t)),
+            (Some(s), None) => Some(s.time),
+            (None, t) => t,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.lane.len() + usize::from(self.fuse_slot.is_some())
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.lane.is_empty() && self.fuse_slot.is_none()
     }
 
     /// Total number of events ever scheduled (for throughput benches).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Opens the fused-consumption window up to `deadline`: the
+    /// circuit's run loops call this so the step loop's fused walk
+    /// never runs past the time bound the caller asked for. The slot
+    /// remains an ordinary queue position either way.
+    pub(crate) fn set_fuse_horizon(&mut self, deadline: SimTime) {
+        self.fuse_horizon = deadline;
+    }
+
+    /// Schedules a delivery, preferring the fuse slot when the lane is
+    /// live and the slot is free. The event draws its `seq` from the
+    /// same counter as every other, so wherever it waits — slot, lane,
+    /// or heap — it fires in exactly the same global order.
+    #[inline]
+    pub(crate) fn schedule_deliver(&mut self, time: SimTime, pin: PinId, value: Logic) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        let event = Event {
+            time,
+            seq,
+            kind: EventKind::Deliver { pin, value },
+        };
+        if self.wavefront {
+            if self.fuse_slot.is_none() {
+                self.fuse_slot = Some(event);
+            } else {
+                self.lane_insert(event);
+            }
+        } else {
+            self.heap.push(event);
+        }
+    }
+
+    /// Takes the slot event if it is provably the globally next event
+    /// and within the run loop's horizon: strictly earlier than the
+    /// lane and heap fronts, or tied on time — the slot's `seq` is
+    /// newer than anything queued before it was stashed, so a time tie
+    /// still needs the full `(time, seq)` comparison. Returns `None`
+    /// (leaving the slot to pop in order later) otherwise.
+    #[inline]
+    pub(crate) fn take_fused_next(&mut self) -> Option<Event> {
+        let s = self.fuse_slot.as_ref()?;
+        if s.time > self.fuse_horizon {
+            return None;
+        }
+        match self.queue_front_key() {
+            Some(q) if q < (s.time, s.seq) => None,
+            _ => {
+                self.fused_total += 1;
+                self.fuse_slot.take()
+            }
+        }
+    }
+
+    /// Total deliveries that ran through the fused fast path.
+    pub fn fused_total(&self) -> u64 {
+        self.fused_total
     }
 }
 
@@ -188,5 +381,87 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    fn drive(pin: u32) -> EventKind {
+        EventKind::Drive {
+            pin: PinId(pin),
+            value: Logic::High,
+        }
+    }
+
+    fn deliver(pin: u32) -> EventKind {
+        EventKind::Deliver {
+            pin: PinId(pin),
+            value: Logic::Low,
+        }
+    }
+
+    /// A deterministic xorshift so the equivalence test covers odd
+    /// interleavings without external crates.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn wavefront_lane_pops_identically_to_the_heap() {
+        // Same schedule stream, one queue with the lane and one
+        // without: the pop streams must be bit-identical, including
+        // seq assignment. This is the invariant the wire engine's
+        // oracle comparison rests on.
+        for seed in 1..8u64 {
+            let mut rng = seed;
+            let mut fast = Scheduler::new();
+            fast.set_wavefront(true);
+            let mut oracle = Scheduler::new();
+            let mut pending = 0u32;
+            for step in 0..400 {
+                let r = xorshift(&mut rng);
+                let schedule = pending == 0 || !r.is_multiple_of(3);
+                if schedule {
+                    let time = SimTime::from_ns(r % 50);
+                    let kind = match r % 5 {
+                        0 => timer(step),
+                        1 | 2 => drive(step as u32),
+                        _ => deliver(step as u32),
+                    };
+                    // Interleave pops with schedules: times may go
+                    // backwards here relative to popped events, which
+                    // the lane insert must still order correctly.
+                    fast.schedule(time, kind);
+                    oracle.schedule(time, kind);
+                    pending += 1;
+                } else {
+                    assert_eq!(fast.pop(), oracle.pop(), "seed {seed} step {step}");
+                    pending -= 1;
+                }
+                assert_eq!(fast.peek_time(), oracle.peek_time());
+                assert_eq!(fast.len(), oracle.len());
+            }
+            loop {
+                let (f, o) = (fast.pop(), oracle.pop());
+                assert_eq!(f, o, "seed {seed} drain");
+                if f.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_the_lane_preserves_pending_order() {
+        let mut q = Scheduler::new();
+        q.set_wavefront(true);
+        q.schedule(SimTime::from_ns(5), drive(0));
+        q.schedule(SimTime::from_ns(5), deliver(1));
+        q.schedule(SimTime::from_ns(2), deliver(2));
+        assert!(q.wavefront());
+        q.set_wavefront(false);
+        assert!(!q.wavefront());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![2, 0, 1], "seqs survive the drain-back");
     }
 }

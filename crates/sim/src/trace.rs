@@ -1,7 +1,5 @@
 //! Transition capture and queries.
 
-use std::collections::BTreeMap;
-
 use crate::circuit::NetId;
 use crate::logic::{Edge, Logic};
 use crate::time::SimTime;
@@ -44,7 +42,10 @@ struct NetTrace {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    nets: BTreeMap<NetId, NetTrace>,
+    /// Indexed by `NetId`: ids are dense arena indices handed out in
+    /// registration order, so a flat `Vec` replaces a map lookup on the
+    /// record hot path (one push per transition in the wire engine).
+    nets: Vec<NetTrace>,
 }
 
 impl Trace {
@@ -54,42 +55,56 @@ impl Trace {
     }
 
     pub(crate) fn register_net(&mut self, net: NetId, name: String, initial: Logic) {
-        self.nets.insert(
-            net,
-            NetTrace {
-                name,
-                initial,
-                transitions: Vec::new(),
-            },
+        assert_eq!(
+            net.index(),
+            self.nets.len(),
+            "nets must register in id order"
         );
+        self.nets.push(NetTrace {
+            name,
+            initial,
+            transitions: Vec::new(),
+        });
     }
 
     pub(crate) fn record(&mut self, net: NetId, time: SimTime, value: Logic) {
-        let entry = self.nets.get_mut(&net).expect("unregistered net");
+        let entry = &mut self.nets[net.index()];
+        if entry.transitions.capacity() == entry.transitions.len() {
+            // Skip the doubling crawl through tiny capacities: a net
+            // that transitions at all usually transitions thousands of
+            // times (every CLK edge of every transaction crosses it).
+            entry.transitions.reserve(256.max(entry.transitions.len()));
+        }
         entry.transitions.push(Transition { time, value });
     }
 
     /// All transitions recorded on `net`, in time order.
     pub fn transitions(&self, net: NetId) -> &[Transition] {
         self.nets
-            .get(&net)
+            .get(net.index())
             .map(|n| n.transitions.as_slice())
             .unwrap_or(&[])
     }
 
     /// The nets known to the trace, in id order.
     pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
-        self.nets.keys().copied()
+        (0..self.nets.len() as u32).map(NetId)
     }
 
     /// The registered name of a net.
     pub fn net_name(&self, net: NetId) -> &str {
-        self.nets.get(&net).map(|n| n.name.as_str()).unwrap_or("?")
+        self.nets
+            .get(net.index())
+            .map(|n| n.name.as_str())
+            .unwrap_or("?")
     }
 
     /// The level a net held before any transition.
     pub fn initial_value(&self, net: NetId) -> Logic {
-        self.nets.get(&net).map(|n| n.initial).unwrap_or_default()
+        self.nets
+            .get(net.index())
+            .map(|n| n.initial)
+            .unwrap_or_default()
     }
 
     /// Total number of transitions on a net (each is one charged edge in
@@ -122,7 +137,7 @@ impl Trace {
     /// The level of `net` at time `t` (exclusive of a transition exactly
     /// at `t`... transitions at `t` are considered to have taken effect).
     pub fn value_at(&self, net: NetId, t: SimTime) -> Logic {
-        let Some(entry) = self.nets.get(&net) else {
+        let Some(entry) = self.nets.get(net.index()) else {
             return Logic::default();
         };
         let idx = entry.transitions.partition_point(|tr| tr.time <= t);
@@ -149,13 +164,13 @@ impl Trace {
     /// Sum of transitions across all nets — the total switching activity
     /// of the run.
     pub fn total_edges(&self) -> usize {
-        self.nets.values().map(|n| n.transitions.len()).sum()
+        self.nets.iter().map(|n| n.transitions.len()).sum()
     }
 
     /// The time of the last transition anywhere, or zero.
     pub fn last_activity(&self) -> SimTime {
         self.nets
-            .values()
+            .iter()
             .filter_map(|n| n.transitions.last())
             .map(|t| t.time)
             .max()

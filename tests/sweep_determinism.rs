@@ -32,7 +32,10 @@ fn analytic_sweep_is_identical_serial_and_parallel() {
 fn wire_sweep_is_identical_serial_and_parallel() {
     // Each worker thread builds its own wire-level circuit per point —
     // the engine's Rc-based internals never cross a thread boundary.
-    let points: Vec<usize> = (2..=5).collect();
+    // The wavefront fast path makes ring sizes up to the paper's
+    // ten-chip stack (§6) affordable here; these points were capped at
+    // 5 when every CLK hop paid a heap sift.
+    let points: Vec<usize> = (2..=10).collect();
     let f = |&n: &usize| storm_digest(n, 1, EngineKind::Wire);
     let serial = SweepRunner::serial().run(&points, f);
     let sharded = SweepRunner::with_threads(4).run(&points, f);
@@ -43,7 +46,7 @@ fn wire_sweep_is_identical_serial_and_parallel() {
 fn cross_engine_agreement_holds_inside_sweep_workers() {
     // Run the cross-check itself as the sweep body: every point builds
     // both engines in the worker and compares signatures there.
-    let points: Vec<usize> = (2..=6).collect();
+    let points: Vec<usize> = (2..=10).collect();
     let agree = SweepRunner::with_threads(3).run(&points, |&n| {
         let w = Workload::many_node_storm(n, 2);
         w.run_on(EngineKind::Analytic).signature() == w.run_on(EngineKind::Wire).signature()
