@@ -1,7 +1,7 @@
 //! Gateway-bridged fleet driver: populations no single 14-prefix MBus
 //! can hold, engine-generic.
 //!
-//! Three stages:
+//! Four stages:
 //!
 //! 1. **Headline fleet** — 16 clusters × 13 sensors + 16 gateway
 //!    presences = 224 nodes running the sense-and-aggregate pattern on
@@ -9,7 +9,11 @@
 //! 2. **Cross-engine check** — a 104-node cross-cluster storm run on
 //!    *both* engines; the [`mbus_core::FleetSignature`]s must be
 //!    identical (the fleet-level conformance contract).
-//! 3. **Fleet-size sweep** — [`SweepRunner::run_fleet_sizes`] shards
+//! 3. **Closed-loop vs open-loop** — a duty-cycled request/response
+//!    day (reactive behaviors answering through the gateway mesh)
+//!    against a matched-population open-loop cross storm, with txn/s
+//!    for both and the closed-loop reply share.
+//! 4. **Fleet-size sweep** — [`SweepRunner::run_fleet_sizes`] shards
 //!    whole fleets across threads, scaling population from 28 to 448
 //!    nodes deterministically.
 //!
@@ -79,6 +83,45 @@ fn run_crosscheck() {
     );
 }
 
+/// Closed-loop stage: the duty-cycled request/response day (every
+/// request draws a programmed reply back through the two-domain
+/// gateway mesh) against an open-loop cross storm on the same cluster
+/// count — the throughput cost of reply injection barriers and
+/// multi-hop forwarding, in txn/s.
+fn run_closed_loop() {
+    let clusters = 512;
+    let rounds = 4;
+    let closed = FleetWorkload::duty_cycle_day(clusters, rounds);
+    let open = FleetWorkload::cross_storm(clusters, 1, rounds);
+    let mut rates = Vec::new();
+    for (label, workload) in [("closed-loop", &closed), ("open-loop", &open)] {
+        let start = Instant::now();
+        let report = workload.run_on(EngineKind::Analytic);
+        let wall = start.elapsed();
+        let rate = report.transactions() as f64 / wall.as_secs_f64();
+        println!(
+            "  [{label:>11}] '{}': {} transactions, {} replies in {} rounds, {} mesh hops in {:.2?} ({:.0} txn/s)",
+            workload.name(),
+            report.transactions(),
+            report.injected_replies,
+            report.reply_rounds,
+            report.hop_forwards,
+            wall,
+            rate,
+        );
+        if label == "closed-loop" {
+            let share =
+                100.0 * 2.0 * report.injected_replies as f64 / report.transactions().max(1) as f64;
+            println!("                reply traffic: {share:.0}% of all transactions");
+        }
+        rates.push(rate);
+    }
+    println!(
+        "closed-loop throughput: {:.0}% of the open-loop baseline\n",
+        100.0 * rates[0] / rates[1].max(f64::MIN_POSITIVE),
+    );
+}
+
 fn run_size_sweep() {
     let sizes: Vec<(usize, usize)> = vec![(2, 13), (4, 13), (8, 13), (16, 13), (32, 13)];
     let runner = SweepRunner::with_threads(SweepRunner::auto().threads().max(4));
@@ -129,5 +172,7 @@ fn main() {
         _ => run_headline(16, 13, 8),
     }
     run_crosscheck();
+    println!("closed-loop check: reactive duty-cycle day vs open-loop storm");
+    run_closed_loop();
     run_size_sweep();
 }

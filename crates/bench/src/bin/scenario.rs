@@ -14,10 +14,11 @@
 //!   parse.
 //! * `export <builtin> [--pin] [--out <path>]` — serialize a built-in
 //!   workload (`storm`, `sense-aggregate`, `hostile`, `partial-drain`,
-//!   `gateway-forwarding`, `seeded:<n>`, `fleet-seeded:<n>`) as a
-//!   `.mbt` file; `--pin` replays it first and embeds the agreed
-//!   digest as an `expect sig=` header. This is how `tests/corpus/`
-//!   was generated.
+//!   `gateway-forwarding`, the closed-loop 1024-bus mesh shapes
+//!   `duty-cycle-day` / `alarm-cascade` / `aggregate-fanin`,
+//!   `seeded:<n>`, `fleet-seeded:<n>`) as a `.mbt` file; `--pin`
+//!   replays it first and embeds the agreed digest as an `expect
+//!   sig=` header. This is how `tests/corpus/` was generated.
 //! * `fuzz [--seeds <n>] [--start <n>] [--out-dir <dir>]` — walk
 //!   generator seeds (single-bus and fleet), cross-check every
 //!   comparable engine kind's digest, and on divergence shrink the

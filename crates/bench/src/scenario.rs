@@ -27,6 +27,9 @@ pub const BUILTINS: &[&str] = &[
     "hostile",
     "partial-drain",
     "gateway-forwarding",
+    "duty-cycle-day",
+    "alarm-cascade",
+    "aggregate-fanin",
 ];
 
 /// Materializes a built-in trace by name: the golden workloads the
@@ -53,6 +56,15 @@ pub fn builtin(spec: &str) -> Option<TraceFile> {
         "hostile" => Some(TraceFile::workload(Workload::fault_injection())),
         "partial-drain" => Some(TraceFile::workload(partial_drain_workload())),
         "gateway-forwarding" => Some(TraceFile::fleet(gateway_forwarding_workload())),
+        // The three closed-loop golden shapes at 1000+ bus scale:
+        // every one splits into two mesh domains bridged by range
+        // routes, so reply traffic takes inter-gateway hops both ways.
+        "duty-cycle-day" => Some(TraceFile::fleet(FleetWorkload::duty_cycle_day(1024, 2))),
+        // Cascade growth is exponential in fanout (each tripped alarm
+        // re-broadcasts), so fanout stays small: 2^horizon ≈ 256
+        // alarms sweeping across the 1024-cluster mesh.
+        "alarm-cascade" => Some(TraceFile::fleet(FleetWorkload::alarm_cascade(1024, 2))),
+        "aggregate-fanin" => Some(TraceFile::fleet(FleetWorkload::aggregate_fanin(1024, 4, 2))),
         _ => None,
     }
 }
@@ -201,11 +213,22 @@ pub fn replay_trace(source: &str, tf: &TraceFile, shards: &[usize]) -> ReplayRes
                         ("sig", format!("{digest:016x}").into()),
                         ("transactions", (report.transactions() as u64).into()),
                         ("forwarded", report.forwarded.into()),
+                        ("hop_forwards", report.hop_forwards.into()),
                         ("dropped", report.dropped.into()),
                         (
                             "cluster_drops",
                             Json::arr(report.cluster_drops.iter().copied()),
                         ),
+                        // Per-hop TTL-exhaustion drops (mesh cycles die
+                        // at the cluster whose gateway decremented TTL
+                        // to zero) and the closed-loop reply gauges:
+                        // how many programmed responses the behavior
+                        // barriers injected, and how many injection
+                        // rounds (the reply-latency proxy) it took to
+                        // re-quiesce.
+                        ("ttl_drops", Json::arr(report.ttl_drops.iter().copied())),
+                        ("injected_replies", report.injected_replies.into()),
+                        ("reply_rounds", report.reply_rounds.into()),
                         (
                             "cluster_transactions",
                             Json::arr(sig.clusters.iter().map(|c| c.records.len())),

@@ -86,6 +86,7 @@ use std::fmt;
 pub use shard::{FleetRecordSink, ShardBalance, ShardedFleet};
 
 use crate::addr::{Address, FuId, FullPrefix, ShortPrefix};
+use crate::behavior::{self, NodeBehavior, DEFAULT_REPLY_HORIZON};
 use crate::config::BusConfig;
 use crate::engine::{
     build_engine, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage,
@@ -126,6 +127,45 @@ pub const MAX_SENSORS_PER_CLUSTER: usize = ShortPrefix::USABLE - 1;
 /// allocated (which gives seeded workloads a prefix block that is
 /// unroutable in every legal fleet).
 pub const MAX_CLUSTERS: usize = 1 << 16;
+
+/// First byte of a **v2** (TTL-carrying) forwarding envelope. The
+/// legacy v1 envelope header is a 4-byte encoded [`Address::Full`],
+/// whose first byte always has `0xF` in the top nibble (the §4.6
+/// escape); `0x4D`'s top nibble is `0x4`, so the two header forms can
+/// never alias and both stay queueable on the reserved forwarding
+/// port. v1 envelopes implicitly carry [`DEFAULT_TTL`] and hop
+/// count 0.
+pub const ENVELOPE_MAGIC: u8 = 0x4D;
+
+/// TTL a v1 envelope (no explicit TTL byte) enters the mesh with.
+pub const DEFAULT_TTL: u8 = 8;
+
+/// Highest TTL an envelope can carry — the v2 header packs TTL and
+/// hop count into one byte as `(ttl << 4) | hops`, so both saturate
+/// at 15. This is also the hard bound on any mesh hop chase: every
+/// hop decrements the TTL, so no envelope traverses more than
+/// `MAX_TTL - 1` inter-gateway links before the final forwarded leg.
+pub const MAX_TTL: u8 = 15;
+
+/// One hierarchical range route in a gateway mesh: gateways in
+/// `domain` forward envelopes destined for clusters `lo..=hi`
+/// (inclusive) to the gateway of cluster `via`, which must sit in a
+/// *different* domain (the registration-time cycle guard — a next hop
+/// inside the origin's own domain could never make progress, since
+/// in-domain destinations forward directly). Routes are matched in
+/// registration order; the first hit wins.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MeshRoute {
+    /// The domain whose gateways use this route.
+    pub domain: usize,
+    /// First destination cluster the range covers (inclusive).
+    pub lo: usize,
+    /// Last destination cluster the range covers (inclusive).
+    pub hi: usize,
+    /// The next-hop cluster whose gateway takes the envelope (in a
+    /// different domain than `domain`).
+    pub via: usize,
+}
 
 /// The short prefix the gateway holds on every bridged bus.
 fn gateway_short_prefix() -> ShortPrefix {
@@ -214,6 +254,14 @@ pub struct GatewayNode {
 #[derive(Clone, Debug, Default)]
 pub struct GatewayRoutes {
     routes: BTreeMap<u32, usize>,
+    /// Mesh domain of each cluster, indexed by cluster; clusters never
+    /// placed explicitly live in domain 0. Gateways forward directly
+    /// only to clusters in their own domain — anything else must hop
+    /// through a [`MeshRoute`].
+    domains: Vec<usize>,
+    /// Hierarchical prefix-range routes, matched in registration
+    /// order.
+    ranges: Vec<MeshRoute>,
 }
 
 /// The mutable half of a [`GatewayNode`]: forwarding and drop
@@ -223,33 +271,57 @@ pub struct GatewayRoutes {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub(crate) struct GatewayCounters {
     pub(crate) forwarded: u64,
+    /// Every envelope that failed to reach a destination bus, for any
+    /// reason: malformed header, unroutable prefix, or TTL exhaustion.
+    /// `cluster_drops` + `ttl_drops` partition this total by cause and
+    /// by the hop it happened on.
     pub(crate) dropped: u64,
-    /// Drops attributed to the cluster whose gateway presence received
-    /// the doomed envelope, indexed by cluster.
+    /// Malformed/unroutable drops attributed to the cluster whose
+    /// gateway held the doomed envelope, indexed by cluster.
     pub(crate) cluster_drops: Vec<u64>,
+    /// Inter-gateway hops taken by envelopes chasing a [`MeshRoute`]
+    /// (the terminal forwarded leg counts in `forwarded`, not here).
+    pub(crate) hop_forwards: u64,
+    /// TTL-exhaustion drops attributed to the hop (cluster) where the
+    /// TTL ran out, indexed by cluster.
+    pub(crate) ttl_drops: Vec<u64>,
 }
 
 impl GatewayCounters {
-    /// Ensures the per-cluster drop vector covers `clusters` entries.
+    /// Ensures the per-cluster drop vectors cover `clusters` entries.
     pub(crate) fn ensure_clusters(&mut self, clusters: usize) {
         if self.cluster_drops.len() < clusters {
             self.cluster_drops.resize(clusters, 0);
         }
+        if self.ttl_drops.len() < clusters {
+            self.ttl_drops.resize(clusters, 0);
+        }
     }
 
-    /// Counts one dropped envelope against `cluster`.
+    /// Counts one malformed/unroutable drop against `cluster`.
     pub(crate) fn drop_on(&mut self, cluster: usize) {
         self.ensure_clusters(cluster + 1);
         self.dropped += 1;
         self.cluster_drops[cluster] += 1;
     }
 
+    /// Counts one TTL-exhaustion drop against the hop `cluster`.
+    pub(crate) fn ttl_drop_on(&mut self, cluster: usize) {
+        self.ensure_clusters(cluster + 1);
+        self.dropped += 1;
+        self.ttl_drops[cluster] += 1;
+    }
+
     /// Folds a shard's epoch counters into the fleet-global ones.
     pub(crate) fn merge(&mut self, other: &GatewayCounters) {
         self.forwarded += other.forwarded;
         self.dropped += other.dropped;
-        self.ensure_clusters(other.cluster_drops.len());
+        self.hop_forwards += other.hop_forwards;
+        self.ensure_clusters(other.cluster_drops.len().max(other.ttl_drops.len()));
         for (mine, theirs) in self.cluster_drops.iter_mut().zip(&other.cluster_drops) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.ttl_drops.iter_mut().zip(&other.ttl_drops) {
             *mine += theirs;
         }
     }
@@ -270,8 +342,9 @@ pub(crate) enum GatewayVerdict {
         /// The forwarded leg, ready to queue from the gateway presence.
         msg: Message,
     },
-    /// A malformed or unroutable envelope: count it dropped against
-    /// the receiving cluster.
+    /// A malformed, unroutable, or TTL-exhausted envelope; already
+    /// counted (against the hop it died on) by
+    /// [`GatewayRoutes::classify`].
     Drop,
 }
 
@@ -285,6 +358,32 @@ impl GatewayRoutes {
         );
     }
 
+    /// Records that `cluster` (the next one to be added) lives in
+    /// `domain`.
+    fn register_domain(&mut self, cluster: usize, domain: usize) {
+        assert_eq!(self.domains.len(), cluster, "clusters added out of order");
+        self.domains.push(domain);
+    }
+
+    /// Appends a hierarchical range route; panics on a same-domain next
+    /// hop (the degenerate route cycle that could never make progress).
+    fn register_range(&mut self, route: MeshRoute) {
+        assert!(route.lo <= route.hi, "mesh route range is lo..=hi");
+        assert!(
+            route.via < self.domains.len(),
+            "mesh route via cluster {} not in fleet",
+            route.via
+        );
+        assert_ne!(
+            self.domain_of(route.via),
+            route.domain,
+            "mesh route cycle: next hop {} is in the route's own domain {}",
+            route.via,
+            route.domain
+        );
+        self.ranges.push(route);
+    }
+
     /// The cluster that owns `prefix`, if any.
     pub fn route(&self, prefix: FullPrefix) -> Option<usize> {
         self.routes.get(&prefix.raw()).copied()
@@ -295,24 +394,86 @@ impl GatewayRoutes {
         self.routes.len()
     }
 
+    /// The mesh domain `cluster` lives in (0 when never placed
+    /// explicitly).
+    pub fn domain_of(&self, cluster: usize) -> usize {
+        self.domains.get(cluster).copied().unwrap_or(0)
+    }
+
+    /// The hierarchical range routes, in registration (= match) order.
+    pub fn mesh_routes(&self) -> &[MeshRoute] {
+        &self.ranges
+    }
+
     /// Classifies one message a gateway presence received: local
     /// traffic, a routable envelope (with its forwarded leg built), or
     /// a drop. Pure with respect to the routing table, so shard
-    /// workers can run it concurrently against per-shard counters.
-    pub(crate) fn classify(&self, m: ReceivedMessage) -> GatewayVerdict {
+    /// workers can run it concurrently against per-shard `counters`;
+    /// every counter update classification implies (forwards, hop
+    /// forwards, per-hop drops) happens in here, keeping the
+    /// single-threaded barrier and the shard workers in lockstep.
+    ///
+    /// An envelope whose destination cluster is outside the receiving
+    /// gateway's domain chases [`MeshRoute`]s hop by hop *inside this
+    /// call*: the inter-gateway backhaul is not an MBus, so a hop
+    /// re-encapsulates (TTL down, hop count up) and hands the envelope
+    /// to the next gateway at the same routing barrier. The chase is a
+    /// pure walk over the shared route table — schedule- and
+    /// shard-independent by construction — and each hop consumes TTL,
+    /// so it terminates within [`MAX_TTL`] steps.
+    pub(crate) fn classify(
+        &self,
+        cluster: usize,
+        m: ReceivedMessage,
+        counters: &mut GatewayCounters,
+    ) -> GatewayVerdict {
         let is_envelope = !m.dest.is_broadcast() && m.dest.fu_id_raw() == GATEWAY_FORWARD_FU.raw();
         if !is_envelope {
             return GatewayVerdict::Local(m);
         }
-        match GatewayNode::decapsulate(&m.payload) {
-            Some((prefix, fu, inner)) => match self.route(prefix) {
-                Some(dest_cluster) => GatewayVerdict::Forward {
-                    dest_cluster,
-                    msg: Message::new(Address::full(prefix, fu), inner),
-                },
-                None => GatewayVerdict::Drop,
-            },
-            None => GatewayVerdict::Drop,
+        let Some((prefix, fu, mut ttl, _hops, inner)) = GatewayNode::open(&m.payload) else {
+            counters.drop_on(cluster);
+            return GatewayVerdict::Drop;
+        };
+        if ttl == 0 {
+            // A hand-built v2 header with a spent TTL cannot take even
+            // the terminal leg.
+            counters.ttl_drop_on(cluster);
+            return GatewayVerdict::Drop;
+        }
+        let mut at = cluster;
+        loop {
+            let host = self.route(prefix);
+            if let Some(dest_cluster) = host {
+                if self.domain_of(dest_cluster) == self.domain_of(at) {
+                    counters.forwarded += 1;
+                    return GatewayVerdict::Forward {
+                        dest_cluster,
+                        msg: Message::new(Address::full(prefix, fu), inner),
+                    };
+                }
+            }
+            // The destination is not directly reachable from `at`'s
+            // domain: find a range route out. Unregistered prefixes
+            // fall back to the cluster field of the packed prefix for
+            // range matching, so hierarchically-allocated prefixes
+            // route without per-prefix entries.
+            let toward = host.unwrap_or((prefix.raw() >> 4) as usize);
+            if ttl <= 1 {
+                counters.ttl_drop_on(at);
+                return GatewayVerdict::Drop;
+            }
+            let Some(range) = self
+                .ranges
+                .iter()
+                .find(|r| r.domain == self.domain_of(at) && r.lo <= toward && toward <= r.hi)
+            else {
+                counters.drop_on(at);
+                return GatewayVerdict::Drop;
+            };
+            ttl -= 1;
+            counters.hop_forwards += 1;
+            at = range.via;
         }
     }
 }
@@ -343,10 +504,29 @@ impl GatewayNode {
         self.counters.forwarded
     }
 
-    /// Envelopes dropped: malformed header, or an unroutable
-    /// destination prefix.
+    /// Envelopes dropped for any reason: malformed header, unroutable
+    /// destination prefix, or TTL exhaustion mid-mesh.
     pub fn dropped(&self) -> u64 {
         self.counters.dropped
+    }
+
+    /// Inter-gateway mesh hops taken by envelopes chasing a
+    /// [`MeshRoute`] (terminal forwarded legs count in
+    /// [`GatewayNode::forwarded`], not here).
+    pub fn hop_forwards(&self) -> u64 {
+        self.counters.hop_forwards
+    }
+
+    /// TTL-exhaustion drops attributed to the hop (cluster) where the
+    /// TTL ran out.
+    pub fn ttl_dropped_on(&self, cluster: usize) -> u64 {
+        self.counters.ttl_drops.get(cluster).copied().unwrap_or(0)
+    }
+
+    /// Per-hop TTL-drop counts, indexed by cluster; clusters past the
+    /// last drop may be absent.
+    pub fn ttl_drops(&self) -> &[u64] {
+        &self.counters.ttl_drops
     }
 
     /// Envelopes dropped by the gateway presence on `cluster` — the
@@ -379,6 +559,8 @@ impl GatewayNode {
 
     /// Parses a forwarding envelope back into destination and inner
     /// payload; `None` if the header is not a 4-byte full address.
+    /// Reads the legacy v1 form only — mesh-aware callers want
+    /// [`GatewayNode::open`].
     pub fn decapsulate(payload: &[u8]) -> Option<(FullPrefix, FuId, Vec<u8>)> {
         if payload.len() < 4 {
             return None;
@@ -386,6 +568,46 @@ impl GatewayNode {
         match Address::decode(&payload[..4]) {
             Ok(Address::Full { prefix, fu_id }) => Some((prefix, fu_id, payload[4..].to_vec())),
             _ => None,
+        }
+    }
+
+    /// Builds a **v2** forwarding envelope carrying an explicit TTL:
+    /// `[ENVELOPE_MAGIC, (ttl << 4) | hops, 4-byte full address,
+    /// inner...]` with hop count 0. Panics unless `ttl` is in
+    /// `1..=MAX_TTL`; [`Fleet::remote_message_ttl`] validates first
+    /// and returns an error instead.
+    pub fn encapsulate_ttl(dest: FullPrefix, fu: FuId, payload: &[u8], ttl: u8) -> Vec<u8> {
+        assert!(
+            (1..=MAX_TTL).contains(&ttl),
+            "envelope TTL must be in 1..={MAX_TTL}"
+        );
+        let mut bytes = vec![ENVELOPE_MAGIC, ttl << 4];
+        bytes.extend_from_slice(&Address::full(dest, fu).encode());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    /// Parses either envelope form into `(dest prefix, dest fu, ttl,
+    /// hops, inner payload)`: the v2 6-byte header when the payload
+    /// leads with [`ENVELOPE_MAGIC`], the v1 4-byte header otherwise
+    /// (entering with [`DEFAULT_TTL`] and hop count 0). `None` if
+    /// neither header parses.
+    pub fn open(payload: &[u8]) -> Option<(FullPrefix, FuId, u8, u8, Vec<u8>)> {
+        if payload.first() == Some(&ENVELOPE_MAGIC) {
+            if payload.len() < 6 {
+                return None;
+            }
+            let ttl = payload[1] >> 4;
+            let hops = payload[1] & 0xF;
+            match Address::decode(&payload[2..6]) {
+                Ok(Address::Full { prefix, fu_id }) => {
+                    Some((prefix, fu_id, ttl, hops, payload[6..].to_vec()))
+                }
+                _ => None,
+            }
+        } else {
+            let (prefix, fu, inner) = GatewayNode::decapsulate(payload)?;
+            Some((prefix, fu, DEFAULT_TTL, 0, inner))
         }
     }
 }
@@ -459,6 +681,18 @@ impl Fleet {
     ///
     /// Panics past [`MAX_CLUSTERS`].
     pub fn add_cluster(&mut self) -> usize {
+        self.add_cluster_in_domain(0)
+    }
+
+    /// Adds a new cluster bus in mesh `domain`. Gateways forward
+    /// directly only within their own domain; cross-domain envelopes
+    /// must hop through [`Fleet::add_mesh_route`] entries, consuming
+    /// TTL per hop. [`Fleet::add_cluster`] is this with domain 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`MAX_CLUSTERS`].
+    pub fn add_cluster_in_domain(&mut self, domain: usize) -> usize {
         let cluster = self.clusters.len();
         assert!(
             cluster < MAX_CLUSTERS,
@@ -471,10 +705,39 @@ impl Fleet {
                 .with_short_prefix(gateway_short_prefix()),
         );
         debug_assert_eq!(index, GATEWAY_NODE);
+        self.gateway.routes.register_domain(cluster, domain);
         self.gateway.register(prefix, cluster);
         self.clusters.push(engine);
         self.gateway_rx.push(Vec::new());
         cluster
+    }
+
+    /// Registers a hierarchical mesh route: gateways in `domain`
+    /// forward envelopes destined for clusters `lo..=hi` to the
+    /// gateway of cluster `via`. Routes match in registration order;
+    /// the first hit wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`, when `via` is not a cluster of this
+    /// fleet, or when `via` itself lives in `domain` (a same-domain
+    /// next hop is a degenerate route cycle — it could never make
+    /// progress, since in-domain destinations forward directly).
+    /// Cross-domain route cycles *are* legal; the per-hop TTL bounds
+    /// them.
+    pub fn add_mesh_route(&mut self, domain: usize, lo: usize, hi: usize, via: usize) {
+        self.gateway.routes.register_range(MeshRoute {
+            domain,
+            lo,
+            hi,
+            via,
+        });
+    }
+
+    /// The mesh domain `cluster` lives in (0 unless placed with
+    /// [`Fleet::add_cluster_in_domain`]).
+    pub fn cluster_domain(&self, cluster: usize) -> usize {
+        self.gateway.routes.domain_of(cluster)
     }
 
     /// Adds a sensor to `cluster` at the next ring position (short
@@ -603,7 +866,7 @@ impl Fleet {
             return Err(MbusError::UnknownCluster { index: src.cluster });
         }
         if Fleet::targets_forwarding_port(src.cluster, &msg)
-            && GatewayNode::decapsulate(msg.payload()).is_none()
+            && GatewayNode::open(msg.payload()).is_none()
         {
             return Err(MbusError::ReservedForwardingPort);
         }
@@ -656,6 +919,52 @@ impl Fleet {
         ))
     }
 
+    /// [`Fleet::remote_message`] with an explicit TTL: builds a **v2**
+    /// envelope whose mesh hop budget is `ttl` instead of
+    /// [`DEFAULT_TTL`] (the terminal forwarded leg is free; each
+    /// inter-gateway hop costs one). The v2 header is 6 bytes instead
+    /// of 4.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Fleet::remote_message`] reports, plus
+    /// [`MbusError::MalformedAddress`] when `ttl` is outside
+    /// `1..=`[`MAX_TTL`].
+    pub fn remote_message_ttl(
+        &self,
+        dest: FleetNodeId,
+        fu: FuId,
+        payload: Vec<u8>,
+        ttl: u8,
+    ) -> Result<Message, MbusError> {
+        if !(1..=MAX_TTL).contains(&ttl) {
+            return Err(MbusError::MalformedAddress {
+                reason: "envelope TTL out of range (1..=15)",
+            });
+        }
+        let engine = self.engine(dest)?;
+        if dest.node >= engine.node_count() {
+            return Err(MbusError::UnknownNode { index: dest.node });
+        }
+        if dest.node == GATEWAY_NODE && fu == GATEWAY_FORWARD_FU {
+            return Err(MbusError::MalformedAddress {
+                reason: "a remote message may not target a gateway forwarding port",
+            });
+        }
+        let full = engine.spec(dest.node).full_prefix();
+        let envelope = GatewayNode::encapsulate_ttl(full, fu, &payload, ttl);
+        if envelope.len() > self.config.max_message_bytes() {
+            return Err(MbusError::MessageTooLong {
+                len: envelope.len(),
+                max: self.config.max_message_bytes(),
+            });
+        }
+        Ok(Message::new(
+            Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU),
+            envelope,
+        ))
+    }
+
     /// Queues a cross-cluster message: `src` sends `payload` to `dest`'s
     /// functional unit `fu` through the gateway. Convenience for
     /// [`Fleet::remote_message`] + [`Fleet::queue`].
@@ -696,18 +1005,26 @@ impl Fleet {
     /// saw, is still counted against the receiving cluster rather than
     /// vanishing.
     fn route_cluster(&mut self, cluster: usize) -> bool {
+        // Disjoint field borrows: the routing table stays shared while
+        // the counters and destination engines take mutable borrows.
+        let Fleet {
+            clusters,
+            gateway,
+            gateway_rx,
+            ..
+        } = self;
+        let GatewayNode { routes, counters } = gateway;
         let mut progressed = false;
-        for m in self.clusters[cluster].take_rx(GATEWAY_NODE) {
-            match self.gateway.routes.classify(m) {
-                GatewayVerdict::Local(m) => self.gateway_rx[cluster].push(m),
+        for m in clusters[cluster].take_rx(GATEWAY_NODE) {
+            match routes.classify(cluster, m, counters) {
+                GatewayVerdict::Local(m) => gateway_rx[cluster].push(m),
                 GatewayVerdict::Forward { dest_cluster, msg } => {
-                    self.clusters[dest_cluster]
+                    clusters[dest_cluster]
                         .queue(GATEWAY_NODE, msg)
                         .expect("forwarded leg is shorter than its envelope");
-                    self.gateway.counters.forwarded += 1;
                     progressed = true;
                 }
-                GatewayVerdict::Drop => self.gateway.counters.drop_on(cluster),
+                GatewayVerdict::Drop => {}
             }
         }
         progressed
@@ -1171,6 +1488,10 @@ pub enum FleetStep {
         /// Whether the sender-side envelope leg claims the priority
         /// arbitration round.
         priority: bool,
+        /// Explicit mesh hop budget: `Some(ttl)` builds a v2 envelope
+        /// via [`Fleet::remote_message_ttl`], `None` the legacy v1
+        /// form (implicit [`DEFAULT_TTL`]).
+        ttl: Option<u8>,
     },
     /// Assert a node's interrupt port (§4.5).
     Wakeup {
@@ -1209,6 +1530,13 @@ pub struct FleetWorkload {
     config: BusConfig,
     /// Per cluster: each sensor's power-awareness flag.
     clusters: Vec<Vec<bool>>,
+    /// Per cluster: its mesh domain (parallel to `clusters`).
+    domains: Vec<usize>,
+    /// Hierarchical mesh routes, in registration order.
+    routes: Vec<MeshRoute>,
+    /// Reactive behavior table, keyed by sensor identity.
+    behaviors: BTreeMap<FleetNodeId, NodeBehavior>,
+    reply_horizon: u32,
     steps: Vec<FleetStep>,
     strict_nulls: bool,
 }
@@ -1220,6 +1548,10 @@ impl FleetWorkload {
             name: name.into(),
             config,
             clusters: Vec::new(),
+            domains: Vec::new(),
+            routes: Vec::new(),
+            behaviors: BTreeMap::new(),
+            reply_horizon: DEFAULT_REPLY_HORIZON,
             steps: Vec::new(),
             strict_nulls: true,
         }
@@ -1227,9 +1559,69 @@ impl FleetWorkload {
 
     /// Appends a cluster whose sensors have the given power-awareness
     /// flags (one per sensor; the gateway presence is implicit and
-    /// always-on).
-    pub fn cluster(mut self, sensor_power: Vec<bool>) -> Self {
+    /// always-on). The cluster lives in mesh domain 0; see
+    /// [`FleetWorkload::cluster_in`].
+    pub fn cluster(self, sensor_power: Vec<bool>) -> Self {
+        self.cluster_in(0, sensor_power)
+    }
+
+    /// Appends a cluster in mesh `domain` (see
+    /// [`Fleet::add_cluster_in_domain`]).
+    pub fn cluster_in(mut self, domain: usize, sensor_power: Vec<bool>) -> Self {
         self.clusters.push(sensor_power);
+        self.domains.push(domain);
+        self
+    }
+
+    /// Appends a hierarchical mesh route (see
+    /// [`Fleet::add_mesh_route`]); validated when the fleet is built.
+    pub fn route(mut self, domain: usize, lo: usize, hi: usize, via: usize) -> Self {
+        self.routes.push(MeshRoute {
+            domain,
+            lo,
+            hi,
+            via,
+        });
+        self
+    }
+
+    /// Attaches a reactive [`NodeBehavior`] to a declared sensor.
+    /// [`NodeBehavior::Inert`] removes the entry. Responses are
+    /// injected at every fleet drain barrier, bounded by
+    /// [`FleetWorkload::with_reply_horizon`]; see the
+    /// [`behavior`](crate::behavior) module docs for the determinism
+    /// rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an undeclared node, a gateway presence (node 0), or
+    /// out-of-range behavior parameters.
+    pub fn behavior(mut self, id: FleetNodeId, b: NodeBehavior) -> Self {
+        assert!(
+            id.cluster < self.clusters.len()
+                && id.node >= 1
+                && id.node <= self.clusters[id.cluster].len(),
+            "behavior on undeclared node {id} in fleet workload '{}'",
+            self.name
+        );
+        if b.is_inert() {
+            self.behaviors.remove(&id);
+        } else {
+            b.validate();
+            self.behaviors.insert(id, b);
+        }
+        self
+    }
+
+    /// Sets the bound on reply-injection rounds per drain barrier
+    /// (default [`DEFAULT_REPLY_HORIZON`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `horizon` is 0.
+    pub fn with_reply_horizon(mut self, horizon: u32) -> Self {
+        assert!(horizon >= 1, "the reply horizon is at least one round");
+        self.reply_horizon = horizon;
         self
     }
 
@@ -1253,6 +1645,28 @@ impl FleetWorkload {
             fu,
             payload,
             priority: false,
+            ttl: None,
+        });
+        self
+    }
+
+    /// Appends a cross-cluster send step with an explicit mesh hop
+    /// budget (a v2 envelope; see [`Fleet::remote_message_ttl`]).
+    pub fn send_remote_ttl(
+        mut self,
+        src: FleetNodeId,
+        dest: FleetNodeId,
+        fu: FuId,
+        payload: Vec<u8>,
+        ttl: u8,
+    ) -> Self {
+        self.steps.push(FleetStep::Remote {
+            src,
+            dest,
+            fu,
+            payload,
+            priority: false,
+            ttl: Some(ttl),
         });
         self
     }
@@ -1272,7 +1686,17 @@ impl FleetWorkload {
             fu,
             payload,
             priority: true,
+            ttl: None,
         });
+        self
+    }
+
+    /// Appends a pre-built step verbatim. Crate-internal: the trace
+    /// parser and shrinker reassemble steps (including combinations the
+    /// convenience builders cannot express, such as a priority envelope
+    /// with an explicit TTL) without re-deriving them.
+    pub(crate) fn push_step(mut self, step: FleetStep) -> Self {
+        self.steps.push(step);
         self
     }
 
@@ -1337,6 +1761,27 @@ impl FleetWorkload {
         &self.clusters
     }
 
+    /// Per-cluster mesh domains (parallel to
+    /// [`FleetWorkload::cluster_specs`]).
+    pub fn cluster_domains(&self) -> &[usize] {
+        &self.domains
+    }
+
+    /// The hierarchical mesh routes, in registration order.
+    pub fn mesh_routes(&self) -> &[MeshRoute] {
+        &self.routes
+    }
+
+    /// The reactive behavior table, keyed by sensor identity.
+    pub fn behaviors(&self) -> &BTreeMap<FleetNodeId, NodeBehavior> {
+        &self.behaviors
+    }
+
+    /// The bound on reply-injection rounds per drain barrier.
+    pub fn reply_horizon(&self) -> u32 {
+        self.reply_horizon
+    }
+
     /// Whether null transactions participate in signature comparison
     /// (`true` unless [`FleetWorkload::allow_wake_nulls`] was called) —
     /// the serialization hook [`crate::trace`] uses to round-trip the
@@ -1356,14 +1801,18 @@ impl FleetWorkload {
         self.clusters.iter().map(|c| c.len() + 1).sum()
     }
 
-    /// Builds a [`Fleet`] of `kind` with this workload's topology.
+    /// Builds a [`Fleet`] of `kind` with this workload's topology —
+    /// clusters (in their mesh domains), sensors, and mesh routes.
     pub fn instantiate(&self, kind: EngineKind) -> Fleet {
         let mut fleet = Fleet::new(kind, self.config);
-        for sensors in &self.clusters {
-            let c = fleet.add_cluster();
+        for (sensors, &domain) in self.clusters.iter().zip(&self.domains) {
+            let c = fleet.add_cluster_in_domain(domain);
             for &power_aware in sensors {
                 fleet.add_sensor(c, power_aware);
             }
+        }
+        for r in &self.routes {
+            fleet.add_mesh_route(r.domain, r.lo, r.hi, r.via);
         }
         fleet
     }
@@ -1461,6 +1910,12 @@ impl FleetWorkload {
                 "cluster {c} ring size does not match workload '{}'",
                 self.name
             );
+            assert_eq!(
+                fleet.cluster_domain(c),
+                self.domains[c],
+                "cluster {c} mesh domain does not match workload '{}'",
+                self.name
+            );
             for (j, &power_aware) in sensors.iter().enumerate() {
                 assert_eq!(
                     fleet.clusters[c].spec(j + 1).is_power_aware(),
@@ -1471,7 +1926,17 @@ impl FleetWorkload {
                 );
             }
         }
+        assert_eq!(
+            fleet.gateway().routes().mesh_routes(),
+            self.routes.as_slice(),
+            "fleet mesh routes do not match workload '{}'",
+            self.name
+        );
         let mut records = Vec::new();
+        let mut collected: BTreeMap<FleetNodeId, Vec<ReceivedMessage>> = BTreeMap::new();
+        let mut agg_seen: BTreeMap<FleetNodeId, u32> = BTreeMap::new();
+        let mut injected_replies = 0u64;
+        let mut reply_rounds = 0u64;
         for step in &self.steps {
             match step {
                 FleetStep::Local { src, msg } => {
@@ -1483,10 +1948,13 @@ impl FleetWorkload {
                     fu,
                     payload,
                     priority,
+                    ttl,
                 } => {
-                    let mut msg = fleet
-                        .remote_message(*dest, *fu, payload.clone())
-                        .expect("fleet remote step");
+                    let mut msg = match ttl {
+                        Some(t) => fleet.remote_message_ttl(*dest, *fu, payload.clone(), *t),
+                        None => fleet.remote_message(*dest, *fu, payload.clone()),
+                    }
+                    .expect("fleet remote step");
                     if *priority {
                         msg = msg.with_priority();
                     }
@@ -1495,7 +1963,18 @@ impl FleetWorkload {
                 FleetStep::Wakeup { node } => {
                     fleet.request_wakeup(*node).expect("fleet wakeup step");
                 }
-                FleetStep::Drain => drain(fleet, &mut records),
+                FleetStep::Drain => {
+                    drain(fleet, &mut records);
+                    self.settle_behaviors(
+                        fleet,
+                        drain,
+                        &mut records,
+                        &mut collected,
+                        &mut agg_seen,
+                        &mut injected_replies,
+                        &mut reply_rounds,
+                    );
+                }
                 // One fixed round-robin mini-drain regardless of the
                 // schedule, so partial drains cannot break
                 // schedule-independence (see the step docs).
@@ -1512,12 +1991,29 @@ impl FleetWorkload {
         }
         if !matches!(self.steps.last(), Some(FleetStep::Drain)) {
             drain(fleet, &mut records);
+            self.settle_behaviors(
+                fleet,
+                drain,
+                &mut records,
+                &mut collected,
+                &mut agg_seen,
+                &mut injected_replies,
+                &mut reply_rounds,
+            );
         }
         let clusters = fleet.cluster_count();
         let rx = (0..clusters)
             .map(|c| {
                 (0..fleet.clusters[c].node_count())
-                    .map(|n| fleet.take_rx(FleetNodeId::new(c, n)))
+                    .map(|n| {
+                        // Behavior nodes' earlier deliveries were
+                        // drained at the settle barriers; splice them
+                        // back in delivery order ahead of the rest.
+                        let id = FleetNodeId::new(c, n);
+                        let mut log = collected.remove(&id).unwrap_or_default();
+                        log.extend(fleet.take_rx(id));
+                        log
+                    })
                     .collect()
             })
             .collect();
@@ -1540,9 +2036,160 @@ impl FleetWorkload {
             cluster_drops: (0..clusters)
                 .map(|c| fleet.gateway().dropped_on(c))
                 .collect(),
+            hop_forwards: fleet.gateway().hop_forwards(),
+            ttl_drops: (0..clusters)
+                .map(|c| fleet.gateway().ttl_dropped_on(c))
+                .collect(),
+            injected_replies,
+            reply_rounds,
             fairness: None,
             strict_nulls: self.strict_nulls,
         }
+    }
+
+    /// Runs the horizon-bounded reply-injection loop at a drain
+    /// barrier: each round drains every behavior node's receive log,
+    /// computes responses in node order, queues them, and re-drains
+    /// the fleet through the *same* schedule-generic `drain` the
+    /// quiescence barriers use — so every schedule (and shard count)
+    /// reaches the identical pre-injection state and injects the
+    /// identical batch.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_behaviors(
+        &self,
+        fleet: &mut Fleet,
+        drain: &mut dyn FnMut(&mut Fleet, &mut Vec<FleetRecord>),
+        records: &mut Vec<FleetRecord>,
+        collected: &mut BTreeMap<FleetNodeId, Vec<ReceivedMessage>>,
+        agg_seen: &mut BTreeMap<FleetNodeId, u32>,
+        injected: &mut u64,
+        rounds: &mut u64,
+    ) {
+        if self.behaviors.is_empty() {
+            return;
+        }
+        for _ in 0..self.reply_horizon {
+            let mut batch: Vec<(FleetNodeId, Message)> = Vec::new();
+            for (&id, b) in &self.behaviors {
+                let triggers = fleet.take_rx(id);
+                for m in &triggers {
+                    if m.from == id.node {
+                        continue;
+                    }
+                    self.respond(fleet, id, b, m, agg_seen, &mut batch);
+                }
+                collected.entry(id).or_default().extend(triggers);
+            }
+            if batch.is_empty() {
+                return;
+            }
+            for (id, msg) in batch {
+                fleet.queue(id, msg).expect("behavior response");
+                *injected += 1;
+            }
+            drain(fleet, records);
+            *rounds += 1;
+        }
+    }
+
+    /// Computes one behavior node's responses to one trigger, pushing
+    /// them onto `batch` (see the [`behavior`](crate::behavior) module
+    /// docs for the addressing rules).
+    fn respond(
+        &self,
+        fleet: &Fleet,
+        id: FleetNodeId,
+        b: &NodeBehavior,
+        trigger: &ReceivedMessage,
+        agg_seen: &mut BTreeMap<FleetNodeId, u32>,
+        batch: &mut Vec<(FleetNodeId, Message)>,
+    ) {
+        match b {
+            NodeBehavior::Inert => {}
+            NodeBehavior::Reply { fu, payload } => {
+                if let Some(msg) = self.reply_message(fleet, id, trigger, *fu, payload.clone()) {
+                    batch.push((id, msg));
+                }
+            }
+            NodeBehavior::AggregateAck { n, fu, payload } => {
+                let seen = agg_seen.entry(id).or_insert(0);
+                *seen += 1;
+                if (*seen).is_multiple_of(*n) {
+                    if let Some(msg) = self.reply_message(fleet, id, trigger, *fu, payload.clone())
+                    {
+                        batch.push((id, msg));
+                    }
+                }
+            }
+            NodeBehavior::AlarmCascade {
+                fanout,
+                fu,
+                payload,
+            } => {
+                // Propagate to the next `fanout` clusters in index
+                // order (wrapping; own and empty clusters skipped),
+                // targeting the sensor at the alarm node's own ring
+                // position (mod the target's ring size).
+                let clusters = self.clusters.len();
+                for k in 0..(*fanout as usize).min(clusters.saturating_sub(1)) {
+                    let target_cluster = (id.cluster + 1 + k) % clusters;
+                    if target_cluster == id.cluster || self.clusters[target_cluster].is_empty() {
+                        continue;
+                    }
+                    let sensors = self.clusters[target_cluster].len();
+                    let target = FleetNodeId::new(target_cluster, 1 + (id.node - 1) % sensors);
+                    let msg = fleet
+                        .remote_message(target, *fu, payload.clone())
+                        .expect("behavior cascade envelope");
+                    batch.push((id, msg));
+                }
+            }
+        }
+    }
+
+    /// Builds one directed reply from `id` to `trigger`'s originator,
+    /// or `None` when no legal reply destination exists (see the
+    /// [`behavior`](crate::behavior) module docs).
+    fn reply_message(
+        &self,
+        fleet: &Fleet,
+        id: FleetNodeId,
+        trigger: &ReceivedMessage,
+        fu: FuId,
+        payload: Vec<u8>,
+    ) -> Option<Message> {
+        if let Some((prefix, rfu)) = behavior::return_address(&trigger.payload) {
+            // The request/response idiom: answer the embedded return
+            // address — directly when it lives on this cluster, back
+            // through the gateway (and possibly the mesh) otherwise.
+            // An unroutable return address becomes a counted gateway
+            // drop, not a workload error.
+            if fleet.gateway().route(prefix) == Some(id.cluster) {
+                return Some(Message::new(Address::full(prefix, rfu), payload));
+            }
+            let envelope = GatewayNode::encapsulate(prefix, rfu, &payload);
+            return Some(Message::new(
+                Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU),
+                envelope,
+            ));
+        }
+        if trigger.from == GATEWAY_NODE {
+            // A forwarded leg's bus-level sender is the gateway
+            // presence; answer its local port — unless the behavior fu
+            // is the reserved forwarding port, which only envelopes
+            // may target.
+            if fu == GATEWAY_FORWARD_FU {
+                return None;
+            }
+            return Some(Message::new(
+                Address::short(gateway_short_prefix(), fu),
+                payload,
+            ));
+        }
+        // A sensor on the same bus: ring position n holds short
+        // prefix n + 1.
+        let prefix = ShortPrefix::new((trigger.from + 1) as u8).ok()?;
+        Some(Message::new(Address::short(prefix, fu), payload))
     }
 
     /// Builds a fleet of `kind` and runs the workload on it with the
@@ -1693,6 +2340,177 @@ impl FleetWorkload {
         w
     }
 
+    /// Duty-cycled request/response day at fleet scale (§6.3's
+    /// request/response shape, closed-loop): the fleet splits into two
+    /// mesh domains — always-on requesters in the first half,
+    /// power-gated responders in the second — bridged by mutual range
+    /// routes. Every round, each requester sends a cross-domain
+    /// request carrying its own return address
+    /// ([`behavior::with_return_address`]); the paired responder's
+    /// [`NodeBehavior::Reply`] answers through the mesh, so every
+    /// request and every reply takes one inter-gateway hop each way.
+    /// Reply traffic is half of all transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clusters` is even and at least 4.
+    pub fn duty_cycle_day(clusters: usize, rounds: usize) -> FleetWorkload {
+        assert!(
+            clusters >= 4 && clusters.is_multiple_of(2),
+            "a duty-cycle day pairs requester and responder clusters (even, >= 4)"
+        );
+        let half = clusters / 2;
+        let mut w = FleetWorkload::new(
+            format!("fleet_duty_day/{clusters}r{rounds}"),
+            BusConfig::default(),
+        );
+        for c in 0..clusters {
+            // Responders are duty-cycled (power-gated); their reply
+            // transmissions self-wake with nulls on the wire engine.
+            w = w.cluster_in(usize::from(c >= half), vec![c >= half]);
+        }
+        w = w
+            .route(0, half, clusters - 1, half)
+            .route(1, 0, half - 1, 0)
+            .allow_wake_nulls();
+        let reply_fu = FuId::new(0x3).expect("reply fu");
+        for c in half..clusters {
+            w = w.behavior(
+                FleetNodeId::new(c, 1),
+                NodeBehavior::Reply {
+                    fu: reply_fu,
+                    payload: vec![0xAC],
+                },
+            );
+        }
+        for round in 0..rounds {
+            for c in 0..half {
+                let request = behavior::with_return_address(
+                    sensor_full_prefix(c, 1),
+                    reply_fu,
+                    &[round as u8],
+                );
+                w = w.send_remote(
+                    FleetNodeId::new(c, 1),
+                    FleetNodeId::new(c + half, 1),
+                    FuId::ZERO,
+                    request,
+                );
+            }
+            w = w.drain();
+        }
+        w
+    }
+
+    /// Alarm cascade at fleet scale (§6.3's alarm shape, closed-loop):
+    /// every cluster's sensor 1 carries
+    /// [`NodeBehavior::AlarmCascade`], and one local spark on cluster
+    /// 0 trips the root alarm — each generation re-broadcasts to the
+    /// next `fanout` clusters until the reply horizon bounds the wave.
+    /// The wave's geographic reach is only `fanout × horizon` clusters
+    /// from the root (propagation advances `fanout` clusters per
+    /// generation), so the two mesh domains split *inside* that reach
+    /// — at `fanout × horizon / 2`, capped at the midpoint — and the
+    /// cascade provably crosses the inter-gateway boundary on large
+    /// fleets instead of dying in domain 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clusters >= 3` and `fanout >= 1`.
+    pub fn alarm_cascade(clusters: usize, fanout: u8) -> FleetWorkload {
+        assert!(clusters >= 3, "a cascade needs at least three clusters");
+        assert!(fanout >= 1, "fanout >= 1");
+        let reach = fanout as usize * DEFAULT_REPLY_HORIZON as usize;
+        let half = (reach / 2).clamp(1, clusters / 2);
+        let mut w = FleetWorkload::new(
+            format!("fleet_alarm_cascade/{clusters}f{fanout}"),
+            BusConfig::default(),
+        );
+        for c in 0..clusters {
+            // Cluster 0 holds the spark sensor alongside the root
+            // alarm node.
+            let sensors = if c == 0 {
+                vec![false, false]
+            } else {
+                vec![false]
+            };
+            w = w.cluster_in(usize::from(c >= half), sensors);
+        }
+        w = w
+            .route(0, half, clusters - 1, half)
+            .route(1, 0, half - 1, 0);
+        let fu = FuId::new(0x4).expect("alarm fu");
+        for c in 0..clusters {
+            w = w.behavior(
+                FleetNodeId::new(c, 1),
+                NodeBehavior::AlarmCascade {
+                    fanout,
+                    fu,
+                    payload: vec![0xA1],
+                },
+            );
+        }
+        w.send_local(
+            FleetNodeId::new(0, 2),
+            Message::new(
+                Address::short(
+                    ShortPrefix::new(0x2).expect("alarm root prefix"),
+                    FuId::ZERO,
+                ),
+                vec![0xFF],
+            ),
+        )
+    }
+
+    /// Aggregate-and-ack fan-in at fleet scale (§6.3's aggregation
+    /// shape, closed-loop): every round, each non-collector cluster's
+    /// sensor reports cross-cluster to the collector (cluster 0's
+    /// sensor 1, [`NodeBehavior::AggregateAck`]), embedding its return
+    /// address; the collector acks every `every`-th report back
+    /// through the mesh to the reporter that crossed the threshold.
+    /// The fleet splits into two mesh domains at the midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clusters >= 3` and `every >= 1`.
+    pub fn aggregate_fanin(clusters: usize, every: u32, rounds: usize) -> FleetWorkload {
+        assert!(clusters >= 3, "a fan-in needs at least three clusters");
+        assert!(every >= 1, "ack every >= 1 reports");
+        let half = clusters / 2;
+        let mut w = FleetWorkload::new(
+            format!("fleet_agg_fanin/{clusters}e{every}r{rounds}"),
+            BusConfig::default(),
+        );
+        for c in 0..clusters {
+            w = w.cluster_in(usize::from(c >= half), vec![false]);
+        }
+        w = w
+            .route(0, half, clusters - 1, half)
+            .route(1, 0, half - 1, 0);
+        let ack_fu = FuId::new(0x5).expect("ack fu");
+        w = w.behavior(
+            FleetNodeId::new(0, 1),
+            NodeBehavior::AggregateAck {
+                n: every,
+                fu: ack_fu,
+                payload: vec![0xCC],
+            },
+        );
+        let collector = FleetNodeId::new(0, 1);
+        for round in 0..rounds {
+            for c in 1..clusters {
+                let report = behavior::with_return_address(
+                    sensor_full_prefix(c, 1),
+                    ack_fu,
+                    &[round as u8, c as u8],
+                );
+                w = w.send_remote(FleetNodeId::new(c, 1), collector, FuId::ZERO, report);
+            }
+            w = w.drain();
+        }
+        w
+    }
+
     /// A seeded random fleet workload — [`crate::scenario::Workload::seeded`]
     /// lifted to bridged buses: cluster count, sensor counts,
     /// power-awareness, local and *cross-cluster* destinations,
@@ -1700,19 +2518,66 @@ impl FleetWorkload {
     /// envelopes* (well-formed headers whose prefix routes nowhere, so
     /// the gateway's per-cluster drop accounting is exercised), and
     /// mid-epoch partial drains ([`FleetStep::RunRounds`], which make
-    /// the seed non-wire-comparable) all come from one
-    /// [`mbus_sim::SmallRng`] stream, so every seed is a reproducible
-    /// multi-bus scenario exercising the gateway path.
+    /// the seed non-wire-comparable), plus *reactive behaviors* on
+    /// ~1/6 of the sensors, a two-domain mesh split (with mutual range
+    /// routes) on ~1/3 of the seeds, and explicit tight-TTL envelopes
+    /// all come from one [`mbus_sim::SmallRng`] stream, so every seed
+    /// is a reproducible closed-loop multi-bus scenario exercising the
+    /// gateway and mesh paths.
     pub fn seeded(seed: u64) -> FleetWorkload {
         let mut rng = mbus_sim::SmallRng::seed_from_u64(seed);
         let clusters = rng.gen_index(2..5);
         let mut w = FleetWorkload::new(format!("fleet_seeded/{seed}"), BusConfig::default());
+        // About a third of the seeds split the fleet into two mesh
+        // domains bridged by mutual range routes, so cross-domain
+        // traffic (and unroutable envelopes that chase a route before
+        // dying) exercises the multi-hop path.
+        let split = if rng.gen_index(0..3) == 0 {
+            1 + rng.gen_index(0..clusters - 1)
+        } else {
+            clusters
+        };
         let mut gated: Vec<Vec<bool>> = Vec::with_capacity(clusters);
-        for _ in 0..clusters {
+        for c in 0..clusters {
             let sensors = rng.gen_index(1..5);
             let flags: Vec<bool> = (0..sensors).map(|_| rng.gen_index(0..3) == 0).collect();
             gated.push(flags.clone());
-            w = w.cluster(flags);
+            w = w.cluster_in(usize::from(c >= split), flags);
+        }
+        if split < clusters {
+            w = w
+                .route(0, split, clusters - 1, split)
+                .route(1, 0, split - 1, 0);
+        }
+        let mut gated_tx = false;
+        // Sprinkle reactive behaviors over ~1/6 of the sensors, so
+        // seeded fleets carry closed-loop traffic.
+        for (c, flags) in gated.iter().enumerate() {
+            for j in 1..=flags.len() {
+                if rng.gen_index(0..6) != 0 {
+                    continue;
+                }
+                let fu = FuId::new(rng.gen_index(0..16) as u8).expect("4-bit fu");
+                let payload_len = 1 + rng.gen_index(0..3);
+                let payload = rng.gen_bytes(payload_len);
+                let b = match rng.gen_index(0..3) {
+                    0 => NodeBehavior::Reply { fu, payload },
+                    1 => NodeBehavior::AggregateAck {
+                        n: (1 + rng.gen_index(0..3)) as u32,
+                        fu,
+                        payload,
+                    },
+                    _ => NodeBehavior::AlarmCascade {
+                        fanout: (1 + rng.gen_index(0..2)) as u8,
+                        fu,
+                        payload,
+                    },
+                };
+                // Responders transmit; a gated responder needs
+                // self-wake nulls on the wire engine.
+                gated_tx |= flags[j - 1];
+                w = w.behavior(FleetNodeId::new(c, j), b);
+            }
         }
         let pick_sensor = |rng: &mut mbus_sim::SmallRng, gated: &[Vec<bool>]| {
             let c = rng.gen_index(0..gated.len());
@@ -1720,7 +2585,6 @@ impl FleetWorkload {
             FleetNodeId::new(c, j)
         };
         let steps = 4 + rng.gen_index(0..24);
-        let mut gated_tx = false;
         for _ in 0..steps {
             match rng.gen_index(0..10) {
                 0..=2 => {
@@ -1750,6 +2614,12 @@ impl FleetWorkload {
                     let payload = rng.gen_bytes(len);
                     w = if rng.gen_index(0..5) == 0 {
                         w.send_remote_priority(src, dest, FuId::ZERO, payload)
+                    } else if rng.gen_index(0..4) == 0 {
+                        // A v2 envelope with a tight explicit TTL: a
+                        // cross-domain pick may exhaust it mid-mesh,
+                        // exercising per-hop TTL-drop attribution.
+                        let ttl = (1 + rng.gen_index(0..4)) as u8;
+                        w.send_remote_ttl(src, dest, FuId::ZERO, payload, ttl)
                     } else {
                         w.send_remote(src, dest, FuId::ZERO, payload)
                     };
@@ -1769,9 +2639,17 @@ impl FleetWorkload {
                     // where it vanished.
                     let src = pick_sensor(&mut rng, &gated);
                     gated_tx |= gated[src.cluster][src.node - 1];
-                    let prefix =
-                        FullPrefix::new(((rng.gen_index(0..MAX_CLUSTERS) as u32) << 4) | 0xE)
-                            .expect("unroutable slot fits 20 bits");
+                    // Half the hints land near the fleet's own cluster
+                    // indices, so on meshed seeds the doomed envelope
+                    // chases a range route first and the drop lands on
+                    // the *far* hop.
+                    let hint = if rng.gen_index(0..2) == 0 {
+                        rng.gen_index(0..MAX_CLUSTERS)
+                    } else {
+                        rng.gen_index(0..gated.len() * 2)
+                    };
+                    let prefix = FullPrefix::new(((hint as u32) << 4) | 0xE)
+                        .expect("unroutable slot fits 20 bits");
                     let len = rng.gen_index(0..5);
                     let envelope =
                         GatewayNode::encapsulate(prefix, FuId::ZERO, &rng.gen_bytes(len));
@@ -1819,9 +2697,25 @@ pub struct FleetReport {
     pub forwarded: u64,
     /// Envelopes the gateway dropped.
     pub dropped: u64,
-    /// Drops broken down by the cluster whose gateway presence
-    /// received the doomed envelope, one entry per cluster.
+    /// Malformed/unroutable drops broken down by the cluster whose
+    /// gateway presence held the doomed envelope, one entry per
+    /// cluster.
     pub cluster_drops: Vec<u64>,
+    /// Inter-gateway mesh hops taken by envelopes chasing
+    /// [`MeshRoute`]s (terminal forwarded legs count in `forwarded`).
+    pub hop_forwards: u64,
+    /// TTL-exhaustion drops attributed to the hop (cluster) where the
+    /// TTL ran out, one entry per cluster.
+    pub ttl_drops: Vec<u64>,
+    /// Reply messages the behavior layer injected at drain barriers.
+    /// A reporting gauge (like `fairness`): identical across engines
+    /// and schedules, but deliberately not part of [`FleetSignature`]
+    /// — the signature pins the resulting *traffic* instead.
+    pub injected_replies: u64,
+    /// Reply-injection rounds run across all drain barriers — the
+    /// deliveries-to-quiescence latency gauge of the closed loop.
+    /// Reporting only, like `injected_replies`.
+    pub reply_rounds: u64,
     /// Scheduler fairness counters — `Some` for drains driven by the
     /// interleaved or sharded scheduler, `None` for batched drains.
     /// Reporting only: not part of [`FleetSignature`] (the turn-gap
@@ -1926,6 +2820,8 @@ impl FleetReport {
             forwarded: self.forwarded,
             dropped: self.dropped,
             cluster_drops: self.cluster_drops.clone(),
+            hop_forwards: self.hop_forwards,
+            ttl_drops: self.ttl_drops.clone(),
         }
     }
 
@@ -1965,11 +2861,16 @@ pub struct FleetSignature {
     pub forwarded: u64,
     /// Envelopes dropped by the gateway.
     pub dropped: u64,
-    /// Drops attributed to the receiving gateway presence, one entry
-    /// per cluster — engines (and schedules) must agree not just on
-    /// how many envelopes vanished but on *which bus* they vanished
-    /// from.
+    /// Malformed/unroutable drops attributed to the receiving gateway
+    /// presence, one entry per cluster — engines (and schedules) must
+    /// agree not just on how many envelopes vanished but on *which
+    /// bus* they vanished from.
     pub cluster_drops: Vec<u64>,
+    /// Inter-gateway mesh hops taken chasing [`MeshRoute`]s.
+    pub hop_forwards: u64,
+    /// TTL-exhaustion drops attributed to the hop where the TTL ran
+    /// out, one entry per cluster.
+    pub ttl_drops: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -2326,6 +3227,160 @@ mod tests {
         assert_eq!(scheduler.epochs(), 2);
         assert_eq!(scheduler.cluster_transactions(), &[1, 1]);
         assert_eq!(fleet.take_rx(dst).len(), 1);
+    }
+
+    #[test]
+    fn v2_envelope_round_trip_and_v1_fallback() {
+        let dest = FullPrefix::new(0x00205).unwrap();
+        let fu = FuId::new(0x3).unwrap();
+        // v2 header: magic, TTL/hops byte, 4-byte address, payload.
+        let bytes = GatewayNode::encapsulate_ttl(dest, fu, &[7, 8], 5);
+        assert_eq!(bytes.len(), 6 + 2);
+        assert_eq!(bytes[0], ENVELOPE_MAGIC);
+        let (p, f, ttl, hops, inner) = GatewayNode::open(&bytes).unwrap();
+        assert_eq!((p, f, ttl, hops), (dest, fu, 5, 0));
+        assert_eq!(inner, vec![7, 8]);
+        // v1 envelopes still open, defaulting the TTL budget.
+        let v1 = GatewayNode::encapsulate(dest, fu, &[9]);
+        let (p, f, ttl, hops, inner) = GatewayNode::open(&v1).unwrap();
+        assert_eq!((p, f, ttl, hops), (dest, fu, DEFAULT_TTL, 0));
+        assert_eq!(inner, vec![9]);
+        // Truncated v2 headers are malformed, not panics.
+        assert!(GatewayNode::open(&bytes[..5]).is_none());
+        assert!(
+            std::panic::catch_unwind(|| { GatewayNode::encapsulate_ttl(dest, fu, &[], 0) })
+                .is_err()
+        );
+        assert!(std::panic::catch_unwind(|| {
+            GatewayNode::encapsulate_ttl(dest, fu, &[], MAX_TTL + 1)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn remote_message_ttl_validates_range() {
+        let (fleet, _, dst) = two_cluster_fleet(EngineKind::Analytic);
+        for bad in [0u8, MAX_TTL + 1] {
+            assert!(
+                matches!(
+                    fleet.remote_message_ttl(dst, FuId::ZERO, vec![1], bad),
+                    Err(MbusError::MalformedAddress { .. })
+                ),
+                "ttl {bad}"
+            );
+        }
+        assert!(fleet
+            .remote_message_ttl(dst, FuId::ZERO, vec![1], 1)
+            .is_ok());
+    }
+
+    /// Two domains bridged by one border gateway: an envelope from
+    /// domain 0 to a cluster in domain 1 hops across the backhaul at
+    /// the barrier, then forwards normally — per-hop accounting
+    /// attributes the relay to the border cluster.
+    #[test]
+    fn mesh_route_forwards_across_domains() {
+        for kind in EngineKind::ALL {
+            let mut fleet = Fleet::new(kind, BusConfig::default());
+            let a = fleet.add_cluster_in_domain(0);
+            let b = fleet.add_cluster_in_domain(1);
+            let c = fleet.add_cluster_in_domain(1);
+            let src = fleet.add_sensor(a, false);
+            fleet.add_sensor(b, false);
+            let dst = fleet.add_sensor(c, false);
+            // Domain 0 reaches domain-1 clusters through b's gateway.
+            fleet.add_mesh_route(0, 1, 2, b);
+            fleet
+                .queue_remote(src, dst, FuId::ZERO, vec![0x5A])
+                .unwrap();
+            fleet.run_until_quiescent();
+            assert_eq!(fleet.gateway().forwarded(), 1, "{kind}: terminal leg");
+            assert_eq!(fleet.gateway().hop_forwards(), 1, "{kind}: one relay hop");
+            assert_eq!(fleet.gateway().dropped(), 0, "{kind}");
+            let rx = fleet.take_rx(dst);
+            assert_eq!(rx.len(), 1, "{kind}");
+            assert_eq!(rx[0].payload, vec![0x5A], "{kind}");
+        }
+    }
+
+    /// The 2-gateway mesh cycle regression: mutual cross-domain routes
+    /// whose target prefix nobody owns bounce the envelope between the
+    /// two gateways until TTL exhaustion. Entry TTL 8 at cluster 0
+    /// buys exactly 7 relay hops; the drop lands on cluster 1 and is
+    /// attributed there — identically on every engine, schedule, and
+    /// shard count.
+    #[test]
+    fn two_gateway_cycle_terminates_via_ttl() {
+        // Slot 0xE is never allocated, so (1 << 4) | 0xE is
+        // guaranteed-unroutable; its high bits hint toward cluster 1.
+        let ghost = FullPrefix::new((1 << 4) | 0xE).unwrap();
+        let envelope = GatewayNode::encapsulate_ttl(ghost, FuId::ZERO, &[0xDD], DEFAULT_TTL);
+        let forward_port = Address::short(gateway_short_prefix(), GATEWAY_FORWARD_FU);
+        let w = FleetWorkload::new("ttl_cycle", BusConfig::default())
+            .cluster_in(0, vec![false])
+            .cluster_in(1, vec![false])
+            .route(0, 0, 1, 1)
+            .route(1, 0, 1, 0)
+            .send_local(FleetNodeId::new(0, 1), Message::new(forward_port, envelope))
+            .drain();
+        let mut signatures = Vec::new();
+        for kind in EngineKind::ALL {
+            for schedule in [
+                FleetSchedule::Batched,
+                FleetSchedule::Interleaved,
+                FleetSchedule::Sharded { shards: 1 },
+                FleetSchedule::Sharded { shards: 2 },
+            ] {
+                let report = w.run_scheduled_on(kind, schedule);
+                assert_eq!(report.forwarded, 0, "{kind} {schedule:?}");
+                assert_eq!(report.hop_forwards, 7, "{kind} {schedule:?}");
+                assert_eq!(report.dropped, 1, "{kind} {schedule:?}");
+                assert_eq!(report.ttl_drops, vec![0, 1], "{kind} {schedule:?}");
+                assert_eq!(report.cluster_drops, vec![0, 0], "{kind} {schedule:?}");
+                signatures.push(report.signature());
+            }
+        }
+        for sig in &signatures[1..] {
+            assert_eq!(*sig, signatures[0], "cycle handling is grid-identical");
+        }
+    }
+
+    /// A minimal closed loop: a gated responder answers a
+    /// return-addressed request across clusters, identically on every
+    /// engine.
+    #[test]
+    fn reply_behavior_closes_the_loop_across_engines() {
+        let reply_fu = FuId::new(0x3).unwrap();
+        let requester = FleetNodeId::new(0, 1);
+        let responder = FleetNodeId::new(1, 1);
+        let w = FleetWorkload::new("closed", BusConfig::default())
+            .cluster(vec![false])
+            .cluster(vec![false])
+            .behavior(
+                responder,
+                NodeBehavior::Reply {
+                    fu: reply_fu,
+                    payload: vec![0xAC],
+                },
+            )
+            .send_remote(
+                requester,
+                responder,
+                FuId::new(0x2).unwrap(),
+                behavior::with_return_address(sensor_full_prefix(0, 1), reply_fu, &[0x01]),
+            )
+            .drain();
+        let mut sigs = Vec::new();
+        for kind in EngineKind::ALL {
+            let report = w.run_on(kind);
+            assert_eq!(report.injected_replies, 1, "{kind}");
+            assert!(report.reply_rounds >= 1, "{kind}");
+            // Request leg forwarded out, reply leg forwarded back.
+            assert_eq!(report.forwarded, 2, "{kind}");
+            sigs.push(report.signature());
+        }
+        assert_eq!(sigs[0], sigs[1]);
+        assert_eq!(sigs[1], sigs[2]);
     }
 
     #[test]

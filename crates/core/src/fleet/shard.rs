@@ -165,13 +165,16 @@ fn run_shard_epoch(
     for (cluster, engine) in entries.iter_mut() {
         let cluster = *cluster;
         for m in engine.take_rx(GATEWAY_NODE) {
-            match routes.classify(m) {
+            // All counting (forwards, mesh hops, per-hop drops)
+            // happens inside `classify`, against this shard's epoch
+            // counters — merged at the barrier, so the totals are
+            // identical to the single-threaded routing discipline.
+            match routes.classify(cluster, m, &mut out.counters) {
                 GatewayVerdict::Local(m) => out.stash.push((cluster, m)),
                 GatewayVerdict::Forward { dest_cluster, msg } => {
-                    out.counters.forwarded += 1;
                     out.forwards.push((cluster, dest_cluster, msg));
                 }
-                GatewayVerdict::Drop => out.counters.drop_on(cluster),
+                GatewayVerdict::Drop => {}
             }
         }
     }

@@ -76,6 +76,7 @@
 
 pub mod addr;
 pub mod analytic;
+pub mod behavior;
 pub mod config;
 pub mod control;
 pub mod engine;
@@ -97,6 +98,7 @@ pub mod wire;
 
 pub use addr::{Address, BroadcastChannel, FuId, FullPrefix, ShortPrefix};
 pub use analytic::{AnalyticBus, ArbitrationPolicy, TransactionRecord};
+pub use behavior::NodeBehavior;
 pub use config::BusConfig;
 pub use control::{ControlBits, Interjector, TxOutcome};
 pub use engine::{
@@ -107,7 +109,7 @@ pub use error::MbusError;
 pub use event::EventEngine;
 pub use fleet::{
     Fleet, FleetFairness, FleetNodeId, FleetRecord, FleetRecordSink, FleetReport, FleetSchedule,
-    FleetSignature, FleetWorkload, InterleavedScheduler, ShardBalance, ShardedFleet,
+    FleetSignature, FleetWorkload, InterleavedScheduler, MeshRoute, ShardBalance, ShardedFleet,
 };
 pub use message::Message;
 pub use node::NodeSpec;

@@ -33,6 +33,7 @@
 //! ```
 
 use crate::addr::{Address, BroadcastChannel, FuId, FullPrefix, ShortPrefix};
+use crate::behavior::{self, NodeBehavior, DEFAULT_REPLY_HORIZON};
 use crate::config::BusConfig;
 use crate::engine::{
     build_engine, BusEngine, BusStats, EngineKind, EngineRecord, NodeIndex, ReceivedMessage,
@@ -40,6 +41,7 @@ use crate::engine::{
 use crate::enumeration::{CMD_ENUMERATE, CMD_IDENTIFY};
 use crate::message::Message;
 use crate::node::NodeSpec;
+use std::collections::BTreeMap;
 
 /// One step of a workload.
 #[derive(Clone, Debug)]
@@ -88,6 +90,8 @@ pub struct Workload {
     nodes: Vec<NodeSpec>,
     steps: Vec<Step>,
     strict_nulls: bool,
+    behaviors: BTreeMap<NodeIndex, NodeBehavior>,
+    reply_horizon: u32,
 }
 
 impl Workload {
@@ -99,6 +103,8 @@ impl Workload {
             nodes: Vec::new(),
             steps: Vec::new(),
             strict_nulls: true,
+            behaviors: BTreeMap::new(),
+            reply_horizon: DEFAULT_REPLY_HORIZON,
         }
     }
 
@@ -140,6 +146,50 @@ impl Workload {
         self
     }
 
+    /// Attaches a reactive behavior to an already-declared node (see
+    /// [`crate::behavior`]): each drain step is followed by bounded
+    /// reply-injection rounds in which every delivery to a behavior
+    /// node enqueues its programmed response at the quiescence
+    /// barrier. Attaching [`NodeBehavior::Inert`] removes the entry.
+    /// A power-gated behavior node transmits its responses, so such
+    /// workloads want [`Workload::allow_wake_nulls`] just like any
+    /// other gated transmitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has not been declared yet or the behavior's
+    /// parameters are out of range (see
+    /// [`crate::behavior::MAX_BEHAVIOR_PAYLOAD`]).
+    pub fn behavior(mut self, node: NodeIndex, behavior: NodeBehavior) -> Self {
+        assert!(
+            node < self.nodes.len(),
+            "behavior on undeclared node {node} in workload '{}'",
+            self.name
+        );
+        if behavior.is_inert() {
+            self.behaviors.remove(&node);
+        } else {
+            behavior.validate();
+            self.behaviors.insert(node, behavior);
+        }
+        self
+    }
+
+    /// Overrides the reply-injection horizon: the maximum number of
+    /// injection rounds per drain step (default
+    /// [`DEFAULT_REPLY_HORIZON`]). Cascade loops terminate after at
+    /// most this many generations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero (that would disable behaviors
+    /// silently — attach [`NodeBehavior::Inert`] instead).
+    pub fn with_reply_horizon(mut self, horizon: u32) -> Self {
+        assert!(horizon >= 1, "reply horizon must be at least 1");
+        self.reply_horizon = horizon;
+        self
+    }
+
     /// Declares that this workload transmits from power-gated nodes, so
     /// the wire engine inserts self-wake null transactions the analytic
     /// engine folds away (see [`crate::engine`]'s module docs). The
@@ -173,6 +223,16 @@ impl Workload {
     /// Whether null transactions are part of the comparable signature.
     pub fn strict_nulls(&self) -> bool {
         self.strict_nulls
+    }
+
+    /// The reactive behavior table, in node order.
+    pub fn behaviors(&self) -> &BTreeMap<NodeIndex, NodeBehavior> {
+        &self.behaviors
+    }
+
+    /// The reply-injection horizon (rounds per drain step).
+    pub fn reply_horizon(&self) -> u32 {
+        self.reply_horizon
     }
 
     /// Whether this workload's observable behavior is comparable
@@ -218,7 +278,15 @@ impl Workload {
             "engine ring does not match workload '{}'",
             self.name
         );
+        let n = engine.node_count();
         let mut records = Vec::new();
+        // Receive logs drained early by the behavior settle loop, in
+        // delivery order, re-joined with the engine's remainder at
+        // report time.
+        let mut collected: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
+        let mut agg_seen: BTreeMap<NodeIndex, u32> = BTreeMap::new();
+        let mut injected_replies = 0u64;
+        let mut reply_rounds = 0u64;
         for step in &self.steps {
             match step {
                 Step::Queue { node, msg } => {
@@ -237,7 +305,20 @@ impl Workload {
                 // `run_until_quiescent` hits each engine's batched
                 // drain (the analytic kernel builds the records
                 // in-place); extending moves them without a re-clone.
-                Step::Run => records.extend(engine.run_until_quiescent()),
+                // Behaviors inject only here, at the quiescence
+                // barrier — never mid-drain — so every engine and
+                // schedule reaches the identical injection state.
+                Step::Run => {
+                    records.extend(engine.run_until_quiescent());
+                    self.settle_behaviors(
+                        engine,
+                        &mut records,
+                        &mut collected,
+                        &mut agg_seen,
+                        &mut injected_replies,
+                        &mut reply_rounds,
+                    );
+                }
                 Step::RunTransactions { count } => {
                     for _ in 0..*count {
                         match engine.run_transaction() {
@@ -250,17 +331,132 @@ impl Workload {
         }
         if !matches!(self.steps.last(), Some(Step::Run)) {
             records.extend(engine.run_until_quiescent());
+            self.settle_behaviors(
+                engine,
+                &mut records,
+                &mut collected,
+                &mut agg_seen,
+                &mut injected_replies,
+                &mut reply_rounds,
+            );
         }
-        let n = engine.node_count();
         ScenarioReport {
             workload: self.name.clone(),
             kind: engine.kind(),
-            rx: (0..n).map(|i| engine.take_rx(i)).collect(),
+            rx: (0..n)
+                .map(|i| {
+                    let mut log = std::mem::take(&mut collected[i]);
+                    log.extend(engine.take_rx(i));
+                    log
+                })
+                .collect(),
             wake_events: (0..n).map(|i| engine.wake_events(i)).collect(),
             stats: engine.stats(),
             records,
             strict_nulls: self.strict_nulls,
+            injected_replies,
+            reply_rounds,
         }
+    }
+
+    /// The behavior settle loop: at a quiescence barrier, drain every
+    /// behavior node's receive log, compute the programmed responses
+    /// (a pure function of the drained deliveries — see
+    /// [`crate::behavior`]'s determinism rules), enqueue them through
+    /// the ordinary `queue` API, and re-drain; at most
+    /// [`Workload::reply_horizon`] rounds.
+    fn settle_behaviors<E: BusEngine + ?Sized>(
+        &self,
+        engine: &mut E,
+        records: &mut Vec<EngineRecord>,
+        collected: &mut [Vec<ReceivedMessage>],
+        agg_seen: &mut BTreeMap<NodeIndex, u32>,
+        injected: &mut u64,
+        rounds: &mut u64,
+    ) {
+        if self.behaviors.is_empty() {
+            return;
+        }
+        for _ in 0..self.reply_horizon {
+            let mut batch: Vec<(NodeIndex, Message)> = Vec::new();
+            for (&node, b) in &self.behaviors {
+                let triggers = engine.take_rx(node);
+                for m in &triggers {
+                    // A node never reacts to its own transmissions
+                    // (self-deliveries via broadcast).
+                    if m.from == node {
+                        continue;
+                    }
+                    self.respond(node, b, m, agg_seen, &mut batch);
+                }
+                collected[node].extend(triggers);
+            }
+            if batch.is_empty() {
+                return;
+            }
+            for (node, msg) in batch {
+                engine.queue(node, msg).expect("behavior response");
+                *injected += 1;
+            }
+            records.extend(engine.run_until_quiescent());
+            *rounds += 1;
+        }
+    }
+
+    /// Appends `node`'s programmed responses to one trigger delivery.
+    fn respond(
+        &self,
+        node: NodeIndex,
+        b: &NodeBehavior,
+        trigger: &ReceivedMessage,
+        agg_seen: &mut BTreeMap<NodeIndex, u32>,
+        batch: &mut Vec<(NodeIndex, Message)>,
+    ) {
+        let fu = b.fu();
+        match b {
+            NodeBehavior::Inert => {}
+            NodeBehavior::Reply { payload, .. } => {
+                if let Some(dest) = self.reply_dest(trigger, fu) {
+                    batch.push((node, Message::new(dest, payload.clone())));
+                }
+            }
+            NodeBehavior::AggregateAck { n, payload, .. } => {
+                let seen = agg_seen.entry(node).or_insert(0);
+                *seen += 1;
+                if (*seen).is_multiple_of(*n) {
+                    if let Some(dest) = self.reply_dest(trigger, fu) {
+                        batch.push((node, Message::new(dest, payload.clone())));
+                    }
+                }
+            }
+            NodeBehavior::AlarmCascade {
+                fanout, payload, ..
+            } => {
+                let count = self.nodes.len();
+                // Ring successors in declaration order; at most the
+                // other `count - 1` nodes, self skipped.
+                for k in 0..(*fanout as usize).min(count.saturating_sub(1)) {
+                    let target = (node + 1 + k) % count;
+                    if target == node {
+                        continue;
+                    }
+                    let dest = Address::full(self.nodes[target].full_prefix(), fu);
+                    batch.push((node, Message::new(dest, payload.clone())));
+                }
+            }
+        }
+    }
+
+    /// Where a `Reply`/`AggregateAck` response goes: the trigger's
+    /// embedded return address when present
+    /// ([`behavior::return_address`]), otherwise the full address of
+    /// the bus-level transmitter.
+    fn reply_dest(&self, trigger: &ReceivedMessage, fu: FuId) -> Option<Address> {
+        if let Some((prefix, rfu)) = behavior::return_address(&trigger.payload) {
+            return Some(Address::full(prefix, rfu));
+        }
+        let sender = self.nodes.get(trigger.from)?;
+        Some(Address::full(sender.full_prefix(), fu))
     }
 
     /// Builds an engine of `kind` and runs the workload on it.
@@ -521,8 +717,35 @@ impl Workload {
             }
             w = w.node(node_spec);
         }
-        let steps = 4 + rng.gen_index(0..32);
+        // Roughly a sixth of the members react to deliveries
+        // (closed-loop traffic; see [`crate::behavior`]). A gated
+        // behavior node transmits its responses, so it flips the
+        // wake-null allowance like any gated sender below.
         let mut gated_tx = false;
+        for (i, &node_gated) in gated.iter().enumerate().skip(1) {
+            if rng.gen_index(0..6) != 0 {
+                continue;
+            }
+            let fu = FuId::new(rng.gen_index(0..16) as u8).expect("fu");
+            let payload_len = 1 + rng.gen_index(0..3);
+            let payload = rng.gen_bytes(payload_len);
+            let b = match rng.gen_index(0..3) {
+                0 => NodeBehavior::Reply { fu, payload },
+                1 => NodeBehavior::AggregateAck {
+                    n: 1 + rng.gen_index(0..3) as u32,
+                    fu,
+                    payload,
+                },
+                _ => NodeBehavior::AlarmCascade {
+                    fanout: 1 + rng.gen_index(0..2) as u8,
+                    fu,
+                    payload,
+                },
+            };
+            gated_tx |= node_gated;
+            w = w.behavior(i, b);
+        }
+        let steps = 4 + rng.gen_index(0..32);
         for _ in 0..steps {
             match rng.gen_index(0..24) {
                 0..=13 => {
@@ -629,6 +852,14 @@ pub struct ScenarioReport {
     pub stats: BusStats,
     /// Per-node self-wake event counts.
     pub wake_events: Vec<u64>,
+    /// Messages enqueued by reactive behaviors (closed-loop traffic).
+    /// A reporting gauge, not part of [`ScenarioReport::signature`] —
+    /// the injected traffic's records and deliveries already are.
+    pub injected_replies: u64,
+    /// Reply-injection rounds run across all drain steps (the
+    /// deliveries-to-quiescence latency gauge: how many behavior
+    /// generations it took to settle).
+    pub reply_rounds: u64,
     strict_nulls: bool,
 }
 
@@ -744,5 +975,160 @@ mod tests {
     fn storm_population_bounds() {
         assert!(std::panic::catch_unwind(|| Workload::many_node_storm(1, 1)).is_err());
         assert!(std::panic::catch_unwind(|| Workload::many_node_storm(15, 1)).is_err());
+    }
+
+    #[test]
+    fn reply_behavior_closes_the_loop() {
+        let w = Workload::new("reply", BusConfig::default())
+            .node(spec("a", 0x0_0501, 0x1, false))
+            .node(spec("b", 0x0_0502, 0x2, false))
+            .behavior(
+                1,
+                NodeBehavior::Reply {
+                    fu: FuId::new(0x4).expect("fu"),
+                    payload: vec![0xAA],
+                },
+            )
+            .send(0, Message::new(short(0x2, 0x0), vec![0x51]))
+            .drain();
+        let report = w.run_on(EngineKind::Analytic);
+        assert_eq!(report.injected_replies, 1);
+        assert_eq!(report.reply_rounds, 1);
+        // The reply came back to the requester's full address.
+        assert_eq!(report.rx[0].len(), 1);
+        assert_eq!(report.rx[0][0].payload, vec![0xAA]);
+        assert_eq!(report.rx[0][0].from, 1);
+        // And the trigger still shows in the responder's log.
+        assert_eq!(report.rx[1].len(), 1);
+    }
+
+    #[test]
+    fn reply_behavior_honors_return_addresses() {
+        // Node 0 asks node 1, but embeds node 2's address: the reply
+        // is redirected there (the request/response idiom).
+        let ret = crate::behavior::with_return_address(
+            FullPrefix::new(0x0_0513).expect("prefix"),
+            FuId::new(0x7).expect("fu"),
+            &[0x51],
+        );
+        let w = Workload::new("reply_redirect", BusConfig::default())
+            .node(spec("a", 0x0_0511, 0x1, false))
+            .node(spec("b", 0x0_0512, 0x2, false))
+            .node(spec("c", 0x0_0513, 0x3, false))
+            .behavior(
+                1,
+                NodeBehavior::Reply {
+                    fu: FuId::ZERO,
+                    payload: vec![0xBB],
+                },
+            )
+            .send(0, Message::new(short(0x2, 0x0), ret))
+            .drain();
+        let report = w.run_on(EngineKind::Analytic);
+        assert_eq!(report.injected_replies, 1);
+        assert!(report.rx[0].is_empty());
+        assert_eq!(report.rx[2].len(), 1);
+        assert_eq!(report.rx[2][0].payload, vec![0xBB]);
+    }
+
+    #[test]
+    fn aggregate_ack_counts_across_drains() {
+        let w = Workload::new("agg", BusConfig::default())
+            .node(spec("a", 0x0_0521, 0x1, false))
+            .node(spec("collector", 0x0_0522, 0x2, false))
+            .behavior(
+                1,
+                NodeBehavior::AggregateAck {
+                    n: 2,
+                    fu: FuId::ZERO,
+                    payload: vec![0xCC],
+                },
+            )
+            .send(0, Message::new(short(0x2, 0x0), vec![1]))
+            .drain()
+            .send(0, Message::new(short(0x2, 0x0), vec![2]))
+            .drain();
+        let report = w.run_on(EngineKind::Analytic);
+        // The counter persisted across the first drain: exactly one
+        // ack, fired by the second trigger.
+        assert_eq!(report.injected_replies, 1);
+        assert_eq!(report.rx[0].len(), 1);
+        assert_eq!(report.rx[0][0].payload, vec![0xCC]);
+    }
+
+    #[test]
+    fn cascade_loops_terminate_at_the_horizon() {
+        // Two mutual repliers ping-pong forever; the horizon caps the
+        // generations deterministically.
+        let w = Workload::new("pingpong", BusConfig::default())
+            .node(spec("a", 0x0_0531, 0x1, false))
+            .node(spec("b", 0x0_0532, 0x2, false))
+            .behavior(
+                0,
+                NodeBehavior::Reply {
+                    fu: FuId::ZERO,
+                    payload: vec![0xD0],
+                },
+            )
+            .behavior(
+                1,
+                NodeBehavior::Reply {
+                    fu: FuId::ZERO,
+                    payload: vec![0xD1],
+                },
+            )
+            .with_reply_horizon(3)
+            .send(0, Message::new(short(0x2, 0x0), vec![1]))
+            .drain();
+        let report = w.run_on(EngineKind::Analytic);
+        assert_eq!(report.reply_rounds, 3, "horizon bounds the loop");
+        assert_eq!(report.injected_replies, 3);
+    }
+
+    #[test]
+    fn behaviors_are_engine_independent() {
+        let w = Workload::new("behavior_conformance", BusConfig::default())
+            .node(spec("a", 0x0_0541, 0x1, false))
+            .node(spec("b", 0x0_0542, 0x2, false))
+            .node(spec("c", 0x0_0543, 0x3, false))
+            .behavior(
+                1,
+                NodeBehavior::AlarmCascade {
+                    fanout: 2,
+                    fu: FuId::new(0x2).expect("fu"),
+                    payload: vec![0xEE],
+                },
+            )
+            .behavior(
+                2,
+                NodeBehavior::Reply {
+                    fu: FuId::ZERO,
+                    payload: vec![0xEF],
+                },
+            )
+            .send(0, Message::new(short(0x2, 0x0), vec![9]))
+            .drain();
+        let analytic = w.run_on(EngineKind::Analytic);
+        let event = w.run_on(EngineKind::Event);
+        let wire = w.run_on(EngineKind::Wire);
+        assert_eq!(analytic.signature(), event.signature());
+        assert_eq!(analytic.signature(), wire.signature());
+        assert!(analytic.injected_replies >= 3, "cascade + reply traffic");
+        assert_eq!(analytic.injected_replies, event.injected_replies);
+        assert_eq!(analytic.injected_replies, wire.injected_replies);
+    }
+
+    #[test]
+    fn behavior_on_undeclared_node_panics() {
+        assert!(std::panic::catch_unwind(|| {
+            Workload::new("bad", BusConfig::default()).behavior(
+                0,
+                NodeBehavior::Reply {
+                    fu: FuId::ZERO,
+                    payload: vec![],
+                },
+            )
+        })
+        .is_err());
     }
 }

@@ -67,17 +67,26 @@ pub mod shrink;
 
 use std::fmt;
 
+use std::collections::BTreeMap;
+
 use crate::addr::{Address, BroadcastChannel, FuId, FullPrefix, ShortPrefix};
+use crate::behavior::{NodeBehavior, DEFAULT_REPLY_HORIZON, MAX_BEHAVIOR_PAYLOAD};
 use crate::config::BusConfig;
 use crate::engine::{EngineKind, EngineRecord};
-use crate::fleet::{FleetNodeId, FleetSchedule, FleetSignature, FleetStep, FleetWorkload};
+use crate::fleet::{
+    FleetNodeId, FleetSchedule, FleetSignature, FleetStep, FleetWorkload, MeshRoute, MAX_TTL,
+};
 use crate::message::Message;
 use crate::node::NodeSpec;
 use crate::scenario::{ScenarioSignature, Step, Workload};
 use crate::{ShardBalance, TxOutcome};
 
-/// The format version this module reads and writes.
-pub const MBT_VERSION: u32 = 1;
+/// The highest format version this module reads. Version 1 files
+/// remain fully readable; the serializer emits `mbt 2` only when a
+/// trace uses version-2 constructs (reactive `behavior` tables, a
+/// non-default `horizon`, mesh `route`/`domain=` topology, or explicit
+/// `ttl=` envelopes), so version-1 traces round-trip byte-identically.
+pub const MBT_VERSION: u32 = 2;
 
 /// A parse (or file-read) failure with an exact source span.
 ///
@@ -257,37 +266,79 @@ impl TraceFile {
     /// result reconstructs an equivalent trace (identical topology,
     /// steps, and re-run signatures on every engine).
     pub fn to_mbt(&self) -> String {
+        use fmt::Write as _;
         let mut out = String::new();
         match &self.trace {
             Trace::Workload(w) => {
-                header(&mut out, "workload", w.name(), &self.meta);
+                let version =
+                    if !w.behaviors().is_empty() || w.reply_horizon() != DEFAULT_REPLY_HORIZON {
+                        2
+                    } else {
+                        1
+                    };
+                header(&mut out, version, "workload", w.name(), &self.meta);
                 write_config(&mut out, w.config());
+                if w.reply_horizon() != DEFAULT_REPLY_HORIZON {
+                    let _ = writeln!(out, "horizon {}", w.reply_horizon());
+                }
                 if !w.strict_nulls() {
                     out.push_str("wake-nulls\n");
                 }
                 for spec in w.node_specs() {
                     write_node(&mut out, spec);
                 }
+                for (node, b) in w.behaviors() {
+                    let _ = writeln!(out, "behavior {node} {}", behavior_token(b));
+                }
                 for step in w.steps() {
                     write_step(&mut out, step);
                 }
             }
             Trace::Fleet(w) => {
-                header(&mut out, "fleet", w.name(), &self.meta);
+                let version = if !w.behaviors().is_empty()
+                    || w.reply_horizon() != DEFAULT_REPLY_HORIZON
+                    || !w.mesh_routes().is_empty()
+                    || w.cluster_domains().iter().any(|&d| d != 0)
+                    || w.steps()
+                        .iter()
+                        .any(|s| matches!(s, FleetStep::Remote { ttl: Some(_), .. }))
+                {
+                    2
+                } else {
+                    1
+                };
+                header(&mut out, version, "fleet", w.name(), &self.meta);
                 write_config(&mut out, w.config());
+                if w.reply_horizon() != DEFAULT_REPLY_HORIZON {
+                    let _ = writeln!(out, "horizon {}", w.reply_horizon());
+                }
                 if !w.strict_nulls() {
                     out.push_str("wake-nulls\n");
                 }
-                for sensors in w.cluster_specs() {
+                for (sensors, &domain) in w.cluster_specs().iter().zip(w.cluster_domains()) {
                     if sensors.is_empty() {
-                        out.push_str("cluster -\n");
+                        out.push_str("cluster -");
                     } else {
                         out.push_str("cluster ");
                         for &gated in sensors {
                             out.push(if gated { 'g' } else { 'a' });
                         }
-                        out.push('\n');
                     }
+                    if domain != 0 {
+                        let _ = write!(out, " domain={domain}");
+                    }
+                    out.push('\n');
+                }
+                for r in w.mesh_routes() {
+                    let _ = writeln!(out, "route {} {}..{} {}", r.domain, r.lo, r.hi, r.via);
+                }
+                for (id, b) in w.behaviors() {
+                    let _ = writeln!(
+                        out,
+                        "behavior {} {}",
+                        fleet_id_token(*id),
+                        behavior_token(b)
+                    );
                 }
                 for step in w.steps() {
                     write_fleet_step(&mut out, step);
@@ -302,9 +353,9 @@ impl TraceFile {
 // Serialization
 // ----------------------------------------------------------------------
 
-fn header(out: &mut String, kind: &str, name: &str, meta: &TraceMeta) {
+fn header(out: &mut String, version: u32, kind: &str, name: &str, meta: &TraceMeta) {
     use fmt::Write as _;
-    let _ = writeln!(out, "mbt {MBT_VERSION} {kind}");
+    let _ = writeln!(out, "mbt {version} {kind}");
     let _ = writeln!(out, "name {name}");
     if let Some(seed) = meta.seed {
         let _ = writeln!(out, "seed {seed}");
@@ -450,6 +501,24 @@ fn fleet_id_token(id: FleetNodeId) -> String {
     format!("{}.{}", id.cluster, id.node)
 }
 
+fn behavior_token(b: &NodeBehavior) -> String {
+    match b {
+        // Builders drop `Inert` entries; serialize defensively anyway.
+        NodeBehavior::Inert => "inert".to_string(),
+        NodeBehavior::Reply { fu, payload } => {
+            format!("reply {} {}", fu.raw(), payload_token(payload))
+        }
+        NodeBehavior::AggregateAck { n, fu, payload } => {
+            format!("agg {n} {} {}", fu.raw(), payload_token(payload))
+        }
+        NodeBehavior::AlarmCascade {
+            fanout,
+            fu,
+            payload,
+        } => format!("cascade {fanout} {} {}", fu.raw(), payload_token(payload)),
+    }
+}
+
 fn write_fleet_step(out: &mut String, step: &FleetStep) {
     use fmt::Write as _;
     match step {
@@ -463,6 +532,7 @@ fn write_fleet_step(out: &mut String, step: &FleetStep) {
             fu,
             payload,
             priority,
+            ttl,
         } => {
             let _ = write!(
                 out,
@@ -472,6 +542,9 @@ fn write_fleet_step(out: &mut String, step: &FleetStep) {
                 fu.raw(),
                 payload_token(payload)
             );
+            if let Some(ttl) = ttl {
+                let _ = write!(out, " ttl={ttl}");
+            }
             if *priority {
                 out.push_str(" prio");
             }
@@ -497,6 +570,8 @@ pub(crate) fn rebuild_workload(
     name: &str,
     config: BusConfig,
     nodes: &[NodeSpec],
+    behaviors: &BTreeMap<usize, NodeBehavior>,
+    horizon: u32,
     steps: &[Step],
     strict_nulls: bool,
 ) -> Workload {
@@ -504,6 +579,10 @@ pub(crate) fn rebuild_workload(
     for spec in nodes {
         w = w.node(spec.clone());
     }
+    for (&node, b) in behaviors {
+        w = w.behavior(node, b.clone());
+    }
+    w = w.with_reply_horizon(horizon);
     for step in steps {
         w = match step {
             Step::Queue { node, msg } => w.send(*node, msg.clone()),
@@ -521,33 +600,35 @@ pub(crate) fn rebuild_workload(
 
 /// Reassembles a [`FleetWorkload`] through its public builders —
 /// shared by the parser and the [`shrink`] passes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn rebuild_fleet(
     name: &str,
     config: BusConfig,
     clusters: &[Vec<bool>],
+    domains: &[usize],
+    routes: &[MeshRoute],
+    behaviors: &BTreeMap<FleetNodeId, NodeBehavior>,
+    horizon: u32,
     steps: &[FleetStep],
     strict_nulls: bool,
 ) -> FleetWorkload {
     let mut w = FleetWorkload::new(name, config);
-    for sensors in clusters {
-        w = w.cluster(sensors.clone());
+    for (i, sensors) in clusters.iter().enumerate() {
+        w = w.cluster_in(domains.get(i).copied().unwrap_or(0), sensors.clone());
     }
+    for r in routes {
+        w = w.route(r.domain, r.lo, r.hi, r.via);
+    }
+    for (&id, b) in behaviors {
+        w = w.behavior(id, b.clone());
+    }
+    w = w.with_reply_horizon(horizon);
     for step in steps {
         w = match step {
             FleetStep::Local { src, msg } => w.send_local(*src, msg.clone()),
-            FleetStep::Remote {
-                src,
-                dest,
-                fu,
-                payload,
-                priority,
-            } => {
-                if *priority {
-                    w.send_remote_priority(*src, *dest, *fu, payload.clone())
-                } else {
-                    w.send_remote(*src, *dest, *fu, payload.clone())
-                }
-            }
+            // Pushed verbatim: `ttl` composes with `prio` in the file
+            // format, a pairing the convenience builders don't offer.
+            FleetStep::Remote { .. } => w.push_step(step.clone()),
             FleetStep::Wakeup { node } => w.wakeup(*node),
             FleetStep::Drain => w.drain(),
             FleetStep::RunRounds { rounds } => w.drain_rounds(*rounds),
@@ -579,6 +660,7 @@ enum Section {
 struct Parser<'a> {
     file: &'a str,
     text: &'a str,
+    version: u32,
     kind: Option<TraceKind>,
     section: Section,
     name: Option<String>,
@@ -586,8 +668,13 @@ struct Parser<'a> {
     saw_config: bool,
     meta: TraceMeta,
     wake_nulls: bool,
+    horizon: Option<u32>,
     nodes: Vec<NodeSpec>,
     clusters: Vec<Vec<bool>>,
+    cluster_domains: Vec<usize>,
+    routes: Vec<MeshRoute>,
+    wbehaviors: BTreeMap<usize, NodeBehavior>,
+    fbehaviors: BTreeMap<FleetNodeId, NodeBehavior>,
     wsteps: Vec<Step>,
     fsteps: Vec<FleetStep>,
 }
@@ -628,6 +715,7 @@ impl<'a> Parser<'a> {
         Parser {
             file,
             text,
+            version: 1,
             kind: None,
             section: Section::Header,
             name: None,
@@ -635,8 +723,13 @@ impl<'a> Parser<'a> {
             saw_config: false,
             meta: TraceMeta::default(),
             wake_nulls: false,
+            horizon: None,
             nodes: Vec::new(),
             clusters: Vec::new(),
+            cluster_domains: Vec::new(),
+            routes: Vec::new(),
+            wbehaviors: BTreeMap::new(),
+            fbehaviors: BTreeMap::new(),
             wsteps: Vec::new(),
             fsteps: Vec::new(),
         }
@@ -683,11 +776,14 @@ impl<'a> Parser<'a> {
         let Some(name) = self.name.take() else {
             return Err(self.err(lines.max(1), 0, "missing `name` header"));
         };
+        let horizon = self.horizon.unwrap_or(DEFAULT_REPLY_HORIZON);
         let trace = match kind {
             TraceKind::Workload => Trace::Workload(rebuild_workload(
                 &name,
                 self.config,
                 &self.nodes,
+                &self.wbehaviors,
+                horizon,
                 &self.wsteps,
                 !self.wake_nulls,
             )),
@@ -695,6 +791,10 @@ impl<'a> Parser<'a> {
                 &name,
                 self.config,
                 &self.clusters,
+                &self.cluster_domains,
+                &self.routes,
+                &self.fbehaviors,
+                horizon,
                 &self.fsteps,
                 !self.wake_nulls,
             )),
@@ -720,16 +820,20 @@ impl<'a> Parser<'a> {
             ));
         }
         let version = self.need(line_no, line, toks, 1, "format version")?;
-        if version.text != "1" {
-            return Err(self.err(
-                line_no,
-                version.col,
-                format!(
-                    "unsupported trace version `{}` (this parser reads version {MBT_VERSION})",
-                    version.text
-                ),
-            ));
-        }
+        self.version = match version.text {
+            "1" => 1,
+            "2" => 2,
+            other => {
+                return Err(self.err(
+                    line_no,
+                    version.col,
+                    format!(
+                        "unsupported trace version `{other}` (this parser reads versions \
+                         1..={MBT_VERSION})"
+                    ),
+                ))
+            }
+        };
         let kind = self.need(line_no, line, toks, 2, "trace kind (workload|fleet)")?;
         self.kind = Some(match kind.text {
             "workload" => TraceKind::Workload,
@@ -847,6 +951,23 @@ impl<'a> Parser<'a> {
                 self.enter(line_no, head, Section::Header)?;
                 self.wake_nulls = true;
             }
+            "horizon" => {
+                self.need_v2(line_no, head)?;
+                self.enter(line_no, head, Section::Header)?;
+                if self.horizon.is_some() {
+                    return Err(self.err(line_no, head.col, "duplicate `horizon` header"));
+                }
+                let value = self.need(line_no, line, toks, 1, "reply horizon (rounds)")?;
+                let rounds = self.parse_u64(line_no, value, "reply horizon")?;
+                if rounds == 0 || rounds > u32::MAX as u64 {
+                    return Err(self.err(
+                        line_no,
+                        value.col,
+                        format!("reply horizon {rounds} out of range (1..=4294967295)"),
+                    ));
+                }
+                self.horizon = Some(rounds as u32);
+            }
             "node" => {
                 if kind != TraceKind::Workload {
                     return Err(self.err(
@@ -890,7 +1011,67 @@ impl<'a> Parser<'a> {
                     }
                     sensors
                 };
+                let mut domain = 0usize;
+                if let Some(&tok) = toks.get(2) {
+                    let Some(value) = tok.text.strip_prefix("domain=") else {
+                        return Err(self.err(
+                            line_no,
+                            tok.col,
+                            format!(
+                                "unexpected trailing token `{}` (only `domain=<d>` may follow)",
+                                tok.text
+                            ),
+                        ));
+                    };
+                    self.need_v2(line_no, tok)?;
+                    let value_tok = Tok {
+                        col: tok.col + "domain=".len() as u32,
+                        text: value,
+                    };
+                    domain = self.parse_u64(line_no, value_tok, "mesh domain")? as usize;
+                }
+                if let Some(&tok) = toks.get(3) {
+                    return Err(self.err(
+                        line_no,
+                        tok.col,
+                        format!("unexpected trailing token `{}`", tok.text),
+                    ));
+                }
                 self.clusters.push(sensors);
+                self.cluster_domains.push(domain);
+            }
+            "route" => {
+                self.expect_kind(line_no, head, kind, TraceKind::Fleet)?;
+                self.need_v2(line_no, head)?;
+                self.enter(line_no, head, Section::Topology)?;
+                self.parse_route(line_no, line, toks)?;
+            }
+            "behavior" => {
+                self.need_v2(line_no, head)?;
+                self.enter(line_no, head, Section::Topology)?;
+                match kind {
+                    TraceKind::Workload => {
+                        let node = self.parse_node_index(line_no, line, toks, 1)?;
+                        let b = self.parse_behavior(line_no, line, toks)?;
+                        self.wbehaviors.insert(node, b);
+                    }
+                    TraceKind::Fleet => {
+                        let id = self.parse_fleet_id(line_no, line, toks, 1)?;
+                        if id.node == 0 {
+                            return Err(self.err(
+                                line_no,
+                                toks[1].col,
+                                format!(
+                                    "behavior on gateway presence `{}` (behaviors attach to \
+                                     sensors, node >= 1)",
+                                    toks[1].text
+                                ),
+                            ));
+                        }
+                        let b = self.parse_behavior(line_no, line, toks)?;
+                        self.fbehaviors.insert(id, b);
+                    }
+                }
             }
             "send" | "send!" => {
                 self.expect_kind(line_no, head, kind, TraceKind::Workload)?;
@@ -960,13 +1141,55 @@ impl<'a> Parser<'a> {
                 })?;
                 let payload_tok = self.need(line_no, line, toks, 4, "payload hex (or -)")?;
                 let payload = self.parse_payload(line_no, payload_tok)?;
-                let priority = self.parse_prio(line_no, toks, 5)?;
+                let mut ttl: Option<u8> = None;
+                let mut priority = false;
+                for &tok in &toks[5.min(toks.len())..] {
+                    if let Some(value) = tok.text.strip_prefix("ttl=") {
+                        if ttl.is_some() || priority {
+                            return Err(self.err(
+                                line_no,
+                                tok.col,
+                                "`ttl=` may appear once, before `prio`",
+                            ));
+                        }
+                        self.need_v2(line_no, tok)?;
+                        let value_tok = Tok {
+                            col: tok.col + "ttl=".len() as u32,
+                            text: value,
+                        };
+                        let raw = self.parse_u64(line_no, value_tok, "envelope TTL")?;
+                        if raw < 1 || raw > MAX_TTL as u64 {
+                            return Err(self.err(
+                                line_no,
+                                value_tok.col,
+                                format!("envelope TTL {raw} out of range (1..={MAX_TTL})"),
+                            ));
+                        }
+                        ttl = Some(raw as u8);
+                    } else if tok.text == "prio" {
+                        if priority {
+                            return Err(self.err(line_no, tok.col, "duplicate `prio` token"));
+                        }
+                        priority = true;
+                    } else {
+                        return Err(self.err(
+                            line_no,
+                            tok.col,
+                            format!(
+                                "unexpected trailing token `{}` (only `ttl=<n>` and `prio` \
+                                 may follow)",
+                                tok.text
+                            ),
+                        ));
+                    }
+                }
                 self.fsteps.push(FleetStep::Remote {
                     src,
                     dest,
                     fu,
                     payload,
                     priority,
+                    ttl,
                 });
             }
             other => {
@@ -974,6 +1197,22 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Rejects a version-2 construct inside a file whose magic header
+    /// declares version 1.
+    fn need_v2(&self, line_no: u32, tok: Tok<'a>) -> Result<(), TraceError> {
+        if self.version >= 2 {
+            return Ok(());
+        }
+        Err(self.err(
+            line_no,
+            tok.col,
+            format!(
+                "`{}` requires trace version 2 (this file declares version {})",
+                tok.text, self.version
+            ),
+        ))
     }
 
     fn expect_kind(
@@ -1348,6 +1587,159 @@ impl<'a> Parser<'a> {
         Ok(FleetNodeId::new(cluster, node))
     }
 
+    /// Parses `route <domain> <lo>..<hi> <via>` — a hierarchical mesh
+    /// route. The next hop must already be declared and must sit in a
+    /// different domain (a same-domain next hop can never make
+    /// progress: the route would re-match forever).
+    fn parse_route(
+        &mut self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+    ) -> Result<(), TraceError> {
+        let domain_tok = self.need(line_no, line, toks, 1, "route domain")?;
+        let domain = self.parse_u64(line_no, domain_tok, "route domain")? as usize;
+        let range_tok = self.need(line_no, line, toks, 2, "cluster range (lo..hi)")?;
+        let bad_range = || {
+            self.err(
+                line_no,
+                range_tok.col,
+                format!(
+                    "malformed cluster range `{}` (expected lo..hi)",
+                    range_tok.text
+                ),
+            )
+        };
+        let Some((lo, hi)) = range_tok.text.split_once("..") else {
+            return Err(bad_range());
+        };
+        let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) else {
+            return Err(bad_range());
+        };
+        if lo > hi {
+            return Err(self.err(
+                line_no,
+                range_tok.col,
+                format!("empty cluster range {lo}..{hi} (lo must not exceed hi)"),
+            ));
+        }
+        let via_tok = self.need(line_no, line, toks, 3, "next-hop cluster")?;
+        let via = self.parse_u64(line_no, via_tok, "next-hop cluster")? as usize;
+        if via >= self.clusters.len() {
+            return Err(self.err(
+                line_no,
+                via_tok.col,
+                format!(
+                    "next-hop cluster {via} out of range ({} cluster(s) declared)",
+                    self.clusters.len()
+                ),
+            ));
+        }
+        if self.cluster_domains[via] == domain {
+            return Err(self.err(
+                line_no,
+                via_tok.col,
+                format!("mesh route cycle: next hop {via} is in the route's own domain {domain}"),
+            ));
+        }
+        if let Some(&tok) = toks.get(4) {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!("unexpected trailing token `{}`", tok.text),
+            ));
+        }
+        self.routes.push(MeshRoute {
+            domain,
+            lo,
+            hi,
+            via,
+        });
+        Ok(())
+    }
+
+    /// Parses the behavior tail of a `behavior <id> …` line, starting
+    /// at the kind token (index 2).
+    fn parse_behavior(
+        &self,
+        line_no: u32,
+        line: &str,
+        toks: &[Tok<'a>],
+    ) -> Result<NodeBehavior, TraceError> {
+        let kind_tok = self.need(line_no, line, toks, 2, "behavior kind (reply|agg|cascade)")?;
+        let (next, threshold, fanout) = match kind_tok.text {
+            "reply" => (3, None, None),
+            "agg" => {
+                let tok = self.need(line_no, line, toks, 3, "aggregate threshold")?;
+                let n = self.parse_u64(line_no, tok, "aggregate threshold")?;
+                if n == 0 || n > u32::MAX as u64 {
+                    return Err(self.err(
+                        line_no,
+                        tok.col,
+                        format!("aggregate threshold {n} out of range (1..=4294967295)"),
+                    ));
+                }
+                (4, Some(n as u32), None)
+            }
+            "cascade" => {
+                let tok = self.need(line_no, line, toks, 3, "cascade fanout")?;
+                let n = self.parse_u64(line_no, tok, "cascade fanout")?;
+                if n == 0 || n > 255 {
+                    return Err(self.err(
+                        line_no,
+                        tok.col,
+                        format!("cascade fanout {n} out of range (1..=255)"),
+                    ));
+                }
+                (4, None, Some(n as u8))
+            }
+            other => {
+                return Err(self.err(
+                    line_no,
+                    kind_tok.col,
+                    format!("unknown behavior kind `{other}` (expected reply, agg, or cascade)"),
+                ))
+            }
+        };
+        let fu_tok = self.need(line_no, line, toks, next, "behavior functional unit")?;
+        let fu_raw = self.parse_u64(line_no, fu_tok, "functional unit")?;
+        let fu = FuId::new(fu_raw as u8).map_err(|_| {
+            self.err(
+                line_no,
+                fu_tok.col,
+                format!("functional unit {fu_raw} out of range (0..=15)"),
+            )
+        })?;
+        let payload_tok = self.need(line_no, line, toks, next + 1, "payload hex (or -)")?;
+        let payload = self.parse_payload(line_no, payload_tok)?;
+        if payload.len() > MAX_BEHAVIOR_PAYLOAD {
+            return Err(self.err(
+                line_no,
+                payload_tok.col,
+                format!(
+                    "behavior payload is {} byte(s) (max {MAX_BEHAVIOR_PAYLOAD})",
+                    payload.len()
+                ),
+            ));
+        }
+        if let Some(&tok) = toks.get(next + 2) {
+            return Err(self.err(
+                line_no,
+                tok.col,
+                format!("unexpected trailing token `{}`", tok.text),
+            ));
+        }
+        Ok(match (threshold, fanout) {
+            (Some(n), None) => NodeBehavior::AggregateAck { n, fu, payload },
+            (None, Some(fanout)) => NodeBehavior::AlarmCascade {
+                fanout,
+                fu,
+                payload,
+            },
+            _ => NodeBehavior::Reply { fu, payload },
+        })
+    }
+
     fn parse_addr(&self, line_no: u32, tok: Tok<'a>) -> Result<Address, TraceError> {
         let bad = |detail: &str| {
             self.err(
@@ -1581,6 +1973,19 @@ pub fn fleet_digest(sig: &FleetSignature) -> u64 {
     for &n in &sig.cluster_drops {
         h.u64(n);
     }
+    // Mesh fields entered the signature in format v2; they are hashed
+    // only when nonzero so every pre-mesh pinned digest stays valid.
+    if sig.hop_forwards != 0 {
+        h.u8(b'h');
+        h.u64(sig.hop_forwards);
+    }
+    if sig.ttl_drops.iter().any(|&n| n != 0) {
+        h.u8(b't');
+        h.usize(sig.ttl_drops.len());
+        for &n in &sig.ttl_drops {
+            h.u64(n);
+        }
+    }
     h.0
 }
 
@@ -1709,6 +2114,120 @@ mod tests {
         assert_eq!(err.line, 4);
         assert_eq!(err.col, 1);
         assert!(err.message.contains("duplicate `seed`"));
+    }
+
+    #[test]
+    fn v2_round_trips_behaviors_routes_and_ttl() {
+        let w = FleetWorkload::new("v2", BusConfig::default())
+            .cluster_in(0, vec![false, false])
+            .cluster_in(1, vec![false])
+            .route(0, 1, 1, 1)
+            .route(1, 0, 0, 0)
+            .behavior(
+                FleetNodeId::new(0, 1),
+                NodeBehavior::Reply {
+                    fu: FuId::new(3).unwrap(),
+                    payload: vec![0xAC],
+                },
+            )
+            .behavior(
+                FleetNodeId::new(0, 2),
+                NodeBehavior::AlarmCascade {
+                    fanout: 2,
+                    fu: FuId::new(5).unwrap(),
+                    payload: vec![1, 2],
+                },
+            )
+            .behavior(
+                FleetNodeId::new(1, 1),
+                NodeBehavior::AggregateAck {
+                    n: 2,
+                    fu: FuId::new(4).unwrap(),
+                    payload: vec![],
+                },
+            )
+            .with_reply_horizon(4)
+            .send_remote_ttl(
+                FleetNodeId::new(0, 1),
+                FleetNodeId::new(1, 1),
+                FuId::ZERO,
+                vec![0xAA],
+                2,
+            )
+            .drain();
+        let tf = TraceFile::fleet(w.clone());
+        let text = tf.to_mbt();
+        assert!(text.starts_with("mbt 2 fleet\n"), "{text}");
+        assert!(text.contains("horizon 4\n"), "{text}");
+        assert!(text.contains("ttl=2"), "{text}");
+        let parsed = roundtrip(&tf);
+        let Trace::Fleet(p) = &parsed.trace else {
+            panic!("kind flipped");
+        };
+        assert_eq!(p.cluster_domains(), w.cluster_domains());
+        assert_eq!(p.mesh_routes(), w.mesh_routes());
+        assert_eq!(p.behaviors(), w.behaviors());
+        assert_eq!(p.reply_horizon(), w.reply_horizon());
+        assert_eq!(format!("{:?}", p.steps()), format!("{:?}", w.steps()));
+        assert_eq!(
+            fleet_digest(&p.run_on(EngineKind::Analytic).signature()),
+            fleet_digest(&w.run_on(EngineKind::Analytic).signature()),
+        );
+    }
+
+    #[test]
+    fn workload_behavior_table_round_trips() {
+        let w = Workload::new("wb", BusConfig::default())
+            .node(
+                NodeSpec::new("a", FullPrefix::new(1).unwrap())
+                    .with_short_prefix(ShortPrefix::new(1).unwrap()),
+            )
+            .node(
+                NodeSpec::new("b", FullPrefix::new(2).unwrap())
+                    .with_short_prefix(ShortPrefix::new(2).unwrap()),
+            )
+            .behavior(
+                1,
+                NodeBehavior::Reply {
+                    fu: FuId::new(2).unwrap(),
+                    payload: vec![0xEE],
+                },
+            )
+            .send(
+                0,
+                Message::new(
+                    Address::short(ShortPrefix::new(2).unwrap(), FuId::ZERO),
+                    vec![1],
+                ),
+            )
+            .drain();
+        let tf = TraceFile::workload(w.clone());
+        assert!(
+            tf.to_mbt().starts_with("mbt 2 workload\n"),
+            "{}",
+            tf.to_mbt()
+        );
+        let parsed = roundtrip(&tf);
+        let Trace::Workload(p) = &parsed.trace else {
+            panic!("kind flipped");
+        };
+        assert_eq!(p.behaviors(), w.behaviors());
+        assert_eq!(
+            scenario_digest(&p.run_on(EngineKind::Analytic).signature()),
+            scenario_digest(&w.run_on(EngineKind::Analytic).signature()),
+        );
+    }
+
+    /// Traces using no v2 construct keep serializing as version 1,
+    /// byte-compatible with every pre-mesh consumer and golden file.
+    #[test]
+    fn v1_traces_still_serialize_as_v1() {
+        let text = TraceFile::fleet(FleetWorkload::cross_storm(3, 2, 2)).to_mbt();
+        assert!(text.starts_with("mbt 1 fleet\n"), "{text}");
+        assert!(!text.contains("behavior "), "{text}");
+        assert!(!text.contains("route "), "{text}");
+        assert!(!text.contains("ttl="), "{text}");
+        assert!(!text.contains("domain="), "{text}");
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! 4. **Drop topology** — any node (or cluster) no step references,
 //!    remapping the indices of later ones down; plus, for fleets,
 //!    trimming trailing unreferenced sensors off each cluster.
+//! 5. **Drop reactive table entries** — any [`NodeBehavior`] or mesh
+//!    route the divergence does not need (closed-loop repros keep only
+//!    the behaviors that actually fire).
 //!
 //! Every pass proposes a candidate, rebuilds it through the public
 //! workload builders, and keeps it only if the predicate still fails —
@@ -26,7 +29,10 @@
 //! same input and predicate always minimize to the same trace (the
 //! shrinker self-test pins this).
 
-use crate::fleet::{FleetStep, FleetWorkload};
+use std::collections::BTreeMap;
+
+use crate::behavior::NodeBehavior;
+use crate::fleet::{FleetNodeId, FleetStep, FleetWorkload, MeshRoute};
 use crate::scenario::{Step, Workload};
 
 use super::{rebuild_fleet, rebuild_workload};
@@ -51,6 +57,7 @@ pub fn shrink_workload(
         progress |= ddmin_steps(&mut state, predicate);
         progress |= shrink_workload_payloads(&mut state, predicate);
         progress |= shrink_workload_counts(&mut state, predicate);
+        progress |= drop_workload_behaviors(&mut state, predicate);
         progress |= drop_unreferenced_nodes(&mut state, predicate);
         if !progress {
             return state.build();
@@ -74,6 +81,8 @@ pub fn shrink_fleet(
         progress |= ddmin_fleet_steps(&mut state, predicate);
         progress |= shrink_fleet_payloads(&mut state, predicate);
         progress |= shrink_fleet_counts(&mut state, predicate);
+        progress |= drop_fleet_behaviors(&mut state, predicate);
+        progress |= drop_fleet_routes(&mut state, predicate);
         progress |= drop_unreferenced_clusters(&mut state, predicate);
         progress |= trim_trailing_sensors(&mut state, predicate);
         if !progress {
@@ -90,6 +99,8 @@ struct WorkloadParts {
     name: String,
     config: crate::config::BusConfig,
     nodes: Vec<crate::node::NodeSpec>,
+    behaviors: BTreeMap<usize, NodeBehavior>,
+    horizon: u32,
     steps: Vec<Step>,
     strict_nulls: bool,
 }
@@ -100,26 +111,33 @@ impl WorkloadParts {
             name: w.name().to_string(),
             config: *w.config(),
             nodes: w.node_specs().to_vec(),
+            behaviors: w.behaviors().clone(),
+            horizon: w.reply_horizon(),
             steps: w.steps().to_vec(),
             strict_nulls: w.strict_nulls(),
         }
     }
 
     fn build(&self) -> Workload {
-        rebuild_workload(
-            &self.name,
-            self.config,
-            &self.nodes,
-            &self.steps,
-            self.strict_nulls,
-        )
+        self.build_with(&self.nodes, &self.behaviors, &self.steps)
     }
 
     fn build_with_steps(&self, steps: &[Step]) -> Workload {
+        self.build_with(&self.nodes, &self.behaviors, steps)
+    }
+
+    fn build_with(
+        &self,
+        nodes: &[crate::node::NodeSpec],
+        behaviors: &BTreeMap<usize, NodeBehavior>,
+        steps: &[Step],
+    ) -> Workload {
         rebuild_workload(
             &self.name,
             self.config,
-            &self.nodes,
+            nodes,
+            behaviors,
+            self.horizon,
             steps,
             self.strict_nulls,
         )
@@ -130,6 +148,10 @@ struct FleetParts {
     name: String,
     config: crate::config::BusConfig,
     clusters: Vec<Vec<bool>>,
+    domains: Vec<usize>,
+    routes: Vec<MeshRoute>,
+    behaviors: BTreeMap<FleetNodeId, NodeBehavior>,
+    horizon: u32,
     steps: Vec<FleetStep>,
     strict_nulls: bool,
 }
@@ -140,26 +162,51 @@ impl FleetParts {
             name: w.name().to_string(),
             config: *w.config(),
             clusters: w.cluster_specs().to_vec(),
+            domains: w.cluster_domains().to_vec(),
+            routes: w.mesh_routes().to_vec(),
+            behaviors: w.behaviors().clone(),
+            horizon: w.reply_horizon(),
             steps: w.steps().to_vec(),
             strict_nulls: w.strict_nulls(),
         }
     }
 
     fn build(&self) -> FleetWorkload {
-        rebuild_fleet(
-            &self.name,
-            self.config,
+        self.build_full(
             &self.clusters,
+            &self.domains,
+            &self.routes,
+            &self.behaviors,
             &self.steps,
-            self.strict_nulls,
         )
     }
 
     fn build_with_steps(&self, steps: &[FleetStep]) -> FleetWorkload {
+        self.build_full(
+            &self.clusters,
+            &self.domains,
+            &self.routes,
+            &self.behaviors,
+            steps,
+        )
+    }
+
+    fn build_full(
+        &self,
+        clusters: &[Vec<bool>],
+        domains: &[usize],
+        routes: &[MeshRoute],
+        behaviors: &BTreeMap<FleetNodeId, NodeBehavior>,
+        steps: &[FleetStep],
+    ) -> FleetWorkload {
         rebuild_fleet(
             &self.name,
             self.config,
-            &self.clusters,
+            clusters,
+            domains,
+            routes,
+            behaviors,
+            self.horizon,
             steps,
             self.strict_nulls,
         )
@@ -377,7 +424,84 @@ fn shrink_fleet_counts(
 }
 
 // ----------------------------------------------------------------------
-// Pass 4: topology dropping
+// Pass 4: reactive-table dropping
+// ----------------------------------------------------------------------
+
+/// Removes each behavior entry in turn when the failure survives
+/// without it, so closed-loop repros carry only the behaviors that
+/// actually fire.
+fn drop_workload_behaviors(
+    state: &mut WorkloadParts,
+    predicate: &mut dyn FnMut(&Workload) -> bool,
+) -> bool {
+    let mut progress = false;
+    for node in state.behaviors.keys().copied().collect::<Vec<_>>() {
+        let mut behaviors = state.behaviors.clone();
+        behaviors.remove(&node);
+        if predicate(&state.build_with(&state.nodes, &behaviors, &state.steps)) {
+            state.behaviors = behaviors;
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// The fleet counterpart of [`drop_workload_behaviors`].
+fn drop_fleet_behaviors(
+    state: &mut FleetParts,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> bool {
+    let mut progress = false;
+    for id in state.behaviors.keys().copied().collect::<Vec<_>>() {
+        let mut behaviors = state.behaviors.clone();
+        behaviors.remove(&id);
+        let candidate = state.build_full(
+            &state.clusters,
+            &state.domains,
+            &state.routes,
+            &behaviors,
+            &state.steps,
+        );
+        if predicate(&candidate) {
+            state.behaviors = behaviors;
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// Removes each mesh route in turn when the failure survives without
+/// it (an envelope that loses its only route legally becomes an
+/// unroutable drop; the predicate decides whether that still fails).
+fn drop_fleet_routes(
+    state: &mut FleetParts,
+    predicate: &mut dyn FnMut(&FleetWorkload) -> bool,
+) -> bool {
+    let mut progress = false;
+    let mut i = 0;
+    while i < state.routes.len() {
+        let mut routes = state.routes.clone();
+        routes.remove(i);
+        let candidate = state.build_full(
+            &state.clusters,
+            &state.domains,
+            &routes,
+            &state.behaviors,
+            &state.steps,
+        );
+        if predicate(&candidate) {
+            state.routes = routes;
+            progress = true;
+            // Re-check the route that slid into slot `i`.
+        } else {
+            i += 1;
+        }
+    }
+    progress
+}
+
+// ----------------------------------------------------------------------
+// Pass 5: topology dropping
 // ----------------------------------------------------------------------
 
 /// Drops any node no step references by index, remapping the indices
@@ -392,18 +516,27 @@ fn drop_unreferenced_nodes(
     let mut progress = false;
     let mut i = 0;
     while i < state.nodes.len() {
-        let referenced = state.steps.iter().any(|s| match s {
-            Step::Queue { node, .. }
-            | Step::QueueUnchecked { node, .. }
-            | Step::Wakeup { node } => *node == i,
-            _ => false,
-        });
+        // A behavior entry is a reference too: the drop-behaviors pass
+        // clears it first when it is not needed, then the node falls
+        // on the next fixpoint iteration.
+        let referenced = state.behaviors.contains_key(&i)
+            || state.steps.iter().any(|s| match s {
+                Step::Queue { node, .. }
+                | Step::QueueUnchecked { node, .. }
+                | Step::Wakeup { node } => *node == i,
+                _ => false,
+            });
         if referenced {
             i += 1;
             continue;
         }
         let mut nodes = state.nodes.clone();
         nodes.remove(i);
+        let behaviors: BTreeMap<usize, NodeBehavior> = state
+            .behaviors
+            .iter()
+            .map(|(&node, b)| (node - usize::from(node > i), b.clone()))
+            .collect();
         let steps: Vec<Step> = state
             .steps
             .iter()
@@ -423,15 +556,10 @@ fn drop_unreferenced_nodes(
                 other => other,
             })
             .collect();
-        let candidate = rebuild_workload(
-            &state.name,
-            state.config,
-            &nodes,
-            &steps,
-            state.strict_nulls,
-        );
+        let candidate = state.build_with(&nodes, &behaviors, &steps);
         if predicate(&candidate) {
             state.nodes = nodes;
+            state.behaviors = behaviors;
             state.steps = steps;
             progress = true;
             // Re-check the node that slid into slot `i`.
@@ -454,22 +582,47 @@ fn drop_unreferenced_clusters(
     let mut progress = false;
     let mut i = 0;
     while i < state.clusters.len() {
-        let referenced = state.steps.iter().any(|s| match s {
-            FleetStep::Local { src, .. } => src.cluster == i,
-            FleetStep::Remote { src, dest, .. } => src.cluster == i || dest.cluster == i,
-            FleetStep::Wakeup { node } => node.cluster == i,
-            _ => false,
-        });
+        // Behaviors hosted on the cluster and mesh routes hopping
+        // *through* it count as references; the reactive-table passes
+        // clear those first when they are not load-bearing.
+        let referenced = state.behaviors.keys().any(|id| id.cluster == i)
+            || state.routes.iter().any(|r| r.via == i)
+            || state.steps.iter().any(|s| match s {
+                FleetStep::Local { src, .. } => src.cluster == i,
+                FleetStep::Remote { src, dest, .. } => src.cluster == i || dest.cluster == i,
+                FleetStep::Wakeup { node } => node.cluster == i,
+                _ => false,
+            });
         if referenced {
             i += 1;
             continue;
         }
         let mut clusters = state.clusters.clone();
         clusters.remove(i);
-        let remap = |mut id: crate::fleet::FleetNodeId| {
-            id.cluster -= usize::from(id.cluster > i);
+        let mut domains = state.domains.clone();
+        domains.remove(i);
+        let shift = |c: usize| c - usize::from(c > i);
+        // Route range bounds live in cluster-index space; shift them
+        // with the clusters they cover (`via == i` is excluded above).
+        let routes: Vec<MeshRoute> = state
+            .routes
+            .iter()
+            .map(|r| MeshRoute {
+                domain: r.domain,
+                lo: shift(r.lo),
+                hi: shift(r.hi),
+                via: shift(r.via),
+            })
+            .collect();
+        let remap = |mut id: FleetNodeId| {
+            id.cluster = shift(id.cluster);
             id
         };
+        let behaviors: BTreeMap<FleetNodeId, NodeBehavior> = state
+            .behaviors
+            .iter()
+            .map(|(&id, b)| (remap(id), b.clone()))
+            .collect();
         let steps: Vec<FleetStep> = state
             .steps
             .iter()
@@ -485,26 +638,25 @@ fn drop_unreferenced_clusters(
                     fu,
                     payload,
                     priority,
+                    ttl,
                 } => FleetStep::Remote {
                     src: remap(src),
                     dest: remap(dest),
                     fu,
                     payload,
                     priority,
+                    ttl,
                 },
                 FleetStep::Wakeup { node } => FleetStep::Wakeup { node: remap(node) },
                 other => other,
             })
             .collect();
-        let candidate = rebuild_fleet(
-            &state.name,
-            state.config,
-            &clusters,
-            &steps,
-            state.strict_nulls,
-        );
+        let candidate = state.build_full(&clusters, &domains, &routes, &behaviors, &steps);
         if predicate(&candidate) {
             state.clusters = clusters;
+            state.domains = domains;
+            state.routes = routes;
+            state.behaviors = behaviors;
             state.steps = steps;
             progress = true;
         } else {
@@ -532,6 +684,7 @@ fn trim_trailing_sensors(
                 FleetStep::Wakeup { node } => vec![*node],
                 _ => Vec::new(),
             })
+            .chain(state.behaviors.keys().copied())
             .filter(|id| id.cluster == c)
             .map(|id| id.node)
             .max()
@@ -541,12 +694,12 @@ fn trim_trailing_sensors(
         }
         let mut clusters = state.clusters.clone();
         clusters[c].truncate(max_node);
-        let candidate = rebuild_fleet(
-            &state.name,
-            state.config,
+        let candidate = state.build_full(
             &clusters,
+            &state.domains,
+            &state.routes,
+            &state.behaviors,
             &state.steps,
-            state.strict_nulls,
         );
         if predicate(&candidate) {
             state.clusters = clusters;

@@ -32,7 +32,7 @@ const EXPECTED: &[(&str, &str)] = &[
     ),
     (
         "bad_version.mbt",
-        "bad_version.mbt:1:5: unsupported trace version `9` (this parser reads version 1)",
+        "bad_version.mbt:1:5: unsupported trace version `9` (this parser reads versions 1..=2)",
     ),
     (
         "bad_kind.mbt",
@@ -92,6 +92,29 @@ const EXPECTED: &[(&str, &str)] = &[
     (
         "unknown_directive.mbt",
         "unknown_directive.mbt:3:1: unknown directive `frobnicate`",
+    ),
+    (
+        "bad_behavior_kind.mbt",
+        "bad_behavior_kind.mbt:4:14: unknown behavior kind `explode` \
+         (expected reply, agg, or cascade)",
+    ),
+    (
+        "ttl_range.mbt",
+        "ttl_range.mbt:5:25: envelope TTL 16 out of range (1..=15)",
+    ),
+    (
+        "route_cycle.mbt",
+        "route_cycle.mbt:5:14: mesh route cycle: next hop 1 is in the route's own domain 1",
+    ),
+    (
+        "behavior_undeclared_node.mbt",
+        "behavior_undeclared_node.mbt:4:10: node index 3 out of range on cluster 0 \
+         (2 sensor(s) + gateway)",
+    ),
+    (
+        "v2_directive_in_v1.mbt",
+        "v2_directive_in_v1.mbt:4:1: `behavior` requires trace version 2 \
+         (this file declares version 1)",
     ),
 ];
 

@@ -181,10 +181,18 @@ fn assert_sharded_matches(
     assert_eq!(
         (
             reference.forwarded,
+            reference.hop_forwards,
             reference.dropped,
-            &reference.cluster_drops
+            &reference.cluster_drops,
+            &reference.ttl_drops,
         ),
-        (sharded.forwarded, sharded.dropped, &sharded.cluster_drops),
+        (
+            sharded.forwarded,
+            sharded.hop_forwards,
+            sharded.dropped,
+            &sharded.cluster_drops,
+            &sharded.ttl_drops,
+        ),
         "sharded({shards}, {mode}) gateway counters diverged on '{}' ({kind})",
         workload.name()
     );

@@ -26,7 +26,7 @@ fn corpus() -> Vec<(String, TraceFile)> {
         .collect();
     entries.sort();
     assert!(
-        entries.len() >= 7,
+        entries.len() >= 10,
         "corpus unexpectedly small: {entries:?} — traces deleted without replacement?"
     );
     entries
@@ -101,13 +101,15 @@ fn corpus_survives_reserialization() {
 
 /// The corpus spans the shapes the suite exists to guard: single-bus
 /// and fleet traces, partial drains (wire-incomparable), priority
-/// remotes, and gateway drops.
+/// remotes, gateway drops, and — since the closed-loop golden traces
+/// landed — reactive behavior tables and multi-hop mesh routes at
+/// 1000+ bus scale.
 #[test]
 fn corpus_covers_the_advertised_shapes() {
     let corpus = corpus();
     let fleets = corpus.iter().filter(|(_, t)| t.trace.is_fleet()).count();
     let workloads = corpus.len() - fleets;
-    assert!(fleets >= 3, "fleet coverage shrank");
+    assert!(fleets >= 6, "fleet coverage shrank");
     assert!(workloads >= 4, "single-bus coverage shrank");
     assert!(
         corpus.iter().any(|(_, t)| !t.trace.wire_comparable()),
@@ -124,4 +126,59 @@ fn corpus_covers_the_advertised_shapes() {
     let report = w.run_on(EngineKind::Analytic);
     assert!(report.forwarded >= 3, "forwarding legs disappeared");
     assert!(report.dropped >= 1, "unroutable-envelope drop disappeared");
+}
+
+/// The three closed-loop golden traces keep their advertised shapes:
+/// 1000+ bridged buses, a non-empty behavior table, a mesh with routes
+/// in both domains, and reply traffic that actually crosses the
+/// inter-gateway boundary. The duty-cycled request/response day is the
+/// acceptance scenario — its reply traffic (each injected reply is one
+/// source transmission plus one forwarded delivery leg) must stay at
+/// least 30% of all bus transactions.
+#[test]
+fn closed_loop_golden_traces_keep_their_shapes() {
+    let corpus = corpus();
+    let fleet = |file: &str| {
+        let (_, tf) = corpus
+            .iter()
+            .find(|(f, _)| f == file)
+            .unwrap_or_else(|| panic!("{file} present"));
+        match &tf.trace {
+            Trace::Fleet(w) => w,
+            Trace::Workload(_) => panic!("{file} must be a fleet trace"),
+        }
+    };
+    for file in [
+        "duty_cycle_day.mbt",
+        "alarm_cascade.mbt",
+        "aggregate_fanin.mbt",
+    ] {
+        let w = fleet(file);
+        assert!(
+            w.cluster_specs().len() >= 1000,
+            "{file}: fleet shrank below 1000 buses"
+        );
+        assert!(!w.behaviors().is_empty(), "{file}: behavior table emptied");
+        assert!(
+            w.mesh_routes().len() >= 2,
+            "{file}: mesh routes disappeared"
+        );
+        let report = w.run_on(EngineKind::Analytic);
+        assert!(
+            report.injected_replies > 0,
+            "{file}: no closed-loop replies"
+        );
+        assert!(
+            report.hop_forwards > 0,
+            "{file}: reply traffic no longer crosses the mesh"
+        );
+    }
+    let report = fleet("duty_cycle_day.mbt").run_on(EngineKind::Analytic);
+    let transactions = report.transactions() as u64;
+    assert!(
+        10 * 2 * report.injected_replies >= 3 * transactions,
+        "duty_cycle_day.mbt: reply share fell below 30% ({} replies / {} transactions)",
+        report.injected_replies,
+        transactions
+    );
 }

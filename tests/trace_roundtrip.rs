@@ -70,6 +70,21 @@ fn seeded_fleets_round_trip_on_every_engine() {
             original.strict_nulls(),
             "seed {seed}"
         );
+        // The v2 constructs survive structurally, not just
+        // behaviorally: behavior tables, mesh domains and routes, and
+        // the reply horizon all come back token-identical.
+        assert_eq!(parsed.behaviors(), original.behaviors(), "seed {seed}");
+        assert_eq!(
+            parsed.cluster_domains(),
+            original.cluster_domains(),
+            "seed {seed}"
+        );
+        assert_eq!(parsed.mesh_routes(), original.mesh_routes(), "seed {seed}");
+        assert_eq!(
+            parsed.reply_horizon(),
+            original.reply_horizon(),
+            "seed {seed}"
+        );
         for kind in common::fleet_comparable_kinds(&original) {
             assert_eq!(
                 original.run_on(kind).signature(),
@@ -78,6 +93,30 @@ fn seeded_fleets_round_trip_on_every_engine() {
             );
         }
     }
+}
+
+/// The 200-seed fleet battery actually covers the v2 step and
+/// topology kinds it exists to round-trip: some seeds must draw
+/// behavior tables, mesh routes (hence version-2 serialization), and
+/// explicit-TTL remotes. A generator regression that stops producing
+/// them would otherwise silently shrink this suite back to v1
+/// coverage.
+#[test]
+fn seeded_fleet_battery_covers_the_v2_constructs() {
+    let (mut behaviors, mut routes, mut ttls, mut v2) = (0u64, 0u64, 0u64, 0u64);
+    for seed in 0..common::scaled_seeds(200) {
+        let w = FleetWorkload::seeded(seed);
+        behaviors += u64::from(!w.behaviors().is_empty());
+        routes += u64::from(!w.mesh_routes().is_empty());
+        let text = TraceFile::fleet(w).to_mbt();
+        ttls += u64::from(text.contains(" ttl="));
+        v2 += u64::from(text.starts_with("mbt 2 "));
+    }
+    let seeds = common::scaled_seeds(200);
+    assert!(behaviors * 3 >= seeds, "behaviors: {behaviors}/{seeds}");
+    assert!(routes * 8 >= seeds, "mesh routes: {routes}/{seeds}");
+    assert!(ttls * 16 >= seeds, "explicit TTLs: {ttls}/{seeds}");
+    assert!(v2 * 3 >= seeds, "v2 serializations: {v2}/{seeds}");
 }
 
 /// The parsed fleet honors the schedule-independence contract exactly

@@ -90,8 +90,12 @@ fn seeded_battery_is_bit_identical_across_paths() {
         assert_bit_identical(&w);
         ran += 1;
     }
+    // Census guard against the generator collapsing to all-partial
+    // drains. ~45% of seeds are wire-comparable since the reactive
+    // behavior draws joined the stream; 40% keeps headroom while still
+    // catching a real collapse.
     assert!(
-        ran >= seeds / 2,
+        ran * 5 >= seeds * 2,
         "battery mostly skipped ({ran}/{seeds}); seeded generator drifted?"
     );
 }
